@@ -1,0 +1,56 @@
+//! Criterion benches for the flat iterative engines (paper Tables II & III):
+//! FM with each bucket policy, and CLIP, on a small suite circuit. The
+//! wall-clock columns of those tables come from these code paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlpart_bench::algos;
+use mlpart_fm::BucketPolicy;
+use mlpart_gen::by_name;
+use mlpart_hypergraph::rng::seeded_rng;
+
+fn bench_table2_policies(c: &mut Criterion) {
+    let h = by_name("balu").expect("in suite").generate(1997);
+    let mut group = c.benchmark_group("table2_fm_bucket_policy");
+    group.sample_size(10);
+    for policy in [BucketPolicy::Lifo, BucketPolicy::Fifo, BucketPolicy::Random] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = seeded_rng(seed);
+                    algos::fm_with_policy(&h, policy, &mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table3_fm_vs_clip(c: &mut Criterion) {
+    let h = by_name("primary1").expect("in suite").generate(1997);
+    let mut group = c.benchmark_group("table3_fm_vs_clip");
+    group.sample_size(10);
+    group.bench_function("fm", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = seeded_rng(seed);
+            algos::fm(&h, &mut rng)
+        });
+    });
+    group.bench_function("clip", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = seeded_rng(seed);
+            algos::clip(&h, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_policies, bench_table3_fm_vs_clip);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the multilevel algorithm (paper Tables IV-VI and
+//! Figure 4): full ML runs at each matching ratio, plus the coarsening phase
+//! in isolation — the CPU columns of those tables come from these paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlpart_bench::algos;
+use mlpart_core::{Hierarchy, MlConfig};
+use mlpart_gen::by_name;
+use mlpart_hypergraph::rng::seeded_rng;
+
+fn bench_table4_clip_vs_ml(c: &mut Criterion) {
+    let h = by_name("balu").expect("in suite").generate(1997);
+    let mut group = c.benchmark_group("table4_clip_vs_ml");
+    group.sample_size(10);
+    group.bench_function("clip", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = seeded_rng(seed);
+            algos::clip(&h, &mut rng)
+        });
+    });
+    group.bench_function("ml_f", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = seeded_rng(seed);
+            algos::ml_f(&h, 1.0, &mut rng)
+        });
+    });
+    group.bench_function("ml_c", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = seeded_rng(seed);
+            algos::ml_c(&h, 1.0, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_tables56_matching_ratio(c: &mut Criterion) {
+    let h = by_name("primary1").expect("in suite").generate(1997);
+    let mut group = c.benchmark_group("tables56_ml_c_by_ratio");
+    group.sample_size(10);
+    for ratio in [1.0, 0.5, 0.33] {
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &r| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = seeded_rng(seed);
+                algos::ml_c(&h, r, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_coarsening_phase(c: &mut Criterion) {
+    let h = by_name("primary2").expect("in suite").generate(1997);
+    let mut group = c.benchmark_group("coarsening_phase");
+    group.sample_size(10);
+    for ratio in [1.0, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &r| {
+            let cfg = MlConfig::default().with_ratio(r);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = seeded_rng(seed);
+                Hierarchy::coarsen(&h, &cfg, &[], &mut rng).num_levels()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table4_clip_vs_ml,
+    bench_tables56_matching_ratio,
+    bench_coarsening_phase
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenches for the substrate operations every experiment is
+//! built from: netlist construction, matching, inducing, cut evaluation,
+//! and a single FM pass. These bound the per-table costs and catch
+//! performance regressions in the data structures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlpart_cluster::{induce, match_clusters, MatchConfig};
+use mlpart_fm::{refine, FmConfig};
+use mlpart_gen::by_name;
+use mlpart_hypergraph::rng::seeded_rng;
+use mlpart_hypergraph::{metrics, Partition};
+
+fn bench_substrates(c: &mut Criterion) {
+    let circuit = by_name("primary2").expect("in suite");
+    let h = circuit.generate(1997);
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(h.num_pins() as u64));
+
+    group.bench_function("generate", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            circuit.generate(seed)
+        });
+    });
+
+    group.bench_function("match_r1", |b| {
+        let mut rng = seeded_rng(0);
+        b.iter(|| match_clusters(&h, &MatchConfig::default(), &mut rng));
+    });
+
+    let mut rng = seeded_rng(1);
+    let clustering = match_clusters(&h, &MatchConfig::default(), &mut rng);
+    group.bench_function("induce", |b| {
+        b.iter(|| induce(&h, &clustering));
+    });
+
+    let p = Partition::random(&h, 2, &mut rng);
+    group.bench_function("cut", |b| {
+        b.iter(|| metrics::cut(&h, &p));
+    });
+
+    group.bench_function("fm_refine_from_random", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = seeded_rng(seed);
+            let mut p = Partition::random(&h, 2, &mut rng);
+            refine(&h, &mut p, &FmConfig::default(), &mut rng).cut
+        });
+    });
+
+    // §V's fast bucket reinitialization: identical results, less per-pass
+    // setup — this pair quantifies the saving.
+    group.bench_function("fm_refine_incremental_reinit", |b| {
+        let cfg = FmConfig {
+            incremental_reinit: true,
+            ..FmConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = seeded_rng(seed);
+            let mut p = Partition::random(&h, 2, &mut rng);
+            refine(&h, &mut p, &cfg, &mut rng).cut
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,293 @@
+//! Ablation study for the design choices `DESIGN.md` calls out:
+//!
+//! 1. **Coarsener**: the paper's `Match` vs Chaco-style random matching vs
+//!    Metis-style heavy-edge matching.
+//! 2. **§V extensions**: boundary-only bucket initialization, early pass
+//!    exit, multi-start at the coarsest level, and Krishnamurthy-style
+//!    lookahead tie-breaking — each toggled on top of the baseline `ML_C`.
+//!
+//! 3. **4-way strategy**: the paper's direct Sanchis-style quadrisection
+//!    (sum-of-degrees and net-cut gains) vs recursive ML bisection.
+//! 4. **Direct hypergraph vs graph expansion** (paper footnote 2): ML_C on
+//!    the netlist hypergraph vs ML_C on its clique/star expansions with the
+//!    true hypergraph cut measured afterwards — the transformation loss the
+//!    paper blames for GMetis's weaker cuts.
+//!
+//! These are *our* experiments (not in the paper); they quantify how much
+//! each ingredient of ML matters on the synthetic suite.
+
+use mlpart_bench::{report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_core::{
+    ml_bipartition, ml_kway, recursive_ml_bisection, Coarsener, MlConfig, MlKwayConfig,
+};
+use mlpart_fm::FmConfig;
+use mlpart_hypergraph::rng::child_seed;
+use mlpart_hypergraph::transform::{
+    clique_expansion, hypergraph_cut_of_expanded, star_expansion, DEFAULT_WEIGHT_SCALE,
+};
+use mlpart_kway::{KwayConfig, KwayGain};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!(
+        "Ablation — coarseners and §V extensions on ML_C ({} runs per cell, seed {})",
+        args.runs, args.seed
+    );
+    println!();
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Test Case", "aMatch", "aRandom", "aHeavy", "aBound", "aEarly", "aMulti", "aLook", "aCdip", "aCoal"
+    );
+    let (mut base_avg, mut rand_avg, mut heavy_avg) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut bound_avg, mut early_avg, mut multi_avg) = (Vec::new(), Vec::new(), Vec::new());
+    let mut look_avg: Vec<f64> = Vec::new();
+    let (mut cdip_avg, mut coal_avg): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    for (ci, c) in args.circuits().iter().enumerate() {
+        let h = c.generate(args.seed);
+        let seed = child_seed(args.seed, 600 + ci as u64);
+        let cell = |cfg: MlConfig, lane: u64| {
+            run_many(args.runs, child_seed(seed, lane), |rng| {
+                ml_bipartition(&h, &cfg, rng).1.cut
+            })
+        };
+        let base = MlConfig::clip();
+        let a_match = cell(base, 0);
+        let a_rand = cell(
+            MlConfig {
+                coarsener: Coarsener::RandomMatching,
+                ..base
+            },
+            1,
+        );
+        let a_heavy = cell(
+            MlConfig {
+                coarsener: Coarsener::HeavyEdge,
+                ..base
+            },
+            2,
+        );
+        let a_bound = cell(
+            MlConfig {
+                fm: FmConfig {
+                    boundary_init: true,
+                    ..base.fm
+                },
+                ..base
+            },
+            3,
+        );
+        let a_early = cell(
+            MlConfig {
+                fm: FmConfig {
+                    early_exit_stall: Some(200),
+                    ..base.fm
+                },
+                ..base
+            },
+            4,
+        );
+        let a_multi = cell(
+            MlConfig {
+                initial_tries: 5,
+                ..base
+            },
+            5,
+        );
+        let a_look = cell(
+            MlConfig {
+                fm: FmConfig {
+                    lookahead: true,
+                    ..base.fm
+                },
+                ..base
+            },
+            6,
+        );
+        let a_cdip = cell(
+            MlConfig {
+                fm: FmConfig {
+                    cdip_window: Some(16),
+                    ..base.fm
+                },
+                ..base
+            },
+            7,
+        );
+        let a_coal = cell(
+            MlConfig {
+                coalesce_nets: true,
+                ..base
+            },
+            8,
+        );
+        println!(
+            "{:<16} {:>8.1} {:>8.1} {:>8.1}  {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            c.name,
+            a_match.cut.avg,
+            a_rand.cut.avg,
+            a_heavy.cut.avg,
+            a_bound.cut.avg,
+            a_early.cut.avg,
+            a_multi.cut.avg,
+            a_look.cut.avg,
+            a_cdip.cut.avg,
+            a_coal.cut.avg
+        );
+        base_avg.push(a_match.cut.avg.max(1.0));
+        rand_avg.push(a_rand.cut.avg.max(1.0));
+        heavy_avg.push(a_heavy.cut.avg.max(1.0));
+        bound_avg.push(a_bound.cut.avg.max(1.0));
+        early_avg.push(a_early.cut.avg.max(1.0));
+        multi_avg.push(a_multi.cut.avg.max(1.0));
+        look_avg.push(a_look.cut.avg.max(1.0));
+        cdip_avg.push(a_cdip.cut.avg.max(1.0));
+        coal_avg.push(a_coal.cut.avg.max(1.0));
+    }
+    let vs_rand = mlpart_bench::geomean_ratio(&base_avg, &rand_avg);
+    let vs_heavy = mlpart_bench::geomean_ratio(&base_avg, &heavy_avg);
+    let vs_bound = mlpart_bench::geomean_ratio(&bound_avg, &base_avg);
+    let vs_early = mlpart_bench::geomean_ratio(&early_avg, &base_avg);
+    let vs_multi = mlpart_bench::geomean_ratio(&multi_avg, &base_avg);
+    let vs_look = mlpart_bench::geomean_ratio(&look_avg, &base_avg);
+    let vs_cdip = mlpart_bench::geomean_ratio(&cdip_avg, &base_avg);
+    let vs_coal = mlpart_bench::geomean_ratio(&coal_avg, &base_avg);
+    println!();
+    println!("geomean avg-cut ratio Match/Random:          {vs_rand:.3}");
+    println!("geomean avg-cut ratio Match/HeavyEdge:       {vs_heavy:.3}");
+    println!("geomean avg-cut ratio boundary-init/base:    {vs_bound:.3}");
+    println!("geomean avg-cut ratio early-exit/base:       {vs_early:.3}");
+    println!("geomean avg-cut ratio multi-start/base:      {vs_multi:.3}");
+    println!("geomean avg-cut ratio lookahead/base:        {vs_look:.3}");
+    println!("geomean avg-cut ratio CDIP/base:             {vs_cdip:.3}");
+    println!("geomean avg-cut ratio coalesced/base:        {vs_coal:.3}");
+    // --- 4-way strategy comparison. ---
+    println!();
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "Test Case", "a4SoD", "a4Cut", "a4Rec"
+    );
+    let (mut sod4, mut cut4, mut rec4) = (Vec::new(), Vec::new(), Vec::new());
+    for (ci, c) in args.circuits().iter().enumerate() {
+        let h = c.generate(args.seed);
+        let seed = child_seed(args.seed, 900 + ci as u64);
+        let a_sod = run_many(args.runs, child_seed(seed, 0), |rng| {
+            ml_kway(&h, &MlKwayConfig::default(), &[], rng).1.cut
+        });
+        let a_cut = run_many(args.runs, child_seed(seed, 1), |rng| {
+            let cfg = MlKwayConfig {
+                kway: KwayConfig {
+                    gain: KwayGain::NetCut,
+                    ..KwayConfig::default()
+                },
+                ..MlKwayConfig::default()
+            };
+            ml_kway(&h, &cfg, &[], rng).1.cut
+        });
+        let a_rec = run_many(args.runs, child_seed(seed, 2), |rng| {
+            recursive_ml_bisection(&h, 2, &MlConfig::default(), rng).1.cut
+        });
+        println!(
+            "{:<16} {:>8.1} {:>8.1} {:>8.1}",
+            c.name, a_sod.cut.avg, a_cut.cut.avg, a_rec.cut.avg
+        );
+        sod4.push(a_sod.cut.avg.max(1.0));
+        cut4.push(a_cut.cut.avg.max(1.0));
+        rec4.push(a_rec.cut.avg.max(1.0));
+    }
+    // --- Direct hypergraph vs graph expansion (footnote 2). ---
+    println!();
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "Test Case", "aDirect", "aClique", "aStar"
+    );
+    let (mut direct_avg, mut clique_avg, mut star_avg) =
+        (Vec::new(), Vec::new(), Vec::new());
+    for (ci, c) in args.circuits().iter().enumerate() {
+        let h = c.generate(args.seed);
+        let seed = child_seed(args.seed, 1_200 + ci as u64);
+        let a_direct = run_many(args.runs, child_seed(seed, 0), |rng| {
+            ml_bipartition(&h, &MlConfig::clip(), rng).1.cut
+        });
+        let clique = clique_expansion(&h, DEFAULT_WEIGHT_SCALE, 50);
+        let a_clique = run_many(args.runs, child_seed(seed, 1), |rng| {
+            let (p, _) = ml_bipartition(&clique, &MlConfig::clip(), rng);
+            hypergraph_cut_of_expanded(&h, p.assignment(), 2)
+        });
+        let (star, _original) = star_expansion(&h, DEFAULT_WEIGHT_SCALE, 200);
+        let a_star = run_many(args.runs, child_seed(seed, 2), |rng| {
+            let (p, _) = ml_bipartition(&star, &MlConfig::clip(), rng);
+            hypergraph_cut_of_expanded(&h, p.assignment(), 2)
+        });
+        println!(
+            "{:<16} {:>8.1} {:>8.1} {:>8.1}",
+            c.name, a_direct.cut.avg, a_clique.cut.avg, a_star.cut.avg
+        );
+        direct_avg.push(a_direct.cut.avg.max(1.0));
+        clique_avg.push(a_clique.cut.avg.max(1.0));
+        star_avg.push(a_star.cut.avg.max(1.0));
+    }
+    let direct_vs_clique = mlpart_bench::geomean_ratio(&direct_avg, &clique_avg);
+    let direct_vs_star = mlpart_bench::geomean_ratio(&direct_avg, &star_avg);
+    println!();
+    println!("geomean avg-cut ratio direct/clique-expansion: {direct_vs_clique:.3}");
+    println!("geomean avg-cut ratio direct/star-expansion:   {direct_vs_star:.3}");
+
+    let sod_vs_cut = mlpart_bench::geomean_ratio(&sod4, &cut4);
+    let sod_vs_rec = mlpart_bench::geomean_ratio(&sod4, &rec4);
+    println!();
+    println!("geomean avg-cut ratio 4-way SoD/NetCut gain: {sod_vs_cut:.3}");
+    println!("geomean avg-cut ratio 4-way SoD/recursive:   {sod_vs_rec:.3}");
+
+    let checks = vec![
+        ShapeCheck::new(
+            format!(
+                "sum-of-degrees gain no worse than net-cut gain (ratio {sod_vs_cut:.3} <= 1.05, paper reports with SoD)"
+            ),
+            sod_vs_cut <= 1.05,
+        ),
+        ShapeCheck::new(
+            format!("paper Match no worse than random matching (ratio {vs_rand:.3} <= 1.05)"),
+            vs_rand <= 1.05,
+        ),
+        ShapeCheck::new(
+            format!("boundary-init quality within 10% of base (ratio {vs_bound:.3})"),
+            vs_bound <= 1.10,
+        ),
+        // Multi-start only improves the *coarsest-level* solution; the final
+        // average over a different random stream can drift a few percent.
+        ShapeCheck::new(
+            format!("multi-start roughly neutral or better (ratio {vs_multi:.3} <= 1.08)"),
+            vs_multi <= 1.08,
+        ),
+        ShapeCheck::new(
+            format!("lookahead quality within 10% of base (ratio {vs_look:.3})"),
+            vs_look <= 1.10,
+        ),
+        ShapeCheck::new(
+            format!("CDIP quality within 10% of base (ratio {vs_cdip:.3})"),
+            vs_cdip <= 1.10,
+        ),
+        ShapeCheck::new(
+            format!("net coalescing preserves quality (ratio {vs_coal:.3} in [0.9, 1.1])"),
+            (0.9..=1.1).contains(&vs_coal),
+        ),
+        // Footnote 2 / the GMetis column: the hypergraph-direct partitioner
+        // never needs a lossy transformation. On low-fanout circuits the
+        // clique expansion is nearly lossless (a 2-pin net's clique IS the
+        // net), so parity is the expectation there; the *scalable* star
+        // expansion — what graph tools must use on big nets — loses.
+        ShapeCheck::new(
+            format!(
+                "direct never meaningfully worse than clique expansion (ratio {direct_vs_clique:.3} <= 1.05)"
+            ),
+            direct_vs_clique <= 1.05,
+        ),
+        ShapeCheck::new(
+            format!(
+                "direct beats the star expansion (ratio {direct_vs_star:.3} < 1)"
+            ),
+            direct_vs_star < 1.0,
+        ),
+    ];
+    std::process::exit(i32::from(!report_shape_checks(&checks)));
+}

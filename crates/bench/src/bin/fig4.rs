@@ -1,0 +1,72 @@
+//! Regenerates **Figure 4**: the tradeoff between the matching ratio `R`
+//! and average cut (the paper plots 40-run averages of `ML_C` on `avqsmall`
+//! and `avqlarge`).
+//!
+//! Paper finding: average cut decreases (roughly monotonically) as `R`
+//! decreases, flattening out below ~0.5.
+
+use mlpart_bench::{algos, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_hypergraph::rng::child_seed;
+
+const RATIOS: [f64; 7] = [0.1, 0.2, 0.33, 0.5, 0.66, 0.8, 1.0];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    // The paper uses its two largest non-golem circuits; default to the two
+    // largest in the selection.
+    let mut circuits = args.circuits();
+    circuits.sort_by_key(|c| std::cmp::Reverse(c.modules));
+    circuits.truncate(2);
+    println!(
+        "Figure 4 — matching ratio vs average ML_C cut ({} runs per point, seed {})",
+        args.runs, args.seed
+    );
+    println!();
+    print!("{:<8}", "R");
+    for c in &circuits {
+        print!(" {:>14}", c.name);
+    }
+    println!();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); circuits.len()];
+    let hs: Vec<_> = circuits.iter().map(|c| c.generate(args.seed)).collect();
+    for (ri, &r) in RATIOS.iter().enumerate() {
+        print!("{:<8.2}", r);
+        for (ci, h) in hs.iter().enumerate() {
+            let stats = run_many(
+                args.runs,
+                child_seed(args.seed, 400 + (ri * 16 + ci) as u64),
+                |rng| algos::ml_c(h, r, rng),
+            );
+            print!(" {:>14.1}", stats.cut.avg);
+            series[ci].push(stats.cut.avg);
+        }
+        println!();
+    }
+    let mut checks = Vec::new();
+    for (ci, c) in circuits.iter().enumerate() {
+        let s = &series[ci];
+        let at_min_r = s[0]; // R = 0.1
+        let at_max_r = *s.last().expect("non-empty"); // R = 1.0
+        checks.push(ShapeCheck::new(
+            format!(
+                "{}: avg cut at R=0.1 ({at_min_r:.1}) <= avg cut at R=1.0 ({at_max_r:.1})",
+                c.name
+            ),
+            at_min_r <= at_max_r * 1.02,
+        ));
+        // Weak monotonicity: the series' best half should be at small R.
+        // Allow 5% because each point is a finite-run average (at the
+        // default 10 runs, point-to-point noise is a few percent).
+        let low_half: f64 = s[..s.len() / 2].iter().sum::<f64>() / (s.len() / 2) as f64;
+        let high_half: f64 =
+            s[s.len() - s.len() / 2..].iter().sum::<f64>() / (s.len() / 2) as f64;
+        checks.push(ShapeCheck::new(
+            format!(
+                "{}: small-R half of the curve at or below large-R half ({low_half:.1} vs {high_half:.1}, 5% noise allowance)",
+                c.name
+            ),
+            low_half <= high_half * 1.05,
+        ));
+    }
+    std::process::exit(i32::from(!report_shape_checks(&checks)));
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table I**: benchmark circuit characteristics.
+//!
+//! Prints the synthetic suite's realized module/net/pin counts next to the
+//! paper's targets, and verifies the substitution matched them.
+
+use mlpart_bench::{report_shape_checks, HarnessArgs, ShapeCheck};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("Table I — benchmark circuit characteristics (synthetic suite)");
+    println!("seed: {}", args.seed);
+    println!();
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "Test Case", "#Modules", "#Nets", "#Pins", "tgtNets", "tgtPins", "pinErr%"
+    );
+    let mut checks = Vec::new();
+    let mut worst_pin_err: f64 = 0.0;
+    for c in args.circuits() {
+        let h = c.generate(args.seed);
+        let pin_err =
+            100.0 * (h.num_pins() as f64 - c.pins as f64).abs() / c.pins as f64;
+        worst_pin_err = worst_pin_err.max(pin_err);
+        println!(
+            "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8.2}",
+            c.name,
+            h.num_modules(),
+            h.num_nets(),
+            h.num_pins(),
+            c.nets,
+            c.pins,
+            pin_err
+        );
+        checks.push(ShapeCheck::new(
+            format!("{}: module count exact", c.name),
+            h.num_modules() == c.modules,
+        ));
+    }
+    checks.push(ShapeCheck::new(
+        format!("pin counts within 15% of Table I targets (worst {worst_pin_err:.2}%)"),
+        worst_pin_err < 15.0,
+    ));
+    std::process::exit(i32::from(!report_shape_checks(&checks)));
+}

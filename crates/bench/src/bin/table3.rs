@@ -1,0 +1,73 @@
+//! Regenerates **Table III**: FM vs CLIP — minimum cut, average cut,
+//! standard deviation, and CPU time.
+//!
+//! Paper finding: CLIP significantly improves on FM, especially on larger
+//! circuits, at comparable CPU cost (CLIP even converges in fewer passes on
+//! some large cases).
+
+use mlpart_bench::{algos, paper, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_hypergraph::rng::child_seed;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!(
+        "Table III — FM vs CLIP ({} runs per cell, seed {})",
+        args.runs, args.seed
+    );
+    println!();
+    println!(
+        "{:<16} {:>6} {:>6}  {:>8} {:>8}  {:>7} {:>7}  {:>8} {:>8}  {:>8} {:>8}",
+        "Test Case", "mFM", "mCLIP", "aFM", "aCLIP", "sFM", "sCLIP", "tFM", "tCLIP",
+        "pAvgFM", "pAvgCL"
+    );
+    let mut fm_avgs = Vec::new();
+    let mut clip_avgs = Vec::new();
+    let mut cpu_ratio_acc = Vec::new();
+    for (ci, c) in args.circuits().iter().enumerate() {
+        let h = c.generate(args.seed);
+        let fm = run_many(args.runs, child_seed(args.seed, ci as u64 * 4), |rng| {
+            algos::fm(&h, rng)
+        });
+        let clip = run_many(
+            args.runs,
+            child_seed(args.seed, ci as u64 * 4 + 1),
+            |rng| algos::clip(&h, rng),
+        );
+        let p = paper::table3_row(c.name);
+        println!(
+            "{:<16} {:>6} {:>6}  {:>8.1} {:>8.1}  {:>7.1} {:>7.1}  {:>8.2} {:>8.2}  {:>8} {:>8}",
+            c.name,
+            fm.cut.min, clip.cut.min,
+            fm.cut.avg, clip.cut.avg,
+            fm.cut.std, clip.cut.std,
+            fm.secs, clip.secs,
+            p.map_or("-".to_owned(), |r| format!("{:.0}", r.fm_avg)),
+            p.map_or("-".to_owned(), |r| format!("{:.0}", r.clip_avg)),
+        );
+        fm_avgs.push(fm.cut.avg.max(1.0));
+        clip_avgs.push(clip.cut.avg.max(1.0));
+        cpu_ratio_acc.push(clip.secs.max(1e-9) / fm.secs.max(1e-9));
+    }
+    let avg_ratio = mlpart_bench::geomean_ratio(&clip_avgs, &fm_avgs);
+    let cpu_geo =
+        (cpu_ratio_acc.iter().map(|r| r.ln()).sum::<f64>() / cpu_ratio_acc.len() as f64).exp();
+    println!();
+    println!("geomean avg-cut ratio CLIP/FM: {avg_ratio:.3} (paper: CLIP ~18% better)");
+    println!("geomean CPU ratio CLIP/FM:     {cpu_geo:.3} (paper: comparable)");
+    let wins = clip_avgs.iter().zip(&fm_avgs).filter(|(c, f)| c <= f).count();
+    let checks = vec![
+        ShapeCheck::new(
+            format!("CLIP average cut <= FM on most circuits ({wins}/{})", fm_avgs.len()),
+            wins * 3 >= fm_avgs.len() * 2,
+        ),
+        ShapeCheck::new(
+            format!("CLIP meaningfully better overall (ratio {avg_ratio:.3} < 0.95)"),
+            avg_ratio < 0.95,
+        ),
+        ShapeCheck::new(
+            format!("CLIP CPU within 4x of FM (ratio {cpu_geo:.2})"),
+            cpu_geo < 4.0,
+        ),
+    ];
+    std::process::exit(i32::from(!report_shape_checks(&checks)));
+}

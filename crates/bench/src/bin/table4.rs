@@ -1,0 +1,77 @@
+//! Regenerates **Table IV**: CLIP vs `ML_F` vs `ML_C` (matching ratio
+//! `R = 1`) — minimum cut, average cut, and CPU time.
+//!
+//! Paper finding: both ML variants clearly beat flat CLIP on circuits with
+//! more than ~6000 modules; `ML_C` has the lowest averages overall; ML's
+//! runtime overhead over CLIP shrinks as instances grow.
+
+use mlpart_bench::{algos, paper, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_hypergraph::rng::child_seed;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!(
+        "Table IV — CLIP vs ML_F vs ML_C at R=1 ({} runs per cell, seed {})",
+        args.runs, args.seed
+    );
+    println!();
+    println!(
+        "{:<16} {:>6} {:>6} {:>6}  {:>8} {:>8} {:>8}  {:>8} {:>8} {:>8}  {:>7}",
+        "Test Case", "mCLIP", "mML_F", "mML_C", "aCLIP", "aML_F", "aML_C", "tCLIP", "tML_F",
+        "tML_C", "pML_C"
+    );
+    let mut clip_avgs = Vec::new();
+    let mut mlf_avgs = Vec::new();
+    let mut mlc_avgs = Vec::new();
+    for (ci, c) in args.circuits().iter().enumerate() {
+        let h = c.generate(args.seed);
+        let base = child_seed(args.seed, ci as u64 * 8);
+        let clip = run_many(args.runs, child_seed(base, 0), |rng| algos::clip(&h, rng));
+        let mlf = run_many(args.runs, child_seed(base, 1), |rng| {
+            algos::ml_f(&h, 1.0, rng)
+        });
+        let mlc = run_many(args.runs, child_seed(base, 2), |rng| {
+            algos::ml_c(&h, 1.0, rng)
+        });
+        let p = paper::table4_row(c.name);
+        println!(
+            "{:<16} {:>6} {:>6} {:>6}  {:>8.1} {:>8.1} {:>8.1}  {:>8.2} {:>8.2} {:>8.2}  {:>7}",
+            c.name,
+            clip.cut.min, mlf.cut.min, mlc.cut.min,
+            clip.cut.avg, mlf.cut.avg, mlc.cut.avg,
+            clip.secs, mlf.secs, mlc.secs,
+            p.map_or("-".to_owned(), |r| format!("{:.0}", r.avg[2])),
+        );
+        clip_avgs.push(clip.cut.avg.max(1.0));
+        mlf_avgs.push(mlf.cut.avg.max(1.0));
+        mlc_avgs.push(mlc.cut.avg.max(1.0));
+    }
+    let mlc_vs_clip = mlpart_bench::geomean_ratio(&mlc_avgs, &clip_avgs);
+    let mlc_vs_mlf = mlpart_bench::geomean_ratio(&mlc_avgs, &mlf_avgs);
+    println!();
+    println!("geomean avg-cut ratio ML_C/CLIP: {mlc_vs_clip:.3}");
+    println!("geomean avg-cut ratio ML_C/ML_F: {mlc_vs_mlf:.3}");
+    let mlc_best = mlc_avgs
+        .iter()
+        .zip(clip_avgs.iter().zip(&mlf_avgs))
+        .filter(|(c, (a, b))| **c <= **a && **c <= **b * 1.02)
+        .count();
+    let checks = vec![
+        ShapeCheck::new(
+            format!("ML_C avg beats flat CLIP overall (ratio {mlc_vs_clip:.3} < 0.95)"),
+            mlc_vs_clip < 0.95,
+        ),
+        ShapeCheck::new(
+            format!("ML_C <= ML_F on average (ratio {mlc_vs_mlf:.3} <= 1.03)"),
+            mlc_vs_mlf <= 1.03,
+        ),
+        ShapeCheck::new(
+            format!(
+                "ML_C (near-)lowest average on most circuits ({mlc_best}/{})",
+                mlc_avgs.len()
+            ),
+            mlc_best * 3 >= mlc_avgs.len() * 2,
+        ),
+    ];
+    std::process::exit(i32::from(!report_shape_checks(&checks)));
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Table V**: `ML_F` for matching ratios R ∈ {1.0, 0.5, 0.33}
+//! — minimum cut, average cut, and CPU time.
+//!
+//! Paper finding: slower coarsening (smaller R) lowers average cuts —
+//! dramatically so on the largest circuits — at a noticeable CPU cost;
+//! R = 0.5 and R = 0.33 are nearly indistinguishable.
+
+use mlpart_bench::{algos, sweeps, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let ok = sweeps::run_ratio_sweep("Table V — ML_F", &args, algos::ml_f);
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Table VI**: `ML_C` for matching ratios R ∈ {1.0, 0.5, 0.33}
+//! — minimum cut, average cut, and CPU time.
+//!
+//! Paper finding: as for Table V, slower coarsening helps `ML_C`'s averages;
+//! with small R the gap between the FM and CLIP engines narrows, because the
+//! extra levels give even an inferior engine more refinement opportunities.
+
+use mlpart_bench::{algos, sweeps, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let ok = sweeps::run_ratio_sweep("Table VI — ML_C", &args, algos::ml_c);
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,99 @@
+//! Regenerates **Table VII**: cut-size comparison of `ML_C` (R = 0.5) at
+//! full and reduced run budgets against the competing algorithms.
+//!
+//! We reimplement the algorithms whose descriptions permit a faithful
+//! reconstruction (FM, CLIP, LSMC) and quote the paper's published
+//! improvement percentages for the remaining literature columns (GMetis,
+//! HB, PARABOLI, GFM, CL-LA3, CD-LA3, CL-PR — see `mlpart_bench::paper`).
+//!
+//! Paper finding: `ML_C` with 100 runs beats every competitor (6.9-27.9%);
+//! even 10 runs of `ML_C` still win (3.0-20.6%).
+
+use mlpart_bench::{algos, paper, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_hypergraph::rng::child_seed;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let few = (args.runs / 10).max(2);
+    println!(
+        "Table VII — ML_C (R=0.5) vs other bipartitioners ({} and {} runs, seed {})",
+        args.runs, few, args.seed
+    );
+    println!();
+    println!(
+        "{:<16} {:>9} {:>9} {:>7} {:>7} {:>7}",
+        "Test Case",
+        format!("MLC({})", args.runs),
+        format!("MLC({few})"),
+        "FM",
+        "CLIP",
+        "LSMC"
+    );
+    let (mut mlc_full, mut mlc_few, mut fm_min, mut clip_min, mut lsmc_min) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for (ci, c) in args.circuits().iter().enumerate() {
+        let h = c.generate(args.seed);
+        let base = child_seed(args.seed, ci as u64);
+        let mlc = run_many(args.runs, child_seed(base, 0), |rng| {
+            algos::ml_c(&h, 0.5, rng)
+        });
+        let mlc10 = run_many(few, child_seed(base, 1), |rng| algos::ml_c(&h, 0.5, rng));
+        let fm = run_many(args.runs, child_seed(base, 2), |rng| algos::fm(&h, rng));
+        let clip = run_many(args.runs, child_seed(base, 3), |rng| algos::clip(&h, rng));
+        // The paper's LSMC column is 100 descents of a single chain; scale
+        // descents with the run budget so CPU stays comparable.
+        let lsmc = run_many(1, child_seed(base, 4), |rng| {
+            algos::lsmc(&h, args.runs.max(10), rng)
+        });
+        println!(
+            "{:<16} {:>9} {:>9} {:>7} {:>7} {:>7}",
+            c.name, mlc.cut.min, mlc10.cut.min, fm.cut.min, clip.cut.min, lsmc.cut.min
+        );
+        mlc_full.push(mlc.cut.min.max(1) as f64);
+        mlc_few.push(mlc10.cut.min.max(1) as f64);
+        fm_min.push(fm.cut.min.max(1) as f64);
+        clip_min.push(clip.cut.min.max(1) as f64);
+        lsmc_min.push(lsmc.cut.min.max(1) as f64);
+    }
+    let imp = |ours: &[f64], other: &[f64]| {
+        (1.0 - mlpart_bench::geomean_ratio(ours, other)) * 100.0
+    };
+    println!();
+    println!("% improvement of MLC({}) vs FM:   {:>6.1}", args.runs, imp(&mlc_full, &fm_min));
+    println!("% improvement of MLC({}) vs CLIP: {:>6.1}", args.runs, imp(&mlc_full, &clip_min));
+    println!("% improvement of MLC({}) vs LSMC: {:>6.1}", args.runs, imp(&mlc_full, &lsmc_min));
+    println!("% improvement of MLC({few}) vs CLIP: {:>6.1}", imp(&mlc_few, &clip_min));
+    println!();
+    println!("paper-published improvement percentages (real circuits, for reference):");
+    for row in paper::TABLE7_IMPROVEMENTS {
+        println!(
+            "  vs {:<10} ML_C(100): {:>5.1}%   ML_C(10): {:>5.1}%",
+            row.versus, row.ml100_pct, row.ml10_pct
+        );
+    }
+    let checks = vec![
+        ShapeCheck::new(
+            format!("ML_C(full) beats flat FM (improvement {:.1}% > 0)", imp(&mlc_full, &fm_min)),
+            imp(&mlc_full, &fm_min) > 0.0,
+        ),
+        ShapeCheck::new(
+            format!("ML_C(full) beats flat CLIP (improvement {:.1}% > 0)", imp(&mlc_full, &clip_min)),
+            imp(&mlc_full, &clip_min) > 0.0,
+        ),
+        ShapeCheck::new(
+            format!("ML_C(full) beats LSMC (improvement {:.1}% > 0)", imp(&mlc_full, &lsmc_min)),
+            imp(&mlc_full, &lsmc_min) > 0.0,
+        ),
+        // At the paper's scale this is 10 ML_C runs vs 100 competitor runs
+        // and ML_C still wins; at harness scale the few-run budget only has
+        // to stay in the same league.
+        ShapeCheck::new(
+            format!(
+                "ML_C(few) remains competitive with CLIP at a 1/10 budget (improvement {:.1}% > -5)",
+                imp(&mlc_few, &clip_min)
+            ),
+            imp(&mlc_few, &clip_min) > -5.0,
+        ),
+    ];
+    std::process::exit(i32::from(!report_shape_checks(&checks)));
+}

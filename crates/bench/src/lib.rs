@@ -1,0 +1,333 @@
+//! Experiment harness regenerating every table and figure of *Multilevel
+//! Circuit Partitioning* (Alpert, Huang, Kahng — DAC 1997).
+//!
+//! One binary per table/figure lives in `src/bin/` (`table1` … `table9`,
+//! `fig4`, `ablation`). Each prints the paper's row layout on the synthetic
+//! suite plus a shape-check verdict comparing the *relationships* the paper
+//! reports (who wins, roughly by how much) — absolute values differ because
+//! the circuits are synthetic stand-ins (see `DESIGN.md`).
+//!
+//! Shared infrastructure: CLI parsing ([`HarnessArgs`]), timed multi-run
+//! statistics ([`run_many`]), algorithm wrappers ([`algos`]), and the paper's
+//! published numbers ([`paper`]) for the comparison columns we do not
+//! reimplement.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algos;
+pub mod paper;
+pub mod sweeps;
+
+use mlpart_gen::{SizeClass, SuiteCircuit, SUITE};
+use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
+use mlpart_hypergraph::CutStats;
+use std::time::Instant;
+
+/// Statistics plus wall-clock time for a batch of runs of one algorithm on
+/// one circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Min/avg/std over the runs' cuts.
+    pub cut: CutStats,
+    /// Total wall-clock seconds for all runs (the paper reports total CPU
+    /// for its 100 runs).
+    pub secs: f64,
+}
+
+/// Runs `f` `runs` times with independent child seeds and collects cut
+/// statistics and total time.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn run_many<F>(runs: usize, base_seed: u64, mut f: F) -> RunStats
+where
+    F: FnMut(&mut MlRng) -> u64,
+{
+    assert!(runs > 0, "need at least one run");
+    let start = Instant::now();
+    let samples: Vec<u64> = (0..runs)
+        .map(|i| {
+            let mut rng = seeded_rng(child_seed(base_seed, i as u64));
+            f(&mut rng)
+        })
+        .collect();
+    RunStats {
+        cut: CutStats::from_samples(&samples),
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Which circuits a harness binary should sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteSelection {
+    /// All circuits under 3 500 modules (default).
+    Small,
+    /// Small + medium circuits (everything but `syn-golem3`).
+    Medium,
+    /// The entire 23-circuit suite.
+    All,
+    /// An explicit list of circuit names.
+    Named(Vec<String>),
+}
+
+/// Command-line arguments shared by every harness binary.
+///
+/// ```text
+/// --runs N        runs per (circuit, algorithm) cell   [default 10]
+/// --seed S        base seed                            [default 1997]
+/// --suite small|medium|all|name1,name2,...             [default small]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Runs per cell.
+    pub runs: usize,
+    /// Base seed; every cell derives independent child seeds from it.
+    pub seed: u64,
+    /// Circuit selection.
+    pub suite: SuiteSelection,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            runs: 10,
+            seed: 1997,
+            suite: SuiteSelection::Small,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`-style arguments (the first element is the
+    /// program name and is skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("flag {name} requires a value"))
+            };
+            match flag.as_str() {
+                "--runs" => {
+                    out.runs = value("--runs")?
+                        .parse()
+                        .map_err(|_| "invalid --runs value".to_owned())?;
+                    if out.runs == 0 {
+                        return Err("--runs must be positive".to_owned());
+                    }
+                }
+                "--seed" => {
+                    out.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "invalid --seed value".to_owned())?;
+                }
+                "--suite" => {
+                    let v = value("--suite")?;
+                    out.suite = match v.as_str() {
+                        "small" => SuiteSelection::Small,
+                        "medium" => SuiteSelection::Medium,
+                        "all" => SuiteSelection::All,
+                        names => SuiteSelection::Named(
+                            names.split(',').map(str::to_owned).collect(),
+                        ),
+                    };
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: --runs N --seed S --suite small|medium|all|name,..."
+                            .to_owned(),
+                    )
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the real process arguments, printing usage and exiting on
+    /// error. Convenience for binaries.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args()) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Resolves the selection against the suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named circuit does not exist.
+    pub fn circuits(&self) -> Vec<&'static SuiteCircuit> {
+        match &self.suite {
+            SuiteSelection::Small => mlpart_gen::small_suite(),
+            SuiteSelection::Medium => SUITE
+                .iter()
+                .filter(|c| c.size_class() != SizeClass::Large)
+                .collect(),
+            SuiteSelection::All => SUITE.iter().collect(),
+            SuiteSelection::Named(names) => names
+                .iter()
+                .map(|n| {
+                    mlpart_gen::by_name(n)
+                        .unwrap_or_else(|| panic!("unknown circuit {n:?}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A shape check: one relationship the paper's table asserts, verified on
+/// the synthetic reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeCheck {
+    /// What relationship is being checked.
+    pub description: String,
+    /// Whether the reproduction exhibits it.
+    pub holds: bool,
+}
+
+impl ShapeCheck {
+    /// Creates a check result.
+    pub fn new(description: impl Into<String>, holds: bool) -> Self {
+        ShapeCheck {
+            description: description.into(),
+            holds,
+        }
+    }
+}
+
+/// Prints the shape-check block every table binary ends with and returns
+/// `true` if all checks hold.
+pub fn report_shape_checks(checks: &[ShapeCheck]) -> bool {
+    println!();
+    println!("shape checks vs. paper:");
+    let mut all = true;
+    for c in checks {
+        let mark = if c.holds { "PASS" } else { "FAIL" };
+        println!("  [{mark}] {}", c.description);
+        all &= c.holds;
+    }
+    all
+}
+
+/// Geometric mean of per-item ratios `a[i] / b[i]`; the standard way to
+/// aggregate "A is X% better than B" across circuits.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain a zero
+/// denominator.
+pub fn geomean_ratio(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mismatched series");
+    assert!(!a.is_empty(), "empty series");
+    let log_sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            assert!(y > 0.0, "zero denominator");
+            (x.max(1e-12) / y).ln()
+        })
+        .sum();
+    (log_sum / a.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        std::iter::once("prog".to_owned())
+            .chain(s.split_whitespace().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let a = HarnessArgs::parse(argv("")).expect("parses");
+        assert_eq!(a, HarnessArgs::default());
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let a = HarnessArgs::parse(argv("--runs 3 --seed 7 --suite medium")).expect("parses");
+        assert_eq!(a.runs, 3);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.suite, SuiteSelection::Medium);
+    }
+
+    #[test]
+    fn parse_named_suite() {
+        let a = HarnessArgs::parse(argv("--suite balu,primary1")).expect("parses");
+        assert_eq!(a.circuits().len(), 2);
+        assert_eq!(a.circuits()[0].name, "syn-balu");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(HarnessArgs::parse(argv("--runs zero")).is_err());
+        assert!(HarnessArgs::parse(argv("--runs 0")).is_err());
+        assert!(HarnessArgs::parse(argv("--bogus")).is_err());
+        assert!(HarnessArgs::parse(argv("--seed")).is_err());
+    }
+
+    #[test]
+    fn small_suite_selection() {
+        let a = HarnessArgs::default();
+        let circuits = a.circuits();
+        assert_eq!(circuits.len(), 11);
+        assert!(circuits.iter().all(|c| c.modules < 3_500));
+    }
+
+    #[test]
+    fn run_many_collects_stats() {
+        let stats = run_many(5, 42, |rng| {
+            use rand::Rng;
+            10 + rng.gen_range(0..5)
+        });
+        assert_eq!(stats.cut.runs, 5);
+        assert!(stats.cut.min >= 10 && stats.cut.max < 15);
+        assert!(stats.secs >= 0.0);
+    }
+
+    #[test]
+    fn run_many_deterministic() {
+        let f = |rng: &mut MlRng| {
+            use rand::Rng;
+            rng.gen_range(0..1000u64)
+        };
+        let s1 = run_many(4, 9, f);
+        let s2 = run_many(4, 9, f);
+        assert_eq!(s1.cut, s2.cut);
+    }
+
+    #[test]
+    fn geomean_of_equal_series_is_one() {
+        let a = [2.0, 3.0, 4.0];
+        assert!((geomean_ratio(&a, &a) - 1.0).abs() < 1e-12);
+        let b = [1.0, 1.5, 2.0];
+        assert!((geomean_ratio(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_checks_report() {
+        let ok = report_shape_checks(&[
+            ShapeCheck::new("a", true),
+            ShapeCheck::new("b", true),
+        ]);
+        assert!(ok);
+        let bad = report_shape_checks(&[ShapeCheck::new("a", false)]);
+        assert!(!bad);
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared experiment drivers used by more than one harness binary.
+
+use crate::{report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_hypergraph::rng::{child_seed, MlRng};
+use mlpart_hypergraph::Hypergraph;
+
+/// The Tables V/VI driver: sweep the matching ratio R over {1.0, 0.5, 0.33}
+/// for the given ML variant, print the paper's row layout, and return the
+/// shape-check verdict (process exit code semantics: `true` = all pass).
+pub fn run_ratio_sweep(
+    label: &str,
+    args: &HarnessArgs,
+    ml: fn(&Hypergraph, f64, &mut MlRng) -> u64,
+) -> bool {
+    const RATIOS: [f64; 3] = [1.0, 0.5, 0.33];
+    println!(
+        "{label} for R in {{1.0, 0.5, 0.33}} ({} runs per cell, seed {})",
+        args.runs, args.seed
+    );
+    println!();
+    println!(
+        "{:<16} {:>6} {:>6} {:>6}  {:>8} {:>8} {:>8}  {:>8} {:>8} {:>8}",
+        "Test Case", "m1.0", "m0.5", "m0.33", "a1.0", "a0.5", "a0.33", "t1.0", "t0.5", "t0.33"
+    );
+    let mut avgs: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut cpus: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    // Ascending size so "last" is the largest circuit in the selection.
+    let mut circuits = args.circuits();
+    circuits.sort_by_key(|c| c.modules);
+    for (ci, c) in circuits.iter().enumerate() {
+        let h = c.generate(args.seed);
+        let base = child_seed(args.seed, ci as u64);
+        let cells: Vec<_> = RATIOS
+            .iter()
+            .enumerate()
+            .map(|(ri, &r)| {
+                run_many(args.runs, child_seed(base, ri as u64), |rng| ml(&h, r, rng))
+            })
+            .collect();
+        println!(
+            "{:<16} {:>6} {:>6} {:>6}  {:>8.1} {:>8.1} {:>8.1}  {:>8.2} {:>8.2} {:>8.2}",
+            c.name,
+            cells[0].cut.min, cells[1].cut.min, cells[2].cut.min,
+            cells[0].cut.avg, cells[1].cut.avg, cells[2].cut.avg,
+            cells[0].secs, cells[1].secs, cells[2].secs,
+        );
+        for (ri, cell) in cells.iter().enumerate() {
+            avgs[ri].push(cell.cut.avg.max(1.0));
+            cpus[ri].push(cell.secs.max(1e-9));
+        }
+    }
+    let half_vs_full = crate::geomean_ratio(&avgs[1], &avgs[0]);
+    let third_vs_half = crate::geomean_ratio(&avgs[2], &avgs[1]);
+    let cpu_half_vs_full = crate::geomean_ratio(&cpus[1], &cpus[0]);
+    println!();
+    println!("geomean avg-cut ratio R=0.5 / R=1.0:  {half_vs_full:.3}");
+    println!("geomean avg-cut ratio R=0.33 / R=0.5: {third_vs_half:.3}");
+    println!("geomean CPU ratio     R=0.5 / R=1.0:  {cpu_half_vs_full:.3}");
+    // The paper: "the minimum cuts do not vary much as R changes, except
+    // with the larger benchmarks", where slow coarsening wins clearly. So
+    // the overall ratio must not degrade, and the largest circuit in the
+    // selection should benefit (or at least match).
+    let largest_gain = avgs[1].last().copied().unwrap_or(1.0)
+        / avgs[0].last().copied().unwrap_or(1.0).max(1e-9);
+    let checks = vec![
+        ShapeCheck::new(
+            format!(
+                "slower coarsening does not degrade quality overall (R=0.5/R=1 ratio {half_vs_full:.3} <= 1.07)"
+            ),
+            half_vs_full <= 1.07,
+        ),
+        ShapeCheck::new(
+            format!(
+                "largest circuit matches or benefits at R=0.5 (ratio {largest_gain:.3} <= 1.05)"
+            ),
+            largest_gain <= 1.05,
+        ),
+        ShapeCheck::new(
+            format!("R=0.33 ~ R=0.5 (ratio {third_vs_half:.3} in [0.9, 1.1])"),
+            (0.9..=1.1).contains(&third_vs_half),
+        ),
+        ShapeCheck::new(
+            format!(
+                "slower coarsening costs CPU (R=0.5/R=1 CPU ratio {cpu_half_vs_full:.2} > 1)"
+            ),
+            cpu_half_vs_full > 1.0,
+        ),
+    ];
+    report_shape_checks(&checks)
+}

@@ -1,0 +1,53 @@
+//! The ML multilevel circuit partitioning algorithm — the primary
+//! contribution of *Multilevel Circuit Partitioning* (Alpert, Huang, Kahng —
+//! DAC 1997).
+//!
+//! ML recursively coarsens a netlist hypergraph with connectivity-based
+//! matching (controlled by the matching ratio `R`), partitions the coarsest
+//! netlist, then uncoarsens while refining with FM or CLIP. See
+//! [`ml_bipartition`] (Fig. 2 of the paper) and [`ml_kway`] /
+//! [`ml_quadrisection`] (§III-C).
+//!
+//! # Examples
+//!
+//! The `ML_C` variant with slow coarsening (the paper's best configuration,
+//! Table VII):
+//!
+//! ```
+//! use mlpart_core::{ml_bipartition, MlConfig};
+//! use mlpart_hypergraph::{HypergraphBuilder, rng::seeded_rng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = HypergraphBuilder::with_unit_areas(128);
+//! for base in [0usize, 64] {
+//!     for i in 0..64 {
+//!         b.add_net([base + i, base + (i + 1) % 64])?;
+//!         b.add_net([base + i, base + (i + 3) % 64])?;
+//!     }
+//! }
+//! b.add_net([63, 64])?;
+//! let h = b.build()?;
+//!
+//! let cfg = MlConfig::clip().with_ratio(0.5);
+//! let mut rng = seeded_rng(0);
+//! let (partition, result) = ml_bipartition(&h, &cfg, &mut rng);
+//! assert!(result.levels >= 2);
+//! assert_eq!(partition.k(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hierarchy;
+pub mod ml;
+pub mod quadrisection;
+pub mod recursive;
+pub mod two_phase;
+
+pub use hierarchy::{Coarsener, Hierarchy};
+pub use ml::{ml_bipartition, MlConfig, MlResult};
+pub use quadrisection::{ml_kway, ml_quadrisection, MlKwayConfig, MlKwayResult};
+pub use recursive::{recursive_ml_bisection, RecursiveResult};
+pub use two_phase::{two_phase_fm, TwoPhaseResult};

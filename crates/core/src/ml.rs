@@ -1,0 +1,406 @@
+//! The ML multilevel bipartitioning algorithm (paper Fig. 2).
+//!
+//! ```text
+//! 1. i = 0
+//! 2. while |Vᵢ| > T:
+//! 3.     Pᵏ   = Match(Hᵢ, R)
+//! 4.     Hᵢ₊₁ = Induce(Hᵢ, Pᵏ)
+//! 5.     i = i + 1
+//! 6. m = i;  Pₘ = FMPartition(Hₘ, NULL)
+//! 7. for i = m−1 downto 0:
+//! 8.     Pᵢ = Project(Hᵢ₊₁, Pᵢ₊₁)
+//! 9.     Pᵢ = FMPartition(Hᵢ, Pᵢ)
+//! 10. return P₀
+//! ```
+//!
+//! Projection may leave the finer level infeasible because `A(v*)` shrinks
+//! during uncoarsening; §III-B prescribes rebalancing by random moves from
+//! the larger side, which happens between steps 8 and 9.
+
+use crate::hierarchy::Hierarchy;
+use mlpart_cluster::{project, rebalance_bipart};
+use mlpart_fm::{fm_partition, refine, Engine, FmConfig};
+use mlpart_hypergraph::rng::MlRng;
+use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, Partition};
+
+/// Configuration of the ML algorithm.
+///
+/// The defaults reproduce the paper's main experiments: `T = 35`, `R = 1.0`
+/// (vary `R` to regenerate Tables V/VI and Fig. 4), FM refinement with LIFO
+/// buckets and `r = 0.1`. Use `fm.engine = Engine::Clip` for the `ML_C`
+/// variant.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_core::MlConfig;
+/// use mlpart_fm::Engine;
+///
+/// let ml_c = MlConfig::clip().with_ratio(0.5);
+/// assert_eq!(ml_c.fm.engine, Engine::Clip);
+/// assert_eq!(ml_c.matching_ratio, 0.5);
+/// assert_eq!(ml_c.coarsen_threshold, 35);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlConfig {
+    /// Coarsening threshold `T`: coarsen while `|Vᵢ| > T`. The paper uses 35
+    /// for bipartitioning and 100 for quadrisection.
+    pub coarsen_threshold: usize,
+    /// Matching ratio `R ∈ (0, 1]` controlling coarsening speed (§III-A).
+    pub matching_ratio: f64,
+    /// Refinement engine configuration (engine, buckets, balance, net limit).
+    pub fm: FmConfig,
+    /// Safety cap on the number of hierarchy levels.
+    pub max_levels: usize,
+    /// Ablation knob: which matching algorithm coarsens (default: the
+    /// paper's `Match`).
+    pub coarsener: crate::hierarchy::Coarsener,
+    /// Coalesce identical coarse nets into weighted nets during `Induce`
+    /// (hMETIS-style). `false` reproduces the paper's Definition 1 exactly
+    /// (duplicates kept); `true` gives identical cut values with smaller
+    /// coarse netlists.
+    pub coalesce_nets: bool,
+    /// §V extension: number of independent initial partitions tried on the
+    /// coarsest netlist, keeping the best ("it may be worthwhile to spend
+    /// more CPU time partitioning at these levels, e.g., by calling FM
+    /// multiple times"). `1` reproduces the paper's algorithm.
+    pub initial_tries: usize,
+}
+
+impl Default for MlConfig {
+    fn default() -> Self {
+        MlConfig {
+            coarsen_threshold: 35,
+            matching_ratio: 1.0,
+            fm: FmConfig::default(),
+            max_levels: 256,
+            coarsener: crate::hierarchy::Coarsener::PaperMatch,
+            coalesce_nets: false,
+            initial_tries: 1,
+        }
+    }
+}
+
+impl MlConfig {
+    /// The `ML_F` variant: FM refinement (the default).
+    pub fn fm() -> Self {
+        MlConfig::default()
+    }
+
+    /// The `ML_C` variant: CLIP refinement.
+    pub fn clip() -> Self {
+        MlConfig {
+            fm: FmConfig {
+                engine: Engine::Clip,
+                ..FmConfig::default()
+            },
+            ..MlConfig::default()
+        }
+    }
+
+    /// Returns a copy with the given matching ratio `R`.
+    pub fn with_ratio(mut self, ratio: f64) -> Self {
+        self.matching_ratio = ratio;
+        self
+    }
+
+    /// Returns a copy with the given coarsening threshold `T`.
+    pub fn with_threshold(mut self, t: usize) -> Self {
+        self.coarsen_threshold = t;
+        self
+    }
+}
+
+/// Statistics from one ML run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlResult {
+    /// Final cut of the returned bipartition (all nets counted).
+    pub cut: u64,
+    /// Number of coarsening levels `m`.
+    pub levels: usize,
+    /// Module counts `|V₀| … |Vₘ|`.
+    pub level_sizes: Vec<usize>,
+    /// Total FM passes across all levels.
+    pub total_passes: usize,
+    /// Modules moved by §III-B rebalancing during uncoarsening.
+    pub rebalance_moves: usize,
+}
+
+/// Runs the ML multilevel bipartitioning algorithm of Fig. 2.
+///
+/// Returns the refined bipartition `P₀` of `h` and run statistics.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_core::{ml_bipartition, MlConfig};
+/// use mlpart_hypergraph::{HypergraphBuilder, rng::seeded_rng, metrics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two 32-module communities bridged by one net.
+/// let mut b = HypergraphBuilder::with_unit_areas(64);
+/// for base in [0usize, 32] {
+///     for i in 0..31 {
+///         b.add_net([base + i, base + i + 1])?;
+///         b.add_net([base + i, base + (i + 7) % 32])?;
+///     }
+/// }
+/// b.add_net([31, 32])?;
+/// let h = b.build()?;
+/// let mut rng = seeded_rng(5);
+/// let (p, result) = ml_bipartition(&h, &MlConfig::default(), &mut rng);
+/// assert_eq!(result.cut, metrics::cut(&h, &p));
+/// assert!(result.cut <= 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ml_bipartition(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    rng: &mut MlRng,
+) -> (Partition, MlResult) {
+    // --- Coarsening phase (steps 1-5). ---
+    let hierarchy = Hierarchy::coarsen(h, cfg, &[], rng);
+    let m = hierarchy.num_levels();
+
+    // --- Initial partitioning of Hₘ (step 6). ---
+    let coarsest = hierarchy.coarsest(h);
+    let mut total_passes = 0usize;
+    let tries = cfg.initial_tries.max(1);
+    let mut best: Option<(u64, Partition)> = None;
+    for _ in 0..tries {
+        let (p, r) = fm_partition(coarsest, None, &cfg.fm, rng);
+        total_passes += r.passes;
+        if best.as_ref().is_none_or(|(c, _)| r.cut < *c) {
+            best = Some((r.cut, p));
+        }
+    }
+    let (_, mut p) = best.expect("at least one try");
+
+    // --- Uncoarsening phase (steps 7-9). ---
+    let mut rebalance_moves = 0usize;
+    for i in (0..m).rev() {
+        let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
+        let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        let balance = BipartBalance::new(fine, cfg.fm.balance_r);
+        if !balance.is_partition_feasible(&fine_p) {
+            rebalance_moves += rebalance_bipart(fine, &mut fine_p, &balance, rng);
+        }
+        let r = refine(fine, &mut fine_p, &cfg.fm, rng);
+        total_passes += r.passes;
+        p = fine_p;
+    }
+
+    let cut = metrics::cut(h, &p);
+    let result = MlResult {
+        cut,
+        levels: m,
+        level_sizes: hierarchy.level_sizes(h),
+        total_passes,
+        rebalance_moves,
+    };
+    (p, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpart_fm::BucketPolicy;
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    /// Two communities of size `half`, internally ring+chords, one bridge.
+    fn two_communities(half: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(2 * half);
+        for base in [0, half] {
+            for i in 0..half {
+                b.add_net([base + i, base + (i + 1) % half]).unwrap();
+                b.add_net([base + i, base + (i + 3) % half]).unwrap();
+            }
+        }
+        b.add_net([half - 1, half]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_community_cut() {
+        let h = two_communities(64);
+        let best = (0..5)
+            .map(|s| {
+                let mut rng = seeded_rng(s);
+                ml_bipartition(&h, &MlConfig::default(), &mut rng).1.cut
+            })
+            .min()
+            .unwrap();
+        assert!(best <= 2, "best={best}");
+    }
+
+    #[test]
+    fn clip_variant_finds_community_cut() {
+        let h = two_communities(64);
+        let best = (0..5)
+            .map(|s| {
+                let mut rng = seeded_rng(50 + s);
+                ml_bipartition(&h, &MlConfig::clip(), &mut rng).1.cut
+            })
+            .min()
+            .unwrap();
+        assert!(best <= 2, "best={best}");
+    }
+
+    #[test]
+    fn result_is_feasible_and_consistent() {
+        let h = two_communities(100);
+        let cfg = MlConfig::default();
+        let bal = BipartBalance::new(&h, cfg.fm.balance_r);
+        for seed in 0..3 {
+            let mut rng = seeded_rng(seed);
+            let (p, r) = ml_bipartition(&h, &cfg, &mut rng);
+            assert!(p.validate(&h));
+            assert!(bal.is_partition_feasible(&p), "{:?}", p.part_areas());
+            assert_eq!(r.cut, metrics::cut(&h, &p));
+            assert_eq!(r.level_sizes.len(), r.levels + 1);
+            assert_eq!(r.level_sizes[0], h.num_modules());
+            assert!(*r.level_sizes.last().unwrap() <= cfg.coarsen_threshold);
+        }
+    }
+
+    #[test]
+    fn ratio_below_one_builds_deeper_hierarchies() {
+        let h = two_communities(200);
+        let mut rng = seeded_rng(9);
+        let (_, r_full) = ml_bipartition(&h, &MlConfig::default(), &mut rng);
+        let (_, r_half) =
+            ml_bipartition(&h, &MlConfig::default().with_ratio(0.5), &mut rng);
+        assert!(r_half.levels > r_full.levels);
+    }
+
+    #[test]
+    fn small_netlist_skips_coarsening() {
+        let h = two_communities(8); // 16 modules < T = 35
+        let mut rng = seeded_rng(1);
+        let (p, r) = ml_bipartition(&h, &MlConfig::default(), &mut rng);
+        assert_eq!(r.levels, 0);
+        assert!(p.validate(&h));
+    }
+
+    #[test]
+    fn multilevel_beats_or_matches_flat_fm_on_average() {
+        // The paper's core claim (Table IV): ML produces lower average cuts
+        // than flat iterative improvement. Check on a modest community graph.
+        let h = two_communities(128);
+        let runs = 6;
+        let flat_avg: f64 = (0..runs)
+            .map(|s| {
+                let mut rng = seeded_rng(1000 + s);
+                fm_partition(&h, None, &FmConfig::default(), &mut rng).1.cut as f64
+            })
+            .sum::<f64>()
+            / runs as f64;
+        let ml_avg: f64 = (0..runs)
+            .map(|s| {
+                let mut rng = seeded_rng(2000 + s);
+                ml_bipartition(&h, &MlConfig::default(), &mut rng).1.cut as f64
+            })
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            ml_avg <= flat_avg,
+            "ML avg {ml_avg} should not exceed flat FM avg {flat_avg}"
+        );
+    }
+
+    #[test]
+    fn initial_tries_extension_runs() {
+        let h = two_communities(64);
+        let cfg = MlConfig {
+            initial_tries: 5,
+            ..MlConfig::default()
+        };
+        let mut rng = seeded_rng(3);
+        let (p, r) = ml_bipartition(&h, &cfg, &mut rng);
+        assert!(p.validate(&h));
+        assert!(r.total_passes >= 5, "five initial tries imply ≥5 passes");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h = two_communities(64);
+        let run = |seed| {
+            let mut rng = seeded_rng(seed);
+            ml_bipartition(&h, &MlConfig::clip(), &mut rng)
+        };
+        let (p1, r1) = run(42);
+        let (p2, r2) = run(42);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn works_with_all_bucket_policies() {
+        let h = two_communities(48);
+        for policy in [BucketPolicy::Lifo, BucketPolicy::Fifo, BucketPolicy::Random] {
+            let cfg = MlConfig {
+                fm: FmConfig {
+                    policy,
+                    ..FmConfig::default()
+                },
+                ..MlConfig::default()
+            };
+            let mut rng = seeded_rng(7);
+            let (p, _) = ml_bipartition(&h, &cfg, &mut rng);
+            assert!(p.validate(&h));
+        }
+    }
+
+    #[test]
+    fn handles_netless_input() {
+        let h = HypergraphBuilder::with_unit_areas(100).build().unwrap();
+        let mut rng = seeded_rng(0);
+        let (p, r) = ml_bipartition(&h, &MlConfig::default(), &mut rng);
+        assert_eq!(r.cut, 0);
+        assert!(p.validate(&h));
+    }
+}
+
+#[cfg(test)]
+mod coalesce_tests {
+    use super::*;
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn coalesced_ml_produces_valid_comparable_results() {
+        let mut b = HypergraphBuilder::with_unit_areas(128);
+        for base in [0usize, 64] {
+            for i in 0..64 {
+                b.add_net([base + i, base + (i + 1) % 64]).unwrap();
+                b.add_net([base + i, base + (i + 3) % 64]).unwrap();
+            }
+        }
+        b.add_net([63, 64]).unwrap();
+        let h = b.build().unwrap();
+        let runs = 5;
+        let avg = |coalesce: bool, base: u64| -> f64 {
+            (0..runs)
+                .map(|s| {
+                    let cfg = MlConfig {
+                        coalesce_nets: coalesce,
+                        ..MlConfig::clip()
+                    };
+                    let mut rng = seeded_rng(base + s);
+                    let (p, r) = ml_bipartition(&h, &cfg, &mut rng);
+                    assert!(p.validate(&h));
+                    assert_eq!(r.cut, mlpart_hypergraph::metrics::cut(&h, &p));
+                    r.cut as f64
+                })
+                .sum::<f64>()
+                / runs as f64
+        };
+        let plain = avg(false, 100);
+        let merged = avg(true, 200);
+        // Same algorithm quality class; both should land near the optimum 1.
+        assert!(plain <= 6.0, "plain avg {plain}");
+        assert!(merged <= 6.0, "coalesced avg {merged}");
+    }
+}

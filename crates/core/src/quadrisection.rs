@@ -1,0 +1,290 @@
+//! Multilevel k-way partitioning (§III-C): the ML paradigm with a
+//! Sanchis-style k-way engine as the refiner.
+//!
+//! The paper extends ML to quadrisection (k = 4) for use inside a top-down
+//! placement tool: I/O pads can be pre-assigned to parts, coarsening keeps
+//! pre-assigned modules as singletons, and the Table IX results use
+//! `ML_F`-style refinement with `R = 1.0` and `T = 100` under the
+//! sum-of-degrees gain.
+
+use crate::hierarchy::Hierarchy;
+use crate::ml::MlConfig;
+use mlpart_cluster::{project, rebalance_kway_frozen};
+use mlpart_hypergraph::rng::MlRng;
+use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
+use mlpart_kway::{kway_partition, kway_refine, KwayConfig};
+
+/// Configuration for multilevel k-way partitioning.
+///
+/// Combines the multilevel knobs (`T`, `R`, hierarchy caps — reusing
+/// [`MlConfig`] fields) with the k-way engine settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlKwayConfig {
+    /// Number of parts `k` (4 for quadrisection).
+    pub k: u32,
+    /// Coarsening threshold `T`; the paper's quadrisection uses 100.
+    pub coarsen_threshold: usize,
+    /// Matching ratio `R`; the paper's quadrisection uses 1.0.
+    pub matching_ratio: f64,
+    /// K-way refinement engine settings (gain computation, balance, limits).
+    pub kway: KwayConfig,
+    /// Safety cap on hierarchy depth.
+    pub max_levels: usize,
+}
+
+impl Default for MlKwayConfig {
+    fn default() -> Self {
+        MlKwayConfig {
+            k: 4,
+            coarsen_threshold: 100,
+            matching_ratio: 1.0,
+            kway: KwayConfig::default(),
+            max_levels: 256,
+        }
+    }
+}
+
+/// Statistics from one multilevel k-way run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlKwayResult {
+    /// Final net cut over all nets.
+    pub cut: u64,
+    /// Final `Σ_e (span(e) − 1)`.
+    pub sum_of_degrees: u64,
+    /// Number of coarsening levels.
+    pub levels: usize,
+    /// Module counts per level, `H₀` first.
+    pub level_sizes: Vec<usize>,
+    /// Total k-way passes across levels.
+    pub total_passes: usize,
+    /// Modules moved by rebalancing during uncoarsening.
+    pub rebalance_moves: usize,
+}
+
+/// Runs the multilevel k-way (quadrisection for `k = 4`) algorithm.
+///
+/// `fixed` pre-assigns modules (e.g. I/O pads) to parts; they are kept as
+/// singleton clusters during coarsening and never moved by refinement.
+///
+/// # Panics
+///
+/// Panics if `cfg.k == 0` or a fixed assignment is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_core::{ml_kway, MlKwayConfig};
+/// use mlpart_hypergraph::{HypergraphBuilder, rng::seeded_rng, metrics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Four communities of 32 modules in a ring.
+/// let mut b = HypergraphBuilder::with_unit_areas(128);
+/// for c in 0..4usize {
+///     let base = 32 * c;
+///     for i in 0..32 {
+///         b.add_net([base + i, base + (i + 1) % 32])?;
+///         b.add_net([base + i, base + (i + 5) % 32])?;
+///     }
+///     b.add_net([base + 31, (base + 32) % 128])?;
+/// }
+/// let h = b.build()?;
+/// let mut rng = seeded_rng(3);
+/// let (p, r) = ml_kway(&h, &MlKwayConfig::default(), &[], &mut rng);
+/// assert_eq!(r.cut, metrics::cut(&h, &p));
+/// assert!(r.cut <= 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ml_kway(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    fixed: &[(ModuleId, PartId)],
+    rng: &mut MlRng,
+) -> (Partition, MlKwayResult) {
+    assert!(cfg.k > 0, "k must be positive");
+    // Reuse the bipartition hierarchy builder: only T / R / max_levels apply.
+    let ml_cfg = MlConfig {
+        coarsen_threshold: cfg.coarsen_threshold,
+        matching_ratio: cfg.matching_ratio,
+        max_levels: cfg.max_levels,
+        ..MlConfig::default()
+    };
+    let hierarchy = Hierarchy::coarsen(h, &ml_cfg, fixed, rng);
+    let m = hierarchy.num_levels();
+
+    // Initial k-way partitioning of the coarsest netlist.
+    let coarsest = hierarchy.coarsest(h);
+    let (mut p, r0) = kway_partition(
+        coarsest,
+        cfg.k,
+        None,
+        hierarchy.fixed_at(m),
+        &cfg.kway,
+        rng,
+    );
+    let mut total_passes = r0.passes;
+
+    // Uncoarsening with projection, rebalancing, and k-way refinement.
+    let mut rebalance_moves = 0usize;
+    for i in (0..m).rev() {
+        let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
+        let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        let balance = KwayBalance::new(fine, cfg.k, cfg.kway.balance_r);
+        if !balance.is_partition_feasible(&fine_p) {
+            let level_fixed = hierarchy.fixed_at(i);
+            let mask: Option<Vec<bool>> = if level_fixed.is_empty() {
+                None
+            } else {
+                let mut m = vec![false; fine.num_modules()];
+                for &(v, _) in level_fixed {
+                    m[v.index()] = true;
+                }
+                Some(m)
+            };
+            rebalance_moves +=
+                rebalance_kway_frozen(fine, &mut fine_p, &balance, mask.as_deref(), rng);
+        }
+        let r = kway_refine(fine, &mut fine_p, hierarchy.fixed_at(i), &cfg.kway, rng);
+        total_passes += r.passes;
+        p = fine_p;
+    }
+
+    let result = MlKwayResult {
+        cut: metrics::cut(h, &p),
+        sum_of_degrees: metrics::sum_of_spans_minus_one(h, &p),
+        levels: m,
+        level_sizes: hierarchy.level_sizes(h),
+        total_passes,
+        rebalance_moves,
+    };
+    (p, result)
+}
+
+/// Convenience wrapper for the paper's quadrisection setup: `k = 4`,
+/// `T = 100`, `R = 1.0`, sum-of-degrees gain.
+pub fn ml_quadrisection(
+    h: &Hypergraph,
+    fixed: &[(ModuleId, PartId)],
+    rng: &mut MlRng,
+) -> (Partition, MlKwayResult) {
+    ml_kway(h, &MlKwayConfig::default(), fixed, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    /// Four communities in a ring; optimum quadrisection cuts the 4 bridges.
+    fn four_communities(size: usize) -> Hypergraph {
+        let n = 4 * size;
+        let mut b = HypergraphBuilder::with_unit_areas(n);
+        for c in 0..4usize {
+            let base = size * c;
+            for i in 0..size {
+                b.add_net([base + i, base + (i + 1) % size]).unwrap();
+                b.add_net([base + i, base + (i + 5) % size]).unwrap();
+            }
+            b.add_net([base + size - 1, (base + size) % n]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_low_cut_quadrisection() {
+        let h = four_communities(50);
+        let best = (0..5)
+            .map(|s| {
+                let mut rng = seeded_rng(s);
+                ml_quadrisection(&h, &[], &mut rng).1.cut
+            })
+            .min()
+            .unwrap();
+        assert!(best <= 8, "best={best}");
+    }
+
+    #[test]
+    fn result_is_feasible_and_consistent() {
+        let h = four_communities(60);
+        let cfg = MlKwayConfig::default();
+        let bal = KwayBalance::new(&h, 4, cfg.kway.balance_r);
+        let mut rng = seeded_rng(2);
+        let (p, r) = ml_kway(&h, &cfg, &[], &mut rng);
+        assert!(p.validate(&h));
+        assert!(bal.is_partition_feasible(&p), "{:?}", p.part_areas());
+        assert_eq!(r.cut, metrics::cut(&h, &p));
+        assert_eq!(r.sum_of_degrees, metrics::sum_of_spans_minus_one(&h, &p));
+        assert_eq!(r.level_sizes.len(), r.levels + 1);
+    }
+
+    #[test]
+    fn fixed_pads_respected_through_hierarchy() {
+        let h = four_communities(60);
+        let fixed = vec![
+            (ModuleId::new(0), 0u32),
+            (ModuleId::new(60), 1u32),
+            (ModuleId::new(120), 2u32),
+            (ModuleId::new(180), 3u32),
+        ];
+        for seed in 0..3 {
+            let mut rng = seeded_rng(seed);
+            let (p, _) = ml_quadrisection(&h, &fixed, &mut rng);
+            for &(v, part) in &fixed {
+                assert_eq!(p.part(v), part, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_beats_flat_kway_on_average() {
+        let h = four_communities(64);
+        let runs = 4;
+        let flat_avg: f64 = (0..runs)
+            .map(|s| {
+                let mut rng = seeded_rng(3000 + s);
+                kway_partition(&h, 4, None, &[], &KwayConfig::default(), &mut rng)
+                    .1
+                    .cut as f64
+            })
+            .sum::<f64>()
+            / runs as f64;
+        let ml_avg: f64 = (0..runs)
+            .map(|s| {
+                let mut rng = seeded_rng(4000 + s);
+                ml_quadrisection(&h, &[], &mut rng).1.cut as f64
+            })
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            ml_avg <= flat_avg,
+            "ML 4-way avg {ml_avg} should not exceed flat avg {flat_avg}"
+        );
+    }
+
+    #[test]
+    fn k2_multilevel_works() {
+        let h = four_communities(32);
+        let cfg = MlKwayConfig {
+            k: 2,
+            ..MlKwayConfig::default()
+        };
+        let mut rng = seeded_rng(8);
+        let (p, r) = ml_kway(&h, &cfg, &[], &mut rng);
+        assert_eq!(p.k(), 2);
+        assert_eq!(r.cut, metrics::cut(&h, &p));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h = four_communities(40);
+        let run = |seed| {
+            let mut rng = seeded_rng(seed);
+            ml_quadrisection(&h, &[], &mut rng)
+        };
+        let (p1, r1) = run(6);
+        let (p2, r2) = run(6);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+    }
+}

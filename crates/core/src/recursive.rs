@@ -1,0 +1,195 @@
+//! Recursive multilevel bisection: the classic alternative to direct k-way
+//! partitioning.
+//!
+//! The paper partitions 4 ways *directly* with a Sanchis-style engine
+//! (§III-C); most placement flows of the era instead quadrisected by
+//! bisecting twice. This module provides that alternative so the two
+//! strategies can be compared (see the `ablation` harness binary and the
+//! quadrisection tests): each side of an ML bisection is extracted as a
+//! sub-netlist and bisected again, recursively, yielding `k = 2^depth`
+//! parts.
+
+use crate::ml::{ml_bipartition, MlConfig};
+use mlpart_hypergraph::rng::MlRng;
+use mlpart_hypergraph::{metrics, Hypergraph, Partition};
+
+/// Statistics from a recursive bisection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecursiveResult {
+    /// Final k-way cut (all nets counted, measured on the original netlist).
+    pub cut: u64,
+    /// Final `Σ_e (span(e) − 1)`.
+    pub sum_of_degrees: u64,
+    /// Number of bisections performed (`2^depth − 1` unless a region became
+    /// too small to split).
+    pub bisections: usize,
+}
+
+/// Partitions `h` into `2^depth` parts by recursive ML bisection.
+///
+/// Each level runs the full multilevel algorithm on the extracted
+/// sub-netlist of a region. Regions with fewer than two modules are left
+/// whole (their "split" is trivial), so the result always has exactly
+/// `2^depth` part ids (possibly with empty parts on degenerate inputs).
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `depth > 16`.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_core::{recursive_ml_bisection, MlConfig};
+/// use mlpart_hypergraph::{HypergraphBuilder, rng::seeded_rng, metrics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_areas(64);
+/// for c in 0..4usize {
+///     let base = 16 * c;
+///     for i in 0..16 {
+///         b.add_net([base + i, base + (i + 1) % 16])?;
+///     }
+///     b.add_net([base + 15, (base + 16) % 64])?;
+/// }
+/// let h = b.build()?;
+/// let mut rng = seeded_rng(2);
+/// let (p, r) = recursive_ml_bisection(&h, 2, &MlConfig::default(), &mut rng);
+/// assert_eq!(p.k(), 4);
+/// assert_eq!(r.cut, metrics::cut(&h, &p));
+/// # Ok(())
+/// # }
+/// ```
+pub fn recursive_ml_bisection(
+    h: &Hypergraph,
+    depth: u32,
+    cfg: &MlConfig,
+    rng: &mut MlRng,
+) -> (Partition, RecursiveResult) {
+    assert!(depth >= 1, "depth must be at least 1");
+    assert!(depth <= 16, "depth over 16 is surely a mistake");
+    let k = 1u32 << depth;
+    let n = h.num_modules();
+    // `region[v]` is the current part of module v; regions split in place.
+    let mut region = vec![0u32; n];
+    let mut bisections = 0usize;
+    for level in 0..depth {
+        let regions_at_level = 1u32 << level;
+        // Split against the frozen labels of this level and write the new
+        // labels into a fresh array: relabeling in place would make a fresh
+        // `high` id collide with a not-yet-processed old region id.
+        let mut next_region = region.clone();
+        for r_id in 0..regions_at_level {
+            let keep: Vec<bool> = region.iter().map(|&r| r == r_id).collect();
+            let count = keep.iter().filter(|&&x| x).count();
+            // The new ids for this region's halves after this level.
+            let low = r_id * 2;
+            let high = r_id * 2 + 1;
+            if count < 2 {
+                for (v, &k2) in keep.iter().enumerate() {
+                    if k2 {
+                        next_region[v] = low;
+                    }
+                }
+                continue;
+            }
+            let (sub, back) = h.extract(&keep);
+            let (sub_p, _) = ml_bipartition(&sub, cfg, rng);
+            bisections += 1;
+            // Write back: side 0 -> low, side 1 -> high.
+            for (sub_v, &orig) in back.iter().enumerate() {
+                next_region[orig.index()] =
+                    if sub_p.assignment()[sub_v] == 0 { low } else { high };
+            }
+        }
+        region = next_region;
+    }
+    let p = Partition::from_assignment(h, k, region).expect("region ids below k");
+    let result = RecursiveResult {
+        cut: metrics::cut(h, &p),
+        sum_of_degrees: metrics::sum_of_spans_minus_one(h, &p),
+        bisections,
+    };
+    (p, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    fn four_communities(size: usize) -> Hypergraph {
+        let n = 4 * size;
+        let mut b = HypergraphBuilder::with_unit_areas(n);
+        for c in 0..4usize {
+            let base = size * c;
+            for i in 0..size {
+                b.add_net([base + i, base + (i + 1) % size]).unwrap();
+                b.add_net([base + i, base + (i + 5) % size]).unwrap();
+            }
+            b.add_net([base + size - 1, (base + size) % n]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn quadrisects_four_communities() {
+        let h = four_communities(32);
+        let best = (0..5)
+            .map(|s| {
+                let mut rng = seeded_rng(s);
+                recursive_ml_bisection(&h, 2, &MlConfig::default(), &mut rng).1.cut
+            })
+            .min()
+            .unwrap();
+        assert!(best <= 8, "best={best}");
+    }
+
+    #[test]
+    fn produces_exactly_k_parts_with_near_even_sizes() {
+        let h = four_communities(25);
+        let mut rng = seeded_rng(3);
+        let (p, r) = recursive_ml_bisection(&h, 2, &MlConfig::default(), &mut rng);
+        assert_eq!(p.k(), 4);
+        assert!(p.validate(&h));
+        assert_eq!(r.cut, metrics::cut(&h, &p));
+        let sizes = p.part_sizes();
+        let (min, max) = (
+            *sizes.iter().min().expect("4 parts"),
+            *sizes.iter().max().expect("4 parts"),
+        );
+        // Each bisection is within r=0.1, so quadrant sizes stay near n/4.
+        assert!(max - min <= h.num_modules() / 4, "{sizes:?}");
+    }
+
+    #[test]
+    fn depth_one_matches_plain_bisection_cutwise() {
+        let h = four_communities(16);
+        let mut rng1 = seeded_rng(7);
+        let mut rng2 = seeded_rng(7);
+        let (_, r1) = recursive_ml_bisection(&h, 1, &MlConfig::default(), &mut rng1);
+        let (_, r2) = ml_bipartition(&h, &MlConfig::default(), &mut rng2);
+        assert_eq!(r1.cut, r2.cut, "same seed, same single bisection");
+        assert_eq!(r1.bisections, 1);
+    }
+
+    #[test]
+    fn handles_tiny_netlists() {
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([1, 2]).unwrap();
+        let h = b.build().unwrap();
+        let mut rng = seeded_rng(0);
+        let (p, _) = recursive_ml_bisection(&h, 3, &MlConfig::default(), &mut rng);
+        assert_eq!(p.k(), 8);
+        assert!(p.validate(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn rejects_zero_depth() {
+        let h = four_communities(8);
+        let mut rng = seeded_rng(0);
+        let _ = recursive_ml_bisection(&h, 0, &MlConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic benchmark netlists for the `mlpart` workspace.
+//!
+//! The paper evaluates on 23 ACM/SIGDA benchmark circuits that are no longer
+//! distributable; this crate substitutes **hierarchical synthetic circuits**
+//! with the same Table I module/net/pin statistics and the recursively
+//! clustered structure that the paper's phenomena depend on (see `DESIGN.md`
+//! for the substitution argument). It also provides small structured
+//! generators with known optima for tests.
+//!
+//! # Examples
+//!
+//! Generate the synthetic stand-in for `primary1`:
+//!
+//! ```
+//! use mlpart_gen::suite;
+//!
+//! let circuit = suite::by_name("primary1").expect("in suite");
+//! let h = circuit.generate(42);
+//! assert_eq!(h.num_modules(), 833);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hierarchical;
+pub mod simple;
+pub mod suite;
+
+pub use hierarchical::{hierarchical, select_pads, HierarchicalConfig};
+pub use suite::{by_name, medium_suite, small_suite, SizeClass, SuiteCircuit, SUITE};

@@ -1,0 +1,192 @@
+//! The synthetic reproduction of the paper's 23-circuit benchmark suite
+//! (Table I).
+//!
+//! The original ACM/SIGDA circuits were distributed by the CAD Benchmarking
+//! Laboratory (`ftp.cbl.ncsu.edu`), which no longer exists; this workspace
+//! substitutes hierarchical synthetic circuits with the **same module, net,
+//! and (approximate) pin counts** and clustered structure (see
+//! [`hierarchical`](crate::hierarchical())). Circuit names carry a `syn-`
+//! prefix to make the substitution explicit.
+
+use crate::hierarchical::{hierarchical, select_pads, HierarchicalConfig};
+use mlpart_hypergraph::rng::{child_seed, seeded_rng};
+use mlpart_hypergraph::{Hypergraph, ModuleId};
+
+/// Size class of a benchmark, used by the harness to pick defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SizeClass {
+    /// Under 3 500 modules.
+    Small,
+    /// 3 500 – 30 000 modules.
+    Medium,
+    /// Over 30 000 modules (`syn-golem3`).
+    Large,
+}
+
+/// One entry of the benchmark suite: a named circuit with the paper's
+/// Table I statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteCircuit {
+    /// Synthetic circuit name (`syn-<paper name>`).
+    pub name: &'static str,
+    /// Module count (exact match with Table I).
+    pub modules: usize,
+    /// Net count (exact match with Table I).
+    pub nets: usize,
+    /// Pin count target (realized within a few percent).
+    pub pins: usize,
+}
+
+impl SuiteCircuit {
+    /// Generates the circuit. The seed is combined with a per-circuit stream
+    /// id, so the same `seed` gives each circuit an independent but
+    /// reproducible netlist.
+    pub fn generate(&self, seed: u64) -> Hypergraph {
+        let cfg = HierarchicalConfig::with_counts(self.modules, self.nets, self.pins);
+        let stream = self
+            .name
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+        let mut rng = seeded_rng(child_seed(seed, stream));
+        hierarchical(&cfg, &mut rng)
+    }
+
+    /// Generates the circuit together with a pad set sized like a real
+    /// design's I/O ring (`≈ 3·√modules`, low-degree modules).
+    pub fn generate_with_pads(&self, seed: u64) -> (Hypergraph, Vec<ModuleId>) {
+        let h = self.generate(seed);
+        let count = (3.0 * (self.modules as f64).sqrt()) as usize;
+        let mut rng = seeded_rng(child_seed(seed, 0xDEAD));
+        let pads = select_pads(&h, count.min(self.modules / 4), &mut rng);
+        (h, pads)
+    }
+
+    /// Size class for harness scaling decisions.
+    pub fn size_class(&self) -> SizeClass {
+        if self.modules < 3_500 {
+            SizeClass::Small
+        } else if self.modules <= 30_000 {
+            SizeClass::Medium
+        } else {
+            SizeClass::Large
+        }
+    }
+}
+
+/// The full 23-circuit suite in Table I order.
+pub const SUITE: &[SuiteCircuit] = &[
+    SuiteCircuit { name: "syn-balu", modules: 801, nets: 735, pins: 2697 },
+    SuiteCircuit { name: "syn-bm1", modules: 882, nets: 903, pins: 2910 },
+    SuiteCircuit { name: "syn-primary1", modules: 833, nets: 902, pins: 2908 },
+    SuiteCircuit { name: "syn-test04", modules: 1515, nets: 1658, pins: 5975 },
+    SuiteCircuit { name: "syn-test03", modules: 1607, nets: 1618, pins: 5807 },
+    SuiteCircuit { name: "syn-test02", modules: 1663, nets: 1720, pins: 6134 },
+    SuiteCircuit { name: "syn-test06", modules: 1752, nets: 1541, pins: 6638 },
+    SuiteCircuit { name: "syn-struct", modules: 1952, nets: 1920, pins: 5471 },
+    SuiteCircuit { name: "syn-test05", modules: 2595, nets: 2750, pins: 10076 },
+    SuiteCircuit { name: "syn-19ks", modules: 2844, nets: 3282, pins: 10547 },
+    SuiteCircuit { name: "syn-primary2", modules: 3014, nets: 3029, pins: 11219 },
+    SuiteCircuit { name: "syn-s9234", modules: 5866, nets: 5844, pins: 14065 },
+    SuiteCircuit { name: "syn-biomed", modules: 6514, nets: 5742, pins: 21040 },
+    SuiteCircuit { name: "syn-s13207", modules: 8772, nets: 8651, pins: 20606 },
+    SuiteCircuit { name: "syn-s15850", modules: 10470, nets: 10383, pins: 24712 },
+    SuiteCircuit { name: "syn-industry2", modules: 12637, nets: 13419, pins: 48404 },
+    SuiteCircuit { name: "syn-industry3", modules: 15406, nets: 21923, pins: 65792 },
+    SuiteCircuit { name: "syn-s35932", modules: 18148, nets: 17828, pins: 48145 },
+    SuiteCircuit { name: "syn-s38584", modules: 20995, nets: 20717, pins: 55203 },
+    SuiteCircuit { name: "syn-avqsmall", modules: 21918, nets: 22124, pins: 76231 },
+    SuiteCircuit { name: "syn-s38417", modules: 23849, nets: 23843, pins: 57613 },
+    SuiteCircuit { name: "syn-avqlarge", modules: 25178, nets: 25384, pins: 82751 },
+    SuiteCircuit { name: "syn-golem3", modules: 103048, nets: 144949, pins: 338419 },
+];
+
+/// Looks a suite circuit up by name (with or without the `syn-` prefix).
+pub fn by_name(name: &str) -> Option<&'static SuiteCircuit> {
+    let stripped = name.strip_prefix("syn-").unwrap_or(name);
+    SUITE
+        .iter()
+        .find(|c| c.name.strip_prefix("syn-").expect("all names prefixed") == stripped)
+}
+
+/// Circuits with fewer than 3 500 modules — the harness default for table
+/// regeneration at laptop scale.
+pub fn small_suite() -> Vec<&'static SuiteCircuit> {
+    SUITE
+        .iter()
+        .filter(|c| c.size_class() == SizeClass::Small)
+        .collect()
+}
+
+/// Circuits between 3 500 and 30 000 modules.
+pub fn medium_suite() -> Vec<&'static SuiteCircuit> {
+    SUITE
+        .iter()
+        .filter(|c| c.size_class() == SizeClass::Medium)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_23_circuits() {
+        assert_eq!(SUITE.len(), 23);
+    }
+
+    #[test]
+    fn lookup_by_name_works_with_and_without_prefix() {
+        assert!(by_name("syn-balu").is_some());
+        assert!(by_name("balu").is_some());
+        assert!(by_name("golem3").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn small_circuit_generates_with_exact_module_count() {
+        let c = by_name("balu").expect("in suite");
+        let h = c.generate(1);
+        assert_eq!(h.num_modules(), 801);
+        assert!(h.num_nets() as f64 >= 0.97 * 735.0);
+        let pins = h.num_pins() as f64;
+        assert!((pins - 2697.0).abs() / 2697.0 < 0.15, "pins={pins}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let c = by_name("primary1").expect("in suite");
+        assert_eq!(c.generate(5), c.generate(5));
+        assert_ne!(c.generate(5), c.generate(6));
+    }
+
+    #[test]
+    fn different_circuits_use_independent_streams() {
+        let a = by_name("test02").expect("in suite");
+        let b = by_name("test03").expect("in suite");
+        // Same seed, different circuits: must differ (trivially by size, but
+        // check the first net differs too, i.e. streams decorrelate).
+        let ha = a.generate(1);
+        let hb = b.generate(1);
+        let pa: Vec<usize> = ha.pins(mlpart_hypergraph::NetId::new(0)).iter().map(|v| v.index()).collect();
+        let pb: Vec<usize> = hb.pins(mlpart_hypergraph::NetId::new(0)).iter().map(|v| v.index()).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn size_classes_partition_suite() {
+        let small = small_suite().len();
+        let medium = medium_suite().len();
+        let large = SUITE.iter().filter(|c| c.size_class() == SizeClass::Large).count();
+        assert_eq!(small + medium + large, 23);
+        assert_eq!(large, 1); // golem3
+        assert_eq!(small, 11);
+    }
+
+    #[test]
+    fn pads_generated_for_placement() {
+        let c = by_name("balu").expect("in suite");
+        let (h, pads) = c.generate_with_pads(3);
+        assert!(!pads.is_empty());
+        assert!(pads.len() <= h.num_modules() / 4);
+    }
+}

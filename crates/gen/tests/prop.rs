@@ -1,0 +1,99 @@
+//! Property-based tests for the synthetic generators: arbitrary
+//! configurations always yield structurally valid netlists with the promised
+//! counts, connectivity, and locality.
+
+use mlpart_gen::{hierarchical, select_pads, HierarchicalConfig};
+use mlpart_hypergraph::rng::seeded_rng;
+use mlpart_hypergraph::ModuleId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_respects_counts(
+        modules in 8usize..400,
+        net_factor in 0.8f64..1.5,
+        pin_factor in 2.2f64..4.5,
+        escape in 0.0f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let nets = ((modules as f64) * net_factor) as usize + 1;
+        let pins = ((nets as f64) * pin_factor) as usize + 2 * nets;
+        let cfg = HierarchicalConfig {
+            escape,
+            ..HierarchicalConfig::with_counts(modules, nets, pins)
+        };
+        let mut rng = seeded_rng(seed);
+        let h = hierarchical(&cfg, &mut rng);
+        prop_assert_eq!(h.num_modules(), modules);
+        prop_assert!(h.validate());
+        // Net count: every drawn net has >= 2 distinct pins by construction,
+        // and connectivity links only add.
+        prop_assert!(h.num_nets() >= nets);
+        // Net sizes within the cap.
+        prop_assert!(h.max_net_size() <= cfg.max_net_size.max(2));
+    }
+
+    #[test]
+    fn generated_netlists_are_connected(
+        modules in 8usize..200,
+        seed in 0u64..500,
+    ) {
+        let cfg = HierarchicalConfig::with_counts(modules, modules + 10, 3 * modules + 30);
+        let mut rng = seeded_rng(seed);
+        let h = hierarchical(&cfg, &mut rng);
+        // Union-find over nets: exactly one component.
+        let mut root: Vec<usize> = (0..modules).collect();
+        fn find(root: &mut [usize], mut v: usize) -> usize {
+            while root[v] != v {
+                root[v] = root[root[v]];
+                v = root[v];
+            }
+            v
+        }
+        for e in h.net_ids() {
+            let first = h.pins(e)[0].index();
+            for &w in &h.pins(e)[1..] {
+                let (a, b) = (find(&mut root, first), find(&mut root, w.index()));
+                if a != b {
+                    root[a] = b;
+                }
+            }
+        }
+        let first_root = find(&mut root, 0);
+        for v in 0..modules {
+            prop_assert_eq!(find(&mut root, v), first_root, "module {} disconnected", v);
+        }
+    }
+
+    #[test]
+    fn pad_selection_is_valid(
+        modules in 8usize..200,
+        pad_fraction in 0.01f64..0.25,
+        seed in 0u64..500,
+    ) {
+        let cfg = HierarchicalConfig::with_counts(modules, modules, 3 * modules);
+        let mut rng = seeded_rng(seed);
+        let h = hierarchical(&cfg, &mut rng);
+        let count = ((modules as f64) * pad_fraction).ceil() as usize;
+        let pads = select_pads(&h, count, &mut rng);
+        prop_assert_eq!(pads.len(), count);
+        let mut uniq: Vec<ModuleId> = pads.clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), count, "pads must be distinct");
+        prop_assert!(pads.iter().all(|p| p.index() < modules));
+    }
+
+    #[test]
+    fn generator_is_deterministic(
+        modules in 8usize..100,
+        seed in 0u64..200,
+    ) {
+        let cfg = HierarchicalConfig::with_counts(modules, modules + 5, 3 * modules + 10);
+        let h1 = hierarchical(&cfg, &mut seeded_rng(seed));
+        let h2 = hierarchical(&cfg, &mut seeded_rng(seed));
+        prop_assert_eq!(h1, h2);
+    }
+}

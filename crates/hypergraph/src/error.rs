@@ -1,0 +1,189 @@
+//! Error types for hypergraph construction and I/O.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error produced while building a [`Hypergraph`](crate::Hypergraph) from
+/// user-supplied nets and areas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildHypergraphError {
+    /// A net referenced a module index `pin` that is `>= num_modules`.
+    PinOutOfRange {
+        /// Index of the offending net in insertion order.
+        net: usize,
+        /// The out-of-range module index.
+        pin: usize,
+        /// Number of modules declared on the builder.
+        num_modules: usize,
+    },
+    /// A module was declared with zero area. The `Match` connectivity
+    /// function divides by cluster areas, and the balance bounds assume every
+    /// module occupies space, so zero areas are rejected up front.
+    ZeroArea {
+        /// The module with zero area.
+        module: usize,
+    },
+    /// The total area of all modules overflowed `u64`.
+    AreaOverflow,
+    /// A net was declared with weight zero.
+    ZeroWeight {
+        /// Index of the offending net in insertion order.
+        net: usize,
+    },
+}
+
+impl fmt::Display for BuildHypergraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildHypergraphError::PinOutOfRange {
+                net,
+                pin,
+                num_modules,
+            } => write!(
+                f,
+                "net {net} references module {pin} but only {num_modules} modules exist"
+            ),
+            BuildHypergraphError::ZeroArea { module } => {
+                write!(f, "module {module} has zero area")
+            }
+            BuildHypergraphError::AreaOverflow => {
+                write!(f, "total module area overflows u64")
+            }
+            BuildHypergraphError::ZeroWeight { net } => {
+                write!(f, "net {net} has zero weight")
+            }
+        }
+    }
+}
+
+impl StdError for BuildHypergraphError {}
+
+/// Error produced while parsing an hMETIS-format (`.hgr`) netlist.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseHgrError {
+    /// An underlying I/O error while reading.
+    Io(std::io::Error),
+    /// The header line was missing or malformed.
+    BadHeader {
+        /// The offending line content.
+        line: String,
+    },
+    /// A token could not be parsed as an integer.
+    BadToken {
+        /// 1-based line number of the offending token.
+        line_no: usize,
+        /// The token text.
+        token: String,
+    },
+    /// A pin index was outside `1..=num_modules`.
+    PinOutOfRange {
+        /// 1-based line number.
+        line_no: usize,
+        /// The out-of-range 1-based pin value.
+        pin: usize,
+        /// Declared number of modules.
+        num_modules: usize,
+    },
+    /// Fewer net lines than the header declared.
+    TooFewNets {
+        /// Number of nets declared by the header.
+        expected: usize,
+        /// Number of net lines actually present.
+        found: usize,
+    },
+    /// The header declared an unsupported format code (only `0`, `1`, `10`,
+    /// `11` are supported, matching hMETIS).
+    UnsupportedFormat {
+        /// The unsupported format code.
+        fmt: u32,
+    },
+    /// The netlist failed semantic validation after parsing.
+    Build(BuildHypergraphError),
+}
+
+impl fmt::Display for ParseHgrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHgrError::Io(e) => write!(f, "i/o error while reading netlist: {e}"),
+            ParseHgrError::BadHeader { line } => {
+                write!(f, "malformed header line: {line:?}")
+            }
+            ParseHgrError::BadToken { line_no, token } => {
+                write!(f, "line {line_no}: cannot parse token {token:?} as an integer")
+            }
+            ParseHgrError::PinOutOfRange {
+                line_no,
+                pin,
+                num_modules,
+            } => write!(
+                f,
+                "line {line_no}: pin {pin} out of range (1..={num_modules})"
+            ),
+            ParseHgrError::TooFewNets { expected, found } => {
+                write!(f, "header declared {expected} nets but only {found} present")
+            }
+            ParseHgrError::UnsupportedFormat { fmt } => {
+                write!(f, "unsupported hMETIS format code {fmt}")
+            }
+            ParseHgrError::Build(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl StdError for ParseHgrError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ParseHgrError::Io(e) => Some(e),
+            ParseHgrError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseHgrError {
+    fn from(e: std::io::Error) -> Self {
+        ParseHgrError::Io(e)
+    }
+}
+
+impl From<BuildHypergraphError> for ParseHgrError {
+    fn from(e: BuildHypergraphError) -> Self {
+        ParseHgrError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = BuildHypergraphError::PinOutOfRange {
+            net: 3,
+            pin: 99,
+            num_modules: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("net 3"));
+        assert!(msg.contains("99"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn parse_error_wraps_build_error() {
+        let inner = BuildHypergraphError::ZeroArea { module: 4 };
+        let outer = ParseHgrError::from(inner.clone());
+        assert!(outer.to_string().contains("module 4"));
+        assert!(StdError::source(&outer).is_some());
+        assert_eq!(inner.to_string(), "module 4 has zero area");
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuildHypergraphError>();
+        assert_send_sync::<ParseHgrError>();
+    }
+}

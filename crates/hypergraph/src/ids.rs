@@ -1,0 +1,208 @@
+//! Strongly-typed identifiers for modules (cells) and nets.
+//!
+//! The paper works with a netlist hypergraph `H(V, E)` whose vertices are
+//! called *modules* and whose hyperedges are called *nets*. Using newtypes
+//! instead of bare `usize` prevents an entire class of index-confusion bugs
+//! (e.g. indexing the net array with a module id), which matters in a code
+//! base that constantly walks both incidence directions.
+
+use std::fmt;
+
+/// Identifier of a module (a cell / vertex of the netlist hypergraph).
+///
+/// Internally a dense `u32` index in `0..num_modules`. 32 bits comfortably
+/// covers the largest benchmark in the paper (`golem3`, 103 048 modules) and
+/// anything a laptop-scale partitioner will see.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::ModuleId;
+///
+/// let v = ModuleId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "v7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct ModuleId(u32);
+
+/// Identifier of a net (a hyperedge of the netlist hypergraph).
+///
+/// Internally a dense `u32` index in `0..num_nets`.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::NetId;
+///
+/// let e = NetId::new(3);
+/// assert_eq!(e.index(), 3);
+/// assert_eq!(format!("{e}"), "e3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NetId(u32);
+
+impl ModuleId {
+    /// Creates a module id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        ModuleId(u32::try_from(index).expect("module index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index as `usize`, suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl NetId {
+    /// Creates a net id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("net index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index as `usize`, suitable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ModuleId {
+    fn from(raw: u32) -> Self {
+        ModuleId(raw)
+    }
+}
+
+impl From<ModuleId> for u32 {
+    fn from(id: ModuleId) -> Self {
+        id.0
+    }
+}
+
+impl From<u32> for NetId {
+    fn from(raw: u32) -> Self {
+        NetId(raw)
+    }
+}
+
+impl From<NetId> for u32 {
+    fn from(id: NetId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Iterator over all module ids `0..n`, used by several algorithms that
+/// visit every module.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::ids::module_ids;
+///
+/// let all: Vec<_> = module_ids(3).map(|m| m.index()).collect();
+/// assert_eq!(all, vec![0, 1, 2]);
+/// ```
+pub fn module_ids(n: usize) -> impl Iterator<Item = ModuleId> + Clone {
+    (0..u32::try_from(n).expect("module count exceeds u32::MAX")).map(ModuleId)
+}
+
+/// Iterator over all net ids `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::ids::net_ids;
+///
+/// let all: Vec<_> = net_ids(2).map(|e| e.index()).collect();
+/// assert_eq!(all, vec![0, 1]);
+/// ```
+pub fn net_ids(n: usize) -> impl Iterator<Item = NetId> + Clone {
+    (0..u32::try_from(n).expect("net count exceeds u32::MAX")).map(NetId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_id_roundtrip() {
+        let m = ModuleId::new(42);
+        assert_eq!(m.index(), 42);
+        assert_eq!(m.raw(), 42);
+        assert_eq!(ModuleId::from(42u32), m);
+        assert_eq!(u32::from(m), 42);
+    }
+
+    #[test]
+    fn net_id_roundtrip() {
+        let e = NetId::new(17);
+        assert_eq!(e.index(), 17);
+        assert_eq!(e.raw(), 17);
+        assert_eq!(NetId::from(17u32), e);
+        assert_eq!(u32::from(e), 17);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ModuleId::new(1) < ModuleId::new(2));
+        assert!(NetId::new(0) < NetId::new(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ModuleId::new(5).to_string(), "v5");
+        assert_eq!(NetId::new(9).to_string(), "e9");
+    }
+
+    #[test]
+    fn id_iterators_cover_range() {
+        assert_eq!(module_ids(0).count(), 0);
+        assert_eq!(module_ids(10).count(), 10);
+        assert_eq!(net_ids(4).last(), Some(NetId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "module index exceeds u32::MAX")]
+    fn module_id_overflow_panics() {
+        let _ = ModuleId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,420 @@
+//! Reading and writing netlists in the hMETIS `.hgr` text format.
+//!
+//! The paper's benchmarks circulated in netlist formats that hMETIS later
+//! standardized; we support the hMETIS flavor because it is the lingua franca
+//! of hypergraph partitioning:
+//!
+//! ```text
+//! % comments start with '%'
+//! <num_nets> <num_modules> [fmt]
+//! <net 1 pins, 1-based module indices...>
+//! ...
+//! [one module weight per line if fmt is 10 or 11]
+//! ```
+//!
+//! Format codes: `0`/absent = unweighted, `1` = net weights, `10` = module
+//! weights, `11` = both. Net weights feed the weighted cut objective
+//! (`1` everywhere reproduces the paper's unweighted cut).
+
+use crate::error::ParseHgrError;
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses a hypergraph from hMETIS `.hgr` text.
+///
+/// The reader can be anything implementing [`Read`]; pass `&mut reader` if
+/// you need to keep using it afterwards.
+///
+/// # Errors
+///
+/// Returns a [`ParseHgrError`] describing the first malformed line, pin out
+/// of range, or semantic violation encountered.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::io::read_hgr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "% tiny\n3 4\n1 2\n2 3 4\n1 4\n";
+/// let h = read_hgr(text.as_bytes())?;
+/// assert_eq!(h.num_modules(), 4);
+/// assert_eq!(h.num_nets(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in buf.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        lines.push(trimmed.to_owned());
+    }
+    let header = lines
+        .first()
+        .ok_or_else(|| ParseHgrError::BadHeader {
+            line: String::new(),
+        })?;
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 2 || head.len() > 3 {
+        return Err(ParseHgrError::BadHeader {
+            line: header.clone(),
+        });
+    }
+    let parse = |tok: &str, line_no: usize| -> Result<usize, ParseHgrError> {
+        tok.parse::<usize>().map_err(|_| ParseHgrError::BadToken {
+            line_no,
+            token: tok.to_owned(),
+        })
+    };
+    let num_nets = parse(head[0], 1)?;
+    let num_modules = parse(head[1], 1)?;
+    let fmt = if head.len() == 3 {
+        parse(head[2], 1)? as u32
+    } else {
+        0
+    };
+    if !matches!(fmt, 0 | 1 | 10 | 11) {
+        return Err(ParseHgrError::UnsupportedFormat { fmt });
+    }
+    let has_net_weights = fmt == 1 || fmt == 11;
+    let has_module_weights = fmt == 10 || fmt == 11;
+
+    if lines.len() - 1 < num_nets {
+        return Err(ParseHgrError::TooFewNets {
+            expected: num_nets,
+            found: lines.len() - 1,
+        });
+    }
+
+    let areas: Vec<u64> = if has_module_weights {
+        let weight_lines = &lines[1 + num_nets..];
+        if weight_lines.len() < num_modules {
+            return Err(ParseHgrError::TooFewNets {
+                expected: num_nets + num_modules,
+                found: lines.len() - 1,
+            });
+        }
+        let mut areas = Vec::with_capacity(num_modules);
+        for (i, line) in weight_lines[..num_modules].iter().enumerate() {
+            let line_no = 2 + num_nets + i;
+            let w = line.split_whitespace().next().unwrap_or("");
+            areas.push(parse(w, line_no)? as u64);
+        }
+        areas
+    } else {
+        vec![1; num_modules]
+    };
+
+    let mut builder = HypergraphBuilder::new(areas);
+    for (i, line) in lines[1..=num_nets].iter().enumerate() {
+        let line_no = i + 2;
+        let mut toks = line.split_whitespace();
+        let weight = if has_net_weights {
+            let w = toks.next().ok_or_else(|| ParseHgrError::BadToken {
+                line_no,
+                token: String::new(),
+            })?;
+            parse(w, line_no)? as u32
+        } else {
+            1
+        };
+        let mut pins = Vec::new();
+        for tok in toks {
+            let pin = parse(tok, line_no)?;
+            if pin == 0 || pin > num_modules {
+                return Err(ParseHgrError::PinOutOfRange {
+                    line_no,
+                    pin,
+                    num_modules,
+                });
+            }
+            pins.push(pin - 1);
+        }
+        builder
+            .add_weighted_net(pins, weight)
+            .map_err(ParseHgrError::Build)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Writes a hypergraph in hMETIS `.hgr` format.
+///
+/// Module weights are emitted (fmt `10`) only when they are not all `1`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer. Pass `&mut writer` if you need
+/// the writer afterwards.
+pub fn write_hgr<W: Write>(h: &Hypergraph, mut writer: W) -> std::io::Result<()> {
+    let mod_weighted = h.areas().iter().any(|&a| a != 1);
+    let net_weighted = h.net_weights().iter().any(|&w| w != 1);
+    let fmt = match (net_weighted, mod_weighted) {
+        (false, false) => None,
+        (true, false) => Some(1),
+        (false, true) => Some(10),
+        (true, true) => Some(11),
+    };
+    match fmt {
+        None => writeln!(writer, "{} {}", h.num_nets(), h.num_modules())?,
+        Some(code) => writeln!(writer, "{} {} {code}", h.num_nets(), h.num_modules())?,
+    }
+    for e in h.net_ids() {
+        let mut first = true;
+        if net_weighted {
+            write!(writer, "{}", h.net_weight(e))?;
+            first = false;
+        }
+        for &v in h.pins(e) {
+            if first {
+                write!(writer, "{}", v.index() + 1)?;
+                first = false;
+            } else {
+                write!(writer, " {}", v.index() + 1)?;
+            }
+        }
+        writeln!(writer)?;
+    }
+    if mod_weighted {
+        for v in h.modules() {
+            writeln!(writer, "{}", h.area(v))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a partition as text: one part id per line, dense by module index.
+/// The companion of [`read_partition`]; compatible with hMETIS' `.part`
+/// output files.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_partition<W: Write>(p: &crate::Partition, mut writer: W) -> std::io::Result<()> {
+    for &part in p.assignment() {
+        writeln!(writer, "{part}")?;
+    }
+    Ok(())
+}
+
+/// Reads a partition written by [`write_partition`] (or hMETIS) for
+/// hypergraph `h`: one part id per line.
+///
+/// `k` is inferred as `max(part id) + 1`.
+///
+/// # Errors
+///
+/// Returns [`ParseHgrError`] when a line is not an integer or the line count
+/// does not match the module count.
+pub fn read_partition<R: Read>(
+    h: &crate::Hypergraph,
+    reader: R,
+) -> Result<crate::Partition, ParseHgrError> {
+    let buf = BufReader::new(reader);
+    let mut parts: Vec<u32> = Vec::with_capacity(h.num_modules());
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let part = trimmed.parse::<u32>().map_err(|_| ParseHgrError::BadToken {
+            line_no: i + 1,
+            token: trimmed.to_owned(),
+        })?;
+        parts.push(part);
+    }
+    if parts.len() != h.num_modules() {
+        return Err(ParseHgrError::TooFewNets {
+            expected: h.num_modules(),
+            found: parts.len(),
+        });
+    }
+    let k = parts.iter().copied().max().unwrap_or(0) + 1;
+    Ok(crate::Partition::from_assignment(h, k, parts)
+        .expect("all part ids are below the inferred k by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::HypergraphBuilder;
+    use crate::ids::{ModuleId, NetId};
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let mut b = HypergraphBuilder::with_unit_areas(4);
+        b.add_net([0, 1, 2]).unwrap();
+        b.add_net([2, 3]).unwrap();
+        let h = b.build().unwrap();
+        let mut out = Vec::new();
+        write_hgr(&h, &mut out).unwrap();
+        let h2 = read_hgr(&out[..]).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut b = HypergraphBuilder::new(vec![3, 1, 9]);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([1, 2]).unwrap();
+        let h = b.build().unwrap();
+        let mut out = Vec::new();
+        write_hgr(&h, &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).starts_with("2 3 10"));
+        let h2 = read_hgr(&out[..]).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "% header comment\n\n2 3\n% net comment\n1 2\n2 3\n";
+        let h = read_hgr(text.as_bytes()).unwrap();
+        assert_eq!(h.num_nets(), 2);
+        assert_eq!(h.pins(NetId::new(1)), &[ModuleId::new(1), ModuleId::new(2)]);
+    }
+
+    #[test]
+    fn parses_net_weights_format() {
+        // fmt=1: first token of each net line is the net weight.
+        let text = "2 3 1\n5 1 2\n9 2 3\n";
+        let h = read_hgr(text.as_bytes()).unwrap();
+        assert_eq!(h.num_nets(), 2);
+        assert_eq!(h.net_size(NetId::new(0)), 2);
+        assert_eq!(h.net_weight(NetId::new(0)), 5);
+        assert_eq!(h.net_weight(NetId::new(1)), 9);
+    }
+
+    #[test]
+    fn roundtrip_net_weighted() {
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_weighted_net([0, 1], 4).unwrap();
+        b.add_net([1, 2]).unwrap();
+        let h = b.build().unwrap();
+        let mut out = Vec::new();
+        write_hgr(&h, &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).starts_with("2 3 1"));
+        let h2 = read_hgr(&out[..]).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn roundtrip_doubly_weighted() {
+        let mut b = HypergraphBuilder::new(vec![2, 3, 4]);
+        b.add_weighted_net([0, 1, 2], 6).unwrap();
+        b.add_net([0, 2]).unwrap();
+        let h = b.build().unwrap();
+        let mut out = Vec::new();
+        write_hgr(&h, &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).starts_with("2 3 11"));
+        let h2 = read_hgr(&out[..]).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            read_hgr("one two\n".as_bytes()),
+            Err(ParseHgrError::BadToken { .. })
+        ));
+        assert!(matches!(
+            read_hgr("1 2 3 4\n1 2\n".as_bytes()),
+            Err(ParseHgrError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            read_hgr("".as_bytes()),
+            Err(ParseHgrError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            read_hgr("1\n1 2\n".as_bytes()),
+            Err(ParseHgrError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_pin_out_of_range() {
+        let err = read_hgr("1 2\n1 3\n".as_bytes()).unwrap_err();
+        match err {
+            ParseHgrError::PinOutOfRange { pin, num_modules, .. } => {
+                assert_eq!(pin, 3);
+                assert_eq!(num_modules, 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // Pin 0 is also invalid (1-based format).
+        assert!(matches!(
+            read_hgr("1 2\n0 1\n".as_bytes()),
+            Err(ParseHgrError::PinOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_nets() {
+        assert!(matches!(
+            read_hgr("3 4\n1 2\n".as_bytes()),
+            Err(ParseHgrError::TooFewNets { expected: 3, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_format() {
+        assert!(matches!(
+            read_hgr("1 2 7\n1 2\n".as_bytes()),
+            Err(ParseHgrError::UnsupportedFormat { fmt: 7 })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_module_weights() {
+        assert!(matches!(
+            read_hgr("1 3 10\n1 2\n4\n".as_bytes()),
+            Err(ParseHgrError::TooFewNets { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        use crate::Partition;
+        let mut b = HypergraphBuilder::with_unit_areas(4);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([2, 3]).unwrap();
+        let h = b.build().unwrap();
+        let p = Partition::from_assignment(&h, 3, vec![0, 2, 1, 0]).unwrap();
+        let mut out = Vec::new();
+        write_partition(&p, &mut out).unwrap();
+        let p2 = read_partition(&h, &out[..]).unwrap();
+        assert_eq!(p.assignment(), p2.assignment());
+        assert_eq!(p2.k(), 3);
+    }
+
+    #[test]
+    fn partition_read_rejects_bad_input() {
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_net([0, 1]).unwrap();
+        let h = b.build().unwrap();
+        assert!(matches!(
+            read_partition(&h, "0\nx\n1\n".as_bytes()),
+            Err(ParseHgrError::BadToken { .. })
+        ));
+        assert!(matches!(
+            read_partition(&h, "0\n1\n".as_bytes()),
+            Err(ParseHgrError::TooFewNets { .. })
+        ));
+        // Sparse part ids are legal: part 1 is simply empty.
+        let sparse = read_partition(&h, "0\n2\n0\n".as_bytes()).unwrap();
+        assert_eq!(sparse.k(), 3);
+        assert_eq!(sparse.part_sizes(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn module_weights_parsed() {
+        let text = "1 3 10\n1 2\n4\n5\n6\n";
+        let h = read_hgr(text.as_bytes()).unwrap();
+        assert_eq!(h.total_area(), 15);
+        assert_eq!(h.area(ModuleId::new(2)), 6);
+    }
+}

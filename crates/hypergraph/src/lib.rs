@@ -1,0 +1,54 @@
+//! Netlist hypergraph data structures for multilevel circuit partitioning.
+//!
+//! This crate is the foundation of the `mlpart` workspace, a from-scratch
+//! reproduction of *Multilevel Circuit Partitioning* (Alpert, Huang, Kahng —
+//! DAC 1997). It provides:
+//!
+//! * [`Hypergraph`] — an immutable CSR netlist hypergraph with module areas,
+//!   built via [`HypergraphBuilder`];
+//! * [`Partition`] — k-way module assignments with incrementally maintained
+//!   part areas, plus the paper's balance bounds ([`BipartBalance`],
+//!   [`KwayBalance`], §III-B);
+//! * [`metrics`] — cut size and the statistics columns of the paper's tables;
+//! * [`io`] — hMETIS `.hgr` reading/writing;
+//! * [`rng`] — seeded randomness so every experiment is reproducible.
+//!
+//! # Examples
+//!
+//! Build a small netlist, cut it, and measure:
+//!
+//! ```
+//! use mlpart_hypergraph::{HypergraphBuilder, Partition, metrics};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = HypergraphBuilder::with_unit_areas(6);
+//! b.add_net([0, 1, 2])?;
+//! b.add_net([3, 4, 5])?;
+//! b.add_net([2, 3])?;
+//! let h = b.build()?;
+//!
+//! let p = Partition::from_assignment(&h, 2, vec![0, 0, 0, 1, 1, 1]).expect("valid");
+//! assert_eq!(metrics::cut(&h, &p), 1); // only net {2,3} is cut
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod hypergraph;
+pub mod ids;
+pub mod io;
+pub mod metrics;
+pub mod netd;
+pub mod partition;
+pub mod rng;
+pub mod stats;
+pub mod transform;
+
+pub use error::{BuildHypergraphError, ParseHgrError};
+pub use hypergraph::{Hypergraph, HypergraphBuilder};
+pub use ids::{ModuleId, NetId};
+pub use metrics::CutStats;
+pub use partition::{BipartBalance, KwayBalance, PartId, Partition};

@@ -1,0 +1,253 @@
+//! Cut-size and quality metrics.
+//!
+//! The paper's objective (§I): the *cut* of a bipartitioning `P = {X, Y}` is
+//! the number of nets which contain modules in both `X` and `Y`. For k-way
+//! partitions we provide both the natural generalization (number of nets
+//! spanning ≥ 2 parts, the "net cut") and the *sum of cluster degrees* used
+//! by the paper's quadrisection gain computation (§III-C): each net
+//! contributes `(number of parts it spans) − 1`.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::NetId;
+use crate::partition::Partition;
+
+/// Number of distinct parts spanned by net `e` under partition `p`.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::{HypergraphBuilder, Partition, NetId, metrics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_areas(3);
+/// b.add_net([0, 1, 2])?;
+/// let h = b.build()?;
+/// let p = Partition::from_assignment(&h, 3, vec![0, 1, 1]).expect("valid");
+/// assert_eq!(metrics::net_span(&h, &p, NetId::new(0)), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn net_span(h: &Hypergraph, p: &Partition, e: NetId) -> u32 {
+    let mut seen: u64 = 0; // bitset; fine for k <= 64
+    let mut overflow: Vec<u32> = Vec::new();
+    let mut count = 0u32;
+    for &v in h.pins(e) {
+        let part = p.part(v);
+        if part < 64 {
+            if seen & (1u64 << part) == 0 {
+                seen |= 1u64 << part;
+                count += 1;
+            }
+        } else if !overflow.contains(&part) {
+            overflow.push(part);
+            count += 1;
+        }
+    }
+    count
+}
+
+/// `true` if net `e` is cut (spans more than one part).
+pub fn is_net_cut(h: &Hypergraph, p: &Partition, e: NetId) -> bool {
+    let pins = h.pins(e);
+    let first = p.part(pins[0]);
+    pins[1..].iter().any(|&v| p.part(v) != first)
+}
+
+/// The cut size: total weight of nets spanning more than one part. For
+/// plain (weight-1) netlists this is the number of cut nets — exactly the
+/// paper's `cut(P)` for `k = 2`.
+pub fn cut(h: &Hypergraph, p: &Partition) -> u64 {
+    h.net_ids()
+        .filter(|&e| is_net_cut(h, p, e))
+        .map(|e| h.net_weight(e) as u64)
+        .sum()
+}
+
+/// Sum of cluster degrees: `Σ_e (span(e) − 1)`.
+///
+/// Equal to the cut for `k = 2`; for k-way this is the gain objective the
+/// paper reports quadrisection results with ("sum of degrees gain
+/// computation", §III-C). Minimizing it discourages nets from spreading over
+/// many parts, not merely from being cut.
+pub fn sum_of_spans_minus_one(h: &Hypergraph, p: &Partition) -> u64 {
+    h.net_ids()
+        .map(|e| h.net_weight(e) as u64 * (net_span(h, p, e) as u64).saturating_sub(1))
+        .sum()
+}
+
+/// Cut computed only over nets with at most `max_net_size` pins.
+///
+/// `FMPartition` ignores nets with more than 200 modules during refinement
+/// (§III-B); this helper lets tests verify the engine's *internal* objective,
+/// while [`cut`] ("these nets are re-inserted when measuring solution
+/// quality") remains the reported metric.
+pub fn cut_with_net_size_limit(h: &Hypergraph, p: &Partition, max_net_size: usize) -> u64 {
+    h.net_ids()
+        .filter(|&e| h.net_size(e) <= max_net_size && is_net_cut(h, p, e))
+        .map(|e| h.net_weight(e) as u64)
+        .sum()
+}
+
+/// Summary statistics over a sample of cut values: the min/avg/std columns of
+/// the paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::metrics::CutStats;
+///
+/// let stats = CutStats::from_samples(&[10, 20, 30]);
+/// assert_eq!(stats.min, 10);
+/// assert_eq!(stats.max, 30);
+/// assert!((stats.avg - 20.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutStats {
+    /// Smallest observed cut.
+    pub min: u64,
+    /// Largest observed cut.
+    pub max: u64,
+    /// Mean cut.
+    pub avg: f64,
+    /// Population standard deviation (the paper reports σ over its 100 runs).
+    pub std: f64,
+    /// Number of samples.
+    pub runs: usize,
+}
+
+impl CutStats {
+    /// Computes statistics over a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let n = samples.len() as f64;
+        let avg = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - avg;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        CutStats {
+            min,
+            max,
+            avg,
+            std: var.sqrt(),
+            runs: samples.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::HypergraphBuilder;
+
+    fn h4() -> Hypergraph {
+        // nets: {0,1}, {1,2}, {2,3}, {0,1,2,3}
+        let mut b = HypergraphBuilder::with_unit_areas(4);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([1, 2]).unwrap();
+        b.add_net([2, 3]).unwrap();
+        b.add_net([0, 1, 2, 3]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bipartition_cut() {
+        let h = h4();
+        let p = Partition::from_assignment(&h, 2, vec![0, 0, 1, 1]).unwrap();
+        // Cut nets: {1,2} and the 4-pin net.
+        assert_eq!(cut(&h, &p), 2);
+        assert!(!is_net_cut(&h, &p, NetId::new(0)));
+        assert!(is_net_cut(&h, &p, NetId::new(1)));
+    }
+
+    #[test]
+    fn cut_equals_spans_minus_one_for_k2() {
+        let h = h4();
+        let p = Partition::from_assignment(&h, 2, vec![0, 1, 0, 1]).unwrap();
+        assert_eq!(cut(&h, &p), sum_of_spans_minus_one(&h, &p));
+    }
+
+    #[test]
+    fn kway_span_and_degree_sum() {
+        let h = h4();
+        let p = Partition::from_assignment(&h, 4, vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(net_span(&h, &p, NetId::new(3)), 4);
+        // Every 2-pin net spans 2 parts; sum = 1+1+1+3 = 6; cut = 4 nets.
+        assert_eq!(sum_of_spans_minus_one(&h, &p), 6);
+        assert_eq!(cut(&h, &p), 4);
+    }
+
+    #[test]
+    fn zero_cut_when_uncut() {
+        let h = h4();
+        let p = Partition::from_assignment(&h, 2, vec![0, 0, 0, 0]).unwrap();
+        assert_eq!(cut(&h, &p), 0);
+        assert_eq!(sum_of_spans_minus_one(&h, &p), 0);
+    }
+
+    #[test]
+    fn net_size_limit_excludes_large_nets() {
+        let h = h4();
+        let p = Partition::from_assignment(&h, 2, vec![0, 0, 1, 1]).unwrap();
+        assert_eq!(cut_with_net_size_limit(&h, &p, 3), 1); // only {1,2}
+        assert_eq!(cut_with_net_size_limit(&h, &p, 4), 2);
+    }
+
+    #[test]
+    fn stats_single_sample() {
+        let s = CutStats::from_samples(&[7]);
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 7);
+        assert_eq!(s.avg, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.runs, 1);
+    }
+
+    #[test]
+    fn stats_known_std() {
+        // Samples 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population std 2.
+        let s = CutStats::from_samples(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((s.avg - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn stats_empty_panics() {
+        let _ = CutStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn weighted_cut_sums_weights() {
+        let mut b = HypergraphBuilder::with_unit_areas(4);
+        b.add_weighted_net([0, 1], 5).unwrap();
+        b.add_weighted_net([2, 3], 7).unwrap();
+        b.add_weighted_net([1, 2], 3).unwrap();
+        let h = b.build().unwrap();
+        let p = Partition::from_assignment(&h, 2, vec![0, 0, 1, 1]).unwrap();
+        assert_eq!(cut(&h, &p), 3, "only the weight-3 net is cut");
+        let p2 = Partition::from_assignment(&h, 2, vec![0, 1, 0, 1]).unwrap();
+        assert_eq!(cut(&h, &p2), 15, "all three nets cut: 5+7+3");
+        assert_eq!(sum_of_spans_minus_one(&h, &p2), 15);
+    }
+
+    #[test]
+    fn high_part_ids_use_overflow_path() {
+        // k = 70 exercises the >64 bitset overflow branch in net_span.
+        let mut b = HypergraphBuilder::with_unit_areas(70);
+        b.add_net((0..70).collect::<Vec<_>>()).unwrap();
+        let h = b.build().unwrap();
+        let p = Partition::from_assignment(&h, 70, (0..70u32).collect()).unwrap();
+        assert_eq!(net_span(&h, &p, NetId::new(0)), 70);
+    }
+}

@@ -1,0 +1,331 @@
+//! Reading the ACM/SIGDA "netD" benchmark format (`.net` / `.netD` plus the
+//! companion `.are` area file).
+//!
+//! The paper's 23 benchmark circuits circulated in this format via the CAD
+//! Benchmarking Laboratory. We cannot redistribute the files, but users who
+//! hold them can load them directly:
+//!
+//! ```text
+//! 0                      <- magic/ignored
+//! <num_pins>
+//! <num_nets>
+//! <num_modules>
+//! <pad_offset>           <- cells are a0..a<pad_offset>; pads p1..pN follow
+//! a12  s I               <- pin lines: name, 's' starts a net, 'l' continues
+//! p3   l O
+//! ...
+//! ```
+//!
+//! Module naming: a cell `a<i>` has dense index `i`; a pad `p<j>` (1-based)
+//! has dense index `pad_offset + j`. The `.are` file lists `<name> <area>`
+//! pairs; without it all areas are 1 (the paper's experimental setting).
+
+use crate::error::ParseHgrError;
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+use std::io::{BufRead, BufReader, Read};
+
+/// Parses a module name (`a<i>` cell or `p<j>` pad) into its dense index.
+fn parse_name(
+    name: &str,
+    pad_offset: usize,
+    num_modules: usize,
+    line_no: usize,
+) -> Result<usize, ParseHgrError> {
+    let bad = || ParseHgrError::BadToken {
+        line_no,
+        token: name.to_owned(),
+    };
+    let (kind, digits) = name.split_at(1);
+    let number: usize = digits.parse().map_err(|_| bad())?;
+    let index = match kind {
+        "a" => number,
+        "p" => {
+            if number == 0 {
+                return Err(bad());
+            }
+            pad_offset + number
+        }
+        _ => return Err(bad()),
+    };
+    if index >= num_modules {
+        return Err(ParseHgrError::PinOutOfRange {
+            line_no,
+            pin: index,
+            num_modules,
+        });
+    }
+    Ok(index)
+}
+
+/// Parses a netD-format netlist. All module areas are 1; combine with
+/// [`read_are`] to apply a `.are` area file.
+///
+/// # Errors
+///
+/// Returns [`ParseHgrError`] for malformed headers, unknown name forms,
+/// out-of-range indices, or net-count mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::netd::read_netd;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "0\n5\n2\n4\n1\na0 s I\na1 l O\np1 l B\na1 s O\np2 l I\n";
+/// let h = read_netd(text.as_bytes())?;
+/// assert_eq!(h.num_modules(), 4);
+/// assert_eq!(h.num_nets(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_netd<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+    let mut next_line = || -> Result<(usize, String), ParseHgrError> {
+        loop {
+            match lines.next() {
+                None => {
+                    return Err(ParseHgrError::BadHeader {
+                        line: "unexpected end of file".to_owned(),
+                    })
+                }
+                Some((i, line)) => {
+                    let line = line?;
+                    if !line.trim().is_empty() {
+                        return Ok((i + 1, line));
+                    }
+                }
+            }
+        }
+    };
+    let parse_header = |(line_no, line): (usize, String)| -> Result<usize, ParseHgrError> {
+        line.trim().parse::<usize>().map_err(|_| ParseHgrError::BadToken {
+            line_no,
+            token: line.trim().to_owned(),
+        })
+    };
+    let _magic = parse_header(next_line()?)?;
+    let num_pins = parse_header(next_line()?)?;
+    let num_nets = parse_header(next_line()?)?;
+    let num_modules = parse_header(next_line()?)?;
+    let pad_offset = parse_header(next_line()?)?;
+
+    let mut builder = HypergraphBuilder::with_unit_areas(num_modules);
+    let mut current: Vec<usize> = Vec::new();
+    let mut nets_seen = 0usize;
+    let mut pins_seen = 0usize;
+    for _ in 0..num_pins {
+        let (line_no, line) = next_line()?;
+        let mut toks = line.split_whitespace();
+        let name = toks.next().ok_or_else(|| ParseHgrError::BadToken {
+            line_no,
+            token: line.clone(),
+        })?;
+        let marker = toks.next().ok_or_else(|| ParseHgrError::BadToken {
+            line_no,
+            token: line.clone(),
+        })?;
+        let index = parse_name(name, pad_offset, num_modules, line_no)?;
+        match marker {
+            "s" => {
+                if !current.is_empty() {
+                    builder
+                        .add_net(current.drain(..))
+                        .map_err(ParseHgrError::Build)?;
+                    nets_seen += 1;
+                }
+                current.push(index);
+            }
+            "l" => {
+                if current.is_empty() {
+                    return Err(ParseHgrError::BadToken {
+                        line_no,
+                        token: "continuation pin before any net start".to_owned(),
+                    });
+                }
+                current.push(index);
+            }
+            other => {
+                return Err(ParseHgrError::BadToken {
+                    line_no,
+                    token: other.to_owned(),
+                })
+            }
+        }
+        pins_seen += 1;
+    }
+    if !current.is_empty() {
+        builder
+            .add_net(current.drain(..))
+            .map_err(ParseHgrError::Build)?;
+        nets_seen += 1;
+    }
+    if nets_seen != num_nets {
+        return Err(ParseHgrError::TooFewNets {
+            expected: num_nets,
+            found: nets_seen,
+        });
+    }
+    debug_assert_eq!(pins_seen, num_pins);
+    Ok(builder.build()?)
+}
+
+/// Parses a `.are` area file (`<name> <area>` per line) into a dense area
+/// vector for a netlist with the given `pad_offset` and module count.
+/// Modules absent from the file keep area 1.
+///
+/// # Errors
+///
+/// Returns [`ParseHgrError`] for unparsable names/areas or out-of-range
+/// modules.
+pub fn read_are<R: Read>(
+    reader: R,
+    num_modules: usize,
+    pad_offset: usize,
+) -> Result<Vec<u64>, ParseHgrError> {
+    let buf = BufReader::new(reader);
+    let mut areas = vec![1u64; num_modules];
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let mut toks = trimmed.split_whitespace();
+        let name = toks.next().ok_or_else(|| ParseHgrError::BadToken {
+            line_no,
+            token: trimmed.to_owned(),
+        })?;
+        let area_tok = toks.next().ok_or_else(|| ParseHgrError::BadToken {
+            line_no,
+            token: trimmed.to_owned(),
+        })?;
+        let area: u64 = area_tok.parse().map_err(|_| ParseHgrError::BadToken {
+            line_no,
+            token: area_tok.to_owned(),
+        })?;
+        let index = parse_name(name, pad_offset, num_modules, line_no)?;
+        areas[index] = area.max(1);
+    }
+    Ok(areas)
+}
+
+/// Convenience: parse a netD netlist and a matching `.are` file together.
+///
+/// # Errors
+///
+/// As [`read_netd`] / [`read_are`]. The rebuilt netlist re-validates areas.
+pub fn read_netd_with_areas<R1: Read, R2: Read>(
+    net_reader: R1,
+    are_reader: R2,
+    pad_offset: usize,
+) -> Result<Hypergraph, ParseHgrError> {
+    let unweighted = read_netd(net_reader)?;
+    let areas = read_are(are_reader, unweighted.num_modules(), pad_offset)?;
+    let mut builder = HypergraphBuilder::new(areas);
+    for e in unweighted.net_ids() {
+        builder
+            .add_net(unweighted.pins(e).iter().map(|v| v.index()))
+            .map_err(ParseHgrError::Build)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Names a dense module index back in netD convention (`a<i>` or `p<j>`).
+pub fn module_name(index: usize, pad_offset: usize) -> String {
+    if index <= pad_offset {
+        format!("a{index}")
+    } else {
+        format!("p{}", index - pad_offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ModuleId, NetId};
+
+    const SAMPLE: &str = "0\n7\n3\n5\n2\n\
+a0 s I\na1 l O\np1 l B\n\
+a1 s O\np2 l I\n\
+a2 s B\na0 l I\n";
+
+    #[test]
+    fn parses_sample() {
+        let h = read_netd(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(h.num_modules(), 5);
+        assert_eq!(h.num_nets(), 3);
+        assert_eq!(h.num_pins(), 7);
+        // Net 0 = {a0, a1, p1} = {0, 1, 3}.
+        assert_eq!(
+            h.pins(NetId::new(0)),
+            &[ModuleId::new(0), ModuleId::new(1), ModuleId::new(3)]
+        );
+        // Net 1 = {a1, p2} = {1, 4}.
+        assert_eq!(h.pins(NetId::new(1)), &[ModuleId::new(1), ModuleId::new(4)]);
+    }
+
+    #[test]
+    fn pad_indexing_follows_offset() {
+        // pad_offset = 2 means cells a0..a2 and pads p1 -> 3, p2 -> 4.
+        assert_eq!(parse_name("a2", 2, 5, 1).unwrap(), 2);
+        assert_eq!(parse_name("p1", 2, 5, 1).unwrap(), 3);
+        assert_eq!(parse_name("p2", 2, 5, 1).unwrap(), 4);
+        assert!(parse_name("p0", 2, 5, 1).is_err());
+        assert!(parse_name("p3", 2, 5, 1).is_err(), "index 5 out of range");
+        assert!(parse_name("x1", 2, 5, 1).is_err());
+        assert!(parse_name("a9", 2, 5, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_and_malformed() {
+        assert!(read_netd("0\n5\n2\n".as_bytes()).is_err());
+        // Continuation before any start.
+        assert!(read_netd("0\n1\n1\n2\n0\na0 l I\n".as_bytes()).is_err());
+        // Bad marker.
+        assert!(read_netd("0\n1\n1\n2\n0\na0 x I\n".as_bytes()).is_err());
+        // Net count mismatch (header claims 5 nets).
+        assert!(matches!(
+            read_netd("0\n2\n5\n2\n0\na0 s I\na1 l O\n".as_bytes()),
+            Err(ParseHgrError::TooFewNets { expected: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn are_file_applies_areas() {
+        let h = read_netd(SAMPLE.as_bytes()).unwrap();
+        let are = "a0 4\np1 9\n";
+        let areas = read_are(are.as_bytes(), h.num_modules(), 2).unwrap();
+        assert_eq!(areas, vec![4, 1, 1, 9, 1]);
+        let combined =
+            read_netd_with_areas(SAMPLE.as_bytes(), are.as_bytes(), 2).unwrap();
+        assert_eq!(combined.total_area(), 4 + 1 + 1 + 9 + 1);
+        assert_eq!(combined.num_nets(), 3);
+    }
+
+    #[test]
+    fn are_rejects_bad_lines() {
+        assert!(read_are("a0\n".as_bytes(), 5, 2).is_err());
+        assert!(read_are("a0 xyz\n".as_bytes(), 5, 2).is_err());
+        assert!(read_are("a9 3\n".as_bytes(), 5, 2).is_err());
+    }
+
+    #[test]
+    fn module_names_roundtrip() {
+        assert_eq!(module_name(0, 2), "a0");
+        assert_eq!(module_name(2, 2), "a2");
+        assert_eq!(module_name(3, 2), "p1");
+        for index in 0..5 {
+            let name = module_name(index, 2);
+            assert_eq!(parse_name(&name, 2, 5, 1).unwrap(), index);
+        }
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let padded = SAMPLE.replace("a1 s O\n", "\na1 s O\n\n");
+        let h = read_netd(padded.as_bytes()).unwrap();
+        assert_eq!(h.num_nets(), 3);
+    }
+}

@@ -1,0 +1,468 @@
+//! Partition representations: the k-way assignment of modules to parts.
+//!
+//! A bipartitioning `P = {X, Y}` (paper §I) is the special case `k = 2`;
+//! quadrisection (§III-C) is `k = 4`. The type tracks per-part areas
+//! incrementally so that move-based partitioners can check balance in O(1).
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::ModuleId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// Identifier of a part (block) in a k-way partition.
+///
+/// Part `0` plays the role of the paper's cluster `X` and part `1` of `Y`
+/// when `k == 2`.
+pub type PartId = u32;
+
+/// A k-way partition of a hypergraph's modules with incrementally maintained
+/// per-part areas.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::{HypergraphBuilder, Partition, ModuleId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_areas(4);
+/// b.add_net([0, 1])?;
+/// b.add_net([2, 3])?;
+/// let h = b.build()?;
+///
+/// let mut p = Partition::from_assignment(&h, 2, vec![0, 0, 1, 1]).expect("valid");
+/// assert_eq!(p.part_area(0), 2);
+/// p.move_module(&h, ModuleId::new(0), 1);
+/// assert_eq!(p.part(ModuleId::new(0)), 1);
+/// assert_eq!(p.part_area(1), 3);
+/// # Ok(())
+/// # }
+/// ```
+/// With the `serde` feature, `Partition` serializes its assignment and
+/// cached areas. Deserialized data from untrusted sources should be checked
+/// with [`validate`](Partition::validate) against its hypergraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Partition {
+    k: u32,
+    part_of: Vec<PartId>,
+    part_areas: Vec<u64>,
+}
+
+impl Partition {
+    /// Builds a partition from an explicit assignment vector (one part id per
+    /// module, dense by module index).
+    ///
+    /// Returns `None` if the assignment length does not match the module
+    /// count, or any part id is `>= k`, or `k == 0`.
+    pub fn from_assignment(h: &Hypergraph, k: u32, part_of: Vec<PartId>) -> Option<Self> {
+        if k == 0 || part_of.len() != h.num_modules() {
+            return None;
+        }
+        let mut part_areas = vec![0u64; k as usize];
+        for (i, &p) in part_of.iter().enumerate() {
+            if p >= k {
+                return None;
+            }
+            part_areas[p as usize] += h.area(ModuleId::new(i));
+        }
+        Some(Partition {
+            k,
+            part_of,
+            part_areas,
+        })
+    }
+
+    /// Generates a random area-balanced starting solution, as used by
+    /// `FMPartition` when its initial solution is `NULL` (paper Fig. 2,
+    /// step 6): a random permutation of the modules is split greedily so each
+    /// part receives ≈ `A(V)/k` area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn random<R: Rng + ?Sized>(h: &Hypergraph, k: u32, rng: &mut R) -> Self {
+        assert!(k > 0, "k must be positive");
+        let n = h.num_modules();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        let mut part_of = vec![0 as PartId; n];
+        let mut part_areas = vec![0u64; k as usize];
+        let total = h.total_area();
+        let mut current: PartId = 0;
+        for &raw in &order {
+            let v = ModuleId::from(raw);
+            // Advance to the next part once this one reaches its target share.
+            // Remaining-target division keeps the last part from starving.
+            let target = (total - part_areas[..current as usize].iter().sum::<u64>())
+                / (k - current) as u64;
+            if current + 1 < k && part_areas[current as usize] + h.area(v) > target {
+                current += 1;
+            }
+            part_of[raw as usize] = current;
+            part_areas[current as usize] += h.area(v);
+        }
+        Partition {
+            k,
+            part_of,
+            part_areas,
+        }
+    }
+
+    /// Number of parts `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The part currently containing module `v`.
+    #[inline]
+    pub fn part(&self, v: ModuleId) -> PartId {
+        self.part_of[v.index()]
+    }
+
+    /// Current area of part `p`.
+    #[inline]
+    pub fn part_area(&self, p: PartId) -> u64 {
+        self.part_areas[p as usize]
+    }
+
+    /// All per-part areas, indexed by part id.
+    #[inline]
+    pub fn part_areas(&self) -> &[u64] {
+        &self.part_areas
+    }
+
+    /// The full assignment vector, dense by module index.
+    #[inline]
+    pub fn assignment(&self) -> &[PartId] {
+        &self.part_of
+    }
+
+    /// Moves module `v` to part `to`, updating part areas.
+    ///
+    /// Returns the part the module came from. Moving a module to the part it
+    /// is already in is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to >= k` or `v` is out of range.
+    #[inline]
+    pub fn move_module(&mut self, h: &Hypergraph, v: ModuleId, to: PartId) -> PartId {
+        assert!(to < self.k, "part id out of range");
+        let from = self.part_of[v.index()];
+        if from != to {
+            let a = h.area(v);
+            self.part_areas[from as usize] -= a;
+            self.part_areas[to as usize] += a;
+            self.part_of[v.index()] = to;
+        }
+        from
+    }
+
+    /// Number of modules in each part (counts, not areas).
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k as usize];
+        for &p in &self.part_of {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// `true` if every module of the hypergraph is assigned a valid part and
+    /// the cached part areas match a recount. Used by tests.
+    pub fn validate(&self, h: &Hypergraph) -> bool {
+        if self.part_of.len() != h.num_modules() {
+            return false;
+        }
+        if self.part_of.iter().any(|&p| p >= self.k) {
+            return false;
+        }
+        let mut areas = vec![0u64; self.k as usize];
+        for (i, &p) in self.part_of.iter().enumerate() {
+            areas[p as usize] += h.area(ModuleId::new(i));
+        }
+        areas == self.part_areas
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Partition(k={}, areas={:?})", self.k, self.part_areas)
+    }
+}
+
+/// Balance bounds for a bipartitioning, per the paper's §III-B:
+///
+/// > the areas of `X` and `Y` are bounded below by
+/// > `A(V)/2 − max(A(v*), r·A(V))` and above by
+/// > `A(V)/2 + max(A(v*), r·A(V))`, where `v*` is the module with largest
+/// > area.
+///
+/// Taking the max with `A(v*)` guarantees that at least one module can always
+/// move, even when a single module is larger than the tolerance window.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::{HypergraphBuilder, BipartBalance};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_areas(100);
+/// b.add_net([0, 1])?;
+/// let h = b.build()?;
+/// let bal = BipartBalance::new(&h, 0.1);
+/// assert!(bal.is_feasible(50));
+/// assert!(bal.is_feasible(40) && bal.is_feasible(60));
+/// assert!(!bal.is_feasible(39) && !bal.is_feasible(61));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BipartBalance {
+    lower: u64,
+    upper: u64,
+    total: u64,
+}
+
+impl BipartBalance {
+    /// Computes bounds for hypergraph `h` with balance tolerance `r`
+    /// (the paper's experiments use `r = 0.1`).
+    pub fn new(h: &Hypergraph, r: f64) -> Self {
+        let total = h.total_area();
+        let slack_r = (r * total as f64).floor() as u64;
+        let slack = slack_r.max(h.max_area());
+        let half = total / 2;
+        BipartBalance {
+            lower: half.saturating_sub(slack),
+            upper: (half + slack).min(total),
+            total,
+        }
+    }
+
+    /// Lower area bound for either side.
+    #[inline]
+    pub fn lower(&self) -> u64 {
+        self.lower
+    }
+
+    /// Upper area bound for either side.
+    #[inline]
+    pub fn upper(&self) -> u64 {
+        self.upper
+    }
+
+    /// `true` if a side of area `area_x` (the other side implicitly holding
+    /// `total − area_x`) satisfies both bounds.
+    #[inline]
+    pub fn is_feasible(&self, area_x: u64) -> bool {
+        let area_y = self.total - area_x.min(self.total);
+        area_x >= self.lower && area_x <= self.upper && area_y >= self.lower && area_y <= self.upper
+    }
+
+    /// `true` if the given bipartition satisfies the bounds.
+    pub fn is_partition_feasible(&self, p: &Partition) -> bool {
+        debug_assert_eq!(p.k(), 2);
+        self.is_feasible(p.part_area(0))
+    }
+}
+
+/// Balance bounds for a k-way partition.
+///
+/// The paper only specifies the 2-way formula; we generalize it so that
+/// `k = 2` reproduces §III-B exactly: each part's area must lie within
+/// `A(V)/k ± max(A(v*), r·A(V)·2/k)`. With `k = 2` the slack is
+/// `max(A(v*), r·A(V))` as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KwayBalance {
+    lower: u64,
+    upper: u64,
+    k: u32,
+}
+
+impl KwayBalance {
+    /// Computes per-part bounds for a k-way partition with tolerance `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(h: &Hypergraph, k: u32, r: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        let total = h.total_area();
+        let target = total / k as u64;
+        let slack_r = (r * total as f64 * 2.0 / k as f64).floor() as u64;
+        let slack = slack_r.max(h.max_area());
+        KwayBalance {
+            lower: target.saturating_sub(slack),
+            upper: (target + slack).min(total),
+            k,
+        }
+    }
+
+    /// Lower area bound for every part.
+    #[inline]
+    pub fn lower(&self) -> u64 {
+        self.lower
+    }
+
+    /// Upper area bound for every part.
+    #[inline]
+    pub fn upper(&self) -> u64 {
+        self.upper
+    }
+
+    /// `true` if every part of `p` satisfies the bounds.
+    pub fn is_partition_feasible(&self, p: &Partition) -> bool {
+        debug_assert_eq!(p.k(), self.k);
+        p.part_areas()
+            .iter()
+            .all(|&a| a >= self.lower && a <= self.upper)
+    }
+
+    /// `true` if a single part of area `area` satisfies the bounds.
+    #[inline]
+    pub fn is_area_feasible(&self, area: u64) -> bool {
+        area >= self.lower && area <= self.upper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::HypergraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn h_units(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(n);
+        if n >= 2 {
+            b.add_net([0, 1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_assignment_validates() {
+        let h = h_units(3);
+        assert!(Partition::from_assignment(&h, 2, vec![0, 1, 0]).is_some());
+        assert!(Partition::from_assignment(&h, 2, vec![0, 2, 0]).is_none());
+        assert!(Partition::from_assignment(&h, 2, vec![0, 1]).is_none());
+        assert!(Partition::from_assignment(&h, 0, vec![]).is_none());
+    }
+
+    #[test]
+    fn move_module_updates_areas() {
+        let h = h_units(4);
+        let mut p = Partition::from_assignment(&h, 2, vec![0, 0, 1, 1]).unwrap();
+        let from = p.move_module(&h, ModuleId::new(1), 1);
+        assert_eq!(from, 0);
+        assert_eq!(p.part_area(0), 1);
+        assert_eq!(p.part_area(1), 3);
+        assert!(p.validate(&h));
+        // No-op move.
+        let from = p.move_module(&h, ModuleId::new(1), 1);
+        assert_eq!(from, 1);
+        assert_eq!(p.part_area(1), 3);
+    }
+
+    #[test]
+    fn random_is_roughly_balanced_bipartition() {
+        let h = h_units(1001);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let p = Partition::random(&h, 2, &mut rng);
+            assert!(p.validate(&h));
+            let a0 = p.part_area(0);
+            assert!((a0 as i64 - 500).unsigned_abs() <= 1, "a0={a0}");
+        }
+    }
+
+    #[test]
+    fn random_is_roughly_balanced_quadrisection() {
+        let h = h_units(1000);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = Partition::random(&h, 4, &mut rng);
+        assert!(p.validate(&h));
+        for part in 0..4 {
+            let a = p.part_area(part);
+            assert!((a as i64 - 250).unsigned_abs() <= 1, "part {part}: {a}");
+        }
+    }
+
+    #[test]
+    fn random_handles_nonuniform_areas() {
+        let mut b = HypergraphBuilder::new(vec![10, 1, 1, 1, 1, 1, 1, 1, 1, 2]);
+        b.add_net([0, 1]).unwrap();
+        let h = b.build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = Partition::random(&h, 2, &mut rng);
+        assert!(p.validate(&h));
+        assert_eq!(p.part_area(0) + p.part_area(1), 20);
+    }
+
+    #[test]
+    fn bipart_balance_matches_paper_formula() {
+        // 100 unit modules, r = 0.1: slack = max(1, 10) = 10 -> [40, 60].
+        let h = h_units(100);
+        let bal = BipartBalance::new(&h, 0.1);
+        assert_eq!(bal.lower(), 40);
+        assert_eq!(bal.upper(), 60);
+    }
+
+    #[test]
+    fn bipart_balance_large_module_dominates() {
+        // One module of area 30 out of total 100: slack = max(30, 10) = 30.
+        let mut areas = vec![1u64; 70];
+        areas.push(30);
+        let mut b = HypergraphBuilder::new(areas);
+        b.add_net([0, 1]).unwrap();
+        let h = b.build().unwrap();
+        let bal = BipartBalance::new(&h, 0.1);
+        assert_eq!(bal.lower(), 20);
+        assert_eq!(bal.upper(), 80);
+    }
+
+    #[test]
+    fn bipart_feasibility_is_symmetric() {
+        let h = h_units(100);
+        let bal = BipartBalance::new(&h, 0.1);
+        for a in 0..=100u64 {
+            assert_eq!(bal.is_feasible(a), bal.is_feasible(100 - a), "a={a}");
+        }
+    }
+
+    #[test]
+    fn kway_balance_reduces_to_bipart_at_k2() {
+        let h = h_units(100);
+        let b2 = BipartBalance::new(&h, 0.1);
+        let bk = KwayBalance::new(&h, 2, 0.1);
+        assert_eq!(b2.lower(), bk.lower());
+        assert_eq!(b2.upper(), bk.upper());
+    }
+
+    #[test]
+    fn kway_balance_quadrisection() {
+        // 100 unit modules, k=4, r=0.1: target 25, slack = max(1, 5) = 5.
+        let h = h_units(100);
+        let bal = KwayBalance::new(&h, 4, 0.1);
+        assert_eq!(bal.lower(), 20);
+        assert_eq!(bal.upper(), 30);
+        let p = Partition::from_assignment(&h, 4, (0..100).map(|i| (i % 4) as u32).collect())
+            .unwrap();
+        assert!(bal.is_partition_feasible(&p));
+    }
+
+    #[test]
+    fn part_sizes_counts_modules() {
+        let h = h_units(5);
+        let p = Partition::from_assignment(&h, 3, vec![0, 1, 1, 2, 2]).unwrap();
+        assert_eq!(p.part_sizes(), vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn display_mentions_k() {
+        let h = h_units(2);
+        let p = Partition::from_assignment(&h, 2, vec![0, 1]).unwrap();
+        assert!(p.to_string().contains("k=2"));
+    }
+}

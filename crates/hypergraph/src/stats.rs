@@ -1,0 +1,204 @@
+//! Structural statistics of a netlist: degree and net-size distributions.
+//!
+//! Used to validate that the synthetic suite matches the paper's Table I
+//! characteristics, and handy when diagnosing why a partitioner behaves
+//! differently on two netlists.
+
+use crate::hypergraph::Hypergraph;
+
+/// Summary of a discrete distribution (degrees or net sizes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// Smallest observed value.
+    pub min: usize,
+    /// Largest observed value.
+    pub max: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Histogram: `histogram[v]` = number of items with value `v`
+    /// (trailing zero buckets trimmed).
+    pub histogram: Vec<usize>,
+}
+
+impl Distribution {
+    fn from_values(values: impl Iterator<Item = usize> + Clone) -> Option<Self> {
+        let mut count = 0usize;
+        let mut sum = 0usize;
+        let mut max = 0usize;
+        let mut min = usize::MAX;
+        for v in values.clone() {
+            count += 1;
+            sum += v;
+            max = max.max(v);
+            min = min.min(v);
+        }
+        if count == 0 {
+            return None;
+        }
+        let mut histogram = vec![0usize; max + 1];
+        for v in values {
+            histogram[v] += 1;
+        }
+        Some(Distribution {
+            min,
+            max,
+            mean: sum as f64 / count as f64,
+            histogram,
+        })
+    }
+
+    /// The `q`-quantile value (0 ≤ q ≤ 1) of the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total: usize = self.histogram.iter().sum();
+        let target = ((total as f64) * q).ceil() as usize;
+        let mut acc = 0usize;
+        for (value, &count) in self.histogram.iter().enumerate() {
+            acc += count;
+            if acc >= target.max(1) {
+                return value;
+            }
+        }
+        self.max
+    }
+}
+
+/// Full structural profile of a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::{HypergraphBuilder, stats::NetlistStats};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_areas(4);
+/// b.add_net([0, 1, 2])?;
+/// b.add_net([2, 3])?;
+/// let h = b.build()?;
+/// let stats = NetlistStats::measure(&h);
+/// assert_eq!(stats.modules, 4);
+/// assert_eq!(stats.pins, 5);
+/// assert_eq!(stats.net_sizes.expect("has nets").max, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Module count.
+    pub modules: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Pin count.
+    pub pins: usize,
+    /// Total area.
+    pub total_area: u64,
+    /// Net-size distribution; `None` for a netless netlist.
+    pub net_sizes: Option<Distribution>,
+    /// Module-degree distribution; `None` for an empty netlist.
+    pub degrees: Option<Distribution>,
+}
+
+impl NetlistStats {
+    /// Measures `h`.
+    pub fn measure(h: &Hypergraph) -> Self {
+        NetlistStats {
+            modules: h.num_modules(),
+            nets: h.num_nets(),
+            pins: h.num_pins(),
+            total_area: h.total_area(),
+            net_sizes: Distribution::from_values(h.net_ids().map(|e| h.net_size(e))),
+            degrees: Distribution::from_values(h.modules().map(|v| h.degree(v))),
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} modules, {} nets, {} pins",
+            self.modules, self.nets, self.pins
+        )?;
+        if let Some(ns) = &self.net_sizes {
+            write!(f, "; net size {:.2} avg (max {})", ns.mean, ns.max)?;
+        }
+        if let Some(d) = &self.degrees {
+            write!(f, "; degree {:.2} avg (max {})", d.mean, d.max)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::HypergraphBuilder;
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(5);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([0, 1, 2]).unwrap();
+        b.add_net([2, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn measures_counts_and_means() {
+        let s = NetlistStats::measure(&sample());
+        assert_eq!(s.modules, 5);
+        assert_eq!(s.nets, 3);
+        assert_eq!(s.pins, 8);
+        let ns = s.net_sizes.expect("has nets");
+        assert_eq!(ns.min, 2);
+        assert_eq!(ns.max, 3);
+        assert!((ns.mean - 8.0 / 3.0).abs() < 1e-12);
+        let d = s.degrees.expect("has modules");
+        assert_eq!(d.max, 2);
+        assert_eq!(d.min, 1);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let s = NetlistStats::measure(&sample());
+        let ns = s.net_sizes.expect("has nets");
+        assert_eq!(ns.histogram[2], 1);
+        assert_eq!(ns.histogram[3], 2);
+    }
+
+    #[test]
+    fn quantiles() {
+        let s = NetlistStats::measure(&sample());
+        let ns = s.net_sizes.expect("has nets");
+        assert_eq!(ns.quantile(0.0), 2);
+        assert_eq!(ns.quantile(1.0), 3);
+        assert_eq!(ns.quantile(0.5), 3);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let h = HypergraphBuilder::with_unit_areas(0).build().unwrap();
+        let s = NetlistStats::measure(&h);
+        assert!(s.net_sizes.is_none());
+        assert!(s.degrees.is_none());
+        assert_eq!(s.to_string(), "0 modules, 0 nets, 0 pins");
+    }
+
+    #[test]
+    fn display_mentions_sizes() {
+        let s = NetlistStats::measure(&sample());
+        let text = s.to_string();
+        assert!(text.contains("5 modules"));
+        assert!(text.contains("net size"));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rejects_out_of_range() {
+        let s = NetlistStats::measure(&sample());
+        let _ = s.net_sizes.expect("has nets").quantile(1.5);
+    }
+}

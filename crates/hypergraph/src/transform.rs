@@ -1,0 +1,214 @@
+//! Hypergraph-to-graph transformations: clique and star expansion.
+//!
+//! The paper's footnote 2 notes that graph-based multilevel partitioners
+//! (Metis, and the GMetis adaptation in Table VII) "have to transform the
+//! netlist hypergraph to a weighted graph" first, while "our implementation
+//! coarsens and partitions the hypergraph directly" — and attributes
+//! GMetis's inferior cuts to exactly this lossy transformation. These
+//! expansions make that claim testable: partition the expanded graph, then
+//! measure the *true* hypergraph cut of the result (see the `ablation`
+//! harness binary).
+//!
+//! Weights are scaled integers: a clique edge of an `s`-pin net carries
+//! weight `round(scale / (s − 1))` (the standard normalization, so every net
+//! contributes ≈ `scale·s/2` total weight); a star edge carries
+//! `round(scale / s)` against a zero-area... — star centers must occupy
+//! area, so they get area 1 and the caller's balance tolerance absorbs the
+//! dilution (documented on [`star_expansion`]).
+
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+
+/// The default weight scale: small enough to keep summed weights well inside
+/// the engines' bucket ranges, large enough that `scale/(s−1)` distinguishes
+/// net sizes up to the `Match` limit.
+pub const DEFAULT_WEIGHT_SCALE: u32 = 12;
+
+/// Clique expansion: every `s`-pin net becomes `s·(s−1)/2` weighted 2-pin
+/// nets with weight `max(1, round(scale/(s−1)))`. Module count and areas are
+/// unchanged, so a partition of the expansion is directly a partition of the
+/// original hypergraph.
+///
+/// Nets larger than `max_net_size` are dropped (a 200-pin net would expand
+/// to ~20k edges; graph partitioners make the same cut).
+///
+/// # Panics
+///
+/// Panics if `scale == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::{HypergraphBuilder, transform::clique_expansion};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_areas(3);
+/// b.add_net([0, 1, 2])?;
+/// let h = b.build()?;
+/// let g = clique_expansion(&h, 12, 50);
+/// assert_eq!(g.num_nets(), 3);           // the triangle
+/// assert_eq!(g.net_weight(mlpart_hypergraph::NetId::new(0)), 6); // 12/(3-1)
+/// # Ok(())
+/// # }
+/// ```
+pub fn clique_expansion(h: &Hypergraph, scale: u32, max_net_size: usize) -> Hypergraph {
+    assert!(scale > 0, "scale must be positive");
+    let mut builder = HypergraphBuilder::new(h.areas().to_vec());
+    for e in h.net_ids() {
+        let s = h.net_size(e);
+        if s > max_net_size {
+            continue;
+        }
+        let weight =
+            ((scale as f64 * h.net_weight(e) as f64 / (s as f64 - 1.0)).round() as u32).max(1);
+        let pins = h.pins(e);
+        for i in 0..s {
+            for j in (i + 1)..s {
+                builder
+                    .add_weighted_net([pins[i].index(), pins[j].index()], weight)
+                    .expect("indices in range");
+            }
+        }
+    }
+    builder.build().expect("areas unchanged and positive")
+}
+
+/// Star expansion: every `s`-pin net gains an auxiliary center module
+/// (area 1) connected to each pin by a weighted 2-pin net. Linear in pins,
+/// unlike the clique's quadratic blowup.
+///
+/// Returns the expanded graph and the number of original modules (the
+/// centers occupy indices `original..`); project a partition back by
+/// truncating the assignment to the original modules.
+///
+/// # Panics
+///
+/// Panics if `scale == 0`.
+pub fn star_expansion(h: &Hypergraph, scale: u32, max_net_size: usize) -> (Hypergraph, usize) {
+    assert!(scale > 0, "scale must be positive");
+    let n = h.num_modules();
+    let expanded: Vec<_> = h
+        .net_ids()
+        .filter(|&e| h.net_size(e) <= max_net_size)
+        .collect();
+    let mut areas = h.areas().to_vec();
+    areas.extend(std::iter::repeat_n(1, expanded.len()));
+    let mut builder = HypergraphBuilder::new(areas);
+    for (center_idx, &e) in expanded.iter().enumerate() {
+        let center = n + center_idx;
+        let weight =
+            ((scale as f64 * h.net_weight(e) as f64 / h.net_size(e) as f64).round() as u32).max(1);
+        for &v in h.pins(e) {
+            builder
+                .add_weighted_net([v.index(), center], weight)
+                .expect("indices in range");
+        }
+    }
+    (builder.build().expect("positive areas"), n)
+}
+
+/// Measures the true hypergraph cut of a partition expressed over the
+/// expanded graph's modules (identity mapping for clique expansion;
+/// truncation for star expansion).
+///
+/// # Panics
+///
+/// Panics if `assignment` is shorter than `h.num_modules()`.
+pub fn hypergraph_cut_of_expanded(h: &Hypergraph, assignment: &[u32], k: u32) -> u64 {
+    assert!(
+        assignment.len() >= h.num_modules(),
+        "assignment shorter than the original module count"
+    );
+    let p = crate::Partition::from_assignment(
+        h,
+        k,
+        assignment[..h.num_modules()].to_vec(),
+    )
+    .expect("part ids below k");
+    crate::metrics::cut(h, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::Partition;
+
+    fn h_mixed() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(5);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([1, 2, 3]).unwrap();
+        b.add_net([0, 2, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clique_counts_and_weights() {
+        let h = h_mixed();
+        let g = clique_expansion(&h, 12, 50);
+        assert_eq!(g.num_modules(), 5);
+        // 1 + 3 + 6 = 10 edges.
+        assert_eq!(g.num_nets(), 10);
+        // 2-pin net keeps full scale weight; 3-pin: 6; 4-pin: 4.
+        let weights: Vec<u32> = g.net_weights().to_vec();
+        assert_eq!(weights.iter().filter(|&&w| w == 12).count(), 1);
+        assert_eq!(weights.iter().filter(|&&w| w == 6).count(), 3);
+        assert_eq!(weights.iter().filter(|&&w| w == 4).count(), 6);
+    }
+
+    #[test]
+    fn clique_cut_bounds_hypergraph_cut() {
+        // A cut hyperedge contributes >= one cut clique edge, so a zero-cut
+        // clique partition is zero-cut on the hypergraph and vice versa.
+        let h = h_mixed();
+        let g = clique_expansion(&h, 12, 50);
+        for mask in 0u32..32 {
+            let assignment: Vec<u32> = (0..5).map(|i| (mask >> i) & 1).collect();
+            let ph = Partition::from_assignment(&h, 2, assignment.clone()).unwrap();
+            let pg = Partition::from_assignment(&g, 2, assignment).unwrap();
+            assert_eq!(
+                metrics::cut(&h, &ph) == 0,
+                metrics::cut(&g, &pg) == 0,
+                "mask {mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_drops_oversized_nets() {
+        let h = h_mixed();
+        let g = clique_expansion(&h, 12, 3);
+        assert_eq!(g.num_nets(), 1 + 3, "4-pin net dropped");
+    }
+
+    #[test]
+    fn star_structure() {
+        let h = h_mixed();
+        let (g, original) = star_expansion(&h, 12, 50);
+        assert_eq!(original, 5);
+        assert_eq!(g.num_modules(), 5 + 3, "one center per net");
+        assert_eq!(g.num_pins(), 2 * (2 + 3 + 4), "one 2-pin edge per pin");
+        // Star edge weights: 12/2=6, 12/3=4, 12/4=3.
+        assert!(g.net_weights().contains(&6));
+        assert!(g.net_weights().contains(&4));
+        assert!(g.net_weights().contains(&3));
+    }
+
+    #[test]
+    fn expanded_cut_projection() {
+        let h = h_mixed();
+        let (g, original) = star_expansion(&h, 12, 50);
+        // Assign originals 0,1 | 2,3,4 and put centers wherever.
+        let mut assignment = vec![0u32, 0, 1, 1, 1];
+        assignment.extend(vec![0u32; g.num_modules() - original]);
+        let true_cut = hypergraph_cut_of_expanded(&h, &assignment, 2);
+        let direct = Partition::from_assignment(&h, 2, assignment[..5].to_vec()).unwrap();
+        assert_eq!(true_cut, metrics::cut(&h, &direct));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_zero_scale() {
+        let h = h_mixed();
+        let _ = clique_expansion(&h, 0, 50);
+    }
+}

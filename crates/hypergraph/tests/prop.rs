@@ -1,0 +1,121 @@
+//! Property-based tests for the hypergraph foundation: builder invariants,
+//! CSR consistency, partition bookkeeping, metric identities, and hMETIS
+//! round-trips over arbitrary netlists.
+
+use mlpart_hypergraph::io::{read_hgr, write_hgr};
+use mlpart_hypergraph::rng::seeded_rng;
+use mlpart_hypergraph::{metrics, Hypergraph, HypergraphBuilder, ModuleId, Partition};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small netlist as (module areas, nets of indices).
+fn arb_netlist() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<usize>>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let areas = proptest::collection::vec(1u64..20, n);
+        let nets = proptest::collection::vec(
+            proptest::collection::vec(0usize..n, 1..8),
+            0..60,
+        );
+        (areas, nets)
+    })
+}
+
+fn build(areas: Vec<u64>, nets: &[Vec<usize>]) -> Hypergraph {
+    let mut b = HypergraphBuilder::new(areas);
+    for net in nets {
+        b.add_net(net.iter().copied()).expect("indices in range");
+    }
+    b.build().expect("valid netlist")
+}
+
+proptest! {
+    #[test]
+    fn builder_produces_consistent_csr((areas, nets) in arb_netlist()) {
+        let h = build(areas.clone(), &nets);
+        prop_assert!(h.validate());
+        prop_assert_eq!(h.num_modules(), areas.len());
+        prop_assert_eq!(h.total_area(), areas.iter().sum::<u64>());
+        // Every surviving net has >= 2 distinct pins, none out of range.
+        for e in h.net_ids() {
+            prop_assert!(h.net_size(e) >= 2);
+            let mut pins: Vec<_> = h.pins(e).to_vec();
+            pins.sort();
+            pins.dedup();
+            prop_assert_eq!(pins.len(), h.net_size(e), "duplicate pins survived");
+        }
+        // Pin count identities.
+        let total_degree: usize = h.modules().map(|v| h.degree(v)).sum();
+        prop_assert_eq!(total_degree, h.num_pins());
+    }
+
+    #[test]
+    fn hgr_roundtrip_is_identity((areas, nets) in arb_netlist()) {
+        let h = build(areas, &nets);
+        let mut text = Vec::new();
+        write_hgr(&h, &mut text).expect("write to memory");
+        let h2 = read_hgr(&text[..]).expect("parse own output");
+        prop_assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn partition_move_bookkeeping(
+        (areas, nets) in arb_netlist(),
+        moves in proptest::collection::vec((0usize..40, 0u32..4), 0..50),
+        k in 2u32..5,
+    ) {
+        let h = build(areas, &nets);
+        let mut rng = seeded_rng(1);
+        let mut p = Partition::random(&h, k, &mut rng);
+        for (vi, part) in moves {
+            let v = ModuleId::new(vi % h.num_modules());
+            p.move_module(&h, v, part % k);
+            prop_assert!(p.validate(&h));
+        }
+        prop_assert_eq!(p.part_areas().iter().sum::<u64>(), h.total_area());
+    }
+
+    #[test]
+    fn cut_identities((areas, nets) in arb_netlist(), k in 2u32..5) {
+        let h = build(areas, &nets);
+        let mut rng = seeded_rng(2);
+        let p = Partition::random(&h, k, &mut rng);
+        let cut = metrics::cut(&h, &p);
+        let sod = metrics::sum_of_spans_minus_one(&h, &p);
+        // cut <= sum-of-degrees <= (k-1) * cut.
+        prop_assert!(cut <= sod);
+        prop_assert!(sod <= cut * (k as u64 - 1).max(1));
+        // k = 2: equality.
+        if k == 2 {
+            prop_assert_eq!(cut, sod);
+        }
+        // Single-part partition has zero cut.
+        let uniform = Partition::from_assignment(&h, k, vec![0; h.num_modules()])
+            .expect("valid");
+        prop_assert_eq!(metrics::cut(&h, &uniform), 0);
+    }
+
+    #[test]
+    fn net_span_bounds((areas, nets) in arb_netlist(), k in 2u32..6) {
+        let h = build(areas, &nets);
+        let mut rng = seeded_rng(3);
+        let p = Partition::random(&h, k, &mut rng);
+        for e in h.net_ids() {
+            let span = metrics::net_span(&h, &p, e);
+            prop_assert!(span >= 1);
+            prop_assert!(span as usize <= h.net_size(e));
+            prop_assert!(span <= k);
+            prop_assert_eq!(span > 1, metrics::is_net_cut(&h, &p, e));
+        }
+    }
+
+    #[test]
+    fn random_partition_roughly_balanced((areas, nets) in arb_netlist()) {
+        let h = build(areas, &nets);
+        let mut rng = seeded_rng(4);
+        let p = Partition::random(&h, 2, &mut rng);
+        // Each side within half the total ± the largest module.
+        let half = h.total_area() / 2;
+        let slack = h.max_area();
+        prop_assert!(p.part_area(0) + slack >= half);
+        prop_assert!(p.part_area(0) <= half + slack + 1);
+    }
+}

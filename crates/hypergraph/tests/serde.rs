@@ -1,0 +1,57 @@
+//! Round-trip tests for the optional `serde` feature: netlists and
+//! partitions survive JSON serialization bit-exactly.
+
+#![cfg(feature = "serde")]
+
+use mlpart_hypergraph::rng::seeded_rng;
+use mlpart_hypergraph::{Hypergraph, HypergraphBuilder, ModuleId, NetId, Partition};
+
+fn sample() -> Hypergraph {
+    let mut b = HypergraphBuilder::new(vec![2, 1, 1, 5]);
+    b.add_net([0, 1, 2]).expect("in range");
+    b.add_weighted_net([2, 3], 7).expect("in range");
+    b.build().expect("valid")
+}
+
+#[test]
+fn hypergraph_json_roundtrip() {
+    let h = sample();
+    let json = serde_json::to_string(&h).expect("serializes");
+    let back: Hypergraph = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(h, back);
+    assert!(back.validate());
+    assert_eq!(back.net_weight(NetId::new(1)), 7);
+    assert_eq!(back.total_area(), 9);
+}
+
+#[test]
+fn partition_json_roundtrip() {
+    let h = sample();
+    let mut rng = seeded_rng(3);
+    let p = Partition::random(&h, 2, &mut rng);
+    let json = serde_json::to_string(&p).expect("serializes");
+    let back: Partition = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(p, back);
+    assert!(back.validate(&h));
+}
+
+#[test]
+fn ids_serialize_transparently() {
+    assert_eq!(serde_json::to_string(&ModuleId::new(5)).expect("ok"), "5");
+    assert_eq!(serde_json::to_string(&NetId::new(9)).expect("ok"), "9");
+    let v: ModuleId = serde_json::from_str("12").expect("ok");
+    assert_eq!(v, ModuleId::new(12));
+}
+
+#[test]
+fn tampered_partition_fails_validate() {
+    // Deserialization is intentionally unchecked (it trusts its own
+    // serializer); validate() is the defense against foreign data.
+    let h = sample();
+    let p = Partition::from_assignment(&h, 2, vec![0, 0, 1, 1]).expect("valid");
+    let mut json = serde_json::to_string(&p).expect("serializes");
+    // Corrupt the cached areas.
+    json = json.replace("\"part_areas\":[3,6]", "\"part_areas\":[9,0]");
+    let tampered: Partition = serde_json::from_str(&json).expect("parses");
+    assert!(!tampered.validate(&h), "corrupted areas must be caught");
+}

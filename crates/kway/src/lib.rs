@@ -1,0 +1,628 @@
+//! Multi-way (k-way) move-based partitioning: Sanchis-style FM without
+//! lookahead, as used by the paper's quadrisection experiments (§III-C).
+//!
+//! The paper extends its multilevel code to 4-way partitioning using "the
+//! quadrisection algorithm of Sanchis \[39\] but without lookahead", with
+//! *sum of cluster degrees*, *net cut*, and generic gain computations; its
+//! Table IX results use the sum-of-degrees gain. This crate implements the
+//! move engine: per-destination gain buckets, k-way balance, pre-assigned
+//! (fixed) modules for I/O pads, and pass-with-rollback semantics identical
+//! to the 2-way engine.
+//!
+//! # Examples
+//!
+//! Quadrisect a ring of four cliques:
+//!
+//! ```
+//! use mlpart_kway::{kway_partition, KwayConfig};
+//! use mlpart_hypergraph::{HypergraphBuilder, rng::seeded_rng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = HypergraphBuilder::with_unit_areas(16);
+//! for c in 0..4usize {
+//!     for i in 0..4usize {
+//!         for j in (i + 1)..4 {
+//!             b.add_net([4 * c + i, 4 * c + j])?;
+//!         }
+//!     }
+//!     b.add_net([4 * c + 3, (4 * c + 4) % 16])?; // ring links
+//! }
+//! let h = b.build()?;
+//! let best = (0..8)
+//!     .map(|s| {
+//!         let mut rng = seeded_rng(s);
+//!         kway_partition(&h, 4, None, &[], &KwayConfig::default(), &mut rng).1.cut
+//!     })
+//!     .min()
+//!     .expect("eight runs");
+//! assert_eq!(best, 4); // only the ring links are cut
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use mlpart_fm::{BucketPolicy, GainBuckets};
+use mlpart_hypergraph::rng::MlRng;
+use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
+
+/// Which gain computation drives the k-way engine (§III-C lists the paper's
+/// three options; Table IX is reported with [`SumOfDegrees`](Self::SumOfDegrees)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KwayGain {
+    /// Gain = reduction in `Σ_e (span(e) − 1)`. Moving a module out of a part
+    /// where it is a net's lone pin shrinks that net's span; moving into a
+    /// part the net does not touch grows it.
+    #[default]
+    SumOfDegrees,
+    /// Gain = reduction in the number of cut nets. A net only scores when the
+    /// move makes it entirely contained (or breaks containment), which gives
+    /// sparser gradients than sum-of-degrees — the reason the paper prefers
+    /// the latter for quadrisection.
+    NetCut,
+}
+
+impl std::fmt::Display for KwayGain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KwayGain::SumOfDegrees => write!(f, "sum-of-degrees"),
+            KwayGain::NetCut => write!(f, "net-cut"),
+        }
+    }
+}
+
+/// Configuration for [`kway_partition`] / [`kway_refine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KwayConfig {
+    /// Gain computation (Table IX uses sum-of-degrees).
+    pub gain: KwayGain,
+    /// Bucket tie-breaking policy; LIFO as in the 2-way engine.
+    pub policy: BucketPolicy,
+    /// Balance tolerance `r` (generalized §III-B bounds).
+    pub balance_r: f64,
+    /// Nets with more pins than this are invisible to the engine.
+    pub max_net_size: usize,
+    /// Safety cap on passes.
+    pub max_passes: usize,
+}
+
+impl Default for KwayConfig {
+    fn default() -> Self {
+        KwayConfig {
+            gain: KwayGain::SumOfDegrees,
+            policy: BucketPolicy::Lifo,
+            balance_r: 0.1,
+            max_net_size: 200,
+            max_passes: 64,
+        }
+    }
+}
+
+/// Outcome of a k-way refinement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KwayResult {
+    /// Final net cut over all nets.
+    pub cut: u64,
+    /// Final `Σ_e (span(e) − 1)` over all nets.
+    pub sum_of_degrees: u64,
+    /// Number of passes executed.
+    pub passes: usize,
+    /// Moves kept after rollback, summed over passes.
+    pub kept_moves: u64,
+}
+
+/// Repairs an infeasible k-way partition by moving random non-fixed modules
+/// from the most over-full part to the least-full one until the §III-B-style
+/// bounds hold (or no move can help). Draws from `rng` only while the
+/// partition is infeasible.
+///
+/// `kway_partition` applies this to random starting solutions: on lumpy
+/// area distributions the greedy random split can overfill a part, and
+/// refinement alone cannot fix it (its best-prefix rollback may restore the
+/// infeasible start).
+pub fn rebalance_to_feasibility(
+    h: &Hypergraph,
+    p: &mut Partition,
+    fixed: &[(ModuleId, PartId)],
+    balance: &KwayBalance,
+    rng: &mut MlRng,
+) -> usize {
+    use rand::Rng;
+    let mut is_fixed = vec![false; h.num_modules()];
+    for &(v, _) in fixed {
+        is_fixed[v.index()] = true;
+    }
+    let k = p.k();
+    let mut moved = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = 4 * h.num_modules() + 16;
+    while !balance.is_partition_feasible(p) && attempts < max_attempts {
+        attempts += 1;
+        let (mut big, mut small) = (0u32, 0u32);
+        for part in 1..k {
+            if p.part_area(part) > p.part_area(big) {
+                big = part;
+            }
+            if p.part_area(part) < p.part_area(small) {
+                small = part;
+            }
+        }
+        if big == small {
+            break;
+        }
+        let v = ModuleId::new(rng.gen_range(0..h.num_modules()));
+        if p.part(v) == big && !is_fixed[v.index()] {
+            p.move_module(h, v, small);
+            moved += 1;
+        }
+    }
+    moved
+}
+
+/// Partitions `h` into `k` parts, starting from `initial` (or a random
+/// balanced solution), with `fixed` modules pinned to given parts (the
+/// paper's I/O-pad pre-assignment).
+///
+/// Returns the partition and run statistics.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, an initial partition has the wrong `k` or size, or a
+/// fixed assignment references an out-of-range module or part.
+pub fn kway_partition(
+    h: &Hypergraph,
+    k: u32,
+    initial: Option<Partition>,
+    fixed: &[(ModuleId, PartId)],
+    cfg: &KwayConfig,
+    rng: &mut MlRng,
+) -> (Partition, KwayResult) {
+    assert!(k > 0, "k must be positive");
+    let mut p = match initial {
+        Some(p) => {
+            assert_eq!(p.k(), k, "initial partition has wrong k");
+            assert_eq!(
+                p.assignment().len(),
+                h.num_modules(),
+                "partition does not match hypergraph"
+            );
+            p
+        }
+        None => Partition::random(h, k, rng),
+    };
+    // Pin fixed modules to their parts before refinement begins.
+    for &(v, part) in fixed {
+        assert!(part < k, "fixed part id out of range");
+        p.move_module(h, v, part);
+    }
+    // A lumpy random start (or the pinning above) can violate the bounds;
+    // refinement alone cannot repair that, so fix feasibility first. No-op
+    // (and no RNG draws) when the start is already feasible.
+    let balance = KwayBalance::new(h, k, cfg.balance_r);
+    rebalance_to_feasibility(h, &mut p, fixed, &balance, rng);
+    let result = kway_refine(h, &mut p, fixed, cfg, rng);
+    (p, result)
+}
+
+/// Refines a k-way partition in place; see [`kway_partition`].
+///
+/// # Panics
+///
+/// Panics if `p` does not match `h`.
+pub fn kway_refine(
+    h: &Hypergraph,
+    p: &mut Partition,
+    fixed: &[(ModuleId, PartId)],
+    cfg: &KwayConfig,
+    rng: &mut MlRng,
+) -> KwayResult {
+    assert_eq!(
+        p.assignment().len(),
+        h.num_modules(),
+        "partition does not match hypergraph"
+    );
+    let k = p.k();
+    let n = h.num_modules();
+    let visible: Vec<bool> = h
+        .net_ids()
+        .map(|e| h.net_size(e) <= cfg.max_net_size)
+        .collect();
+    let max_vis_weight = h
+        .modules()
+        .map(|v| {
+            h.nets(v)
+                .iter()
+                .filter(|e| visible[e.index()])
+                .map(|e| h.net_weight(*e) as i64)
+                .sum::<i64>()
+        })
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_vis_weight <= i32::MAX as i64 / 4,
+        "net weights too large for the bucket structure"
+    );
+    let max_vis_weight = max_vis_weight as i32;
+    let mut is_fixed = vec![false; n];
+    for &(v, _) in fixed {
+        is_fixed[v.index()] = true;
+    }
+    let balance = KwayBalance::new(h, k, cfg.balance_r);
+
+    let mut buckets: Vec<GainBuckets> = (0..k)
+        .map(|_| GainBuckets::new(n, max_vis_weight, cfg.policy))
+        .collect();
+    // pins_in[e * k + part]
+    let mut pins_in = vec![0u32; h.num_nets() * k as usize];
+    let mut locked = vec![false; n];
+    let mut moves: Vec<(ModuleId, PartId)> = Vec::with_capacity(n);
+    let mut stamp = vec![u32::MAX; n];
+
+    let gain_of = |pins_in: &[u32], part_of: &[PartId], v: ModuleId, to: PartId| -> i32 {
+        let from = part_of[v.index()] as usize;
+        let mut g = 0i32;
+        for &e in h.nets(v) {
+            if !visible[e.index()] {
+                continue;
+            }
+            let row = &pins_in[e.index() * k as usize..(e.index() + 1) * k as usize];
+            let w = h.net_weight(e) as i32;
+            match cfg.gain {
+                KwayGain::SumOfDegrees => {
+                    if row[from] == 1 {
+                        g += w;
+                    }
+                    if row[to as usize] == 0 {
+                        g -= w;
+                    }
+                }
+                KwayGain::NetCut => {
+                    let size = h.net_size(e) as u32;
+                    if row[to as usize] == size - 1 {
+                        g += w;
+                    }
+                    if row[from] == size {
+                        g -= w;
+                    }
+                }
+            }
+        }
+        g
+    };
+
+    let objective = |p: &Partition| -> u64 {
+        match cfg.gain {
+            KwayGain::SumOfDegrees => h
+                .net_ids()
+                .filter(|e| visible[e.index()])
+                .map(|e| {
+                    h.net_weight(e) as u64
+                        * (metrics::net_span(h, p, e) as u64).saturating_sub(1)
+                })
+                .sum(),
+            KwayGain::NetCut => metrics::cut_with_net_size_limit(h, p, cfg.max_net_size),
+        }
+    };
+
+    let mut passes = 0usize;
+    let mut kept_moves = 0u64;
+    while passes < cfg.max_passes {
+        passes += 1;
+        // --- Reinitialize per-pass state. ---
+        pins_in.fill(0);
+        for e in h.net_ids() {
+            if !visible[e.index()] {
+                continue;
+            }
+            for &v in h.pins(e) {
+                pins_in[e.index() * k as usize + p.part(v) as usize] += 1;
+            }
+        }
+        locked.fill(false);
+        moves.clear();
+        for b in &mut buckets {
+            b.clear();
+        }
+        {
+            let part_of = p.assignment();
+            for v in h.modules() {
+                if is_fixed[v.index()] {
+                    continue;
+                }
+                for t in 0..k {
+                    if t != part_of[v.index()] {
+                        let g = gain_of(&pins_in, part_of, v, t);
+                        buckets[t as usize].insert(v, g);
+                    }
+                }
+            }
+        }
+        let start_obj = objective(p);
+        let mut obj = start_obj as i64;
+        let mut best_obj = obj;
+        let mut best_len = 0usize;
+
+        // --- Move loop. ---
+        loop {
+            // Probe each destination's best feasible candidate; take the max.
+            let mut pick: Option<(i32, PartId, ModuleId)> = None;
+            for t in 0..k {
+                let part_of = p.assignment();
+                let areas = h.areas();
+                let area_t = p.part_area(t);
+                let part_areas = p.part_areas().to_vec();
+                let cand = buckets[t as usize].select_where(rng, |v| {
+                    let a = areas[v.index()];
+                    let from = part_of[v.index()];
+                    area_t + a <= balance.upper()
+                        && part_areas[from as usize] - a >= balance.lower()
+                });
+                if let Some(v) = cand {
+                    let key = buckets[t as usize].key_of(v);
+                    match pick {
+                        Some((bk, _, _)) if bk >= key => {}
+                        _ => pick = Some((key, t, v)),
+                    }
+                }
+            }
+            let Some((gain, to, v)) = pick else { break };
+            let from = p.part(v);
+            // Execute the move.
+            for b in &mut buckets {
+                if b.contains(v) {
+                    b.remove(v);
+                }
+            }
+            locked[v.index()] = true;
+            p.move_module(h, v, to);
+            obj -= gain as i64;
+            moves.push((v, from));
+
+            // Update pin counts, then recompute gains of affected neighbors.
+            let stamp_val = moves.len() as u32;
+            for &e in h.nets(v) {
+                if !visible[e.index()] {
+                    continue;
+                }
+                pins_in[e.index() * k as usize + from as usize] -= 1;
+                pins_in[e.index() * k as usize + to as usize] += 1;
+            }
+            for &e in h.nets(v) {
+                if !visible[e.index()] {
+                    continue;
+                }
+                for &w in h.pins(e) {
+                    if w == v
+                        || locked[w.index()]
+                        || is_fixed[w.index()]
+                        || stamp[w.index()] == stamp_val
+                    {
+                        continue;
+                    }
+                    stamp[w.index()] = stamp_val;
+                    let part_of = p.assignment();
+                    for t in 0..k {
+                        if t != part_of[w.index()] {
+                            let g = gain_of(&pins_in, part_of, w, t);
+                            buckets[t as usize].update_key(w, g);
+                        }
+                    }
+                }
+            }
+            if obj < best_obj {
+                best_obj = obj;
+                best_len = moves.len();
+            }
+        }
+        // --- Rollback to the best prefix. ---
+        for &(v, from) in moves[best_len..].iter().rev() {
+            p.move_module(h, v, from);
+        }
+        kept_moves += best_len as u64;
+        debug_assert_eq!(objective(p) as i64, best_obj);
+        if best_obj >= start_obj as i64 {
+            break;
+        }
+        // Stamps are per-move within a pass; reset between passes so the
+        // move counter can restart at 1.
+        stamp.fill(u32::MAX);
+    }
+
+    KwayResult {
+        cut: metrics::cut(h, p),
+        sum_of_degrees: metrics::sum_of_spans_minus_one(h, p),
+        passes,
+        kept_moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    /// Four 4-cliques in a ring: optimal quadrisection cuts the 4 ring nets.
+    fn ring_of_cliques() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(16);
+        for c in 0..4usize {
+            for i in 0..4usize {
+                for j in (i + 1)..4 {
+                    b.add_net([4 * c + i, 4 * c + j]).unwrap();
+                }
+            }
+            b.add_net([4 * c + 3, (4 * c + 4) % 16]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn best_of<F: FnMut(u64) -> u64>(runs: u64, f: F) -> u64 {
+        (0..runs).map(f).min().unwrap()
+    }
+
+    #[test]
+    fn quadrisection_finds_ring_optimum_sod() {
+        let h = ring_of_cliques();
+        let cfg = KwayConfig::default();
+        let best = best_of(10, |s| {
+            let mut rng = seeded_rng(s);
+            kway_partition(&h, 4, None, &[], &cfg, &mut rng).1.cut
+        });
+        assert_eq!(best, 4);
+    }
+
+    #[test]
+    fn quadrisection_finds_ring_optimum_netcut() {
+        let h = ring_of_cliques();
+        let cfg = KwayConfig {
+            gain: KwayGain::NetCut,
+            ..KwayConfig::default()
+        };
+        let best = best_of(10, |s| {
+            let mut rng = seeded_rng(100 + s);
+            kway_partition(&h, 4, None, &[], &cfg, &mut rng).1.cut
+        });
+        assert_eq!(best, 4);
+    }
+
+    #[test]
+    fn respects_kway_balance() {
+        let h = ring_of_cliques();
+        let cfg = KwayConfig::default();
+        let bal = KwayBalance::new(&h, 4, cfg.balance_r);
+        for seed in 0..5 {
+            let mut rng = seeded_rng(seed);
+            let (p, _) = kway_partition(&h, 4, None, &[], &cfg, &mut rng);
+            assert!(
+                bal.is_partition_feasible(&p),
+                "seed {seed}: {:?}",
+                p.part_areas()
+            );
+            assert!(p.validate(&h));
+        }
+    }
+
+    #[test]
+    fn k2_matches_bipartition_semantics() {
+        // k=2 net-cut engine should find the dumbbell optimum.
+        let mut b = HypergraphBuilder::with_unit_areas(8);
+        for i in 0..4usize {
+            for j in (i + 1)..4 {
+                b.add_net([i, j]).unwrap();
+                b.add_net([i + 4, j + 4]).unwrap();
+            }
+        }
+        b.add_net([3, 4]).unwrap();
+        let h = b.build().unwrap();
+        let cfg = KwayConfig {
+            gain: KwayGain::NetCut,
+            ..KwayConfig::default()
+        };
+        let best = best_of(8, |s| {
+            let mut rng = seeded_rng(s);
+            kway_partition(&h, 2, None, &[], &cfg, &mut rng).1.cut
+        });
+        assert_eq!(best, 1);
+    }
+
+    #[test]
+    fn fixed_modules_never_move() {
+        let h = ring_of_cliques();
+        let cfg = KwayConfig::default();
+        let fixed: Vec<(ModuleId, PartId)> =
+            vec![(ModuleId::new(0), 3), (ModuleId::new(5), 2)];
+        for seed in 0..5 {
+            let mut rng = seeded_rng(seed);
+            let (p, _) = kway_partition(&h, 4, None, &fixed, &cfg, &mut rng);
+            assert_eq!(p.part(ModuleId::new(0)), 3);
+            assert_eq!(p.part(ModuleId::new(5)), 2);
+        }
+    }
+
+    #[test]
+    fn refine_never_worsens_objective() {
+        let h = ring_of_cliques();
+        let cfg = KwayConfig::default();
+        let mut rng = seeded_rng(11);
+        let p0 = Partition::random(&h, 4, &mut rng);
+        let start_sod = metrics::sum_of_spans_minus_one(&h, &p0);
+        let mut p = p0;
+        let r = kway_refine(&h, &mut p, &[], &cfg, &mut rng);
+        assert!(r.sum_of_degrees <= start_sod);
+        assert_eq!(r.cut, metrics::cut(&h, &p));
+        assert_eq!(r.sum_of_degrees, metrics::sum_of_spans_minus_one(&h, &p));
+    }
+
+    #[test]
+    fn result_statistics_consistent() {
+        let h = ring_of_cliques();
+        let mut rng = seeded_rng(13);
+        let (p, r) = kway_partition(&h, 4, None, &[], &KwayConfig::default(), &mut rng);
+        assert!(r.passes >= 1);
+        assert!(r.cut <= r.sum_of_degrees);
+        assert!(p.validate(&h));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h = ring_of_cliques();
+        let run = |seed| {
+            let mut rng = seeded_rng(seed);
+            kway_partition(&h, 4, None, &[], &KwayConfig::default(), &mut rng)
+        };
+        let (p1, r1) = run(21);
+        let (p2, r2) = run(21);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        let h = ring_of_cliques();
+        let mut rng = seeded_rng(0);
+        let _ = kway_partition(&h, 0, None, &[], &KwayConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed part id out of range")]
+    fn rejects_bad_fixed_part() {
+        let h = ring_of_cliques();
+        let mut rng = seeded_rng(0);
+        let _ = kway_partition(
+            &h,
+            4,
+            None,
+            &[(ModuleId::new(0), 9)],
+            &KwayConfig::default(),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let h = HypergraphBuilder::with_unit_areas(3).build().unwrap();
+        let mut rng = seeded_rng(0);
+        let (p, r) = kway_partition(&h, 4, None, &[], &KwayConfig::default(), &mut rng);
+        assert_eq!(r.cut, 0);
+        assert!(p.validate(&h));
+    }
+
+    #[test]
+    fn large_nets_ignored_but_counted() {
+        let mut b = HypergraphBuilder::with_unit_areas(8);
+        b.add_net(0..8).unwrap(); // 8-pin net invisible when limit = 4
+        b.add_net([0, 1]).unwrap();
+        b.add_net([2, 3]).unwrap();
+        let h = b.build().unwrap();
+        let cfg = KwayConfig {
+            max_net_size: 4,
+            ..KwayConfig::default()
+        };
+        let mut rng = seeded_rng(2);
+        let (p, r) = kway_partition(&h, 4, None, &[], &cfg, &mut rng);
+        assert_eq!(r.cut, metrics::cut(&h, &p));
+        assert!(r.cut >= 1, "the 8-pin net must be cut across 4 parts");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the k-way engine: refinement never worsens the
+//! configured objective, balance and fixed modules are always respected,
+//! and reported statistics match independent recomputation.
+
+use mlpart_hypergraph::rng::seeded_rng;
+use mlpart_hypergraph::{
+    metrics, Hypergraph, HypergraphBuilder, KwayBalance, ModuleId, Partition,
+};
+use mlpart_kway::{kway_partition, kway_refine, KwayConfig, KwayGain};
+use proptest::prelude::*;
+
+fn arb_netlist() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<usize>>)> {
+    (4usize..32).prop_flat_map(|n| {
+        let areas = proptest::collection::vec(1u64..4, n);
+        let nets = proptest::collection::vec(
+            proptest::collection::vec(0usize..n, 2..6),
+            1..40,
+        );
+        (areas, nets)
+    })
+}
+
+fn build(areas: Vec<u64>, nets: &[Vec<usize>]) -> Hypergraph {
+    let mut b = HypergraphBuilder::new(areas);
+    for net in nets {
+        b.add_net(net.iter().copied()).expect("in range");
+    }
+    b.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn refinement_never_worsens_objective(
+        (areas, nets) in arb_netlist(),
+        k in 2u32..5,
+        sod in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let h = build(areas, &nets);
+        let cfg = KwayConfig {
+            gain: if sod { KwayGain::SumOfDegrees } else { KwayGain::NetCut },
+            ..KwayConfig::default()
+        };
+        let mut rng = seeded_rng(seed);
+        let p0 = Partition::random(&h, k, &mut rng);
+        let balance = KwayBalance::new(&h, k, cfg.balance_r);
+        prop_assume!(balance.is_partition_feasible(&p0));
+        let start = match cfg.gain {
+            KwayGain::SumOfDegrees => metrics::sum_of_spans_minus_one(&h, &p0),
+            KwayGain::NetCut => metrics::cut(&h, &p0),
+        };
+        let mut p = p0;
+        let r = kway_refine(&h, &mut p, &[], &cfg, &mut rng);
+        let end = match cfg.gain {
+            KwayGain::SumOfDegrees => r.sum_of_degrees,
+            KwayGain::NetCut => r.cut,
+        };
+        prop_assert!(end <= start, "objective worsened: {start} -> {end}");
+        prop_assert!(balance.is_partition_feasible(&p));
+        prop_assert!(p.validate(&h));
+        prop_assert_eq!(r.cut, metrics::cut(&h, &p));
+        prop_assert_eq!(r.sum_of_degrees, metrics::sum_of_spans_minus_one(&h, &p));
+    }
+
+    #[test]
+    fn fixed_modules_are_pinned(
+        (areas, nets) in arb_netlist(),
+        seed in 0u64..500,
+        fixed_picks in proptest::collection::vec((0usize..32, 0u32..4), 0..4),
+    ) {
+        let h = build(areas, &nets);
+        let n = h.num_modules();
+        // Deduplicate fixed modules (a module can only be pinned once).
+        let mut seen = std::collections::HashSet::new();
+        let fixed: Vec<(ModuleId, u32)> = fixed_picks
+            .into_iter()
+            .map(|(vi, part)| (ModuleId::new(vi % n), part))
+            .filter(|&(v, _)| seen.insert(v))
+            .collect();
+        let mut rng = seeded_rng(seed);
+        let (p, _) = kway_partition(&h, 4, None, &fixed, &KwayConfig::default(), &mut rng);
+        for &(v, part) in &fixed {
+            prop_assert_eq!(p.part(v), part);
+        }
+        prop_assert!(p.validate(&h));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs(
+        (areas, nets) in arb_netlist(),
+        seed in 0u64..100,
+    ) {
+        let h = build(areas, &nets);
+        let run = |s| {
+            let mut rng = seeded_rng(s);
+            kway_partition(&h, 3, None, &[], &KwayConfig::default(), &mut rng)
+        };
+        let (p1, r1) = run(seed);
+        let (p2, r2) = run(seed);
+        prop_assert_eq!(p1.assignment(), p2.assignment());
+        prop_assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,364 @@
+//! The GORDIAN-analogue quadratic placer and its quadrisection split.
+//!
+//! The paper's Table IX compares multilevel quadrisection against the 4-way
+//! partitions implied by GORDIAN / GORDIAN-L placements: pads are preplaced,
+//! a system of equations places the movable modules by minimizing quadratic
+//! (GORDIAN) or linearized (GORDIAN-L) wirelength, the horizontal ordering
+//! is split into two equal halves, and a vertical ordering splits each half
+//! again. This module reproduces that mechanism on the synthetic suite.
+
+use crate::solver::NetLaplacian;
+use mlpart_hypergraph::{Hypergraph, ModuleId, Partition};
+
+/// Configuration for the quadratic placer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacerConfig {
+    /// Conjugate-gradient iteration cap per solve.
+    pub cg_max_iters: usize,
+    /// Relative CG residual tolerance.
+    pub cg_tol: f64,
+    /// GORDIAN-L linearization sweeps: `0` is plain GORDIAN (quadratic);
+    /// each sweep reweights every net by `1/max(span, ε)` and re-solves,
+    /// approximating the linear-wirelength objective of Sigl et al.
+    pub linearize_iters: usize,
+    /// Nets larger than this are ignored by the solver.
+    pub max_net_size: usize,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        PlacerConfig {
+            cg_max_iters: 600,
+            cg_tol: 1e-7,
+            linearize_iters: 0,
+            max_net_size: 200,
+        }
+    }
+}
+
+impl PlacerConfig {
+    /// The GORDIAN-L analogue: three linearization sweeps.
+    pub fn gordian_l() -> Self {
+        PlacerConfig {
+            linearize_iters: 3,
+            ..PlacerConfig::default()
+        }
+    }
+}
+
+/// A placement: one `(x, y)` coordinate per module in the unit square.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// X coordinates, dense by module index.
+    pub x: Vec<f64>,
+    /// Y coordinates, dense by module index.
+    pub y: Vec<f64>,
+}
+
+impl Placement {
+    /// Half-perimeter wirelength `Σ_e (span_x(e) + span_y(e))` — the
+    /// standard placement quality metric, exposed for diagnostics.
+    pub fn hpwl(&self, h: &Hypergraph) -> f64 {
+        let mut total = 0.0;
+        for e in h.net_ids() {
+            let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in h.pins(e) {
+                let (px, py) = (self.x[v.index()], self.y[v.index()]);
+                xmin = xmin.min(px);
+                xmax = xmax.max(px);
+                ymin = ymin.min(py);
+                ymax = ymax.max(py);
+            }
+            total += (xmax - xmin) + (ymax - ymin);
+        }
+        total
+    }
+}
+
+/// Distributes pads evenly around the unit-square periphery (in list order,
+/// counter-clockwise from the origin), the way a real design's I/O ring
+/// surrounds the core.
+pub fn pad_ring(pads: &[ModuleId]) -> Vec<(ModuleId, (f64, f64))> {
+    let n = pads.len();
+    pads.iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let t = i as f64 / n.max(1) as f64; // position along the perimeter
+            let s = 4.0 * t;
+            let xy = if s < 1.0 {
+                (s, 0.0)
+            } else if s < 2.0 {
+                (1.0, s - 1.0)
+            } else if s < 3.0 {
+                (3.0 - s, 1.0)
+            } else {
+                (0.0, 4.0 - s)
+            };
+            (v, xy)
+        })
+        .collect()
+}
+
+/// Solves for a placement with the given pads fixed.
+///
+/// With `cfg.linearize_iters == 0` this is the GORDIAN quadratic solve; with
+/// sweeps it approximates GORDIAN-L's linear objective by iterative
+/// reweighting. Modules not reached by any (solver-visible) net sit at the
+/// square's center.
+///
+/// # Panics
+///
+/// Panics if a pad id is out of range or `pads` is empty (the Laplacian
+/// would be singular: GORDIAN requires preplaced I/O pads).
+pub fn quadratic_placement(
+    h: &Hypergraph,
+    pads: &[(ModuleId, (f64, f64))],
+    cfg: &PlacerConfig,
+) -> Placement {
+    assert!(!pads.is_empty(), "quadratic placement requires fixed pads");
+    let n = h.num_modules();
+    let mut fixed = vec![false; n];
+    let mut x = vec![0.5; n];
+    let mut y = vec![0.5; n];
+    for &(v, (px, py)) in pads {
+        fixed[v.index()] = true;
+        x[v.index()] = px;
+        y[v.index()] = py;
+    }
+    let mut lap = NetLaplacian::new(h, fixed, cfg.max_net_size);
+    lap.solve(&mut x, cfg.cg_tol, cfg.cg_max_iters);
+    lap.solve(&mut y, cfg.cg_tol, cfg.cg_max_iters);
+
+    // GORDIAN-L analogue: reweight each net by the inverse of its current
+    // bounding-box span so long nets stop dominating, then re-solve.
+    const EPS: f64 = 1e-4;
+    for _ in 0..cfg.linearize_iters {
+        let mut scale = vec![1.0; h.num_nets()];
+        for e in h.net_ids() {
+            if h.net_size(e) > cfg.max_net_size {
+                continue;
+            }
+            let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in h.pins(e) {
+                xmin = xmin.min(x[v.index()]);
+                xmax = xmax.max(x[v.index()]);
+                ymin = ymin.min(y[v.index()]);
+                ymax = ymax.max(y[v.index()]);
+            }
+            let span = (xmax - xmin) + (ymax - ymin);
+            scale[e.index()] = 1.0 / span.max(EPS);
+        }
+        lap.set_net_scale(&scale);
+        lap.solve(&mut x, cfg.cg_tol, cfg.cg_max_iters);
+        lap.solve(&mut y, cfg.cg_tol, cfg.cg_max_iters);
+    }
+    Placement { x, y }
+}
+
+/// Splits a placement into four equal-area quadrant clusters the way the
+/// paper evaluates GORDIAN (footnote 3): the horizontal ordering is split
+/// into an equal-area left and right half, then each half's vertical
+/// ordering is split again. Part ids: 0 = left-bottom, 1 = left-top,
+/// 2 = right-bottom, 3 = right-top. Coordinate ties break by module index,
+/// so the split is deterministic.
+pub fn split_quadrisection(h: &Hypergraph, placement: &Placement) -> Partition {
+    let n = h.num_modules();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        placement.x[a as usize]
+            .total_cmp(&placement.x[b as usize])
+            .then(a.cmp(&b))
+    });
+    let total = h.total_area();
+    let mut assignment = vec![0u32; n];
+    // Equal-area horizontal split.
+    let mut acc = 0u64;
+    let mut split_at = n;
+    for (pos, &raw) in order.iter().enumerate() {
+        if acc * 2 >= total {
+            split_at = pos;
+            break;
+        }
+        acc += h.area(ModuleId::from(raw));
+    }
+    let halves = [&order[..split_at], &order[split_at..]];
+    for (half_idx, half) in halves.iter().enumerate() {
+        let mut vert: Vec<u32> = half.to_vec();
+        vert.sort_by(|&a, &b| {
+            placement.y[a as usize]
+                .total_cmp(&placement.y[b as usize])
+                .then(a.cmp(&b))
+        });
+        let half_area: u64 = vert.iter().map(|&raw| h.area(ModuleId::from(raw))).sum();
+        let mut acc = 0u64;
+        for &raw in &vert {
+            let part = if acc * 2 < half_area {
+                2 * half_idx as u32 // bottom
+            } else {
+                2 * half_idx as u32 + 1 // top
+            };
+            assignment[raw as usize] = part;
+            acc += h.area(ModuleId::from(raw));
+        }
+    }
+    Partition::from_assignment(h, 4, assignment).expect("quadrant ids are dense")
+}
+
+/// The full GORDIAN-style quadrisection pipeline: ring the pads, place, and
+/// split. Returns the 4-way partition and the placement it came from.
+///
+/// # Panics
+///
+/// Panics if `pads` is empty.
+pub fn gordian_quadrisection(
+    h: &Hypergraph,
+    pads: &[ModuleId],
+    cfg: &PlacerConfig,
+) -> (Partition, Placement) {
+    let ring = pad_ring(pads);
+    let placement = quadratic_placement(h, &ring, cfg);
+    let partition = split_quadrisection(h, &placement);
+    (partition, placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpart_hypergraph::{metrics, HypergraphBuilder};
+
+    fn grid(w: usize, hgt: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(w * hgt);
+        for yy in 0..hgt {
+            for xx in 0..w {
+                let i = yy * w + xx;
+                if xx + 1 < w {
+                    b.add_net([i, i + 1]).unwrap();
+                }
+                if yy + 1 < hgt {
+                    b.add_net([i, i + w]).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pad_ring_lands_on_perimeter() {
+        let pads: Vec<ModuleId> = (0..8).map(ModuleId::new).collect();
+        let ring = pad_ring(&pads);
+        assert_eq!(ring.len(), 8);
+        for &(_, (x, y)) in &ring {
+            let on_edge =
+                x == 0.0 || x == 1.0 || y == 0.0 || y == 1.0;
+            assert!(on_edge, "({x}, {y}) not on the unit-square boundary");
+        }
+        // First pad at the origin corner.
+        assert_eq!(ring[0].1, (0.0, 0.0));
+    }
+
+    #[test]
+    fn grid_placement_recovers_geometry() {
+        // Fix the 4 corners of a 5x5 grid at their true positions: the
+        // solution of the quadratic program is the grid itself (harmonic
+        // coordinates), so interior modules recover their row/column order.
+        let h = grid(5, 5);
+        let pads = vec![
+            (ModuleId::new(0), (0.0, 0.0)),
+            (ModuleId::new(4), (1.0, 0.0)),
+            (ModuleId::new(20), (0.0, 1.0)),
+            (ModuleId::new(24), (1.0, 1.0)),
+        ];
+        let pl = quadratic_placement(&h, &pads, &PlacerConfig::default());
+        // Center module (12) should sit near the middle.
+        assert!((pl.x[12] - 0.5).abs() < 1e-4, "x12 = {}", pl.x[12]);
+        assert!((pl.y[12] - 0.5).abs() < 1e-4, "y12 = {}", pl.y[12]);
+        // X increases along each row.
+        for row in 0..5 {
+            for col in 0..4 {
+                let i = row * 5 + col;
+                assert!(pl.x[i] < pl.x[i + 1] + 1e-9, "row {row} col {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadrisection_splits_grid_into_quadrants() {
+        let h = grid(6, 6);
+        let pads = vec![
+            (ModuleId::new(0), (0.0, 0.0)),
+            (ModuleId::new(5), (1.0, 0.0)),
+            (ModuleId::new(30), (0.0, 1.0)),
+            (ModuleId::new(35), (1.0, 1.0)),
+        ];
+        let pl = quadratic_placement(&h, &pads, &PlacerConfig::default());
+        let p = split_quadrisection(&h, &pl);
+        assert_eq!(p.k(), 4);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes, vec![9, 9, 9, 9], "equal-sized clusters");
+        // A geometric quadrisection of a 6x6 mesh cuts 2 * 6 = 12 mesh nets.
+        assert_eq!(metrics::cut(&h, &p), 12);
+    }
+
+    #[test]
+    fn split_is_deterministic_under_ties() {
+        // All modules at the same point: split must still be equal and
+        // deterministic (ties broken by index).
+        let h = grid(4, 4);
+        let pl = Placement {
+            x: vec![0.5; 16],
+            y: vec![0.5; 16],
+        };
+        let p1 = split_quadrisection(&h, &pl);
+        let p2 = split_quadrisection(&h, &pl);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(p1.part_sizes(), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn gordian_l_reduces_hpwl() {
+        // Linearization should not increase HPWL on a clustered netlist.
+        let h = grid(8, 8);
+        let pads: Vec<ModuleId> = vec![0, 7, 56, 63].into_iter().map(ModuleId::new).collect();
+        let ring = pad_ring(&pads);
+        let quad = quadratic_placement(&h, &ring, &PlacerConfig::default());
+        let lin = quadratic_placement(&h, &ring, &PlacerConfig::gordian_l());
+        assert!(
+            lin.hpwl(&h) <= quad.hpwl(&h) * 1.05,
+            "GORDIAN-L {} vs GORDIAN {}",
+            lin.hpwl(&h),
+            quad.hpwl(&h)
+        );
+    }
+
+    #[test]
+    fn full_pipeline_produces_valid_partition() {
+        let h = grid(10, 10);
+        let pads: Vec<ModuleId> = vec![0, 9, 90, 99].into_iter().map(ModuleId::new).collect();
+        let (p, pl) = gordian_quadrisection(&h, &pads, &PlacerConfig::default());
+        assert!(p.validate(&h));
+        assert_eq!(pl.x.len(), 100);
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| s == 25), "{sizes:?}");
+    }
+
+    #[test]
+    fn hpwl_of_known_placement() {
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_net([0, 1, 2]).unwrap();
+        let h = b.build().unwrap();
+        let pl = Placement {
+            x: vec![0.0, 0.5, 1.0],
+            y: vec![0.0, 1.0, 0.0],
+        };
+        assert!((pl.hpwl(&h) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires fixed pads")]
+    fn rejects_empty_pads() {
+        let h = grid(3, 3);
+        let _ = quadratic_placement(&h, &[], &PlacerConfig::default());
+    }
+}

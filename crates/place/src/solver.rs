@@ -1,0 +1,365 @@
+//! Matrix-free conjugate-gradient solver for quadratic placement.
+//!
+//! GORDIAN minimizes quadratic wirelength `x'Lx` subject to fixed pads by
+//! solving a Laplacian linear system. We model each net as a uniform clique
+//! with edge weight `1/(|e|−1)` (so every net contributes total weight
+//! `|e|/2` regardless of size — the standard clique net model), optionally
+//! scaled by a per-net multiplier (used by the GORDIAN-L linearization).
+//! The Laplacian is never materialized: one application walks the nets,
+//! which keeps the solver `O(pins)` per iteration.
+
+use mlpart_hypergraph::Hypergraph;
+
+/// The clique-model Laplacian operator of a netlist with per-net weight
+/// multipliers and a fixed-coordinate (pad) mask.
+#[derive(Debug, Clone)]
+pub struct NetLaplacian<'a> {
+    h: &'a Hypergraph,
+    /// Per-net multiplier on the base clique weight (1.0 = plain quadratic).
+    net_scale: Vec<f64>,
+    /// Nets larger than this are skipped entirely.
+    max_net_size: usize,
+    /// `true` where the coordinate is fixed (pads).
+    fixed: Vec<bool>,
+    /// Diagonal of the Laplacian restricted to free variables.
+    diag: Vec<f64>,
+}
+
+impl<'a> NetLaplacian<'a> {
+    /// Builds the operator. `fixed[v]` marks pad coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fixed.len() != h.num_modules()`.
+    pub fn new(h: &'a Hypergraph, fixed: Vec<bool>, max_net_size: usize) -> Self {
+        assert_eq!(fixed.len(), h.num_modules(), "fixed mask has wrong length");
+        let mut lap = NetLaplacian {
+            h,
+            net_scale: vec![1.0; h.num_nets()],
+            max_net_size,
+            fixed,
+            diag: Vec::new(),
+        };
+        lap.rebuild_diag();
+        lap
+    }
+
+    /// Replaces the per-net weight multipliers (GORDIAN-L reweighting) and
+    /// refreshes the cached diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the net count.
+    pub fn set_net_scale(&mut self, scale: &[f64]) {
+        assert_eq!(scale.len(), self.h.num_nets(), "scale has wrong length");
+        self.net_scale.copy_from_slice(scale);
+        self.rebuild_diag();
+    }
+
+    fn rebuild_diag(&mut self) {
+        let n = self.h.num_modules();
+        let mut diag = vec![0.0; n];
+        for e in self.h.net_ids() {
+            let size = self.h.net_size(e);
+            if size > self.max_net_size {
+                continue;
+            }
+            // Clique edge weight w = weight*scale/(size-1); each member's
+            // diagonal entry gains w*(size-1) = weight*scale.
+            let s = self.net_scale[e.index()] * self.h.net_weight(e) as f64;
+            for &v in self.h.pins(e) {
+                diag[v.index()] += s;
+            }
+        }
+        self.diag = diag;
+    }
+
+    /// Marks every module transitively connected to a fixed coordinate
+    /// through solver-visible nets (union-find over the nets).
+    fn anchored_mask(&self) -> Vec<bool> {
+        let n = self.h.num_modules();
+        let mut root: Vec<u32> = (0..n as u32).collect();
+        fn find(root: &mut [u32], mut v: u32) -> u32 {
+            while root[v as usize] != v {
+                root[v as usize] = root[root[v as usize] as usize];
+                v = root[v as usize];
+            }
+            v
+        }
+        for e in self.h.net_ids() {
+            if self.h.net_size(e) > self.max_net_size {
+                continue;
+            }
+            let pins = self.h.pins(e);
+            let first = pins[0].raw();
+            for &w in &pins[1..] {
+                let (a, b) = (find(&mut root, first), find(&mut root, w.raw()));
+                if a != b {
+                    root[a as usize] = b;
+                }
+            }
+        }
+        let mut root_anchored = vec![false; n];
+        for i in 0..n {
+            if self.fixed[i] {
+                let r = find(&mut root, i as u32);
+                root_anchored[r as usize] = true;
+            }
+        }
+        (0..n)
+            .map(|i| root_anchored[find(&mut root, i as u32) as usize])
+            .collect()
+    }
+
+    /// `y = L·x` over all modules (fixed entries of `x` are read, and `y` is
+    /// written everywhere; callers mask as needed).
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        for e in self.h.net_ids() {
+            let size = self.h.net_size(e);
+            if size > self.max_net_size {
+                continue;
+            }
+            let w = self.net_scale[e.index()] * self.h.net_weight(e) as f64
+                / (size as f64 - 1.0);
+            let mut sum = 0.0;
+            for &v in self.h.pins(e) {
+                sum += x[v.index()];
+            }
+            for &v in self.h.pins(e) {
+                y[v.index()] += w * (size as f64 * x[v.index()] - sum);
+            }
+        }
+    }
+
+    /// Solves `L_ff x_f = −L_fc x_c` for the free coordinates, where `x`
+    /// enters holding pad values at fixed entries (free entries are the
+    /// initial guess) and exits holding the solution. Free variables with a
+    /// zero diagonal (isolated modules) — and, more generally, variables not
+    /// transitively connected to any fixed pad through solver-visible nets —
+    /// keep their initial value: on such components the system is singular
+    /// (any constant solves it), and letting them into CG would abort the
+    /// solve on a zero-curvature direction before the anchored part
+    /// converges.
+    ///
+    /// Returns the number of CG iterations used.
+    pub fn solve(&self, x: &mut [f64], tol: f64, max_iters: usize) -> usize {
+        let n = x.len();
+        assert_eq!(n, self.h.num_modules(), "vector has wrong length");
+        let anchored = self.anchored_mask();
+        let free = |i: usize| !self.fixed[i] && self.diag[i] > 0.0 && anchored[i];
+
+        // b = −(L x_pad)_f with x_pad zero at free entries.
+        let mut pad_only = vec![0.0; n];
+        for i in 0..n {
+            if self.fixed[i] {
+                pad_only[i] = x[i];
+            }
+        }
+        let mut b = vec![0.0; n];
+        self.apply(&pad_only, &mut b);
+        for v in b.iter_mut() {
+            *v = -*v;
+        }
+
+        // r = b − A x_f (A = L_ff, applied by zeroing fixed entries).
+        let mut xf = vec![0.0; n];
+        for i in 0..n {
+            if free(i) {
+                xf[i] = x[i];
+            }
+        }
+        let mut ax = vec![0.0; n];
+        self.apply(&xf, &mut ax);
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            if free(i) {
+                r[i] = b[i] - ax[i];
+            }
+        }
+        // Jacobi-preconditioned CG.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            if free(i) {
+                z[i] = r[i] / self.diag[i];
+            }
+        }
+        let mut p = z.clone();
+        let mut rz: f64 = (0..n).filter(|&i| free(i)).map(|i| r[i] * z[i]).sum();
+        let b_norm: f64 = (0..n)
+            .filter(|&i| free(i))
+            .map(|i| b[i] * b[i])
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-300);
+
+        let mut iters = 0;
+        let mut ap = vec![0.0; n];
+        while iters < max_iters {
+            let r_norm: f64 = (0..n)
+                .filter(|&i| free(i))
+                .map(|i| r[i] * r[i])
+                .sum::<f64>()
+                .sqrt();
+            if r_norm <= tol * b_norm {
+                break;
+            }
+            self.apply(&p, &mut ap);
+            let pap: f64 = (0..n).filter(|&i| free(i)).map(|i| p[i] * ap[i]).sum();
+            if pap <= 0.0 {
+                break; // numerically singular direction
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                if free(i) {
+                    xf[i] += alpha * p[i];
+                    r[i] -= alpha * ap[i];
+                }
+            }
+            for i in 0..n {
+                if free(i) {
+                    z[i] = r[i] / self.diag[i];
+                }
+            }
+            let rz_new: f64 = (0..n).filter(|&i| free(i)).map(|i| r[i] * z[i]).sum();
+            let beta = rz_new / rz.max(1e-300);
+            rz = rz_new;
+            for i in 0..n {
+                if free(i) {
+                    p[i] = z[i] + beta * p[i];
+                } else {
+                    p[i] = 0.0;
+                }
+            }
+            iters += 1;
+        }
+        for i in 0..n {
+            if free(i) {
+                x[i] = xf[i];
+            }
+        }
+        iters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    fn path3() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([1, 2]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn middle_of_a_path_lands_between_fixed_ends() {
+        // Fix 0 at 0.0 and 2 at 1.0: quadratic optimum puts 1 at 0.5.
+        let h = path3();
+        let lap = NetLaplacian::new(&h, vec![true, false, true], 100);
+        let mut x = vec![0.0, 0.33, 1.0];
+        let iters = lap.solve(&mut x, 1e-10, 100);
+        assert!(iters > 0);
+        assert!((x[1] - 0.5).abs() < 1e-8, "x1 = {}", x[1]);
+        assert_eq!(x[0], 0.0);
+        assert_eq!(x[2], 1.0);
+    }
+
+    #[test]
+    fn chain_spreads_evenly() {
+        // 0 -- 1 -- 2 -- 3 -- 4 with ends fixed: interior at 1/4, 1/2, 3/4.
+        let mut b = HypergraphBuilder::with_unit_areas(5);
+        for i in 0..4 {
+            b.add_net([i, i + 1]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let fixed = vec![true, false, false, false, true];
+        let lap = NetLaplacian::new(&h, fixed, 100);
+        let mut x = vec![0.0, 0.0, 0.0, 0.0, 1.0];
+        lap.solve(&mut x, 1e-10, 200);
+        for (i, want) in [(1, 0.25), (2, 0.5), (3, 0.75)] {
+            assert!((x[i] - want).abs() < 1e-7, "x[{i}] = {}", x[i]);
+        }
+    }
+
+    #[test]
+    fn multi_pin_net_centers_free_module() {
+        // One 3-pin net {0,1,2} with 0 fixed at 0 and 2 fixed at 1: the
+        // clique model places 1 at the mean of its neighbors.
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_net([0, 1, 2]).unwrap();
+        let h = b.build().unwrap();
+        let lap = NetLaplacian::new(&h, vec![true, false, true], 100);
+        let mut x = vec![0.0, 0.9, 1.0];
+        lap.solve(&mut x, 1e-10, 100);
+        assert!((x[1] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn isolated_module_stays_put() {
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_net([0, 1]).unwrap();
+        let h = b.build().unwrap();
+        let lap = NetLaplacian::new(&h, vec![true, false, false], 100);
+        let mut x = vec![1.0, 0.0, 0.42];
+        lap.solve(&mut x, 1e-10, 100);
+        assert!((x[1] - 1.0).abs() < 1e-8, "pulled to its pad");
+        assert_eq!(x[2], 0.42, "isolated module untouched");
+    }
+
+    #[test]
+    fn apply_matches_dense_laplacian_on_triangle() {
+        // Net {0,1,2}: L = w(3I - J), w = 1/2.
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_net([0, 1, 2]).unwrap();
+        let h = b.build().unwrap();
+        let lap = NetLaplacian::new(&h, vec![false; 3], 100);
+        let x = vec![1.0, 2.0, 4.0];
+        let mut y = vec![0.0; 3];
+        lap.apply(&x, &mut y);
+        let s: f64 = 7.0;
+        for i in 0..3 {
+            let want = 0.5 * (3.0 * x[i] - s);
+            assert!((y[i] - want).abs() < 1e-12);
+        }
+        // Laplacian annihilates constants.
+        let ones = vec![1.0; 3];
+        lap.apply(&ones, &mut y);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn net_scale_reweights() {
+        let h = path3();
+        let mut lap = NetLaplacian::new(&h, vec![true, false, true], 100);
+        // Weight the right net 3x: module 1 is pulled towards x2 = 1.
+        lap.set_net_scale(&[1.0, 3.0]);
+        let mut x = vec![0.0, 0.0, 1.0];
+        lap.solve(&mut x, 1e-10, 100);
+        assert!((x[1] - 0.75).abs() < 1e-8, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn oversized_nets_are_ignored() {
+        let mut b = HypergraphBuilder::with_unit_areas(4);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([0, 1, 2, 3]).unwrap();
+        let h = b.build().unwrap();
+        let lap = NetLaplacian::new(&h, vec![true, false, false, false], 3);
+        let mut x = vec![1.0, 0.0, 0.3, 0.4];
+        lap.solve(&mut x, 1e-10, 100);
+        assert!((x[1] - 1.0).abs() < 1e-8);
+        // 2 and 3 only touch the ignored net: zero diagonal, untouched.
+        assert_eq!(x[2], 0.3);
+        assert_eq!(x[3], 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed mask has wrong length")]
+    fn rejects_bad_mask() {
+        let h = path3();
+        let _ = NetLaplacian::new(&h, vec![true], 100);
+    }
+}

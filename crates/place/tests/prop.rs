@@ -1,0 +1,140 @@
+//! Property-based tests for the quadratic placer: the Laplacian operator is
+//! positive semidefinite and annihilates constants, CG solutions satisfy the
+//! optimality (stationarity) condition, placements stay within the convex
+//! hull of the pads, and the quadrant split is a balanced 4-way partition.
+
+use mlpart_hypergraph::rng::seeded_rng;
+use mlpart_hypergraph::{Hypergraph, HypergraphBuilder, ModuleId};
+use mlpart_place::{pad_ring, quadratic_placement, split_quadrisection, NetLaplacian, PlacerConfig};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn arb_netlist() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (4usize..24).prop_flat_map(|n| {
+        let nets = proptest::collection::vec(
+            proptest::collection::vec(0usize..n, 2..5),
+            1..40,
+        );
+        (Just(n), nets)
+    })
+}
+
+fn build(n: usize, nets: &[Vec<usize>]) -> Hypergraph {
+    let mut b = HypergraphBuilder::with_unit_areas(n);
+    for net in nets {
+        b.add_net(net.iter().copied()).expect("in range");
+    }
+    b.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn laplacian_is_psd_and_kills_constants((n, nets) in arb_netlist(), seed in 0u64..100) {
+        let h = build(n, &nets);
+        let lap = NetLaplacian::new(&h, vec![false; n], 100);
+        let mut rng = seeded_rng(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; n];
+        lap.apply(&x, &mut y);
+        // x' L x >= 0 (PSD).
+        let quad: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        prop_assert!(quad >= -1e-9, "x'Lx = {quad}");
+        // L * 1 = 0.
+        let ones = vec![1.0; n];
+        lap.apply(&ones, &mut y);
+        prop_assert!(y.iter().all(|v| v.abs() < 1e-9));
+        // Row sums vanish: L * x shifted by a constant gives the same result.
+        let shifted: Vec<f64> = x.iter().map(|v| v + 5.0).collect();
+        let mut y2 = vec![0.0; n];
+        lap.apply(&shifted, &mut y2);
+        lap.apply(&x, &mut y);
+        for (a, b) in y.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_solution_is_stationary((n, nets) in arb_netlist(), seed in 0u64..100) {
+        let h = build(n, &nets);
+        // Fix two modules as pads at 0 and 1.
+        let mut fixed = vec![false; n];
+        fixed[0] = true;
+        fixed[1] = true;
+        let lap = NetLaplacian::new(&h, fixed.clone(), 100);
+        let mut rng = seeded_rng(seed);
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        x[0] = 0.0;
+        x[1] = 1.0;
+        lap.solve(&mut x, 1e-10, 2000);
+        // At the optimum, (L x) vanishes on free coordinates that are
+        // transitively connected to a pad (floating components make the
+        // system singular there; CG legitimately stops on them).
+        let mut root: Vec<usize> = (0..n).collect();
+        fn find(root: &mut [usize], mut v: usize) -> usize {
+            while root[v] != v {
+                root[v] = root[root[v]];
+                v = root[v];
+            }
+            v
+        }
+        for e in h.net_ids() {
+            let first = h.pins(e)[0].index();
+            for &w in &h.pins(e)[1..] {
+                let (a, b) = (find(&mut root, first), find(&mut root, w.index()));
+                if a != b {
+                    root[a] = b;
+                }
+            }
+        }
+        let pad_roots: Vec<usize> = vec![find(&mut root, 0), find(&mut root, 1)];
+        let mut y = vec![0.0; n];
+        lap.apply(&x, &mut y);
+        for v in h.modules() {
+            let i = v.index();
+            let anchored = pad_roots.contains(&find(&mut root, i));
+            if !fixed[i] && h.degree(v) > 0 && anchored {
+                prop_assert!(y[i].abs() < 1e-6, "residual {} at {}", y[i], i);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_stays_in_pad_hull((n, nets) in arb_netlist()) {
+        let h = build(n, &nets);
+        let pads: Vec<ModuleId> = vec![ModuleId::new(0), ModuleId::new(1)];
+        let ring = pad_ring(&pads);
+        let pl = quadratic_placement(&h, &ring, &PlacerConfig::default());
+        // Harmonic functions obey the maximum principle: every coordinate
+        // lies within [min pad coord, max pad coord] or is the untouched 0.5
+        // default for modules unreachable from pads.
+        for v in h.modules() {
+            let (x, y) = (pl.x[v.index()], pl.y[v.index()]);
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&x), "x = {x}");
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&y), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn quadrant_split_is_balanced_4way((n, nets) in arb_netlist(), seed in 0u64..50) {
+        let h = build(n, &nets);
+        let mut rng = seeded_rng(seed);
+        let pl = mlpart_place::Placement {
+            x: (0..n).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            y: (0..n).map(|_| rng.gen_range(0.0..1.0)).collect(),
+        };
+        let p = split_quadrisection(&h, &pl);
+        prop_assert!(p.validate(&h));
+        prop_assert_eq!(p.k(), 4);
+        // Quadrant populations differ by at most ~half between the two
+        // halves and within halves (equal-area split on unit areas means
+        // |size difference| <= 1 per split).
+        let sizes = p.part_sizes();
+        let left = sizes[0] + sizes[1];
+        let right = sizes[2] + sizes[3];
+        prop_assert!(left.abs_diff(right) <= 1, "{sizes:?}");
+        prop_assert!(sizes[0].abs_diff(sizes[1]) <= 1, "{sizes:?}");
+        prop_assert!(sizes[2].abs_diff(sizes[3]) <= 1, "{sizes:?}");
+    }
+}

@@ -1,0 +1,313 @@
+//! `mlpart` — command-line netlist partitioner.
+//!
+//! Reads an hMETIS `.hgr` netlist, runs the requested partitioning
+//! algorithm for a number of independent starts, reports min/avg/std cut,
+//! and optionally writes the best partition (one part id per line).
+//!
+//! ```text
+//! mlpart <netlist.hgr> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase]
+//!                      [--k 2|4] [--ratio R] [--threshold T]
+//!                      [--runs N] [--seed S] [--output best.part]
+//! ```
+//!
+//! `--k 4` uses multilevel quadrisection (only with the ml algorithms).
+
+use mlpart::cluster::MatchConfig;
+use mlpart::core::two_phase_fm;
+use mlpart::gen::by_name;
+use mlpart::hypergraph::io::{read_hgr, write_partition};
+use mlpart::hypergraph::metrics::CutStats;
+use mlpart::hypergraph::rng::{child_seed, seeded_rng};
+use mlpart::lsmc::{lsmc_bipartition, LsmcConfig};
+use mlpart::{
+    fm_partition, ml_bipartition, ml_kway, Engine, FmConfig, Hypergraph, MlConfig, MlKwayConfig,
+    Partition,
+};
+use std::io::Read;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct CliArgs {
+    input: String,
+    algo: String,
+    k: u32,
+    ratio: f64,
+    threshold: usize,
+    runs: usize,
+    seed: u64,
+    output: Option<String>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            input: String::new(),
+            algo: "ml-c".to_owned(),
+            k: 2,
+            ratio: 0.5,
+            threshold: 35,
+            runs: 10,
+            seed: 1,
+            output: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: mlpart <netlist.hgr | syn-NAME> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase] \
+[--k 2|4] [--ratio R] [--threshold T] [--runs N] [--seed S] [--output best.part]";
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String> {
+    let mut out = CliArgs::default();
+    let mut it = args.into_iter().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--algo" => out.algo = value("--algo")?,
+            "--k" => {
+                out.k = value("--k")?.parse().map_err(|_| "invalid --k")?;
+                if out.k != 2 && out.k != 4 {
+                    return Err("--k must be 2 or 4".to_owned());
+                }
+            }
+            "--ratio" => {
+                out.ratio = value("--ratio")?.parse().map_err(|_| "invalid --ratio")?;
+                if !(out.ratio > 0.0 && out.ratio <= 1.0) {
+                    return Err("--ratio must be in (0, 1]".to_owned());
+                }
+            }
+            "--threshold" => {
+                out.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|_| "invalid --threshold")?;
+            }
+            "--runs" => {
+                out.runs = value("--runs")?.parse().map_err(|_| "invalid --runs")?;
+                if out.runs == 0 {
+                    return Err("--runs must be positive".to_owned());
+                }
+            }
+            "--seed" => out.seed = value("--seed")?.parse().map_err(|_| "invalid --seed")?,
+            "--output" => out.output = Some(value("--output")?),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if out.input.is_empty() && !other.starts_with('-') => {
+                out.input = other.to_owned();
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    if out.input.is_empty() {
+        return Err(USAGE.to_owned());
+    }
+    Ok(out)
+}
+
+fn load_netlist(input: &str) -> Result<Hypergraph, String> {
+    // Synthetic suite circuits can be named directly (prefix `syn-`).
+    if let Some(circuit) = input.strip_prefix("syn-").and_then(by_name) {
+        return Ok(circuit.generate(1997));
+    }
+    if input == "-" {
+        let mut text = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        return read_hgr(&text[..]).map_err(|e| format!("cannot parse netlist: {e}"));
+    }
+    let file = std::fs::File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    read_hgr(file).map_err(|e| format!("cannot parse {input}: {e}"))
+}
+
+fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<(Partition, u64), String> {
+    let mut rng = seeded_rng(seed);
+    let fm_cfg = |engine| FmConfig {
+        engine,
+        ..FmConfig::default()
+    };
+    let ml_cfg = |engine| MlConfig {
+        matching_ratio: args.ratio,
+        coarsen_threshold: args.threshold,
+        fm: fm_cfg(engine),
+        ..MlConfig::default()
+    };
+    if args.k == 4 {
+        let cfg = MlKwayConfig {
+            matching_ratio: args.ratio,
+            coarsen_threshold: args.threshold.max(100),
+            ..MlKwayConfig::default()
+        };
+        if !args.algo.starts_with("ml") {
+            return Err("--k 4 requires --algo ml-c or ml-f".to_owned());
+        }
+        let (p, r) = ml_kway(h, &cfg, &[], &mut rng);
+        return Ok((p, r.cut));
+    }
+    Ok(match args.algo.as_str() {
+        "ml-c" => {
+            let (p, r) = ml_bipartition(h, &ml_cfg(Engine::Clip), &mut rng);
+            (p, r.cut)
+        }
+        "ml-f" => {
+            let (p, r) = ml_bipartition(h, &ml_cfg(Engine::Fm), &mut rng);
+            (p, r.cut)
+        }
+        "fm" => {
+            let (p, r) = fm_partition(h, None, &fm_cfg(Engine::Fm), &mut rng);
+            (p, r.cut)
+        }
+        "clip" => {
+            let (p, r) = fm_partition(h, None, &fm_cfg(Engine::Clip), &mut rng);
+            (p, r.cut)
+        }
+        "lsmc" => {
+            let cfg = LsmcConfig {
+                descents: 20,
+                ..LsmcConfig::default()
+            };
+            let (p, r) = lsmc_bipartition(h, &cfg, &mut rng);
+            (p, r.cut)
+        }
+        "two-phase" => {
+            let (p, r) = two_phase_fm(
+                h,
+                &fm_cfg(Engine::Fm),
+                &MatchConfig::with_ratio(args.ratio),
+                &mut rng,
+            );
+            (p, r.cut)
+        }
+        other => return Err(format!("unknown algorithm {other:?}\n{USAGE}")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let h = match load_netlist(&args.input) {
+        Ok(h) => h,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "{}: {} modules, {} nets, {} pins",
+        args.input,
+        h.num_modules(),
+        h.num_nets(),
+        h.num_pins()
+    );
+    let mut best: Option<(u64, Partition)> = None;
+    let mut cuts = Vec::with_capacity(args.runs);
+    let start = std::time::Instant::now();
+    for i in 0..args.runs {
+        match run_once(&h, &args, child_seed(args.seed, i as u64)) {
+            Ok((p, cut)) => {
+                cuts.push(cut);
+                if best.as_ref().is_none_or(|(c, _)| cut < *c) {
+                    best = Some((cut, p));
+                }
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let stats = CutStats::from_samples(&cuts);
+    println!(
+        "{} x{} runs: min {} avg {:.1} std {:.1} ({:.2}s)",
+        args.algo,
+        args.runs,
+        stats.min,
+        stats.avg,
+        stats.std,
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(path) = &args.output {
+        let (_, p) = best.expect("at least one run");
+        match std::fs::File::create(path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| write_partition(&p, f).map_err(|e| e.to_string()))
+        {
+            Ok(()) => eprintln!("best partition written to {path}"),
+            Err(msg) => {
+                eprintln!("cannot write {path}: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        std::iter::once("mlpart".to_owned())
+            .chain(s.split_whitespace().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let a = parse_args(argv(
+            "design.hgr --algo ml-f --k 4 --ratio 0.33 --runs 3 --seed 9 --output out.part",
+        ))
+        .expect("parses");
+        assert_eq!(a.input, "design.hgr");
+        assert_eq!(a.algo, "ml-f");
+        assert_eq!(a.k, 4);
+        assert_eq!(a.ratio, 0.33);
+        assert_eq!(a.runs, 3);
+        assert_eq!(a.output.as_deref(), Some("out.part"));
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(argv("")).is_err());
+        assert!(parse_args(argv("x.hgr --k 3")).is_err());
+        assert!(parse_args(argv("x.hgr --ratio 0")).is_err());
+        assert!(parse_args(argv("x.hgr --runs 0")).is_err());
+        assert!(parse_args(argv("x.hgr --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn synthetic_names_load() {
+        let h = load_netlist("syn-balu").expect("suite circuit");
+        assert_eq!(h.num_modules(), 801);
+        assert!(load_netlist("syn-nonexistent").is_err());
+    }
+
+    #[test]
+    fn run_once_covers_all_algorithms() {
+        let h = load_netlist("syn-balu").expect("suite circuit");
+        let mut args = CliArgs {
+            input: "syn-balu".to_owned(),
+            runs: 1,
+            ..CliArgs::default()
+        };
+        for algo in ["ml-c", "ml-f", "fm", "clip", "lsmc", "two-phase"] {
+            args.algo = algo.to_owned();
+            let (p, cut) = run_once(&h, &args, 1).expect(algo);
+            assert!(p.validate(&h), "{algo}");
+            assert!(cut > 0, "{algo}");
+        }
+        args.algo = "unknown".to_owned();
+        assert!(run_once(&h, &args, 1).is_err());
+        // Quadrisection path.
+        args.algo = "ml-f".to_owned();
+        args.k = 4;
+        let (p, _) = run_once(&h, &args, 1).expect("quadrisection");
+        assert_eq!(p.k(), 4);
+        args.algo = "fm".to_owned();
+        assert!(run_once(&h, &args, 1).is_err(), "flat fm cannot do k=4 here");
+    }
+}

@@ -1,0 +1,50 @@
+//! `mlpart` — a from-scratch Rust reproduction of *Multilevel Circuit
+//! Partitioning* (Alpert, Huang, Kahng — DAC 1997).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`hypergraph`] — netlist hypergraphs, partitions, balance, metrics, I/O;
+//! * [`gen`] — synthetic benchmark circuits (the Table I suite);
+//! * [`fm`] — FM/CLIP iterative engines with LIFO/FIFO/Random buckets;
+//! * [`cluster`] — `Match` coarsening, `Induce`, `Project`, rebalancing;
+//! * [`core`] — the ML multilevel algorithm (bipartitioning + quadrisection);
+//! * [`kway`] — Sanchis-style k-way FM without lookahead;
+//! * [`lsmc`] — the Large-Step Markov Chain baseline;
+//! * [`place`] — the GORDIAN-analogue quadratic placer.
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! # Examples
+//!
+//! Partition a synthetic benchmark with the paper's best configuration
+//! (`ML_C`, `R = 0.5`):
+//!
+//! ```
+//! use mlpart::{ml_bipartition, MlConfig};
+//! use mlpart::gen::suite;
+//! use mlpart::hypergraph::rng::seeded_rng;
+//!
+//! let circuit = suite::by_name("balu").expect("in suite");
+//! let h = circuit.generate(42);
+//! let mut rng = seeded_rng(0);
+//! let (partition, result) = ml_bipartition(&h, &MlConfig::clip().with_ratio(0.5), &mut rng);
+//! assert_eq!(partition.k(), 2);
+//! assert!(result.cut > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mlpart_cluster as cluster;
+pub use mlpart_core as core;
+pub use mlpart_fm as fm;
+pub use mlpart_gen as gen;
+pub use mlpart_hypergraph as hypergraph;
+pub use mlpart_kway as kway;
+pub use mlpart_lsmc as lsmc;
+pub use mlpart_place as place;
+
+pub use mlpart_core::{ml_bipartition, ml_kway, ml_quadrisection, MlConfig, MlKwayConfig};
+pub use mlpart_fm::{fm_partition, BucketPolicy, Engine, FmConfig};
+pub use mlpart_hypergraph::{
+    BipartBalance, Hypergraph, HypergraphBuilder, KwayBalance, ModuleId, NetId, Partition,
+};

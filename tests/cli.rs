@@ -1,0 +1,73 @@
+//! End-to-end tests of the `mlpart` command-line binary: real process
+//! invocations over temp files, exercising netlist input, algorithm
+//! selection, partition output, and error paths.
+
+use std::process::Command;
+
+fn mlpart() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mlpart"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mlpart-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn partitions_a_synthetic_circuit() {
+    let out = mlpart()
+        .args(["syn-balu", "--algo", "ml-c", "--runs", "3", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ml-c x3 runs: min"), "stdout: {stdout}");
+}
+
+#[test]
+fn partitions_hgr_file_and_writes_part_file() {
+    let hgr = temp_path("in.hgr");
+    let part = temp_path("out.part");
+    std::fs::write(&hgr, "3 6\n1 2 3\n4 5 6\n3 4\n").expect("write temp netlist");
+    let out = mlpart()
+        .arg(hgr.to_str().expect("utf8 path"))
+        .args(["--algo", "fm", "--runs", "2"])
+        .args(["--output", part.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let written = std::fs::read_to_string(&part).expect("partition written");
+    let parts: Vec<&str> = written.lines().collect();
+    assert_eq!(parts.len(), 6, "one part id per module");
+    assert!(parts.iter().all(|l| l == &"0" || l == &"1"));
+    let _ = std::fs::remove_file(&hgr);
+    let _ = std::fs::remove_file(&part);
+}
+
+#[test]
+fn quadrisection_flag_works() {
+    let out = mlpart()
+        .args(["syn-balu", "--algo", "ml-f", "--k", "4", "--runs", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    // No input at all.
+    let out = mlpart().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown algorithm.
+    let out = mlpart()
+        .args(["syn-balu", "--algo", "quantum"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    // Missing file.
+    let out = mlpart().arg("no-such-file.hgr").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot open"), "stderr: {err}");
+}

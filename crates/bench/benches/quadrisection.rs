@@ -8,9 +8,7 @@ use mlpart_hypergraph::rng::seeded_rng;
 use mlpart_place::{gordian_quadrisection, PlacerConfig};
 
 fn bench_table9_quadrisection(c: &mut Criterion) {
-    let (h, pads) = by_name("balu")
-        .expect("in suite")
-        .generate_with_pads(1997);
+    let (h, pads) = by_name("balu").expect("in suite").generate_with_pads(1997);
     let mut group = c.benchmark_group("table9_quadrisection");
     group.sample_size(10);
     group.bench_function("ml4", |b| {

@@ -39,7 +39,9 @@ pub fn ml_f(h: &Hypergraph, r: f64, rng: &mut MlRng) -> u64 {
 
 /// `ML_C` with matching ratio `r`.
 pub fn ml_c(h: &Hypergraph, r: f64, rng: &mut MlRng) -> u64 {
-    ml_bipartition(h, &MlConfig::clip().with_ratio(r), rng).1.cut
+    ml_bipartition(h, &MlConfig::clip().with_ratio(r), rng)
+        .1
+        .cut
 }
 
 /// 2-way LSMC with FM descents, `descents` long; Table VII baseline.
@@ -142,7 +144,12 @@ mod tests {
     #[test]
     fn gordian_wrapper_runs() {
         let h = two_communities(32);
-        let pads = vec![ModuleId::new(0), ModuleId::new(33), ModuleId::new(16), ModuleId::new(50)];
+        let pads = vec![
+            ModuleId::new(0),
+            ModuleId::new(33),
+            ModuleId::new(16),
+            ModuleId::new(50),
+        ];
         let (g, gl) = gordian_cuts(&h, &pads);
         assert!(g >= 1);
         assert!(gl >= 1);

@@ -36,7 +36,16 @@ fn main() {
     println!();
     println!(
         "{:<16} {:>8} {:>8} {:>8}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "Test Case", "aMatch", "aRandom", "aHeavy", "aBound", "aEarly", "aMulti", "aLook", "aCdip", "aCoal"
+        "Test Case",
+        "aMatch",
+        "aRandom",
+        "aHeavy",
+        "aBound",
+        "aEarly",
+        "aMulti",
+        "aLook",
+        "aCdip",
+        "aCoal"
     );
     let (mut base_avg, mut rand_avg, mut heavy_avg) = (Vec::new(), Vec::new(), Vec::new());
     let (mut bound_avg, mut early_avg, mut multi_avg) = (Vec::new(), Vec::new(), Vec::new());
@@ -184,7 +193,9 @@ fn main() {
             ml_kway(&h, &cfg, &[], rng).1.cut
         });
         let a_rec = run_many(args.runs, child_seed(seed, 2), |rng| {
-            recursive_ml_bisection(&h, 2, &MlConfig::default(), rng).1.cut
+            recursive_ml_bisection(&h, 2, &MlConfig::default(), rng)
+                .1
+                .cut
         });
         println!(
             "{:<16} {:>8.1} {:>8.1} {:>8.1}",
@@ -200,8 +211,7 @@ fn main() {
         "{:<16} {:>8} {:>8} {:>8}",
         "Test Case", "aDirect", "aClique", "aStar"
     );
-    let (mut direct_avg, mut clique_avg, mut star_avg) =
-        (Vec::new(), Vec::new(), Vec::new());
+    let (mut direct_avg, mut clique_avg, mut star_avg) = (Vec::new(), Vec::new(), Vec::new());
     for (ci, c) in args.circuits().iter().enumerate() {
         let h = c.generate(args.seed);
         let seed = child_seed(args.seed, 1_200 + ci as u64);

@@ -58,8 +58,7 @@ fn main() {
         // Allow 5% because each point is a finite-run average (at the
         // default 10 runs, point-to-point noise is a few percent).
         let low_half: f64 = s[..s.len() / 2].iter().sum::<f64>() / (s.len() / 2) as f64;
-        let high_half: f64 =
-            s[s.len() - s.len() / 2..].iter().sum::<f64>() / (s.len() / 2) as f64;
+        let high_half: f64 = s[s.len() - s.len() / 2..].iter().sum::<f64>() / (s.len() / 2) as f64;
         checks.push(ShapeCheck::new(
             format!(
                 "{}: small-R half of the curve at or below large-R half ({low_half:.1} vs {high_half:.1}, 5% noise allowance)",

@@ -18,8 +18,7 @@ fn main() {
     let mut worst_pin_err: f64 = 0.0;
     for c in args.circuits() {
         let h = c.generate(args.seed);
-        let pin_err =
-            100.0 * (h.num_pins() as f64 - c.pins as f64).abs() / c.pins as f64;
+        let pin_err = 100.0 * (h.num_pins() as f64 - c.pins as f64).abs() / c.pins as f64;
         worst_pin_err = worst_pin_err.max(pin_err);
         println!(
             "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8.2}",

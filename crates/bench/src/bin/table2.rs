@@ -37,9 +37,15 @@ fn main() {
         println!(
             "{:<16} {:>6} {:>6} {:>6}  {:>8.1} {:>8.1} {:>8.1}  {:>7.1} {:>7.1} {:>7.1}",
             c.name,
-            lifo.cut.min, fifo.cut.min, rnd.cut.min,
-            lifo.cut.avg, fifo.cut.avg, rnd.cut.avg,
-            lifo.cut.std, fifo.cut.std, rnd.cut.std,
+            lifo.cut.min,
+            fifo.cut.min,
+            rnd.cut.min,
+            lifo.cut.avg,
+            fifo.cut.avg,
+            rnd.cut.avg,
+            lifo.cut.std,
+            fifo.cut.std,
+            rnd.cut.std,
         );
         lifo_avgs.push(lifo.cut.avg.max(1.0));
         fifo_avgs.push(fifo.cut.avg.max(1.0));

@@ -17,8 +17,17 @@ fn main() {
     println!();
     println!(
         "{:<16} {:>6} {:>6}  {:>8} {:>8}  {:>7} {:>7}  {:>8} {:>8}  {:>8} {:>8}",
-        "Test Case", "mFM", "mCLIP", "aFM", "aCLIP", "sFM", "sCLIP", "tFM", "tCLIP",
-        "pAvgFM", "pAvgCL"
+        "Test Case",
+        "mFM",
+        "mCLIP",
+        "aFM",
+        "aCLIP",
+        "sFM",
+        "sCLIP",
+        "tFM",
+        "tCLIP",
+        "pAvgFM",
+        "pAvgCL"
     );
     let mut fm_avgs = Vec::new();
     let mut clip_avgs = Vec::new();
@@ -28,19 +37,21 @@ fn main() {
         let fm = run_many(args.runs, child_seed(args.seed, ci as u64 * 4), |rng| {
             algos::fm(&h, rng)
         });
-        let clip = run_many(
-            args.runs,
-            child_seed(args.seed, ci as u64 * 4 + 1),
-            |rng| algos::clip(&h, rng),
-        );
+        let clip = run_many(args.runs, child_seed(args.seed, ci as u64 * 4 + 1), |rng| {
+            algos::clip(&h, rng)
+        });
         let p = paper::table3_row(c.name);
         println!(
             "{:<16} {:>6} {:>6}  {:>8.1} {:>8.1}  {:>7.1} {:>7.1}  {:>8.2} {:>8.2}  {:>8} {:>8}",
             c.name,
-            fm.cut.min, clip.cut.min,
-            fm.cut.avg, clip.cut.avg,
-            fm.cut.std, clip.cut.std,
-            fm.secs, clip.secs,
+            fm.cut.min,
+            clip.cut.min,
+            fm.cut.avg,
+            clip.cut.avg,
+            fm.cut.std,
+            clip.cut.std,
+            fm.secs,
+            clip.secs,
             p.map_or("-".to_owned(), |r| format!("{:.0}", r.fm_avg)),
             p.map_or("-".to_owned(), |r| format!("{:.0}", r.clip_avg)),
         );
@@ -54,10 +65,17 @@ fn main() {
     println!();
     println!("geomean avg-cut ratio CLIP/FM: {avg_ratio:.3} (paper: CLIP ~18% better)");
     println!("geomean CPU ratio CLIP/FM:     {cpu_geo:.3} (paper: comparable)");
-    let wins = clip_avgs.iter().zip(&fm_avgs).filter(|(c, f)| c <= f).count();
+    let wins = clip_avgs
+        .iter()
+        .zip(&fm_avgs)
+        .filter(|(c, f)| c <= f)
+        .count();
     let checks = vec![
         ShapeCheck::new(
-            format!("CLIP average cut <= FM on most circuits ({wins}/{})", fm_avgs.len()),
+            format!(
+                "CLIP average cut <= FM on most circuits ({wins}/{})",
+                fm_avgs.len()
+            ),
             wins * 3 >= fm_avgs.len() * 2,
         ),
         ShapeCheck::new(

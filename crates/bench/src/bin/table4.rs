@@ -17,8 +17,17 @@ fn main() {
     println!();
     println!(
         "{:<16} {:>6} {:>6} {:>6}  {:>8} {:>8} {:>8}  {:>8} {:>8} {:>8}  {:>7}",
-        "Test Case", "mCLIP", "mML_F", "mML_C", "aCLIP", "aML_F", "aML_C", "tCLIP", "tML_F",
-        "tML_C", "pML_C"
+        "Test Case",
+        "mCLIP",
+        "mML_F",
+        "mML_C",
+        "aCLIP",
+        "aML_F",
+        "aML_C",
+        "tCLIP",
+        "tML_F",
+        "tML_C",
+        "pML_C"
     );
     let mut clip_avgs = Vec::new();
     let mut mlf_avgs = Vec::new();
@@ -37,9 +46,15 @@ fn main() {
         println!(
             "{:<16} {:>6} {:>6} {:>6}  {:>8.1} {:>8.1} {:>8.1}  {:>8.2} {:>8.2} {:>8.2}  {:>7}",
             c.name,
-            clip.cut.min, mlf.cut.min, mlc.cut.min,
-            clip.cut.avg, mlf.cut.avg, mlc.cut.avg,
-            clip.secs, mlf.secs, mlc.secs,
+            clip.cut.min,
+            mlf.cut.min,
+            mlc.cut.min,
+            clip.cut.avg,
+            mlf.cut.avg,
+            mlc.cut.avg,
+            clip.secs,
+            mlf.secs,
+            mlc.secs,
             p.map_or("-".to_owned(), |r| format!("{:.0}", r.avg[2])),
         );
         clip_avgs.push(clip.cut.avg.max(1.0));

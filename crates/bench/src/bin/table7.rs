@@ -55,14 +55,28 @@ fn main() {
         clip_min.push(clip.cut.min.max(1) as f64);
         lsmc_min.push(lsmc.cut.min.max(1) as f64);
     }
-    let imp = |ours: &[f64], other: &[f64]| {
-        (1.0 - mlpart_bench::geomean_ratio(ours, other)) * 100.0
-    };
+    let imp =
+        |ours: &[f64], other: &[f64]| (1.0 - mlpart_bench::geomean_ratio(ours, other)) * 100.0;
     println!();
-    println!("% improvement of MLC({}) vs FM:   {:>6.1}", args.runs, imp(&mlc_full, &fm_min));
-    println!("% improvement of MLC({}) vs CLIP: {:>6.1}", args.runs, imp(&mlc_full, &clip_min));
-    println!("% improvement of MLC({}) vs LSMC: {:>6.1}", args.runs, imp(&mlc_full, &lsmc_min));
-    println!("% improvement of MLC({few}) vs CLIP: {:>6.1}", imp(&mlc_few, &clip_min));
+    println!(
+        "% improvement of MLC({}) vs FM:   {:>6.1}",
+        args.runs,
+        imp(&mlc_full, &fm_min)
+    );
+    println!(
+        "% improvement of MLC({}) vs CLIP: {:>6.1}",
+        args.runs,
+        imp(&mlc_full, &clip_min)
+    );
+    println!(
+        "% improvement of MLC({}) vs LSMC: {:>6.1}",
+        args.runs,
+        imp(&mlc_full, &lsmc_min)
+    );
+    println!(
+        "% improvement of MLC({few}) vs CLIP: {:>6.1}",
+        imp(&mlc_few, &clip_min)
+    );
     println!();
     println!("paper-published improvement percentages (real circuits, for reference):");
     for row in paper::TABLE7_IMPROVEMENTS {

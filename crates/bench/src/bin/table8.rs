@@ -37,9 +37,7 @@ fn main() {
         let clip = run_many(args.runs, child_seed(base, 2), |rng| algos::clip(&h, rng));
         // Mirror the paper's budget proportions: its LSMC column is a
         // 100-descent chain against 10 ML_C runs, i.e. 10 descents per run.
-        let lsmc = run_many(1, child_seed(base, 3), |rng| {
-            algos::lsmc(&h, few * 10, rng)
-        });
+        let lsmc = run_many(1, child_seed(base, 3), |rng| algos::lsmc(&h, few * 10, rng));
         println!(
             "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             c.name, mlc.secs, fm.secs, clip.secs, lsmc.secs
@@ -52,7 +50,10 @@ fn main() {
     let vs_clip = mlpart_bench::geomean_ratio(&mlc_t, &clip_t);
     let vs_lsmc = mlpart_bench::geomean_ratio(&mlc_t, &lsmc_t);
     println!();
-    println!("geomean time ratio ML_C({few}) / CLIP({}): {vs_clip:.3}", args.runs);
+    println!(
+        "geomean time ratio ML_C({few}) / CLIP({}): {vs_clip:.3}",
+        args.runs
+    );
     println!("geomean time ratio ML_C({few}) / LSMC:      {vs_lsmc:.3}");
     println!();
     println!(
@@ -61,7 +62,9 @@ fn main() {
     );
     let checks = vec![
         ShapeCheck::new(
-            format!("small ML_C budget cheaper than the full flat-CLIP budget (ratio {vs_clip:.2} < 1)"),
+            format!(
+                "small ML_C budget cheaper than the full flat-CLIP budget (ratio {vs_clip:.2} < 1)"
+            ),
             vs_clip < 1.0,
         ),
         ShapeCheck::new(

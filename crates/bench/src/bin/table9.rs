@@ -50,7 +50,10 @@ fn main() {
             clip.cut.min,
             lf.cut.min,
             lc.cut.min,
-            p.map_or("-".to_owned(), |r| format!("{}({:.0})", r.ml_f_min, r.ml_f_avg)),
+            p.map_or("-".to_owned(), |r| format!(
+                "{}({:.0})",
+                r.ml_f_min, r.ml_f_avg
+            )),
         );
         ml_min.push(ml.cut.min.max(1) as f64);
         gordian_best.push(gordian.max(1) as f64);

@@ -135,15 +135,14 @@ impl HarnessArgs {
                         "small" => SuiteSelection::Small,
                         "medium" => SuiteSelection::Medium,
                         "all" => SuiteSelection::All,
-                        names => SuiteSelection::Named(
-                            names.split(',').map(str::to_owned).collect(),
-                        ),
+                        names => {
+                            SuiteSelection::Named(names.split(',').map(str::to_owned).collect())
+                        }
                     };
                 }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: --runs N --seed S --suite small|medium|all|name,..."
-                            .to_owned(),
+                        "usage: --runs N --seed S --suite small|medium|all|name,...".to_owned()
                     )
                 }
                 other => return Err(format!("unknown flag {other}")),
@@ -179,10 +178,7 @@ impl HarnessArgs {
             SuiteSelection::All => SUITE.iter().collect(),
             SuiteSelection::Named(names) => names
                 .iter()
-                .map(|n| {
-                    mlpart_gen::by_name(n)
-                        .unwrap_or_else(|| panic!("unknown circuit {n:?}"))
-                })
+                .map(|n| mlpart_gen::by_name(n).unwrap_or_else(|| panic!("unknown circuit {n:?}")))
                 .collect(),
         }
     }
@@ -220,6 +216,40 @@ pub fn report_shape_checks(checks: &[ShapeCheck]) -> bool {
         all &= c.holds;
     }
     all
+}
+
+/// Prints the per-level refinement trajectory of one multilevel run — the
+/// instrumentation collected in `MlResult::level_stats` /
+/// `MlKwayResult::level_stats` (coarsest level first).
+pub fn print_level_stats(title: &str, stats: &[mlpart_core::LevelStats]) {
+    println!();
+    println!("{title}");
+    println!(
+        "{:>5} {:>8} {:>11} {:>10} {:>9} {:>10} {:>9} {:>6} {:>8}",
+        "level",
+        "modules",
+        "cut_before",
+        "cut_after",
+        "kept",
+        "attempted",
+        "rebal",
+        "passes",
+        "fill_ms"
+    );
+    for s in stats {
+        println!(
+            "{:>5} {:>8} {:>11} {:>10} {:>9} {:>10} {:>9} {:>6} {:>8.3}",
+            s.level,
+            s.modules,
+            s.cut_before,
+            s.cut_after,
+            s.kept_moves,
+            s.attempted_moves,
+            s.rebalance_moves,
+            s.passes,
+            s.fill_time_ns as f64 / 1e6,
+        );
+    }
 }
 
 /// Geometric mean of per-item ratios `a[i] / b[i]`; the standard way to
@@ -322,10 +352,7 @@ mod tests {
 
     #[test]
     fn shape_checks_report() {
-        let ok = report_shape_checks(&[
-            ShapeCheck::new("a", true),
-            ShapeCheck::new("b", true),
-        ]);
+        let ok = report_shape_checks(&[ShapeCheck::new("a", true), ShapeCheck::new("b", true)]);
         assert!(ok);
         let bad = report_shape_checks(&[ShapeCheck::new("a", false)]);
         assert!(!bad);

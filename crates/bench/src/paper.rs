@@ -34,29 +34,213 @@ pub struct Table3Row {
 /// printed as "38" in the source scan; Table II's identical experiment gives
 /// 138, which we use.
 pub const TABLE3: &[Table3Row] = &[
-    Table3Row { name: "balu", fm_min: 27, clip_min: 27, fm_avg: 39.0, clip_avg: 35.0, fm_cpu: 26.0, clip_cpu: 26.0 },
-    Table3Row { name: "bm1", fm_min: 47, clip_min: 47, fm_avg: 76.0, clip_avg: 63.0, fm_cpu: 27.0, clip_cpu: 29.0 },
-    Table3Row { name: "primary1", fm_min: 49, clip_min: 47, fm_avg: 74.0, clip_avg: 62.0, fm_cpu: 27.0, clip_cpu: 30.0 },
-    Table3Row { name: "test04", fm_min: 71, clip_min: 55, fm_avg: 138.0, clip_avg: 80.0, fm_cpu: 45.0, clip_cpu: 63.0 },
-    Table3Row { name: "test03", fm_min: 64, clip_min: 57, fm_avg: 109.0, clip_avg: 74.0, fm_cpu: 61.0, clip_cpu: 67.0 },
-    Table3Row { name: "test02", fm_min: 109, clip_min: 88, fm_avg: 172.0, clip_avg: 112.0, fm_cpu: 49.0, clip_cpu: 73.0 },
-    Table3Row { name: "test06", fm_min: 66, clip_min: 60, fm_avg: 90.0, clip_avg: 72.0, fm_cpu: 61.0, clip_cpu: 65.0 },
-    Table3Row { name: "struct", fm_min: 38, clip_min: 34, fm_avg: 54.0, clip_avg: 46.0, fm_cpu: 55.0, clip_cpu: 55.0 },
-    Table3Row { name: "test05", fm_min: 104, clip_min: 72, fm_avg: 175.0, clip_avg: 72.0, fm_cpu: 92.0, clip_cpu: 116.0 },
-    Table3Row { name: "19ks", fm_min: 121, clip_min: 110, fm_avg: 175.0, clip_avg: 151.0, fm_cpu: 134.0, clip_cpu: 144.0 },
-    Table3Row { name: "primary2", fm_min: 215, clip_min: 143, fm_avg: 285.0, clip_avg: 215.0, fm_cpu: 142.0, clip_cpu: 168.0 },
-    Table3Row { name: "s9234", fm_min: 50, clip_min: 45, fm_avg: 95.0, clip_avg: 74.0, fm_cpu: 273.0, clip_cpu: 237.0 },
-    Table3Row { name: "biomed", fm_min: 83, clip_min: 84, fm_avg: 134.0, clip_avg: 109.0, fm_cpu: 326.0, clip_cpu: 267.0 },
-    Table3Row { name: "s13207", fm_min: 87, clip_min: 78, fm_avg: 129.0, clip_avg: 125.0, fm_cpu: 423.0, clip_cpu: 370.0 },
-    Table3Row { name: "s15850", fm_min: 108, clip_min: 79, fm_avg: 184.0, clip_avg: 143.0, fm_cpu: 435.0, clip_cpu: 505.0 },
-    Table3Row { name: "industry2", fm_min: 319, clip_min: 203, fm_avg: 623.0, clip_avg: 342.0, fm_cpu: 838.0, clip_cpu: 991.0 },
-    Table3Row { name: "industry3", fm_min: 241, clip_min: 242, fm_avg: 497.0, clip_avg: 406.0, fm_cpu: 974.0, clip_cpu: 1199.0 },
-    Table3Row { name: "s35932", fm_min: 113, clip_min: 45, fm_avg: 230.0, clip_avg: 118.0, fm_cpu: 1075.0, clip_cpu: 935.0 },
-    Table3Row { name: "s38584", fm_min: 59, clip_min: 48, fm_avg: 251.0, clip_avg: 101.0, fm_cpu: 1523.0, clip_cpu: 1363.0 },
-    Table3Row { name: "avqsmall", fm_min: 319, clip_min: 204, fm_avg: 597.0, clip_avg: 340.0, fm_cpu: 1447.0, clip_cpu: 1538.0 },
-    Table3Row { name: "s38417", fm_min: 167, clip_min: 72, fm_avg: 383.0, clip_avg: 140.0, fm_cpu: 1595.0, clip_cpu: 1423.0 },
-    Table3Row { name: "avqlarge", fm_min: 262, clip_min: 224, fm_avg: 787.0, clip_avg: 352.0, fm_cpu: 1662.0, clip_cpu: 1896.0 },
-    Table3Row { name: "golem3", fm_min: 2847, clip_min: 2276, fm_avg: 3500.0, clip_avg: 3403.0, fm_cpu: 38028.0, clip_cpu: 146301.0 },
+    Table3Row {
+        name: "balu",
+        fm_min: 27,
+        clip_min: 27,
+        fm_avg: 39.0,
+        clip_avg: 35.0,
+        fm_cpu: 26.0,
+        clip_cpu: 26.0,
+    },
+    Table3Row {
+        name: "bm1",
+        fm_min: 47,
+        clip_min: 47,
+        fm_avg: 76.0,
+        clip_avg: 63.0,
+        fm_cpu: 27.0,
+        clip_cpu: 29.0,
+    },
+    Table3Row {
+        name: "primary1",
+        fm_min: 49,
+        clip_min: 47,
+        fm_avg: 74.0,
+        clip_avg: 62.0,
+        fm_cpu: 27.0,
+        clip_cpu: 30.0,
+    },
+    Table3Row {
+        name: "test04",
+        fm_min: 71,
+        clip_min: 55,
+        fm_avg: 138.0,
+        clip_avg: 80.0,
+        fm_cpu: 45.0,
+        clip_cpu: 63.0,
+    },
+    Table3Row {
+        name: "test03",
+        fm_min: 64,
+        clip_min: 57,
+        fm_avg: 109.0,
+        clip_avg: 74.0,
+        fm_cpu: 61.0,
+        clip_cpu: 67.0,
+    },
+    Table3Row {
+        name: "test02",
+        fm_min: 109,
+        clip_min: 88,
+        fm_avg: 172.0,
+        clip_avg: 112.0,
+        fm_cpu: 49.0,
+        clip_cpu: 73.0,
+    },
+    Table3Row {
+        name: "test06",
+        fm_min: 66,
+        clip_min: 60,
+        fm_avg: 90.0,
+        clip_avg: 72.0,
+        fm_cpu: 61.0,
+        clip_cpu: 65.0,
+    },
+    Table3Row {
+        name: "struct",
+        fm_min: 38,
+        clip_min: 34,
+        fm_avg: 54.0,
+        clip_avg: 46.0,
+        fm_cpu: 55.0,
+        clip_cpu: 55.0,
+    },
+    Table3Row {
+        name: "test05",
+        fm_min: 104,
+        clip_min: 72,
+        fm_avg: 175.0,
+        clip_avg: 72.0,
+        fm_cpu: 92.0,
+        clip_cpu: 116.0,
+    },
+    Table3Row {
+        name: "19ks",
+        fm_min: 121,
+        clip_min: 110,
+        fm_avg: 175.0,
+        clip_avg: 151.0,
+        fm_cpu: 134.0,
+        clip_cpu: 144.0,
+    },
+    Table3Row {
+        name: "primary2",
+        fm_min: 215,
+        clip_min: 143,
+        fm_avg: 285.0,
+        clip_avg: 215.0,
+        fm_cpu: 142.0,
+        clip_cpu: 168.0,
+    },
+    Table3Row {
+        name: "s9234",
+        fm_min: 50,
+        clip_min: 45,
+        fm_avg: 95.0,
+        clip_avg: 74.0,
+        fm_cpu: 273.0,
+        clip_cpu: 237.0,
+    },
+    Table3Row {
+        name: "biomed",
+        fm_min: 83,
+        clip_min: 84,
+        fm_avg: 134.0,
+        clip_avg: 109.0,
+        fm_cpu: 326.0,
+        clip_cpu: 267.0,
+    },
+    Table3Row {
+        name: "s13207",
+        fm_min: 87,
+        clip_min: 78,
+        fm_avg: 129.0,
+        clip_avg: 125.0,
+        fm_cpu: 423.0,
+        clip_cpu: 370.0,
+    },
+    Table3Row {
+        name: "s15850",
+        fm_min: 108,
+        clip_min: 79,
+        fm_avg: 184.0,
+        clip_avg: 143.0,
+        fm_cpu: 435.0,
+        clip_cpu: 505.0,
+    },
+    Table3Row {
+        name: "industry2",
+        fm_min: 319,
+        clip_min: 203,
+        fm_avg: 623.0,
+        clip_avg: 342.0,
+        fm_cpu: 838.0,
+        clip_cpu: 991.0,
+    },
+    Table3Row {
+        name: "industry3",
+        fm_min: 241,
+        clip_min: 242,
+        fm_avg: 497.0,
+        clip_avg: 406.0,
+        fm_cpu: 974.0,
+        clip_cpu: 1199.0,
+    },
+    Table3Row {
+        name: "s35932",
+        fm_min: 113,
+        clip_min: 45,
+        fm_avg: 230.0,
+        clip_avg: 118.0,
+        fm_cpu: 1075.0,
+        clip_cpu: 935.0,
+    },
+    Table3Row {
+        name: "s38584",
+        fm_min: 59,
+        clip_min: 48,
+        fm_avg: 251.0,
+        clip_avg: 101.0,
+        fm_cpu: 1523.0,
+        clip_cpu: 1363.0,
+    },
+    Table3Row {
+        name: "avqsmall",
+        fm_min: 319,
+        clip_min: 204,
+        fm_avg: 597.0,
+        clip_avg: 340.0,
+        fm_cpu: 1447.0,
+        clip_cpu: 1538.0,
+    },
+    Table3Row {
+        name: "s38417",
+        fm_min: 167,
+        clip_min: 72,
+        fm_avg: 383.0,
+        clip_avg: 140.0,
+        fm_cpu: 1595.0,
+        clip_cpu: 1423.0,
+    },
+    Table3Row {
+        name: "avqlarge",
+        fm_min: 262,
+        clip_min: 224,
+        fm_avg: 787.0,
+        clip_avg: 352.0,
+        fm_cpu: 1662.0,
+        clip_cpu: 1896.0,
+    },
+    Table3Row {
+        name: "golem3",
+        fm_min: 2847,
+        clip_min: 2276,
+        fm_avg: 3500.0,
+        clip_avg: 3403.0,
+        fm_cpu: 38028.0,
+        clip_cpu: 146301.0,
+    },
 ];
 
 /// Paper Table IV row: 100-run CLIP vs `ML_F` vs `ML_C` (R = 1).
@@ -74,29 +258,144 @@ pub struct Table4Row {
 
 /// Paper Table IV (selected columns for all 23 circuits).
 pub const TABLE4: &[Table4Row] = &[
-    Table4Row { name: "balu", min: [27, 27, 27], avg: [35.0, 35.0, 33.0], cpu: [26.0, 100.0, 110.0] },
-    Table4Row { name: "bm1", min: [47, 47, 47], avg: [63.0, 57.0, 55.0], cpu: [29.0, 93.0, 107.0] },
-    Table4Row { name: "primary1", min: [47, 47, 47], avg: [62.0, 56.0, 55.0], cpu: [30.0, 93.0, 106.0] },
-    Table4Row { name: "test04", min: [55, 48, 48], avg: [80.0, 64.0, 56.0], cpu: [63.0, 219.0, 263.0] },
-    Table4Row { name: "test03", min: [57, 56, 57], avg: [74.0, 64.0, 61.0], cpu: [67.0, 258.0, 294.0] },
-    Table4Row { name: "test02", min: [88, 89, 89], avg: [112.0, 101.0, 100.0], cpu: [73.0, 243.0, 288.0] },
-    Table4Row { name: "test06", min: [60, 60, 60], avg: [72.0, 77.0, 71.0], cpu: [65.0, 309.0, 354.0] },
-    Table4Row { name: "struct", min: [34, 33, 33], avg: [46.0, 39.0, 38.0], cpu: [55.0, 199.0, 233.0] },
-    Table4Row { name: "test05", min: [72, 75, 71], avg: [72.0, 91.0, 83.0], cpu: [116.0, 386.0, 459.0] },
-    Table4Row { name: "19ks", min: [110, 104, 106], avg: [151.0, 114.0, 114.0], cpu: [144.0, 447.0, 510.0] },
-    Table4Row { name: "primary2", min: [143, 139, 139], avg: [215.0, 158.0, 156.0], cpu: [168.0, 414.0, 522.0] },
-    Table4Row { name: "s9234", min: [45, 40, 41], avg: [74.0, 50.0, 48.0], cpu: [237.0, 542.0, 582.0] },
-    Table4Row { name: "biomed", min: [84, 86, 83], avg: [109.0, 103.0, 92.0], cpu: [267.0, 909.0, 1036.0] },
-    Table4Row { name: "s13207", min: [78, 58, 60], avg: [125.0, 77.0, 76.0], cpu: [370.0, 857.0, 950.0] },
-    Table4Row { name: "s15850", min: [79, 43, 43], avg: [143.0, 63.0, 59.0], cpu: [505.0, 997.0, 1126.0] },
-    Table4Row { name: "industry2", min: [203, 168, 174], avg: [342.0, 213.0, 197.0], cpu: [991.0, 2360.0, 3015.0] },
-    Table4Row { name: "industry3", min: [242, 243, 248], avg: [406.0, 275.0, 274.0], cpu: [1199.0, 2932.0, 3931.0] },
-    Table4Row { name: "s35932", min: [45, 41, 40], avg: [118.0, 46.0, 46.0], cpu: [935.0, 2108.0, 2351.0] },
-    Table4Row { name: "s38584", min: [48, 49, 48], avg: [101.0, 77.0, 58.0], cpu: [1363.0, 2574.0, 3106.0] },
-    Table4Row { name: "avqsmall", min: [204, 139, 133], avg: [340.0, 194.0, 182.0], cpu: [1538.0, 3022.0, 3811.0] },
-    Table4Row { name: "s38417", min: [72, 53, 50], avg: [140.0, 82.0, 66.0], cpu: [1423.0, 2544.0, 3032.0] },
-    Table4Row { name: "avqlarge", min: [224, 144, 140], avg: [352.0, 200.0, 183.0], cpu: [1896.0, 3338.0, 4230.0] },
-    Table4Row { name: "golem3", min: [2276, 1663, 1661], avg: [3403.0, 2026.0, 2006.0], cpu: [146301.0, 48495.0, 89800.0] },
+    Table4Row {
+        name: "balu",
+        min: [27, 27, 27],
+        avg: [35.0, 35.0, 33.0],
+        cpu: [26.0, 100.0, 110.0],
+    },
+    Table4Row {
+        name: "bm1",
+        min: [47, 47, 47],
+        avg: [63.0, 57.0, 55.0],
+        cpu: [29.0, 93.0, 107.0],
+    },
+    Table4Row {
+        name: "primary1",
+        min: [47, 47, 47],
+        avg: [62.0, 56.0, 55.0],
+        cpu: [30.0, 93.0, 106.0],
+    },
+    Table4Row {
+        name: "test04",
+        min: [55, 48, 48],
+        avg: [80.0, 64.0, 56.0],
+        cpu: [63.0, 219.0, 263.0],
+    },
+    Table4Row {
+        name: "test03",
+        min: [57, 56, 57],
+        avg: [74.0, 64.0, 61.0],
+        cpu: [67.0, 258.0, 294.0],
+    },
+    Table4Row {
+        name: "test02",
+        min: [88, 89, 89],
+        avg: [112.0, 101.0, 100.0],
+        cpu: [73.0, 243.0, 288.0],
+    },
+    Table4Row {
+        name: "test06",
+        min: [60, 60, 60],
+        avg: [72.0, 77.0, 71.0],
+        cpu: [65.0, 309.0, 354.0],
+    },
+    Table4Row {
+        name: "struct",
+        min: [34, 33, 33],
+        avg: [46.0, 39.0, 38.0],
+        cpu: [55.0, 199.0, 233.0],
+    },
+    Table4Row {
+        name: "test05",
+        min: [72, 75, 71],
+        avg: [72.0, 91.0, 83.0],
+        cpu: [116.0, 386.0, 459.0],
+    },
+    Table4Row {
+        name: "19ks",
+        min: [110, 104, 106],
+        avg: [151.0, 114.0, 114.0],
+        cpu: [144.0, 447.0, 510.0],
+    },
+    Table4Row {
+        name: "primary2",
+        min: [143, 139, 139],
+        avg: [215.0, 158.0, 156.0],
+        cpu: [168.0, 414.0, 522.0],
+    },
+    Table4Row {
+        name: "s9234",
+        min: [45, 40, 41],
+        avg: [74.0, 50.0, 48.0],
+        cpu: [237.0, 542.0, 582.0],
+    },
+    Table4Row {
+        name: "biomed",
+        min: [84, 86, 83],
+        avg: [109.0, 103.0, 92.0],
+        cpu: [267.0, 909.0, 1036.0],
+    },
+    Table4Row {
+        name: "s13207",
+        min: [78, 58, 60],
+        avg: [125.0, 77.0, 76.0],
+        cpu: [370.0, 857.0, 950.0],
+    },
+    Table4Row {
+        name: "s15850",
+        min: [79, 43, 43],
+        avg: [143.0, 63.0, 59.0],
+        cpu: [505.0, 997.0, 1126.0],
+    },
+    Table4Row {
+        name: "industry2",
+        min: [203, 168, 174],
+        avg: [342.0, 213.0, 197.0],
+        cpu: [991.0, 2360.0, 3015.0],
+    },
+    Table4Row {
+        name: "industry3",
+        min: [242, 243, 248],
+        avg: [406.0, 275.0, 274.0],
+        cpu: [1199.0, 2932.0, 3931.0],
+    },
+    Table4Row {
+        name: "s35932",
+        min: [45, 41, 40],
+        avg: [118.0, 46.0, 46.0],
+        cpu: [935.0, 2108.0, 2351.0],
+    },
+    Table4Row {
+        name: "s38584",
+        min: [48, 49, 48],
+        avg: [101.0, 77.0, 58.0],
+        cpu: [1363.0, 2574.0, 3106.0],
+    },
+    Table4Row {
+        name: "avqsmall",
+        min: [204, 139, 133],
+        avg: [340.0, 194.0, 182.0],
+        cpu: [1538.0, 3022.0, 3811.0],
+    },
+    Table4Row {
+        name: "s38417",
+        min: [72, 53, 50],
+        avg: [140.0, 82.0, 66.0],
+        cpu: [1423.0, 2544.0, 3032.0],
+    },
+    Table4Row {
+        name: "avqlarge",
+        min: [224, 144, 140],
+        avg: [352.0, 200.0, 183.0],
+        cpu: [1896.0, 3338.0, 4230.0],
+    },
+    Table4Row {
+        name: "golem3",
+        min: [2276, 1663, 1661],
+        avg: [3403.0, 2026.0, 2006.0],
+        cpu: [146301.0, 48495.0, 89800.0],
+    },
 ];
 
 /// Table VII's bottom rows: the paper's percent improvement of `ML_C` over
@@ -115,15 +414,51 @@ pub struct Table7Improvement {
 /// in the 100-run row is printed as `X` in the paper; the paper's abstract
 /// gives the overall range 6.9-27.9% for 100 runs, 3.0-20.6% for 10 runs.)
 pub const TABLE7_IMPROVEMENTS: &[Table7Improvement] = &[
-    Table7Improvement { versus: "GMet", ml100_pct: 16.9, ml10_pct: 8.4 },
-    Table7Improvement { versus: "HB", ml100_pct: 9.5, ml10_pct: 3.0 },
-    Table7Improvement { versus: "PB", ml100_pct: 27.9, ml10_pct: 20.6 },
-    Table7Improvement { versus: "GFM", ml100_pct: 11.1, ml10_pct: 6.5 },
-    Table7Improvement { versus: "GFM_t", ml100_pct: 7.8, ml10_pct: 3.6 },
-    Table7Improvement { versus: "CL-LA3_f", ml100_pct: 9.2, ml10_pct: 6.0 },
-    Table7Improvement { versus: "CD-LA3_f", ml100_pct: 11.5, ml10_pct: 7.9 },
-    Table7Improvement { versus: "CL-PR_f", ml100_pct: 6.9, ml10_pct: 5.2 },
-    Table7Improvement { versus: "LSMC", ml100_pct: 21.9, ml10_pct: 19.1 },
+    Table7Improvement {
+        versus: "GMet",
+        ml100_pct: 16.9,
+        ml10_pct: 8.4,
+    },
+    Table7Improvement {
+        versus: "HB",
+        ml100_pct: 9.5,
+        ml10_pct: 3.0,
+    },
+    Table7Improvement {
+        versus: "PB",
+        ml100_pct: 27.9,
+        ml10_pct: 20.6,
+    },
+    Table7Improvement {
+        versus: "GFM",
+        ml100_pct: 11.1,
+        ml10_pct: 6.5,
+    },
+    Table7Improvement {
+        versus: "GFM_t",
+        ml100_pct: 7.8,
+        ml10_pct: 3.6,
+    },
+    Table7Improvement {
+        versus: "CL-LA3_f",
+        ml100_pct: 9.2,
+        ml10_pct: 6.0,
+    },
+    Table7Improvement {
+        versus: "CD-LA3_f",
+        ml100_pct: 11.5,
+        ml10_pct: 7.9,
+    },
+    Table7Improvement {
+        versus: "CL-PR_f",
+        ml100_pct: 6.9,
+        ml10_pct: 5.2,
+    },
+    Table7Improvement {
+        versus: "LSMC",
+        ml100_pct: 21.9,
+        ml10_pct: 19.1,
+    },
 ];
 
 /// Paper Table IX row: 4-way partitioning comparison.
@@ -149,15 +484,96 @@ pub struct Table9Row {
 
 /// Paper Table IX (all nine circuits it reports).
 pub const TABLE9: &[Table9Row] = &[
-    Table9Row { name: "primary1", ml_f_min: 126, ml_f_avg: 153.0, gordian: 157, fm: 135, clip: 169, lsmc_f: 118, lsmc_c: 129 },
-    Table9Row { name: "primary2", ml_f_min: 346, ml_f_avg: 378.0, gordian: 502, fm: 591, clip: 535, lsmc_f: 495, lsmc_c: 428 },
-    Table9Row { name: "biomed", ml_f_min: 311, ml_f_avg: 390.0, gordian: 479, fm: 933, clip: 697, lsmc_f: 859, lsmc_c: 567 },
-    Table9Row { name: "s13207", ml_f_min: 472, ml_f_avg: 503.0, gordian: 590, fm: 653, clip: 819, lsmc_f: 337, lsmc_c: 359 },
-    Table9Row { name: "s15850", ml_f_min: 547, ml_f_avg: 594.0, gordian: 678, fm: 774, clip: 958, lsmc_f: 487, lsmc_c: 392 },
-    Table9Row { name: "industry2", ml_f_min: 398, ml_f_avg: 1369.0, gordian: 1179, fm: 2200, clip: 1505, lsmc_f: 1695, lsmc_c: 1246 },
-    Table9Row { name: "industry3", ml_f_min: 830, ml_f_avg: 1049.0, gordian: 1965, fm: 3005, clip: 2223, lsmc_f: 1605, lsmc_c: 1572 },
-    Table9Row { name: "avqsmall", ml_f_min: 408, ml_f_avg: 505.0, gordian: 646, fm: 2877, clip: 1728, lsmc_f: 2098, lsmc_c: 1324 },
-    Table9Row { name: "avqlarge", ml_f_min: 481, ml_f_avg: 519.0, gordian: 661, fm: 3131, clip: 1890, lsmc_f: 2511, lsmc_c: 1435 },
+    Table9Row {
+        name: "primary1",
+        ml_f_min: 126,
+        ml_f_avg: 153.0,
+        gordian: 157,
+        fm: 135,
+        clip: 169,
+        lsmc_f: 118,
+        lsmc_c: 129,
+    },
+    Table9Row {
+        name: "primary2",
+        ml_f_min: 346,
+        ml_f_avg: 378.0,
+        gordian: 502,
+        fm: 591,
+        clip: 535,
+        lsmc_f: 495,
+        lsmc_c: 428,
+    },
+    Table9Row {
+        name: "biomed",
+        ml_f_min: 311,
+        ml_f_avg: 390.0,
+        gordian: 479,
+        fm: 933,
+        clip: 697,
+        lsmc_f: 859,
+        lsmc_c: 567,
+    },
+    Table9Row {
+        name: "s13207",
+        ml_f_min: 472,
+        ml_f_avg: 503.0,
+        gordian: 590,
+        fm: 653,
+        clip: 819,
+        lsmc_f: 337,
+        lsmc_c: 359,
+    },
+    Table9Row {
+        name: "s15850",
+        ml_f_min: 547,
+        ml_f_avg: 594.0,
+        gordian: 678,
+        fm: 774,
+        clip: 958,
+        lsmc_f: 487,
+        lsmc_c: 392,
+    },
+    Table9Row {
+        name: "industry2",
+        ml_f_min: 398,
+        ml_f_avg: 1369.0,
+        gordian: 1179,
+        fm: 2200,
+        clip: 1505,
+        lsmc_f: 1695,
+        lsmc_c: 1246,
+    },
+    Table9Row {
+        name: "industry3",
+        ml_f_min: 830,
+        ml_f_avg: 1049.0,
+        gordian: 1965,
+        fm: 3005,
+        clip: 2223,
+        lsmc_f: 1605,
+        lsmc_c: 1572,
+    },
+    Table9Row {
+        name: "avqsmall",
+        ml_f_min: 408,
+        ml_f_avg: 505.0,
+        gordian: 646,
+        fm: 2877,
+        clip: 1728,
+        lsmc_f: 2098,
+        lsmc_c: 1324,
+    },
+    Table9Row {
+        name: "avqlarge",
+        ml_f_min: 481,
+        ml_f_avg: 519.0,
+        gordian: 661,
+        fm: 3131,
+        clip: 1890,
+        lsmc_f: 2511,
+        lsmc_c: 1435,
+    },
 ];
 
 /// Looks up a paper Table III row by circuit name (no prefix).

@@ -33,16 +33,20 @@ pub fn run_ratio_sweep(
         let cells: Vec<_> = RATIOS
             .iter()
             .enumerate()
-            .map(|(ri, &r)| {
-                run_many(args.runs, child_seed(base, ri as u64), |rng| ml(&h, r, rng))
-            })
+            .map(|(ri, &r)| run_many(args.runs, child_seed(base, ri as u64), |rng| ml(&h, r, rng)))
             .collect();
         println!(
             "{:<16} {:>6} {:>6} {:>6}  {:>8.1} {:>8.1} {:>8.1}  {:>8.2} {:>8.2} {:>8.2}",
             c.name,
-            cells[0].cut.min, cells[1].cut.min, cells[2].cut.min,
-            cells[0].cut.avg, cells[1].cut.avg, cells[2].cut.avg,
-            cells[0].secs, cells[1].secs, cells[2].secs,
+            cells[0].cut.min,
+            cells[1].cut.min,
+            cells[2].cut.min,
+            cells[0].cut.avg,
+            cells[1].cut.avg,
+            cells[2].cut.avg,
+            cells[0].secs,
+            cells[1].secs,
+            cells[2].secs,
         );
         for (ri, cell) in cells.iter().enumerate() {
             avgs[ri].push(cell.cut.avg.max(1.0));
@@ -60,8 +64,8 @@ pub fn run_ratio_sweep(
     // with the larger benchmarks", where slow coarsening wins clearly. So
     // the overall ratio must not degrade, and the largest circuit in the
     // selection should benefit (or at least match).
-    let largest_gain = avgs[1].last().copied().unwrap_or(1.0)
-        / avgs[0].last().copied().unwrap_or(1.0).max(1e-9);
+    let largest_gain =
+        avgs[1].last().copied().unwrap_or(1.0) / avgs[0].last().copied().unwrap_or(1.0).max(1e-9);
     let checks = vec![
         ShapeCheck::new(
             format!(

@@ -57,11 +57,7 @@ pub fn induce(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
     let mut scratch: Vec<usize> = Vec::new();
     for e in h.net_ids() {
         scratch.clear();
-        scratch.extend(
-            h.pins(e)
-                .iter()
-                .map(|&v| clustering.cluster_of(v) as usize),
-        );
+        scratch.extend(h.pins(e).iter().map(|&v| clustering.cluster_of(v) as usize));
         builder
             .add_weighted_net(scratch.iter().copied(), h.net_weight(e))
             .expect("cluster ids in range, weight positive");
@@ -177,7 +173,11 @@ pub fn rebalance_bipart_frozen<R: Rng + ?Sized>(
     order.shuffle(rng);
     let mut cursor = 0;
     while !balance.is_feasible(p.part_area(0)) && cursor < order.len() {
-        let big: u32 = if p.part_area(0) > p.part_area(1) { 0 } else { 1 };
+        let big: u32 = if p.part_area(0) > p.part_area(1) {
+            0
+        } else {
+            1
+        };
         // Advance to the next random movable module in the big part.
         while cursor < order.len() {
             let v = ModuleId::from(order[cursor]);
@@ -354,8 +354,7 @@ mod tests {
         let h = line(100);
         let balance = BipartBalance::new(&h, 0.1);
         let mut p =
-            Partition::from_assignment(&h, 2, (0..100).map(|i| (i % 2) as u32).collect())
-                .unwrap();
+            Partition::from_assignment(&h, 2, (0..100).map(|i| (i % 2) as u32).collect()).unwrap();
         let mut rng = seeded_rng(0);
         assert_eq!(rebalance_bipart(&h, &mut p, &balance, &mut rng), 0);
     }
@@ -434,9 +433,8 @@ mod coalesce_tests {
         assert!(merged.num_nets() <= dup.num_nets());
         for seed in 0..10 {
             let p_dup = Partition::random(&dup, 2, &mut seeded_rng(seed));
-            let p_merged =
-                Partition::from_assignment(&merged, 2, p_dup.assignment().to_vec())
-                    .expect("same module count");
+            let p_merged = Partition::from_assignment(&merged, 2, p_dup.assignment().to_vec())
+                .expect("same module count");
             assert_eq!(
                 metrics::cut(&dup, &p_dup),
                 metrics::cut(&merged, &p_merged),

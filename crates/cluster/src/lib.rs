@@ -43,10 +43,10 @@ pub mod matching;
 
 pub use clustering::Clustering;
 pub use hierarchy::{
-    induce, induce_coalesced, project, rebalance_bipart, rebalance_bipart_frozen,
-    rebalance_kway, rebalance_kway_frozen,
+    induce, induce_coalesced, project, rebalance_bipart, rebalance_bipart_frozen, rebalance_kway,
+    rebalance_kway_frozen,
 };
 pub use matching::{
-    conn, heavy_edge_matching, match_clusters, match_clusters_frozen, random_matching,
-    MatchConfig, MATCH_MAX_NET_SIZE,
+    conn, heavy_edge_matching, match_clusters, match_clusters_frozen, random_matching, MatchConfig,
+    MATCH_MAX_NET_SIZE,
 };

@@ -152,8 +152,7 @@ pub fn match_clusters_frozen<R: Rng + ?Sized>(
             let mut best: Option<(f64, u32)> = None;
             for &wr in &touched {
                 let w = ModuleId::from(wr);
-                let score =
-                    conn[w.index()] / (h.area(v) + h.area(w)) as f64;
+                let score = conn[w.index()] / (h.area(v) + h.area(w)) as f64;
                 match best {
                     Some((b, _)) if b >= score => {}
                     _ => best = Some((score, wr)),
@@ -337,11 +336,7 @@ mod tests {
         let h = b.build().unwrap();
         let mut rng = seeded_rng(5);
         let c = match_clusters(&h, &MatchConfig::with_ratio(0.5), &mut rng);
-        let paired_modules: usize = c
-            .cluster_sizes()
-            .iter()
-            .filter(|&&s| s == 2).copied()
-            .sum();
+        let paired_modules: usize = c.cluster_sizes().iter().filter(|&&s| s == 2).copied().sum();
         assert!(paired_modules >= n / 2 - 2, "paired={paired_modules}");
         assert!(paired_modules <= n / 2 + 2, "paired={paired_modules}");
         // Reduction factor is ~n/(n - paired/2), well short of 2x.
@@ -411,9 +406,7 @@ mod tests {
         b.add_net([0, 2]).unwrap();
         let h = b.build().unwrap();
         let v = ModuleId::new(0);
-        assert!(
-            conn(&h, v, ModuleId::new(1), 10) > conn(&h, v, ModuleId::new(2), 10)
-        );
+        assert!(conn(&h, v, ModuleId::new(1), 10) > conn(&h, v, ModuleId::new(2), 10));
         // And the matcher obeys: module 0 never pairs with the big module 2
         // while the light module 1 is available.
         for seed in 0..10 {
@@ -495,8 +488,7 @@ mod frozen_tests {
         b.add_net([0, 1, 2]).unwrap();
         let h = b.build().unwrap();
         let mut rng = seeded_rng(0);
-        let c =
-            match_clusters_frozen(&h, &MatchConfig::default(), Some(&[true; 3]), &mut rng);
+        let c = match_clusters_frozen(&h, &MatchConfig::default(), Some(&[true; 3]), &mut rng);
         assert_eq!(c.num_clusters(), 3);
     }
 

@@ -2,9 +2,7 @@
 //! with cluster sizes ≤ 2, `Induce` preserves areas and drops exactly the
 //! internal nets, and `Project` preserves the cut.
 
-use mlpart_cluster::{
-    induce, match_clusters, project, rebalance_bipart, Clustering, MatchConfig,
-};
+use mlpart_cluster::{induce, match_clusters, project, rebalance_bipart, Clustering, MatchConfig};
 use mlpart_hypergraph::rng::seeded_rng;
 use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, HypergraphBuilder, Partition};
 use proptest::prelude::*;
@@ -12,10 +10,7 @@ use proptest::prelude::*;
 fn arb_netlist() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<usize>>)> {
     (2usize..40).prop_flat_map(|n| {
         let areas = proptest::collection::vec(1u64..8, n);
-        let nets = proptest::collection::vec(
-            proptest::collection::vec(0usize..n, 2..7),
-            0..60,
-        );
+        let nets = proptest::collection::vec(proptest::collection::vec(0usize..n, 2..7), 0..60);
         (areas, nets)
     })
 }

@@ -96,9 +96,7 @@ impl Hierarchy {
         let mut fixed_levels: Vec<Vec<(ModuleId, PartId)>> = vec![fixed.to_vec()];
 
         let mut current: &Hypergraph = h0;
-        while current.num_modules() > cfg.coarsen_threshold
-            && clusterings.len() < cfg.max_levels
-        {
+        while current.num_modules() > cfg.coarsen_threshold && clusterings.len() < cfg.max_levels {
             let level_fixed = fixed_levels.last().expect("at least level 0");
             let frozen_mask: Option<Vec<bool>> = if level_fixed.is_empty() {
                 None
@@ -334,11 +332,7 @@ mod tests {
             for &(v, part) in hier.fixed_at(i) {
                 // The fixed module's cluster contains only itself.
                 let cluster = c.cluster_of(v);
-                let members = c
-                    .as_map()
-                    .iter()
-                    .filter(|&&x| x == cluster)
-                    .count();
+                let members = c.as_map().iter().filter(|&&x| x == cluster).count();
                 assert_eq!(members, 1, "level {i}");
                 let _ = part;
             }

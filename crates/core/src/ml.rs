@@ -19,9 +19,79 @@
 
 use crate::hierarchy::Hierarchy;
 use mlpart_cluster::{project, rebalance_bipart};
-use mlpart_fm::{fm_partition, refine, Engine, FmConfig};
+use mlpart_fm::{fm_partition_in, refine_in, Engine, FmConfig, PassStats, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, Partition};
+
+/// Per-level instrumentation of a multilevel run, collected during
+/// uncoarsening (and for the coarsest-level initial partitioning).
+///
+/// The `cut_*` fields are the refinement engine's objective over
+/// engine-visible nets (nets over `max_net_size` excluded) — for the k-way
+/// engine under sum-of-degrees gain they are `Σ (span − 1)`, not the net
+/// cut.
+#[derive(Debug, Clone, Copy, Eq)]
+pub struct LevelStats {
+    /// Hierarchy level: `m` is the coarsest, `0` the original netlist.
+    pub level: usize,
+    /// Modules in this level's netlist.
+    pub modules: usize,
+    /// Engine objective entering refinement (after projection and any
+    /// rebalancing).
+    pub cut_before: u64,
+    /// Engine objective after refinement.
+    pub cut_after: u64,
+    /// Moves attempted across this level's passes (before rollback).
+    pub attempted_moves: u64,
+    /// Moves kept across this level's passes (after rollback).
+    pub kept_moves: u64,
+    /// Modules moved by §III-B rebalancing to restore feasibility after
+    /// projection to this level.
+    pub rebalance_moves: usize,
+    /// Refinement passes run at this level.
+    pub passes: usize,
+    /// Wall-clock nanoseconds spent rebuilding gains and filling buckets,
+    /// summed over this level's passes. Excluded from equality so
+    /// fixed-seed runs compare equal.
+    pub fill_time_ns: u64,
+}
+
+/// Equality ignores `fill_time_ns` (wall-clock noise), mirroring
+/// [`PassStats`].
+impl PartialEq for LevelStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.level == other.level
+            && self.modules == other.modules
+            && self.cut_before == other.cut_before
+            && self.cut_after == other.cut_after
+            && self.attempted_moves == other.attempted_moves
+            && self.kept_moves == other.kept_moves
+            && self.rebalance_moves == other.rebalance_moves
+            && self.passes == other.passes
+    }
+}
+
+impl LevelStats {
+    /// Aggregates one level's pass trajectory into a level summary.
+    pub(crate) fn from_passes(
+        level: usize,
+        modules: usize,
+        passes: &[PassStats],
+        rebalance_moves: usize,
+    ) -> LevelStats {
+        LevelStats {
+            level,
+            modules,
+            cut_before: passes.first().map_or(0, |s| s.cut_before),
+            cut_after: passes.last().map_or(0, |s| s.cut_after),
+            attempted_moves: passes.iter().map(|s| s.attempted_moves as u64).sum(),
+            kept_moves: passes.iter().map(|s| s.kept_moves as u64).sum(),
+            rebalance_moves,
+            passes: passes.len(),
+            fill_time_ns: passes.iter().map(|s| s.fill_time_ns).sum(),
+        }
+    }
+}
 
 /// Configuration of the ML algorithm.
 ///
@@ -124,6 +194,10 @@ pub struct MlResult {
     pub total_passes: usize,
     /// Modules moved by §III-B rebalancing during uncoarsening.
     pub rebalance_moves: usize,
+    /// Per-level instrumentation in execution order: the coarsest level's
+    /// initial partitioning (from the winning try) first, then each
+    /// uncoarsening level down to the original netlist.
+    pub level_stats: Vec<LevelStats>,
 }
 
 /// Runs the ML multilevel bipartitioning algorithm of Fig. 2.
@@ -154,10 +228,20 @@ pub struct MlResult {
 /// # Ok(())
 /// # }
 /// ```
-pub fn ml_bipartition(
+pub fn ml_bipartition(h: &Hypergraph, cfg: &MlConfig, rng: &mut MlRng) -> (Partition, MlResult) {
+    let mut ws = RefineWorkspace::new();
+    ml_bipartition_in(h, cfg, rng, &mut ws)
+}
+
+/// [`ml_bipartition`] with caller-owned scratch: every level of the V-cycle
+/// (initial tries included) refines through the same [`RefineWorkspace`], so
+/// the gain/bucket machinery is allocated once per run instead of once per
+/// level. Results are bit-identical to [`ml_bipartition`].
+pub fn ml_bipartition_in(
     h: &Hypergraph,
     cfg: &MlConfig,
     rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
 ) -> (Partition, MlResult) {
     // --- Coarsening phase (steps 1-5). ---
     let hierarchy = Hierarchy::coarsen(h, cfg, &[], rng);
@@ -167,15 +251,26 @@ pub fn ml_bipartition(
     let coarsest = hierarchy.coarsest(h);
     let mut total_passes = 0usize;
     let tries = cfg.initial_tries.max(1);
-    let mut best: Option<(u64, Partition)> = None;
+    let mut best: Option<(u64, Partition, Vec<PassStats>)> = None;
     for _ in 0..tries {
-        let (p, r) = fm_partition(coarsest, None, &cfg.fm, rng);
+        let (p, r) = fm_partition_in(coarsest, None, &cfg.fm, rng, ws);
         total_passes += r.passes;
-        if best.as_ref().is_none_or(|(c, _)| r.cut < *c) {
-            best = Some((r.cut, p));
+        // Determinism tie-break: strict `<` keeps the *first* try that
+        // reaches the minimum cut, so for a fixed seed the winning
+        // partition — and every downstream projection/refinement — does not
+        // depend on how many later tries happen to tie it.
+        if best.as_ref().is_none_or(|(c, _, _)| r.cut < *c) {
+            best = Some((r.cut, p, r.pass_stats));
         }
     }
-    let (_, mut p) = best.expect("at least one try");
+    let (_, mut p, initial_stats) = best.expect("at least one try");
+    let mut level_stats = Vec::with_capacity(m + 1);
+    level_stats.push(LevelStats::from_passes(
+        m,
+        coarsest.num_modules(),
+        &initial_stats,
+        0,
+    ));
 
     // --- Uncoarsening phase (steps 7-9). ---
     let mut rebalance_moves = 0usize;
@@ -183,11 +278,19 @@ pub fn ml_bipartition(
         let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
         let mut fine_p = project(fine, hierarchy.clustering(i), &p);
         let balance = BipartBalance::new(fine, cfg.fm.balance_r);
+        let mut level_rebalance = 0usize;
         if !balance.is_partition_feasible(&fine_p) {
-            rebalance_moves += rebalance_bipart(fine, &mut fine_p, &balance, rng);
+            level_rebalance = rebalance_bipart(fine, &mut fine_p, &balance, rng);
+            rebalance_moves += level_rebalance;
         }
-        let r = refine(fine, &mut fine_p, &cfg.fm, rng);
+        let r = refine_in(fine, &mut fine_p, &cfg.fm, rng, ws);
         total_passes += r.passes;
+        level_stats.push(LevelStats::from_passes(
+            i,
+            fine.num_modules(),
+            &r.pass_stats,
+            level_rebalance,
+        ));
         p = fine_p;
     }
 
@@ -198,6 +301,7 @@ pub fn ml_bipartition(
         level_sizes: hierarchy.level_sizes(h),
         total_passes,
         rebalance_moves,
+        level_stats,
     };
     (p, result)
 }
@@ -205,7 +309,7 @@ pub fn ml_bipartition(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlpart_fm::BucketPolicy;
+    use mlpart_fm::{fm_partition, BucketPolicy};
     use mlpart_hypergraph::rng::seeded_rng;
     use mlpart_hypergraph::HypergraphBuilder;
 
@@ -270,8 +374,7 @@ mod tests {
         let h = two_communities(200);
         let mut rng = seeded_rng(9);
         let (_, r_full) = ml_bipartition(&h, &MlConfig::default(), &mut rng);
-        let (_, r_half) =
-            ml_bipartition(&h, &MlConfig::default().with_ratio(0.5), &mut rng);
+        let (_, r_half) = ml_bipartition(&h, &MlConfig::default().with_ratio(0.5), &mut rng);
         assert!(r_half.levels > r_full.levels);
     }
 

@@ -8,11 +8,12 @@
 //! sum-of-degrees gain.
 
 use crate::hierarchy::Hierarchy;
-use crate::ml::MlConfig;
+use crate::ml::{LevelStats, MlConfig};
 use mlpart_cluster::{project, rebalance_kway_frozen};
+use mlpart_fm::RefineWorkspace;
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
-use mlpart_kway::{kway_partition, kway_refine, KwayConfig};
+use mlpart_kway::{kway_partition_in, kway_refine_in, KwayConfig};
 
 /// Configuration for multilevel k-way partitioning.
 ///
@@ -59,6 +60,10 @@ pub struct MlKwayResult {
     pub total_passes: usize,
     /// Modules moved by rebalancing during uncoarsening.
     pub rebalance_moves: usize,
+    /// Per-level instrumentation in execution order (coarsest first); the
+    /// `cut_*` fields carry the k-way engine objective (sum-of-degrees or
+    /// net cut, per the configured gain).
+    pub level_stats: Vec<LevelStats>,
 }
 
 /// Runs the multilevel k-way (quadrisection for `k = 4`) algorithm.
@@ -101,6 +106,21 @@ pub fn ml_kway(
     fixed: &[(ModuleId, PartId)],
     rng: &mut MlRng,
 ) -> (Partition, MlKwayResult) {
+    let mut ws = RefineWorkspace::new();
+    ml_kway_in(h, cfg, fixed, rng, &mut ws)
+}
+
+/// [`ml_kway`] with caller-owned scratch: every level refines through the
+/// same [`RefineWorkspace`] (bound in its k-way shape), so the per-level
+/// gain/bucket allocations are reused. Results are bit-identical to
+/// [`ml_kway`].
+pub fn ml_kway_in(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    fixed: &[(ModuleId, PartId)],
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> (Partition, MlKwayResult) {
     assert!(cfg.k > 0, "k must be positive");
     // Reuse the bipartition hierarchy builder: only T / R / max_levels apply.
     let ml_cfg = MlConfig {
@@ -114,15 +134,23 @@ pub fn ml_kway(
 
     // Initial k-way partitioning of the coarsest netlist.
     let coarsest = hierarchy.coarsest(h);
-    let (mut p, r0) = kway_partition(
+    let (mut p, r0) = kway_partition_in(
         coarsest,
         cfg.k,
         None,
         hierarchy.fixed_at(m),
         &cfg.kway,
         rng,
+        ws,
     );
     let mut total_passes = r0.passes;
+    let mut level_stats = Vec::with_capacity(m + 1);
+    level_stats.push(LevelStats::from_passes(
+        m,
+        coarsest.num_modules(),
+        &r0.pass_stats,
+        0,
+    ));
 
     // Uncoarsening with projection, rebalancing, and k-way refinement.
     let mut rebalance_moves = 0usize;
@@ -130,6 +158,7 @@ pub fn ml_kway(
         let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
         let mut fine_p = project(fine, hierarchy.clustering(i), &p);
         let balance = KwayBalance::new(fine, cfg.k, cfg.kway.balance_r);
+        let mut level_rebalance = 0usize;
         if !balance.is_partition_feasible(&fine_p) {
             let level_fixed = hierarchy.fixed_at(i);
             let mask: Option<Vec<bool>> = if level_fixed.is_empty() {
@@ -141,11 +170,18 @@ pub fn ml_kway(
                 }
                 Some(m)
             };
-            rebalance_moves +=
+            level_rebalance =
                 rebalance_kway_frozen(fine, &mut fine_p, &balance, mask.as_deref(), rng);
+            rebalance_moves += level_rebalance;
         }
-        let r = kway_refine(fine, &mut fine_p, hierarchy.fixed_at(i), &cfg.kway, rng);
+        let r = kway_refine_in(fine, &mut fine_p, hierarchy.fixed_at(i), &cfg.kway, rng, ws);
         total_passes += r.passes;
+        level_stats.push(LevelStats::from_passes(
+            i,
+            fine.num_modules(),
+            &r.pass_stats,
+            level_rebalance,
+        ));
         p = fine_p;
     }
 
@@ -156,6 +192,7 @@ pub fn ml_kway(
         level_sizes: hierarchy.level_sizes(h),
         total_passes,
         rebalance_moves,
+        level_stats,
     };
     (p, result)
 }
@@ -175,6 +212,7 @@ mod tests {
     use super::*;
     use mlpart_hypergraph::rng::seeded_rng;
     use mlpart_hypergraph::HypergraphBuilder;
+    use mlpart_kway::kway_partition;
 
     /// Four communities in a ring; optimum quadrisection cuts the 4 bridges.
     fn four_communities(size: usize) -> Hypergraph {

@@ -9,7 +9,8 @@
 //! sub-netlist and bisected again, recursively, yielding `k = 2^depth`
 //! parts.
 
-use crate::ml::{ml_bipartition, MlConfig};
+use crate::ml::{ml_bipartition_in, MlConfig};
+use mlpart_fm::RefineWorkspace;
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, Hypergraph, Partition};
 
@@ -65,6 +66,20 @@ pub fn recursive_ml_bisection(
     cfg: &MlConfig,
     rng: &mut MlRng,
 ) -> (Partition, RecursiveResult) {
+    let mut ws = RefineWorkspace::new();
+    recursive_ml_bisection_in(h, depth, cfg, rng, &mut ws)
+}
+
+/// [`recursive_ml_bisection`] with caller-owned scratch: every region's
+/// multilevel bisection (`2^depth − 1` of them) shares one
+/// [`RefineWorkspace`] instead of allocating its own refinement state.
+pub fn recursive_ml_bisection_in(
+    h: &Hypergraph,
+    depth: u32,
+    cfg: &MlConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> (Partition, RecursiveResult) {
     assert!(depth >= 1, "depth must be at least 1");
     assert!(depth <= 16, "depth over 16 is surely a mistake");
     let k = 1u32 << depth;
@@ -93,12 +108,15 @@ pub fn recursive_ml_bisection(
                 continue;
             }
             let (sub, back) = h.extract(&keep);
-            let (sub_p, _) = ml_bipartition(&sub, cfg, rng);
+            let (sub_p, _) = ml_bipartition_in(&sub, cfg, rng, ws);
             bisections += 1;
             // Write back: side 0 -> low, side 1 -> high.
             for (sub_v, &orig) in back.iter().enumerate() {
-                next_region[orig.index()] =
-                    if sub_p.assignment()[sub_v] == 0 { low } else { high };
+                next_region[orig.index()] = if sub_p.assignment()[sub_v] == 0 {
+                    low
+                } else {
+                    high
+                };
             }
         }
         region = next_region;
@@ -115,6 +133,7 @@ pub fn recursive_ml_bisection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ml::ml_bipartition;
     use mlpart_hypergraph::rng::seeded_rng;
     use mlpart_hypergraph::HypergraphBuilder;
 
@@ -138,7 +157,9 @@ mod tests {
         let best = (0..5)
             .map(|s| {
                 let mut rng = seeded_rng(s);
-                recursive_ml_bisection(&h, 2, &MlConfig::default(), &mut rng).1.cut
+                recursive_ml_bisection(&h, 2, &MlConfig::default(), &mut rng)
+                    .1
+                    .cut
             })
             .min()
             .unwrap();

@@ -12,12 +12,12 @@
 //! *multiple* levels can be isolated experimentally.
 
 use mlpart_cluster::{induce, match_clusters, project, rebalance_bipart, MatchConfig};
-use mlpart_fm::{fm_partition, refine, FmConfig, FmResult};
+use mlpart_fm::{fm_partition_in, refine_in, FmConfig, FmResult, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, Partition};
 
 /// Result of a two-phase FM run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TwoPhaseResult {
     /// Final cut on `H₀`.
     pub cut: u64,
@@ -62,10 +62,23 @@ pub fn two_phase_fm(
     match_cfg: &MatchConfig,
     rng: &mut MlRng,
 ) -> (Partition, TwoPhaseResult) {
+    let mut ws = RefineWorkspace::new();
+    two_phase_fm_in(h, fm, match_cfg, rng, &mut ws)
+}
+
+/// [`two_phase_fm`] with caller-owned scratch: both FM runs share the
+/// workspace's gain/bucket allocations.
+pub fn two_phase_fm_in(
+    h: &Hypergraph,
+    fm: &FmConfig,
+    match_cfg: &MatchConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> (Partition, TwoPhaseResult) {
     // Phase 1: cluster once and partition the coarse netlist.
     let clustering = match_clusters(h, match_cfg, rng);
     let coarse = induce(h, &clustering);
-    let (coarse_p, coarse_r) = fm_partition(&coarse, None, fm, rng);
+    let (coarse_p, coarse_r) = fm_partition_in(&coarse, None, fm, rng, ws);
 
     // Phase 2: project and refine on the original netlist.
     let mut p = project(h, &clustering, &coarse_p);
@@ -73,7 +86,7 @@ pub fn two_phase_fm(
     if !balance.is_partition_feasible(&p) {
         rebalance_bipart(h, &mut p, &balance, rng);
     }
-    let refine_r = refine(h, &mut p, fm, rng);
+    let refine_r = refine_in(h, &mut p, fm, rng, ws);
 
     let result = TwoPhaseResult {
         cut: metrics::cut(h, &p),
@@ -87,6 +100,7 @@ pub fn two_phase_fm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlpart_fm::fm_partition;
     use mlpart_hypergraph::rng::seeded_rng;
     use mlpart_hypergraph::HypergraphBuilder;
 
@@ -130,7 +144,9 @@ mod tests {
         let two_phase: f64 = (0..runs)
             .map(|s| {
                 let mut rng = seeded_rng(20 + s);
-                two_phase_fm(&h, &fm, &MatchConfig::default(), &mut rng).1.cut as f64
+                two_phase_fm(&h, &fm, &MatchConfig::default(), &mut rng)
+                    .1
+                    .cut as f64
             })
             .sum::<f64>()
             / runs as f64;
@@ -153,7 +169,9 @@ mod tests {
         let two_phase = (0..runs)
             .map(|s| {
                 let mut rng = seeded_rng(30 + s);
-                two_phase_fm(&h, &fm, &MatchConfig::default(), &mut rng).1.cut
+                two_phase_fm(&h, &fm, &MatchConfig::default(), &mut rng)
+                    .1
+                    .cut
             })
             .min()
             .expect("runs");

@@ -1,0 +1,390 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this path-replaced
+//! crate implements the subset of the criterion 0.5 API the workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], and [`black_box`].
+//!
+//! Measurement model: each benchmark is warmed up, then timed for
+//! `sample_size` samples; every sample runs the routine enough times to take
+//! roughly [`TARGET_SAMPLE_NANOS`]. Mean/min/max ns-per-iteration are
+//! printed to stdout. When the `MLPART_BENCH_JSON` environment variable
+//! names a file, all results are also appended there as JSON lines —
+//! `{"group", "bench", "mean_ns", "min_ns", "max_ns", "samples", "throughput_elems"}`
+//! — which is what the repository's recorded `BENCH_*.json` files contain.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one timed sample.
+pub const TARGET_SAMPLE_NANOS: u64 = 25_000_000;
+
+/// Top-level bench harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchRecord>,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name (empty for ungrouped benches).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Optional throughput denominator (elements per iteration).
+    pub throughput_elems: Option<u64>,
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, like the real crate.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benches a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self, String::new(), id.0, 20, None, f);
+        self
+    }
+
+    fn record(&mut self, rec: BenchRecord) {
+        let full_name = format!(
+            "{}{}{}",
+            rec.group,
+            if rec.group.is_empty() { "" } else { "/" },
+            rec.bench
+        );
+        let mut line = format!(
+            "{full_name:<40} mean {:>12} min {:>12} max {:>12} ({} samples",
+            format_ns(rec.mean_ns),
+            format_ns(rec.min_ns),
+            format_ns(rec.max_ns),
+            rec.samples,
+        );
+        if let Some(elems) = rec.throughput_elems {
+            let per_sec = elems as f64 / (rec.mean_ns / 1e9);
+            let _ = write!(line, ", {per_sec:.0} elem/s");
+        }
+        line.push(')');
+        println!("{line}");
+        self.results.push(rec);
+    }
+
+    fn flush_json(&self) {
+        let Ok(path) = std::env::var("MLPART_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("criterion shim: cannot open {path}");
+            return;
+        };
+        for r in &self.results {
+            let throughput = r
+                .throughput_elems
+                .map_or("null".to_owned(), |t| t.to_string());
+            let _ = writeln!(
+                file,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"throughput_elems\":{}}}",
+                r.group, r.bench, r.mean_ns, r.min_ns, r.max_ns, r.samples, throughput
+            );
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush_json();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches a routine under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(
+            self.criterion,
+            self.name.clone(),
+            id.0,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benches a routine that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_bench(
+            self.criterion,
+            self.name.clone(),
+            id.0,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (results are recorded as each bench finishes).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Creates an id that is just the displayed parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput denominator for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn elements(self) -> Option<u64> {
+        match self {
+            Throughput::Elements(e) => Some(e),
+            Throughput::Bytes(b) => Some(b),
+        }
+    }
+}
+
+/// Passed to the routine being benched; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    mode: BencherMode,
+}
+
+#[derive(Debug, Default, PartialEq, Eq)]
+enum BencherMode {
+    /// Calibration run: determine iterations per sample.
+    #[default]
+    Calibrate,
+    /// Timed run: collect one sample per `iter` call batch.
+    Measure,
+}
+
+impl Bencher {
+    /// Runs the routine, timing it according to the harness phase.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BencherMode::Calibrate => {
+                // One untimed warmup call, then scale iterations so a sample
+                // lasts about TARGET_SAMPLE_NANOS.
+                let start = Instant::now();
+                black_box(routine());
+                let one = start.elapsed().as_nanos().max(1) as u64;
+                self.iters_per_sample = (TARGET_SAMPLE_NANOS / one).clamp(1, 1_000_000);
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                let total = start.elapsed().as_nanos() as f64;
+                self.samples.push(total / self.iters_per_sample as f64);
+            }
+        }
+    }
+}
+
+fn run_bench<F>(
+    criterion: &mut Criterion,
+    group: String,
+    bench: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    f(&mut b); // calibration pass
+    b.mode = BencherMode::Measure;
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let samples = &b.samples;
+    if samples.is_empty() {
+        eprintln!("criterion shim: bench {group}/{bench} never called iter()");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    criterion.record(BenchRecord {
+        group,
+        bench,
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples: samples.len(),
+        throughput_elems: throughput.and_then(Throughput::elements),
+    });
+}
+
+/// Declares a bench group function, mirroring the real crate's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring the real crate's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("fib", |b| {
+                b.iter(|| (0..100u64).sum::<u64>());
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+                b.iter(|| x * 2);
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].bench, "fib");
+        assert_eq!(c.results[0].samples, 3);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert_eq!(c.results[1].bench, "7");
+        c.results.clear(); // nothing to flush on drop in tests
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("a", 3).0, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+        assert_eq!(BenchmarkId::from("lit").0, "lit");
+    }
+}

@@ -301,6 +301,31 @@ impl GainBuckets {
         }
     }
 
+    /// Re-dimensions the structure in place for a new module count, key
+    /// range, and policy, reusing the existing allocations (grow-only
+    /// capacity). After `reset`, the structure is observationally identical
+    /// to `GainBuckets::new(num_modules, max_key, policy)` — this is what
+    /// lets a [`RefineWorkspace`](crate::RefineWorkspace) carry one bucket
+    /// structure across every level of a multilevel run.
+    pub fn reset(&mut self, num_modules: usize, max_key: i32, policy: BucketPolicy) {
+        assert!(max_key >= 0, "max_key must be non-negative");
+        let buckets = (2 * max_key + 1) as usize;
+        self.policy = policy;
+        self.max_key = max_key;
+        self.heads.clear();
+        self.heads.resize(buckets, NIL);
+        self.tails.clear();
+        self.tails.resize(buckets, NIL);
+        self.next.resize(num_modules, NIL);
+        self.prev.resize(num_modules, NIL);
+        self.key.clear();
+        self.key.resize(num_modules, 0);
+        self.present.clear();
+        self.present.resize(num_modules, false);
+        self.top_hint = -1;
+        self.len = 0;
+    }
+
     /// Removes every module, leaving capacity intact. O(present modules +
     /// buckets touched) via full reset — the engines rebuild gains each pass
     /// anyway (the paper notes faster reinitialization as future work).

@@ -23,9 +23,11 @@
 //! initially) and [`FmConfig::early_exit_stall`] (abandon a pass after a run
 //! of non-improving moves).
 
-use crate::bucket::{BucketPolicy, GainBuckets};
+use crate::bucket::BucketPolicy;
+use crate::state::{PassStats, RefineState, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, ModuleId, NetId, Partition};
+use std::time::Instant;
 
 /// Which gain discipline drives module selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -129,7 +131,7 @@ impl Default for FmConfig {
 }
 
 /// Outcome of a refinement run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FmResult {
     /// Final cut measured over **all** nets (large nets re-inserted).
     pub cut: u64,
@@ -141,6 +143,9 @@ pub struct FmResult {
     pub kept_moves: u64,
     /// Total attempted module moves across all passes.
     pub attempted_moves: u64,
+    /// Per-pass instrumentation: cut trajectory, move counts, bucket-fill
+    /// time. One entry per executed pass.
+    pub pass_stats: Vec<PassStats>,
 }
 
 /// The paper's `FMPartition(H, P)` (Fig. 2): refines an initial solution, or
@@ -178,6 +183,20 @@ pub fn fm_partition(
     cfg: &FmConfig,
     rng: &mut MlRng,
 ) -> (Partition, FmResult) {
+    let mut ws = RefineWorkspace::new();
+    fm_partition_in(h, initial, cfg, rng, &mut ws)
+}
+
+/// [`fm_partition`] with caller-owned scratch: behaves identically but
+/// reuses the allocations in `ws` (multilevel drivers call this at every
+/// level of the V-cycle).
+pub fn fm_partition_in(
+    h: &Hypergraph,
+    initial: Option<Partition>,
+    cfg: &FmConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> (Partition, FmResult) {
     let mut p = match initial {
         Some(p) => {
             assert_eq!(p.k(), 2, "fm_partition requires a bipartition");
@@ -190,7 +209,7 @@ pub fn fm_partition(
         }
         None => Partition::random(h, 2, rng),
     };
-    let result = refine(h, &mut p, cfg, rng);
+    let result = refine_in(h, &mut p, cfg, rng, ws);
     (p, result)
 }
 
@@ -200,114 +219,78 @@ pub fn fm_partition(
 ///
 /// Panics if `p` is not a bipartition of `h`.
 pub fn refine(h: &Hypergraph, p: &mut Partition, cfg: &FmConfig, rng: &mut MlRng) -> FmResult {
+    let mut ws = RefineWorkspace::new();
+    refine_in(h, p, cfg, rng, &mut ws)
+}
+
+/// [`refine`] with caller-owned scratch: bit-identical results, no per-call
+/// allocation of the gain/bucket machinery.
+pub fn refine_in(
+    h: &Hypergraph,
+    p: &mut Partition,
+    cfg: &FmConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> FmResult {
     assert_eq!(p.k(), 2, "refine requires a bipartition");
     assert_eq!(
         p.assignment().len(),
         h.num_modules(),
         "partition does not match hypergraph"
     );
-    let mut ctx = PassContext::new(h, cfg);
+    let st = &mut ws.state;
+    bind_bipart(st, h, cfg);
+    let balance = BipartBalance::new(h, cfg.balance_r);
     let mut passes = 0;
     let mut kept_moves = 0u64;
     let mut attempted_moves = 0u64;
+    let mut pass_stats = Vec::new();
     while passes < cfg.max_passes {
-        let outcome = ctx.run_pass(h, p, cfg, rng);
+        let outcome = st.run_pass(h, p, cfg, &balance, rng);
         passes += 1;
-        kept_moves += outcome.kept as u64;
-        attempted_moves += outcome.attempted as u64;
+        kept_moves += outcome.stats.kept_moves as u64;
+        attempted_moves += outcome.stats.attempted_moves as u64;
+        pass_stats.push(outcome.stats);
         if !outcome.improved {
             break;
         }
     }
     FmResult {
         cut: metrics::cut(h, p),
-        internal_cut: ctx.internal_cut(h, p, cfg),
+        internal_cut: metrics::cut_with_net_size_limit(h, p, cfg.max_net_size),
         passes,
         kept_moves,
         attempted_moves,
+        pass_stats,
     }
+}
+
+/// Binds the shared state to `h` in its 2-way shape: one bucket structure,
+/// key range from the max visible incident weight (doubled for CLIP deltas).
+fn bind_bipart(st: &mut RefineState, h: &Hypergraph, cfg: &FmConfig) {
+    let max_vis_weight = st.bind_nets(h, 2, cfg.max_net_size);
+    assert!(
+        max_vis_weight <= i32::MAX as i64 / 4,
+        "net weights too large for the bucket structure"
+    );
+    let max_vis_weight = max_vis_weight as i32;
+    let max_key = match cfg.engine {
+        Engine::Fm => max_vis_weight,
+        Engine::Clip => 2 * max_vis_weight,
+    };
+    st.bind_modules(h, 1, max_key, cfg.policy);
 }
 
 struct PassOutcome {
     improved: bool,
-    kept: usize,
-    attempted: usize,
+    stats: PassStats,
 }
 
-/// Reusable per-pass scratch state: gain arrays, net pin counts, buckets.
-struct PassContext {
-    /// Pins of each engine-visible net on each side; `[0, 0]` for ignored nets.
-    pins_in: Vec<[u32; 2]>,
-    /// Current total gain of each module (over visible nets).
-    gain: Vec<i32>,
-    /// Gain at the start of the pass (CLIP reference point).
-    gain0: Vec<i32>,
-    locked: Vec<bool>,
-    buckets: GainBuckets,
-    balance: BipartBalance,
-    /// Magnitude of the bucket key range (for lookahead's downward walk).
-    key_bound: i32,
-    /// `true` for nets the engine sees (2 ≤ |e| ≤ max_net_size).
-    visible: Vec<bool>,
-    /// Move log of the current pass: (module, from-side).
-    moves: Vec<(ModuleId, u32)>,
-    /// Incremental-reinit bookkeeping: whether `pins_in`/`gain` are valid
-    /// carrying into the next pass, the cut they correspond to, and the
-    /// modules whose gains may be stale (moved modules and their neighbors).
-    state_valid: bool,
-    cut_cache: u64,
-    touched: Vec<u32>,
-}
-
-impl PassContext {
-    fn new(h: &Hypergraph, cfg: &FmConfig) -> Self {
-        let n = h.num_modules();
-        let visible: Vec<bool> = h
-            .net_ids()
-            .map(|e| h.net_size(e) <= cfg.max_net_size)
-            .collect();
-        // Max gain magnitude = max total visible incident net weight; CLIP
-        // deltas span twice that.
-        let max_vis_weight = h
-            .modules()
-            .map(|v| {
-                h.nets(v)
-                    .iter()
-                    .filter(|e| visible[e.index()])
-                    .map(|e| h.net_weight(*e) as i64)
-                    .sum::<i64>()
-            })
-            .max()
-            .unwrap_or(0);
-        assert!(
-            max_vis_weight <= i32::MAX as i64 / 4,
-            "net weights too large for the bucket structure"
-        );
-        let max_vis_weight = max_vis_weight as i32;
-        let max_key = match cfg.engine {
-            Engine::Fm => max_vis_weight,
-            Engine::Clip => 2 * max_vis_weight,
-        };
-        PassContext {
-            pins_in: vec![[0, 0]; h.num_nets()],
-            gain: vec![0; n],
-            gain0: vec![0; n],
-            locked: vec![false; n],
-            buckets: GainBuckets::new(n, max_key, cfg.policy),
-            balance: BipartBalance::new(h, cfg.balance_r),
-            key_bound: max_key,
-            visible,
-            moves: Vec::with_capacity(n),
-            state_valid: false,
-            cut_cache: 0,
-            touched: Vec::new(),
-        }
-    }
-
-    fn internal_cut(&self, h: &Hypergraph, p: &Partition, cfg: &FmConfig) -> u64 {
-        metrics::cut_with_net_size_limit(h, p, cfg.max_net_size)
-    }
-
+/// The 2-way pass algorithm, implemented over the shared [`RefineState`].
+/// The state's `pins_in` is 2-strided (`pins_in[2e + side]`) and
+/// `buckets[0]` is the single bucket structure — moves always target the
+/// other side, so per-destination buckets are unnecessary at `k = 2`.
+impl RefineState {
     /// Recomputes `pins_in` and `gain` from scratch (the paper's
     /// implementation reinitializes the entire structure before each pass).
     /// Returns the visible-net (weighted) cut.
@@ -321,7 +304,8 @@ impl PassContext {
             for &v in h.pins(e) {
                 counts[p.part(v) as usize] += 1;
             }
-            self.pins_in[e.index()] = counts;
+            self.pins_in[2 * e.index()] = counts[0];
+            self.pins_in[2 * e.index() + 1] = counts[1];
             if counts[0] > 0 && counts[1] > 0 {
                 cut += h.net_weight(e) as u64;
             }
@@ -335,11 +319,10 @@ impl PassContext {
                     continue;
                 }
                 let w = h.net_weight(e) as i32;
-                let c = self.pins_in[e.index()];
-                if c[s] == 1 {
+                if self.pins_in[2 * e.index() + s] == 1 {
                     g += w;
                 }
-                if c[o] == 0 {
+                if self.pins_in[2 * e.index() + o] == 0 {
                     g -= w;
                 }
             }
@@ -361,11 +344,10 @@ impl PassContext {
                 continue;
             }
             let w = h.net_weight(e) as i32;
-            let c = self.pins_in[e.index()];
-            if c[s] == 1 {
+            if self.pins_in[2 * e.index() + s] == 1 {
                 g += w;
             }
-            if c[o] == 0 {
+            if self.pins_in[2 * e.index() + o] == 0 {
                 g -= w;
             }
         }
@@ -381,24 +363,23 @@ impl PassContext {
 
     /// Loads the bucket structure for a fresh pass.
     fn fill_buckets(&mut self, h: &Hypergraph, p: &Partition, cfg: &FmConfig) {
-        self.buckets.clear();
+        self.buckets[0].clear();
         // Which modules enter initially?
         let eligible = |ctx: &Self, v: ModuleId| -> bool {
             if !cfg.boundary_init {
                 return true;
             }
             h.nets(v).iter().any(|e| {
-                ctx.visible[e.index()] && {
-                    let c = ctx.pins_in[e.index()];
-                    c[0] > 0 && c[1] > 0
-                }
+                ctx.visible[e.index()]
+                    && ctx.pins_in[2 * e.index()] > 0
+                    && ctx.pins_in[2 * e.index() + 1] > 0
             })
         };
         match cfg.engine {
             Engine::Fm => {
                 for v in h.modules() {
                     if eligible(self, v) {
-                        self.buckets.insert(v, self.gain[v.index()]);
+                        self.buckets[0].insert(v, self.gain[v.index()]);
                     }
                 }
             }
@@ -407,18 +388,17 @@ impl PassContext {
                 // LIFO (insert-at-head) we insert ascending so the largest
                 // initial gain ends at the head; FIFO/Random append at the
                 // tail so we insert descending.
-                let mut order: Vec<ModuleId> =
-                    h.modules().filter(|&v| eligible(self, v)).collect();
+                let mut order: Vec<ModuleId> = h.modules().filter(|&v| eligible(self, v)).collect();
                 order.sort_by_key(|v| self.gain0[v.index()]);
                 match cfg.policy {
                     BucketPolicy::Lifo => {
                         for &v in &order {
-                            self.buckets.insert(v, 0);
+                            self.buckets[0].insert(v, 0);
                         }
                     }
                     BucketPolicy::Fifo | BucketPolicy::Random => {
                         for &v in order.iter().rev() {
-                            self.buckets.insert(v, 0);
+                            self.buckets[0].insert(v, 0);
                         }
                     }
                 }
@@ -438,8 +418,8 @@ impl PassContext {
         cut: &mut u64,
     ) {
         self.locked[v.index()] = true;
-        if self.buckets.contains(v) {
-            self.buckets.remove(v);
+        if self.buckets[0].contains(v) {
+            self.buckets[0].remove(v);
         }
         if cfg.incremental_reinit {
             // Everything whose gain a move can invalidate: the mover and
@@ -447,8 +427,7 @@ impl PassContext {
             self.touched.push(v.raw());
             for &e in h.nets(v) {
                 if self.visible[e.index()] {
-                    self.touched
-                        .extend(h.pins(e).iter().map(|w| w.raw()));
+                    self.touched.extend(h.pins(e).iter().map(|w| w.raw()));
                 }
             }
         }
@@ -476,7 +455,7 @@ impl PassContext {
             let ei = e.index();
             let w = h.net_weight(e) as i32;
             // Before the pin flip.
-            let t_before = self.pins_in[ei][to];
+            let t_before = self.pins_in[2 * ei + to];
             if t_before == 0 {
                 *cut += w as u64;
                 // Net was uncut on `from`; every other pin gains desire to
@@ -486,10 +465,10 @@ impl PassContext {
                 // The lone pin on `to` no longer saves the net by moving.
                 self.bump_single_side_gain(h, p, e, v, to as u32, -w, cfg);
             }
-            self.pins_in[ei][from] -= 1;
-            self.pins_in[ei][to] += 1;
+            self.pins_in[2 * ei + from] -= 1;
+            self.pins_in[2 * ei + to] += 1;
             // After the pin flip.
-            let f_after = self.pins_in[ei][from];
+            let f_after = self.pins_in[2 * ei + from];
             if f_after == 0 {
                 *cut -= w as u64;
                 self.bump_net_gains(h, e, v, -w, cfg);
@@ -501,7 +480,14 @@ impl PassContext {
     }
 
     /// Adds `delta` to the gain of every unlocked pin of `e` other than `v`.
-    fn bump_net_gains(&mut self, h: &Hypergraph, e: NetId, v: ModuleId, delta: i32, cfg: &FmConfig) {
+    fn bump_net_gains(
+        &mut self,
+        h: &Hypergraph,
+        e: NetId,
+        v: ModuleId,
+        delta: i32,
+        cfg: &FmConfig,
+    ) {
         for &w in h.pins(e) {
             if w != v && !self.locked[w.index()] {
                 self.change_gain(w, delta, cfg);
@@ -535,11 +521,11 @@ impl PassContext {
     fn change_gain(&mut self, w: ModuleId, delta: i32, cfg: &FmConfig) {
         self.gain[w.index()] += delta;
         let key = self.bucket_key(w, cfg.engine);
-        if self.buckets.contains(w) {
-            self.buckets.update_key(w, key);
+        if self.buckets[0].contains(w) {
+            self.buckets[0].update_key(w, key);
         } else {
             // Boundary mode: a module touched by a move enters the structure.
-            self.buckets.insert(w, key);
+            self.buckets[0].insert(w, key);
         }
     }
 
@@ -557,11 +543,10 @@ impl PassContext {
                 continue;
             }
             let w = h.net_weight(e) as i32;
-            let c = self.pins_in[e.index()];
-            if c[from] == 2 {
+            if self.pins_in[2 * e.index() + from] == 2 {
                 g += w;
             }
-            if c[to] == 1 {
+            if self.pins_in[2 * e.index() + to] == 1 {
                 g -= w;
             }
         }
@@ -580,10 +565,10 @@ impl PassContext {
     where
         F: FnMut(ModuleId) -> bool,
     {
-        let top = self.buckets.max_key()?;
+        let top = self.buckets[0].max_key()?;
         let mut key = top;
         while key >= -self.key_bound {
-            let members = self.buckets.bucket_members(key);
+            let members = self.buckets[0].bucket_members(key);
             let mut best: Option<(i32, ModuleId)> = None;
             for v in members {
                 if !feasible(v) {
@@ -608,8 +593,10 @@ impl PassContext {
         h: &Hypergraph,
         p: &mut Partition,
         cfg: &FmConfig,
+        balance: &BipartBalance,
         rng: &mut MlRng,
     ) -> PassOutcome {
+        let fill_start = Instant::now();
         let start_cut = if cfg.incremental_reinit && self.state_valid {
             // §V fast reinit: only touched modules can have stale gains.
             // Duplicates in the touched list are harmless (recomputation is
@@ -628,6 +615,7 @@ impl PassContext {
         self.locked.fill(false);
         self.moves.clear();
         self.fill_buckets(h, p, cfg);
+        let fill_time_ns = fill_start.elapsed().as_nanos() as u64;
 
         let mut cut = start_cut;
         let mut best_cut = start_cut;
@@ -643,7 +631,6 @@ impl PassContext {
                     break;
                 }
             }
-            let balance = self.balance;
             let area0 = p.part_area(0);
             let pick = {
                 let part_of = p.assignment();
@@ -660,7 +647,7 @@ impl PassContext {
                 if cfg.lookahead {
                     self.select_lookahead(h, p, check)
                 } else {
-                    self.buckets.select_where(rng, check)
+                    self.buckets[0].select_where(rng, check)
                 }
             };
             let Some(v) = pick else { break };
@@ -678,13 +665,10 @@ impl PassContext {
             // this sequence is going nowhere — undo it, lock out its seed,
             // and let selection pick a different cluster to chase.
             if let Some(window) = cfg.cdip_window {
-                if self.moves.len() - best_len >= window.max(1)
-                    && backtracks < max_backtracks
-                {
+                if self.moves.len() - best_len >= window.max(1) && backtracks < max_backtracks {
                     backtracks += 1;
                     let seed = self.moves[best_len].0;
-                    let undo: Vec<(ModuleId, u32)> =
-                        self.moves[best_len..].to_vec();
+                    let undo: Vec<(ModuleId, u32)> = self.moves[best_len..].to_vec();
                     for &(u, from_part) in undo.iter().rev() {
                         debug_assert_ne!(p.part(u), from_part);
                         self.shift_module(h, p, u, cfg, &mut cut);
@@ -694,7 +678,7 @@ impl PassContext {
                             self.locked[u.index()] = false;
                             self.recompute_gain_of(h, p, u);
                             let key = self.bucket_key(u, cfg.engine);
-                            self.buckets.insert(u, key);
+                            self.buckets[0].insert(u, key);
                         }
                     }
                     self.moves.truncate(best_len);
@@ -722,8 +706,13 @@ impl PassContext {
         }
         PassOutcome {
             improved: best_cut < start_cut,
-            kept: best_len,
-            attempted,
+            stats: PassStats {
+                cut_before: start_cut,
+                cut_after: best_cut,
+                attempted_moves: attempted,
+                kept_moves: best_len,
+                fill_time_ns,
+            },
         }
     }
 }
@@ -832,8 +821,7 @@ mod tests {
     fn improves_bad_initial_solution() {
         let h = dumbbell();
         // Alternating assignment cuts 4 nets per clique plus the bridge.
-        let p0 =
-            Partition::from_assignment(&h, 2, vec![0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
+        let p0 = Partition::from_assignment(&h, 2, vec![0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
         let start_cut = metrics::cut(&h, &p0);
         assert_eq!(start_cut, 9);
         let mut rng = seeded_rng(1);
@@ -869,10 +857,7 @@ mod tests {
         let mut rng = seeded_rng(2);
         let (p, r) = fm_partition(&h, None, &cfg, &mut rng);
         assert_eq!(r.cut, metrics::cut(&h, &p));
-        assert_eq!(
-            r.internal_cut,
-            metrics::cut_with_net_size_limit(&h, &p, 4)
-        );
+        assert_eq!(r.internal_cut, metrics::cut_with_net_size_limit(&h, &p, 4));
         assert!(r.internal_cut <= r.cut);
     }
 
@@ -885,11 +870,12 @@ mod tests {
             engine: Engine::Clip,
             ..FmConfig::default()
         };
-        let mut ctx = PassContext::new(&h, &cfg);
+        let mut ctx = RefineState::default();
+        bind_bipart(&mut ctx, &h, &cfg);
         let p = Partition::from_assignment(&h, 2, vec![0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
         ctx.recompute(&h, &p);
         ctx.fill_buckets(&h, &p, &cfg);
-        let members = ctx.buckets.bucket_members(0);
+        let members = ctx.buckets[0].bucket_members(0);
         assert_eq!(members.len(), h.num_modules());
         let head_gain = ctx.gain0[members[0].index()];
         let max_gain = ctx.gain0.iter().copied().max().unwrap();
@@ -907,7 +893,8 @@ mod tests {
         let h = chain(4);
         let p = Partition::from_assignment(&h, 2, vec![0, 0, 1, 1]).unwrap();
         let cfg = FmConfig::default();
-        let mut ctx = PassContext::new(&h, &cfg);
+        let mut ctx = RefineState::default();
+        bind_bipart(&mut ctx, &h, &cfg);
         let cut = ctx.recompute(&h, &p);
         assert_eq!(cut, 1);
         // g(0): net {0,1} uncut, moving 0 cuts it -> -1.
@@ -1097,7 +1084,8 @@ mod lookahead_tests {
         let h = b.build().unwrap();
         let p = Partition::from_assignment(&h, 2, vec![0, 0, 1, 1]).unwrap();
         let cfg = FmConfig::default();
-        let mut ctx = PassContext::new(&h, &cfg);
+        let mut ctx = RefineState::default();
+        bind_bipart(&mut ctx, &h, &cfg);
         ctx.recompute(&h, &p);
         assert_eq!(ctx.second_level_gain(&h, &p, ModuleId::new(1)), 0);
         assert_eq!(ctx.second_level_gain(&h, &p, ModuleId::new(0)), 1);
@@ -1259,7 +1247,8 @@ mod incremental_tests {
     fn incremental_reinit_with_weighted_nets() {
         let mut b = HypergraphBuilder::with_unit_areas(24);
         for i in 0..24usize {
-            b.add_weighted_net([i, (i + 1) % 24], 1 + (i % 3) as u32).unwrap();
+            b.add_weighted_net([i, (i + 1) % 24], 1 + (i % 3) as u32)
+                .unwrap();
             b.add_net([i, (i + 5) % 24]).unwrap();
         }
         let h = b.build().unwrap();

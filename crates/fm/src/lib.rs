@@ -36,6 +36,8 @@
 
 pub mod bucket;
 pub mod engine;
+pub mod state;
 
 pub use bucket::{BucketPolicy, GainBuckets};
-pub use engine::{fm_partition, refine, Engine, FmConfig, FmResult};
+pub use engine::{fm_partition, fm_partition_in, refine, refine_in, Engine, FmConfig, FmResult};
+pub use state::{PassStats, RefineState, RefineWorkspace};

@@ -3,18 +3,20 @@
 //! reports cuts consistently, and the buckets behave like a priority
 //! structure under arbitrary operation sequences.
 
-use mlpart_fm::{fm_partition, refine, BucketPolicy, Engine, FmConfig, GainBuckets};
+use mlpart_fm::{
+    fm_partition, fm_partition_in, refine, refine_in, BucketPolicy, Engine, FmConfig, GainBuckets,
+    RefineWorkspace,
+};
 use mlpart_hypergraph::rng::seeded_rng;
-use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, HypergraphBuilder, ModuleId, Partition};
+use mlpart_hypergraph::{
+    metrics, BipartBalance, Hypergraph, HypergraphBuilder, ModuleId, Partition,
+};
 use proptest::prelude::*;
 
 fn arb_netlist() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<usize>>)> {
     (2usize..32).prop_flat_map(|n| {
         let areas = proptest::collection::vec(1u64..6, n);
-        let nets = proptest::collection::vec(
-            proptest::collection::vec(0usize..n, 2..6),
-            1..50,
-        );
+        let nets = proptest::collection::vec(proptest::collection::vec(0usize..n, 2..6), 1..50);
         (areas, nets)
     })
 }
@@ -128,6 +130,55 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_allocation(
+        (areas, nets) in arb_netlist(),
+        engine_clip in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // The refactored engine runs on a shared, reused `RefineState`; the
+        // pre-refactor behavior is exactly what the fresh-workspace wrappers
+        // produce. For any netlist and seed, a workspace that has already
+        // been bound to *other* problems must yield the same move sequence,
+        // cut, and per-pass statistics as a throwaway workspace.
+        let h = build(areas, &nets);
+        let cfg = FmConfig {
+            engine: if engine_clip { Engine::Clip } else { Engine::Fm },
+            ..FmConfig::default()
+        };
+        let mut ws = RefineWorkspace::new();
+        // Dirty the workspace on an unrelated problem so reuse is real.
+        {
+            let dirty = build(vec![1, 2, 3], &[vec![0, 1], vec![1, 2]]);
+            let mut rng = seeded_rng(seed ^ 0xdead);
+            let _ = fm_partition_in(&dirty, None, &cfg, &mut rng, &mut ws);
+        }
+
+        let mut rng_a = seeded_rng(seed);
+        let (p_fresh, r_fresh) = fm_partition(&h, None, &cfg, &mut rng_a);
+        let mut rng_b = seeded_rng(seed);
+        let (p_reuse, r_reuse) = fm_partition_in(&h, None, &cfg, &mut rng_b, &mut ws);
+        prop_assert_eq!(p_fresh.assignment(), p_reuse.assignment());
+        prop_assert_eq!(&r_fresh, &r_reuse);
+
+        // Same property for pure refinement from a shared starting point.
+        let mut rng = seeded_rng(seed.wrapping_add(1));
+        let p0 = Partition::random(&h, 2, &mut rng);
+        let balance = BipartBalance::new(&h, cfg.balance_r);
+        prop_assume!(balance.is_partition_feasible(&p0));
+        let mut p1 = p0.clone();
+        let mut p2 = p0;
+        let mut rng1 = seeded_rng(seed);
+        let r1 = refine(&h, &mut p1, &cfg, &mut rng1);
+        let mut rng2 = seeded_rng(seed);
+        let r2 = refine_in(&h, &mut p2, &cfg, &mut rng2, &mut ws);
+        prop_assert_eq!(p1.assignment(), p2.assignment());
+        prop_assert_eq!(r1.cut, r2.cut);
+        prop_assert_eq!(r1.kept_moves, r2.kept_moves);
+        prop_assert_eq!(r1.attempted_moves, r2.attempted_moves);
+        prop_assert_eq!(&r1.pass_stats, &r2.pass_stats);
     }
 
     #[test]

@@ -165,7 +165,8 @@ fn connecting_links<R: Rng + ?Sized>(
         }
     }
     // Group members by root, ordered by smallest member for determinism.
-    let mut members: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut members: std::collections::BTreeMap<u32, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for v in 0..n {
         let root = find(&mut parent, v as u32);
         members.entry(root).or_default().push(v);
@@ -187,11 +188,7 @@ fn connecting_links<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `count > h.num_modules()`.
-pub fn select_pads<R: Rng + ?Sized>(
-    h: &Hypergraph,
-    count: usize,
-    rng: &mut R,
-) -> Vec<ModuleId> {
+pub fn select_pads<R: Rng + ?Sized>(h: &Hypergraph, count: usize, rng: &mut R) -> Vec<ModuleId> {
     assert!(count <= h.num_modules(), "more pads than modules");
     // Order modules by degree with random tie-breaking, take the lowest.
     let mut order: Vec<(usize, u64, u32)> = h
@@ -217,7 +214,11 @@ mod tests {
         let mut rng = seeded_rng(7);
         let h = hierarchical(&cfg, &mut rng);
         assert_eq!(h.num_modules(), 2000);
-        assert!(h.num_nets() as f64 >= 0.98 * 2200.0, "nets={}", h.num_nets());
+        assert!(
+            h.num_nets() as f64 >= 0.98 * 2200.0,
+            "nets={}",
+            h.num_nets()
+        );
         let pins = h.num_pins() as f64;
         assert!(
             (pins - 7000.0).abs() / 7000.0 < 0.12,
@@ -242,18 +243,12 @@ mod tests {
         let cfg = HierarchicalConfig::with_counts(1024, 1200, 4000);
         let mut rng = seeded_rng(11);
         let h = hierarchical(&cfg, &mut rng);
-        let halves = Partition::from_assignment(
-            &h,
-            2,
-            (0..1024).map(|i| u32::from(i >= 512)).collect(),
-        )
-        .expect("valid");
-        let interleaved = Partition::from_assignment(
-            &h,
-            2,
-            (0..1024).map(|i| (i % 2) as u32).collect(),
-        )
-        .expect("valid");
+        let halves =
+            Partition::from_assignment(&h, 2, (0..1024).map(|i| u32::from(i >= 512)).collect())
+                .expect("valid");
+        let interleaved =
+            Partition::from_assignment(&h, 2, (0..1024).map(|i| (i % 2) as u32).collect())
+                .expect("valid");
         let c_halves = metrics::cut(&h, &halves);
         let c_inter = metrics::cut(&h, &interleaved);
         assert!(
@@ -302,10 +297,8 @@ mod tests {
         uniq.dedup();
         assert_eq!(uniq.len(), 40);
         // Average pad degree must not exceed average module degree.
-        let avg_all: f64 =
-            h.modules().map(|v| h.degree(v) as f64).sum::<f64>() / 400.0;
-        let avg_pads: f64 =
-            pads.iter().map(|&v| h.degree(v) as f64).sum::<f64>() / 40.0;
+        let avg_all: f64 = h.modules().map(|v| h.degree(v) as f64).sum::<f64>() / 400.0;
+        let avg_pads: f64 = pads.iter().map(|&v| h.degree(v) as f64).sum::<f64>() / 40.0;
         assert!(avg_pads <= avg_all);
     }
 

@@ -87,8 +87,10 @@ pub fn two_communities(half: usize) -> Hypergraph {
     let mut b = HypergraphBuilder::with_unit_areas(2 * half);
     for base in [0, half] {
         for i in 0..half {
-            b.add_net([base + i, base + (i + 1) % half]).expect("in range");
-            b.add_net([base + i, base + (i + 3) % half]).expect("in range");
+            b.add_net([base + i, base + (i + 1) % half])
+                .expect("in range");
+            b.add_net([base + i, base + (i + 3) % half])
+                .expect("in range");
         }
     }
     b.add_net([half - 1, half]).expect("in range");
@@ -137,12 +139,8 @@ mod tests {
         assert_eq!(h.num_modules(), 24);
         // Split along the long axis: columns 0-1 vs 2-3 ... actually modules
         // are row-major; left half {x<2} vs right half cuts 6 horizontal nets.
-        let p = Partition::from_assignment(
-            &h,
-            2,
-            (0..24).map(|i| u32::from(i % 4 >= 2)).collect(),
-        )
-        .expect("valid");
+        let p = Partition::from_assignment(&h, 2, (0..24).map(|i| u32::from(i % 4 >= 2)).collect())
+            .expect("valid");
         assert_eq!(metrics::cut(&h, &p), 6);
     }
 
@@ -156,12 +154,8 @@ mod tests {
     #[test]
     fn two_communities_has_bridge() {
         let h = two_communities(8);
-        let p = Partition::from_assignment(
-            &h,
-            2,
-            (0..16).map(|i| u32::from(i >= 8)).collect(),
-        )
-        .expect("valid");
+        let p = Partition::from_assignment(&h, 2, (0..16).map(|i| u32::from(i >= 8)).collect())
+            .expect("valid");
         assert_eq!(metrics::cut(&h, &p), 1);
     }
 

@@ -75,29 +75,144 @@ impl SuiteCircuit {
 
 /// The full 23-circuit suite in Table I order.
 pub const SUITE: &[SuiteCircuit] = &[
-    SuiteCircuit { name: "syn-balu", modules: 801, nets: 735, pins: 2697 },
-    SuiteCircuit { name: "syn-bm1", modules: 882, nets: 903, pins: 2910 },
-    SuiteCircuit { name: "syn-primary1", modules: 833, nets: 902, pins: 2908 },
-    SuiteCircuit { name: "syn-test04", modules: 1515, nets: 1658, pins: 5975 },
-    SuiteCircuit { name: "syn-test03", modules: 1607, nets: 1618, pins: 5807 },
-    SuiteCircuit { name: "syn-test02", modules: 1663, nets: 1720, pins: 6134 },
-    SuiteCircuit { name: "syn-test06", modules: 1752, nets: 1541, pins: 6638 },
-    SuiteCircuit { name: "syn-struct", modules: 1952, nets: 1920, pins: 5471 },
-    SuiteCircuit { name: "syn-test05", modules: 2595, nets: 2750, pins: 10076 },
-    SuiteCircuit { name: "syn-19ks", modules: 2844, nets: 3282, pins: 10547 },
-    SuiteCircuit { name: "syn-primary2", modules: 3014, nets: 3029, pins: 11219 },
-    SuiteCircuit { name: "syn-s9234", modules: 5866, nets: 5844, pins: 14065 },
-    SuiteCircuit { name: "syn-biomed", modules: 6514, nets: 5742, pins: 21040 },
-    SuiteCircuit { name: "syn-s13207", modules: 8772, nets: 8651, pins: 20606 },
-    SuiteCircuit { name: "syn-s15850", modules: 10470, nets: 10383, pins: 24712 },
-    SuiteCircuit { name: "syn-industry2", modules: 12637, nets: 13419, pins: 48404 },
-    SuiteCircuit { name: "syn-industry3", modules: 15406, nets: 21923, pins: 65792 },
-    SuiteCircuit { name: "syn-s35932", modules: 18148, nets: 17828, pins: 48145 },
-    SuiteCircuit { name: "syn-s38584", modules: 20995, nets: 20717, pins: 55203 },
-    SuiteCircuit { name: "syn-avqsmall", modules: 21918, nets: 22124, pins: 76231 },
-    SuiteCircuit { name: "syn-s38417", modules: 23849, nets: 23843, pins: 57613 },
-    SuiteCircuit { name: "syn-avqlarge", modules: 25178, nets: 25384, pins: 82751 },
-    SuiteCircuit { name: "syn-golem3", modules: 103048, nets: 144949, pins: 338419 },
+    SuiteCircuit {
+        name: "syn-balu",
+        modules: 801,
+        nets: 735,
+        pins: 2697,
+    },
+    SuiteCircuit {
+        name: "syn-bm1",
+        modules: 882,
+        nets: 903,
+        pins: 2910,
+    },
+    SuiteCircuit {
+        name: "syn-primary1",
+        modules: 833,
+        nets: 902,
+        pins: 2908,
+    },
+    SuiteCircuit {
+        name: "syn-test04",
+        modules: 1515,
+        nets: 1658,
+        pins: 5975,
+    },
+    SuiteCircuit {
+        name: "syn-test03",
+        modules: 1607,
+        nets: 1618,
+        pins: 5807,
+    },
+    SuiteCircuit {
+        name: "syn-test02",
+        modules: 1663,
+        nets: 1720,
+        pins: 6134,
+    },
+    SuiteCircuit {
+        name: "syn-test06",
+        modules: 1752,
+        nets: 1541,
+        pins: 6638,
+    },
+    SuiteCircuit {
+        name: "syn-struct",
+        modules: 1952,
+        nets: 1920,
+        pins: 5471,
+    },
+    SuiteCircuit {
+        name: "syn-test05",
+        modules: 2595,
+        nets: 2750,
+        pins: 10076,
+    },
+    SuiteCircuit {
+        name: "syn-19ks",
+        modules: 2844,
+        nets: 3282,
+        pins: 10547,
+    },
+    SuiteCircuit {
+        name: "syn-primary2",
+        modules: 3014,
+        nets: 3029,
+        pins: 11219,
+    },
+    SuiteCircuit {
+        name: "syn-s9234",
+        modules: 5866,
+        nets: 5844,
+        pins: 14065,
+    },
+    SuiteCircuit {
+        name: "syn-biomed",
+        modules: 6514,
+        nets: 5742,
+        pins: 21040,
+    },
+    SuiteCircuit {
+        name: "syn-s13207",
+        modules: 8772,
+        nets: 8651,
+        pins: 20606,
+    },
+    SuiteCircuit {
+        name: "syn-s15850",
+        modules: 10470,
+        nets: 10383,
+        pins: 24712,
+    },
+    SuiteCircuit {
+        name: "syn-industry2",
+        modules: 12637,
+        nets: 13419,
+        pins: 48404,
+    },
+    SuiteCircuit {
+        name: "syn-industry3",
+        modules: 15406,
+        nets: 21923,
+        pins: 65792,
+    },
+    SuiteCircuit {
+        name: "syn-s35932",
+        modules: 18148,
+        nets: 17828,
+        pins: 48145,
+    },
+    SuiteCircuit {
+        name: "syn-s38584",
+        modules: 20995,
+        nets: 20717,
+        pins: 55203,
+    },
+    SuiteCircuit {
+        name: "syn-avqsmall",
+        modules: 21918,
+        nets: 22124,
+        pins: 76231,
+    },
+    SuiteCircuit {
+        name: "syn-s38417",
+        modules: 23849,
+        nets: 23843,
+        pins: 57613,
+    },
+    SuiteCircuit {
+        name: "syn-avqlarge",
+        modules: 25178,
+        nets: 25384,
+        pins: 82751,
+    },
+    SuiteCircuit {
+        name: "syn-golem3",
+        modules: 103048,
+        nets: 144949,
+        pins: 338419,
+    },
 ];
 
 /// Looks a suite circuit up by name (with or without the `syn-` prefix).
@@ -167,8 +282,16 @@ mod tests {
         // check the first net differs too, i.e. streams decorrelate).
         let ha = a.generate(1);
         let hb = b.generate(1);
-        let pa: Vec<usize> = ha.pins(mlpart_hypergraph::NetId::new(0)).iter().map(|v| v.index()).collect();
-        let pb: Vec<usize> = hb.pins(mlpart_hypergraph::NetId::new(0)).iter().map(|v| v.index()).collect();
+        let pa: Vec<usize> = ha
+            .pins(mlpart_hypergraph::NetId::new(0))
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        let pb: Vec<usize> = hb
+            .pins(mlpart_hypergraph::NetId::new(0))
+            .iter()
+            .map(|v| v.index())
+            .collect();
         assert_ne!(pa, pb);
     }
 
@@ -176,7 +299,10 @@ mod tests {
     fn size_classes_partition_suite() {
         let small = small_suite().len();
         let medium = medium_suite().len();
-        let large = SUITE.iter().filter(|c| c.size_class() == SizeClass::Large).count();
+        let large = SUITE
+            .iter()
+            .filter(|c| c.size_class() == SizeClass::Large)
+            .count();
         assert_eq!(small + medium + large, 23);
         assert_eq!(large, 1); // golem3
         assert_eq!(small, 11);

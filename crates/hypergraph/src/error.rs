@@ -111,7 +111,10 @@ impl fmt::Display for ParseHgrError {
                 write!(f, "malformed header line: {line:?}")
             }
             ParseHgrError::BadToken { line_no, token } => {
-                write!(f, "line {line_no}: cannot parse token {token:?} as an integer")
+                write!(
+                    f,
+                    "line {line_no}: cannot parse token {token:?} as an integer"
+                )
             }
             ParseHgrError::PinOutOfRange {
                 line_no,
@@ -122,7 +125,10 @@ impl fmt::Display for ParseHgrError {
                 "line {line_no}: pin {pin} out of range (1..={num_modules})"
             ),
             ParseHgrError::TooFewNets { expected, found } => {
-                write!(f, "header declared {expected} nets but only {found} present")
+                write!(
+                    f,
+                    "header declared {expected} nets but only {found} present"
+                )
             }
             ParseHgrError::UnsupportedFormat { fmt } => {
                 write!(f, "unsupported hMETIS format code {fmt}")

@@ -39,12 +39,7 @@ use crate::ids::{ModuleId, NetId};
 /// # Ok(())
 /// # }
 /// ```
-/// With the `serde` feature, `Hypergraph` serializes its full CSR state.
-/// Deserialized data is trusted as-is (it round-trips what `Serialize`
-/// produced); run [`validate`](Hypergraph::validate) on data from untrusted
-/// sources.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hypergraph {
     /// `net_offsets[e] .. net_offsets[e+1]` indexes `net_pins`.
     net_offsets: Vec<u32>,
@@ -508,7 +503,10 @@ mod tests {
     #[test]
     fn incidence_directions_agree() {
         let h = tiny();
-        assert_eq!(h.pins(NetId::new(0)), &[ModuleId::new(0), ModuleId::new(1), ModuleId::new(2)]);
+        assert_eq!(
+            h.pins(NetId::new(0)),
+            &[ModuleId::new(0), ModuleId::new(1), ModuleId::new(2)]
+        );
         assert_eq!(h.nets(ModuleId::new(1)), &[NetId::new(0), NetId::new(1)]);
         assert_eq!(h.degree(ModuleId::new(0)), 2);
         assert_eq!(h.degree(ModuleId::new(4)), 2);

@@ -24,8 +24,6 @@ use std::fmt;
 /// assert_eq!(format!("{v}"), "v7");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct ModuleId(u32);
 
 /// Identifier of a net (a hyperedge of the netlist hypergraph).
@@ -42,8 +40,6 @@ pub struct ModuleId(u32);
 /// assert_eq!(format!("{e}"), "e3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct NetId(u32);
 
 impl ModuleId {

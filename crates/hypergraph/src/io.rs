@@ -54,11 +54,9 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
         }
         lines.push(trimmed.to_owned());
     }
-    let header = lines
-        .first()
-        .ok_or_else(|| ParseHgrError::BadHeader {
-            line: String::new(),
-        })?;
+    let header = lines.first().ok_or_else(|| ParseHgrError::BadHeader {
+        line: String::new(),
+    })?;
     let head: Vec<&str> = header.split_whitespace().collect();
     if head.len() < 2 || head.len() > 3 {
         return Err(ParseHgrError::BadHeader {
@@ -222,10 +220,12 @@ pub fn read_partition<R: Read>(
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
         }
-        let part = trimmed.parse::<u32>().map_err(|_| ParseHgrError::BadToken {
-            line_no: i + 1,
-            token: trimmed.to_owned(),
-        })?;
+        let part = trimmed
+            .parse::<u32>()
+            .map_err(|_| ParseHgrError::BadToken {
+                line_no: i + 1,
+                token: trimmed.to_owned(),
+            })?;
         parts.push(part);
     }
     if parts.len() != h.num_modules() {
@@ -339,7 +339,9 @@ mod tests {
     fn rejects_pin_out_of_range() {
         let err = read_hgr("1 2\n1 3\n".as_bytes()).unwrap_err();
         match err {
-            ParseHgrError::PinOutOfRange { pin, num_modules, .. } => {
+            ParseHgrError::PinOutOfRange {
+                pin, num_modules, ..
+            } => {
                 assert_eq!(pin, 3);
                 assert_eq!(num_modules, 2);
             }
@@ -356,7 +358,10 @@ mod tests {
     fn rejects_missing_nets() {
         assert!(matches!(
             read_hgr("3 4\n1 2\n".as_bytes()),
-            Err(ParseHgrError::TooFewNets { expected: 3, found: 1 })
+            Err(ParseHgrError::TooFewNets {
+                expected: 3,
+                found: 1
+            })
         ));
     }
 

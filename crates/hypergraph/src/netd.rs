@@ -99,10 +99,12 @@ pub fn read_netd<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
         }
     };
     let parse_header = |(line_no, line): (usize, String)| -> Result<usize, ParseHgrError> {
-        line.trim().parse::<usize>().map_err(|_| ParseHgrError::BadToken {
-            line_no,
-            token: line.trim().to_owned(),
-        })
+        line.trim()
+            .parse::<usize>()
+            .map_err(|_| ParseHgrError::BadToken {
+                line_no,
+                token: line.trim().to_owned(),
+            })
     };
     let _magic = parse_header(next_line()?)?;
     let num_pins = parse_header(next_line()?)?;
@@ -298,8 +300,7 @@ a2 s B\na0 l I\n";
         let are = "a0 4\np1 9\n";
         let areas = read_are(are.as_bytes(), h.num_modules(), 2).unwrap();
         assert_eq!(areas, vec![4, 1, 1, 9, 1]);
-        let combined =
-            read_netd_with_areas(SAMPLE.as_bytes(), are.as_bytes(), 2).unwrap();
+        let combined = read_netd_with_areas(SAMPLE.as_bytes(), are.as_bytes(), 2).unwrap();
         assert_eq!(combined.total_area(), 4 + 1 + 1 + 9 + 1);
         assert_eq!(combined.num_nets(), 3);
     }

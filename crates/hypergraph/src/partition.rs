@@ -38,11 +38,7 @@ pub type PartId = u32;
 /// # Ok(())
 /// # }
 /// ```
-/// With the `serde` feature, `Partition` serializes its assignment and
-/// cached areas. Deserialized data from untrusted sources should be checked
-/// with [`validate`](Partition::validate) against its hypergraph.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Partition {
     k: u32,
     part_of: Vec<PartId>,
@@ -94,8 +90,8 @@ impl Partition {
             let v = ModuleId::from(raw);
             // Advance to the next part once this one reaches its target share.
             // Remaining-target division keeps the last part from starving.
-            let target = (total - part_areas[..current as usize].iter().sum::<u64>())
-                / (k - current) as u64;
+            let target =
+                (total - part_areas[..current as usize].iter().sum::<u64>()) / (k - current) as u64;
             if current + 1 < k && part_areas[current as usize] + h.area(v) > target {
                 current += 1;
             }
@@ -447,8 +443,8 @@ mod tests {
         let bal = KwayBalance::new(&h, 4, 0.1);
         assert_eq!(bal.lower(), 20);
         assert_eq!(bal.upper(), 30);
-        let p = Partition::from_assignment(&h, 4, (0..100).map(|i| (i % 4) as u32).collect())
-            .unwrap();
+        let p =
+            Partition::from_assignment(&h, 4, (0..100).map(|i| (i % 4) as u32).collect()).unwrap();
         assert!(bal.is_partition_feasible(&p));
     }
 

@@ -118,12 +118,8 @@ pub fn hypergraph_cut_of_expanded(h: &Hypergraph, assignment: &[u32], k: u32) ->
         assignment.len() >= h.num_modules(),
         "assignment shorter than the original module count"
     );
-    let p = crate::Partition::from_assignment(
-        h,
-        k,
-        assignment[..h.num_modules()].to_vec(),
-    )
-    .expect("part ids below k");
+    let p = crate::Partition::from_assignment(h, k, assignment[..h.num_modules()].to_vec())
+        .expect("part ids below k");
     crate::metrics::cut(h, &p)
 }
 

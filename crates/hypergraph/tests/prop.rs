@@ -11,10 +11,7 @@ use proptest::prelude::*;
 fn arb_netlist() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<usize>>)> {
     (2usize..40).prop_flat_map(|n| {
         let areas = proptest::collection::vec(1u64..20, n);
-        let nets = proptest::collection::vec(
-            proptest::collection::vec(0usize..n, 1..8),
-            0..60,
-        );
+        let nets = proptest::collection::vec(proptest::collection::vec(0usize..n, 1..8), 0..60);
         (areas, nets)
     })
 }

@@ -43,9 +43,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use mlpart_fm::{BucketPolicy, GainBuckets};
+use mlpart_fm::{BucketPolicy, PassStats, RefineState, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
+use std::time::Instant;
 
 /// Which gain computation drives the k-way engine (§III-C lists the paper's
 /// three options; Table IX is reported with [`SumOfDegrees`](Self::SumOfDegrees)).
@@ -100,7 +101,7 @@ impl Default for KwayConfig {
 }
 
 /// Outcome of a k-way refinement run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KwayResult {
     /// Final net cut over all nets.
     pub cut: u64,
@@ -110,6 +111,9 @@ pub struct KwayResult {
     pub passes: usize,
     /// Moves kept after rollback, summed over passes.
     pub kept_moves: u64,
+    /// Per-pass instrumentation (objective trajectory, move counts,
+    /// bucket-fill time). One entry per executed pass.
+    pub pass_stats: Vec<PassStats>,
 }
 
 /// Repairs an infeasible k-way partition by moving random non-fixed modules
@@ -178,6 +182,23 @@ pub fn kway_partition(
     cfg: &KwayConfig,
     rng: &mut MlRng,
 ) -> (Partition, KwayResult) {
+    let mut ws = RefineWorkspace::new();
+    kway_partition_in(h, k, initial, fixed, cfg, rng, &mut ws)
+}
+
+/// [`kway_partition`] with caller-owned scratch: behaves identically but
+/// reuses the allocations in `ws` (the quadrisection driver calls this at
+/// every level of the V-cycle).
+#[allow(clippy::too_many_arguments)]
+pub fn kway_partition_in(
+    h: &Hypergraph,
+    k: u32,
+    initial: Option<Partition>,
+    fixed: &[(ModuleId, PartId)],
+    cfg: &KwayConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> (Partition, KwayResult) {
     assert!(k > 0, "k must be positive");
     let mut p = match initial {
         Some(p) => {
@@ -201,7 +222,7 @@ pub fn kway_partition(
     // (and no RNG draws) when the start is already feasible.
     let balance = KwayBalance::new(h, k, cfg.balance_r);
     rebalance_to_feasibility(h, &mut p, fixed, &balance, rng);
-    let result = kway_refine(h, &mut p, fixed, cfg, rng);
+    let result = kway_refine_in(h, &mut p, fixed, cfg, rng, ws);
     (p, result)
 }
 
@@ -217,128 +238,132 @@ pub fn kway_refine(
     cfg: &KwayConfig,
     rng: &mut MlRng,
 ) -> KwayResult {
+    let mut ws = RefineWorkspace::new();
+    kway_refine_in(h, p, fixed, cfg, rng, &mut ws)
+}
+
+/// The k-way gain of moving `v` to part `to` under `cfg.gain`, computed from
+/// the shared state's k-strided pin counts.
+fn kway_gain(
+    st: &RefineState,
+    h: &Hypergraph,
+    cfg: &KwayConfig,
+    part_of: &[PartId],
+    v: ModuleId,
+    to: PartId,
+) -> i32 {
+    let k = st.k as usize;
+    let from = part_of[v.index()] as usize;
+    let mut g = 0i32;
+    for &e in h.nets(v) {
+        if !st.visible[e.index()] {
+            continue;
+        }
+        let row = &st.pins_in[e.index() * k..(e.index() + 1) * k];
+        let w = h.net_weight(e) as i32;
+        match cfg.gain {
+            KwayGain::SumOfDegrees => {
+                if row[from] == 1 {
+                    g += w;
+                }
+                if row[to as usize] == 0 {
+                    g -= w;
+                }
+            }
+            KwayGain::NetCut => {
+                let size = h.net_size(e) as u32;
+                if row[to as usize] == size - 1 {
+                    g += w;
+                }
+                if row[from] == size {
+                    g -= w;
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The engine objective over visible nets: weighted `Σ (span − 1)` for
+/// sum-of-degrees, weighted cut for net-cut.
+fn kway_objective(st: &RefineState, h: &Hypergraph, cfg: &KwayConfig, p: &Partition) -> u64 {
+    match cfg.gain {
+        KwayGain::SumOfDegrees => h
+            .net_ids()
+            .filter(|e| st.visible[e.index()])
+            .map(|e| h.net_weight(e) as u64 * (metrics::net_span(h, p, e) as u64).saturating_sub(1))
+            .sum(),
+        KwayGain::NetCut => metrics::cut_with_net_size_limit(h, p, cfg.max_net_size),
+    }
+}
+
+/// [`kway_refine`] with caller-owned scratch: bit-identical results, no
+/// per-call allocation of the gain/bucket machinery. The shared
+/// [`RefineState`] is bound in its k-way shape: `k` per-destination bucket
+/// structures and k-strided pin counts.
+pub fn kway_refine_in(
+    h: &Hypergraph,
+    p: &mut Partition,
+    fixed: &[(ModuleId, PartId)],
+    cfg: &KwayConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> KwayResult {
     assert_eq!(
         p.assignment().len(),
         h.num_modules(),
         "partition does not match hypergraph"
     );
     let k = p.k();
-    let n = h.num_modules();
-    let visible: Vec<bool> = h
-        .net_ids()
-        .map(|e| h.net_size(e) <= cfg.max_net_size)
-        .collect();
-    let max_vis_weight = h
-        .modules()
-        .map(|v| {
-            h.nets(v)
-                .iter()
-                .filter(|e| visible[e.index()])
-                .map(|e| h.net_weight(*e) as i64)
-                .sum::<i64>()
-        })
-        .max()
-        .unwrap_or(0);
+    let st = &mut ws.state;
+    let max_vis_weight = st.bind_nets(h, k, cfg.max_net_size);
     assert!(
         max_vis_weight <= i32::MAX as i64 / 4,
         "net weights too large for the bucket structure"
     );
-    let max_vis_weight = max_vis_weight as i32;
-    let mut is_fixed = vec![false; n];
+    st.bind_modules(h, k as usize, max_vis_weight as i32, cfg.policy);
     for &(v, _) in fixed {
-        is_fixed[v.index()] = true;
+        st.fixed[v.index()] = true;
     }
     let balance = KwayBalance::new(h, k, cfg.balance_r);
 
-    let mut buckets: Vec<GainBuckets> = (0..k)
-        .map(|_| GainBuckets::new(n, max_vis_weight, cfg.policy))
-        .collect();
-    // pins_in[e * k + part]
-    let mut pins_in = vec![0u32; h.num_nets() * k as usize];
-    let mut locked = vec![false; n];
-    let mut moves: Vec<(ModuleId, PartId)> = Vec::with_capacity(n);
-    let mut stamp = vec![u32::MAX; n];
-
-    let gain_of = |pins_in: &[u32], part_of: &[PartId], v: ModuleId, to: PartId| -> i32 {
-        let from = part_of[v.index()] as usize;
-        let mut g = 0i32;
-        for &e in h.nets(v) {
-            if !visible[e.index()] {
-                continue;
-            }
-            let row = &pins_in[e.index() * k as usize..(e.index() + 1) * k as usize];
-            let w = h.net_weight(e) as i32;
-            match cfg.gain {
-                KwayGain::SumOfDegrees => {
-                    if row[from] == 1 {
-                        g += w;
-                    }
-                    if row[to as usize] == 0 {
-                        g -= w;
-                    }
-                }
-                KwayGain::NetCut => {
-                    let size = h.net_size(e) as u32;
-                    if row[to as usize] == size - 1 {
-                        g += w;
-                    }
-                    if row[from] == size {
-                        g -= w;
-                    }
-                }
-            }
-        }
-        g
-    };
-
-    let objective = |p: &Partition| -> u64 {
-        match cfg.gain {
-            KwayGain::SumOfDegrees => h
-                .net_ids()
-                .filter(|e| visible[e.index()])
-                .map(|e| {
-                    h.net_weight(e) as u64
-                        * (metrics::net_span(h, p, e) as u64).saturating_sub(1)
-                })
-                .sum(),
-            KwayGain::NetCut => metrics::cut_with_net_size_limit(h, p, cfg.max_net_size),
-        }
-    };
-
     let mut passes = 0usize;
     let mut kept_moves = 0u64;
+    let mut pass_stats = Vec::new();
     while passes < cfg.max_passes {
         passes += 1;
         // --- Reinitialize per-pass state. ---
-        pins_in.fill(0);
+        let fill_start = Instant::now();
+        st.pins_in.fill(0);
         for e in h.net_ids() {
-            if !visible[e.index()] {
+            if !st.visible[e.index()] {
                 continue;
             }
             for &v in h.pins(e) {
-                pins_in[e.index() * k as usize + p.part(v) as usize] += 1;
+                st.pins_in[e.index() * k as usize + p.part(v) as usize] += 1;
             }
         }
-        locked.fill(false);
-        moves.clear();
-        for b in &mut buckets {
+        st.locked.fill(false);
+        st.moves.clear();
+        for b in &mut st.buckets {
             b.clear();
         }
         {
             let part_of = p.assignment();
             for v in h.modules() {
-                if is_fixed[v.index()] {
+                if st.fixed[v.index()] {
                     continue;
                 }
                 for t in 0..k {
                     if t != part_of[v.index()] {
-                        let g = gain_of(&pins_in, part_of, v, t);
-                        buckets[t as usize].insert(v, g);
+                        let g = kway_gain(st, h, cfg, part_of, v, t);
+                        st.buckets[t as usize].insert(v, g);
                     }
                 }
             }
         }
-        let start_obj = objective(p);
+        let fill_time_ns = fill_start.elapsed().as_nanos() as u64;
+        let start_obj = kway_objective(st, h, cfg, p);
         let mut obj = start_obj as i64;
         let mut best_obj = obj;
         let mut best_len = 0usize;
@@ -352,14 +377,14 @@ pub fn kway_refine(
                 let areas = h.areas();
                 let area_t = p.part_area(t);
                 let part_areas = p.part_areas().to_vec();
-                let cand = buckets[t as usize].select_where(rng, |v| {
+                let cand = st.buckets[t as usize].select_where(rng, |v| {
                     let a = areas[v.index()];
                     let from = part_of[v.index()];
                     area_t + a <= balance.upper()
                         && part_areas[from as usize] - a >= balance.lower()
                 });
                 if let Some(v) = cand {
-                    let key = buckets[t as usize].key_of(v);
+                    let key = st.buckets[t as usize].key_of(v);
                     match pick {
                         Some((bk, _, _)) if bk >= key => {}
                         _ => pick = Some((key, t, v)),
@@ -369,64 +394,72 @@ pub fn kway_refine(
             let Some((gain, to, v)) = pick else { break };
             let from = p.part(v);
             // Execute the move.
-            for b in &mut buckets {
+            for b in &mut st.buckets {
                 if b.contains(v) {
                     b.remove(v);
                 }
             }
-            locked[v.index()] = true;
+            st.locked[v.index()] = true;
             p.move_module(h, v, to);
             obj -= gain as i64;
-            moves.push((v, from));
+            st.moves.push((v, from));
 
             // Update pin counts, then recompute gains of affected neighbors.
-            let stamp_val = moves.len() as u32;
+            let stamp_val = st.moves.len() as u32;
             for &e in h.nets(v) {
-                if !visible[e.index()] {
+                if !st.visible[e.index()] {
                     continue;
                 }
-                pins_in[e.index() * k as usize + from as usize] -= 1;
-                pins_in[e.index() * k as usize + to as usize] += 1;
+                st.pins_in[e.index() * k as usize + from as usize] -= 1;
+                st.pins_in[e.index() * k as usize + to as usize] += 1;
             }
             for &e in h.nets(v) {
-                if !visible[e.index()] {
+                if !st.visible[e.index()] {
                     continue;
                 }
                 for &w in h.pins(e) {
                     if w == v
-                        || locked[w.index()]
-                        || is_fixed[w.index()]
-                        || stamp[w.index()] == stamp_val
+                        || st.locked[w.index()]
+                        || st.fixed[w.index()]
+                        || st.stamp[w.index()] == stamp_val
                     {
                         continue;
                     }
-                    stamp[w.index()] = stamp_val;
+                    st.stamp[w.index()] = stamp_val;
                     let part_of = p.assignment();
                     for t in 0..k {
                         if t != part_of[w.index()] {
-                            let g = gain_of(&pins_in, part_of, w, t);
-                            buckets[t as usize].update_key(w, g);
+                            let g = kway_gain(st, h, cfg, part_of, w, t);
+                            st.buckets[t as usize].update_key(w, g);
                         }
                     }
                 }
             }
             if obj < best_obj {
                 best_obj = obj;
-                best_len = moves.len();
+                best_len = st.moves.len();
             }
         }
         // --- Rollback to the best prefix. ---
-        for &(v, from) in moves[best_len..].iter().rev() {
+        let attempted = st.moves.len();
+        for &(v, from) in st.moves[best_len..].iter().rev() {
             p.move_module(h, v, from);
         }
         kept_moves += best_len as u64;
-        debug_assert_eq!(objective(p) as i64, best_obj);
+        debug_assert_eq!(kway_objective(st, h, cfg, p) as i64, best_obj);
+        pass_stats.push(PassStats {
+            cut_before: start_obj,
+            cut_after: best_obj as u64,
+            attempted_moves: attempted,
+            kept_moves: best_len,
+            fill_time_ns,
+        });
         if best_obj >= start_obj as i64 {
             break;
         }
         // Stamps are per-move within a pass; reset between passes so the
         // move counter can restart at 1.
-        stamp.fill(u32::MAX);
+        st.stamp.fill(u32::MAX);
     }
 
     KwayResult {
@@ -434,6 +467,7 @@ pub fn kway_refine(
         sum_of_degrees: metrics::sum_of_spans_minus_one(h, p),
         passes,
         kept_moves,
+        pass_stats,
     }
 }
 
@@ -530,8 +564,7 @@ mod tests {
     fn fixed_modules_never_move() {
         let h = ring_of_cliques();
         let cfg = KwayConfig::default();
-        let fixed: Vec<(ModuleId, PartId)> =
-            vec![(ModuleId::new(0), 3), (ModuleId::new(5), 2)];
+        let fixed: Vec<(ModuleId, PartId)> = vec![(ModuleId::new(0), 3), (ModuleId::new(5), 2)];
         for seed in 0..5 {
             let mut rng = seeded_rng(seed);
             let (p, _) = kway_partition(&h, 4, None, &fixed, &cfg, &mut rng);

@@ -250,8 +250,7 @@ mod tests {
         let ring = pad_ring(&pads);
         assert_eq!(ring.len(), 8);
         for &(_, (x, y)) in &ring {
-            let on_edge =
-                x == 0.0 || x == 1.0 || y == 0.0 || y == 1.0;
+            let on_edge = x == 0.0 || x == 1.0 || y == 0.0 || y == 1.0;
             assert!(on_edge, "({x}, {y}) not on the unit-square boundary");
         }
         // First pad at the origin corner.

@@ -120,8 +120,7 @@ impl<'a> NetLaplacian<'a> {
             if size > self.max_net_size {
                 continue;
             }
-            let w = self.net_scale[e.index()] * self.h.net_weight(e) as f64
-                / (size as f64 - 1.0);
+            let w = self.net_scale[e.index()] * self.h.net_weight(e) as f64 / (size as f64 - 1.0);
             let mut sum = 0.0;
             for &v in self.h.pins(e) {
                 sum += x[v.index()];

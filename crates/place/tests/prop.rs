@@ -5,16 +5,15 @@
 
 use mlpart_hypergraph::rng::seeded_rng;
 use mlpart_hypergraph::{Hypergraph, HypergraphBuilder, ModuleId};
-use mlpart_place::{pad_ring, quadratic_placement, split_quadrisection, NetLaplacian, PlacerConfig};
+use mlpart_place::{
+    pad_ring, quadratic_placement, split_quadrisection, NetLaplacian, PlacerConfig,
+};
 use proptest::prelude::*;
 use rand::Rng;
 
 fn arb_netlist() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
     (4usize..24).prop_flat_map(|n| {
-        let nets = proptest::collection::vec(
-            proptest::collection::vec(0usize..n, 2..5),
-            1..40,
-        );
+        let nets = proptest::collection::vec(proptest::collection::vec(0usize..n, 2..5), 1..40);
         (Just(n), nets)
     })
 }

@@ -10,10 +10,10 @@
 use mlpart::cluster::{project, rebalance_bipart};
 use mlpart::core::{Hierarchy, MlConfig};
 use mlpart::fm::refine;
+use mlpart::fm_partition;
 use mlpart::gen::suite;
 use mlpart::hypergraph::rng::seeded_rng;
 use mlpart::hypergraph::{metrics, BipartBalance, Hypergraph};
-use mlpart::fm_partition;
 
 fn main() {
     let circuit = suite::by_name("primary2").expect("in suite");
@@ -21,13 +21,20 @@ fn main() {
     let cfg = MlConfig::clip().with_ratio(0.5);
     let mut rng = seeded_rng(3);
 
-    println!("multilevel trace on {} ({} modules)", circuit.name, h0.num_modules());
+    println!(
+        "multilevel trace on {} ({} modules)",
+        circuit.name,
+        h0.num_modules()
+    );
     println!();
 
     // --- Coarsening phase (Fig. 2, steps 1-5). ---
     let hier = Hierarchy::coarsen(&h0, &cfg, &[], &mut rng);
     let m = hier.num_levels();
-    println!("coarsening with R = {} built {m} levels:", cfg.matching_ratio);
+    println!(
+        "coarsening with R = {} built {m} levels:",
+        cfg.matching_ratio
+    );
     for (i, size) in hier.level_sizes(&h0).iter().enumerate() {
         println!("  H{i}: {size} modules");
     }
@@ -40,7 +47,10 @@ fn main() {
     println!();
 
     // --- Uncoarsening phase (steps 7-9), as drawn in Figure 1. ---
-    println!("{:<6} {:>10} {:>12} {:>10}", "level", "projected", "rebalanced", "refined");
+    println!(
+        "{:<6} {:>10} {:>12} {:>10}",
+        "level", "projected", "rebalanced", "refined"
+    );
     for i in (0..m).rev() {
         let fine: &Hypergraph = if i == 0 { &h0 } else { hier.level(i) };
         let mut fine_p = project(fine, hier.clustering(i), &p);

@@ -49,6 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut rng = seeded_rng(1);
     let (p, r) = ml_bipartition(&custom_h, &MlConfig::default(), &mut rng);
-    println!("partitioned custom netlist: cut {} sides {:?}", r.cut, p.part_sizes());
+    println!(
+        "partitioned custom netlist: cut {} sides {:?}",
+        r.cut,
+        p.part_sizes()
+    );
     Ok(())
 }

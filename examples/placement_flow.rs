@@ -7,8 +7,8 @@
 //! ```
 
 use mlpart::gen::suite;
-use mlpart::hypergraph::rng::seeded_rng;
 use mlpart::hypergraph::metrics;
+use mlpart::hypergraph::rng::seeded_rng;
 use mlpart::place::{gordian_quadrisection, pad_ring, PlacerConfig};
 use mlpart::{ml_kway, MlKwayConfig};
 

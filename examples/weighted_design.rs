@@ -8,7 +8,7 @@
 //! cargo run --release --example weighted_design
 //! ```
 
-use mlpart::hypergraph::netd::{read_netd_with_areas, module_name};
+use mlpart::hypergraph::netd::{module_name, read_netd_with_areas};
 use mlpart::hypergraph::rng::seeded_rng;
 use mlpart::hypergraph::{metrics, HypergraphBuilder};
 use mlpart::{ml_bipartition, BipartBalance, MlConfig};

@@ -7,10 +7,12 @@
 //! ```text
 //! mlpart <netlist.hgr> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase]
 //!                      [--k 2|4] [--ratio R] [--threshold T]
-//!                      [--runs N] [--seed S] [--output best.part]
+//!                      [--runs N] [--seed S] [--output best.part] [--stats]
 //! ```
 //!
 //! `--k 4` uses multilevel quadrisection (only with the ml algorithms).
+//! `--stats` prints the per-level refinement trajectory of the first run
+//! (multilevel algorithms only).
 
 use mlpart::cluster::MatchConfig;
 use mlpart::core::two_phase_fm;
@@ -20,8 +22,8 @@ use mlpart::hypergraph::metrics::CutStats;
 use mlpart::hypergraph::rng::{child_seed, seeded_rng};
 use mlpart::lsmc::{lsmc_bipartition, LsmcConfig};
 use mlpart::{
-    fm_partition, ml_bipartition, ml_kway, Engine, FmConfig, Hypergraph, MlConfig, MlKwayConfig,
-    Partition,
+    fm_partition, ml_bipartition, ml_kway, Engine, FmConfig, Hypergraph, LevelStats, MlConfig,
+    MlKwayConfig, Partition,
 };
 use std::io::Read;
 use std::process::ExitCode;
@@ -36,6 +38,7 @@ struct CliArgs {
     runs: usize,
     seed: u64,
     output: Option<String>,
+    stats: bool,
 }
 
 impl Default for CliArgs {
@@ -49,20 +52,20 @@ impl Default for CliArgs {
             runs: 10,
             seed: 1,
             output: None,
+            stats: false,
         }
     }
 }
 
-const USAGE: &str = "usage: mlpart <netlist.hgr | syn-NAME> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase] \
-[--k 2|4] [--ratio R] [--threshold T] [--runs N] [--seed S] [--output best.part]";
+const USAGE: &str =
+    "usage: mlpart <netlist.hgr | syn-NAME> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase] \
+[--k 2|4] [--ratio R] [--threshold T] [--runs N] [--seed S] [--output best.part] [--stats]";
 
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String> {
     let mut out = CliArgs::default();
     let mut it = args.into_iter().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--algo" => out.algo = value("--algo")?,
             "--k" => {
@@ -90,6 +93,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String
             }
             "--seed" => out.seed = value("--seed")?.parse().map_err(|_| "invalid --seed")?,
             "--output" => out.output = Some(value("--output")?),
+            "--stats" => out.stats = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other if out.input.is_empty() && !other.starts_with('-') => {
                 out.input = other.to_owned();
@@ -119,7 +123,11 @@ fn load_netlist(input: &str) -> Result<Hypergraph, String> {
     read_hgr(file).map_err(|e| format!("cannot parse {input}: {e}"))
 }
 
-fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<(Partition, u64), String> {
+/// One run's outcome: the partition, its cut, and (for the multilevel
+/// algorithms) the per-level refinement trajectory.
+type RunOutcome = (Partition, u64, Vec<LevelStats>);
+
+fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<RunOutcome, String> {
     let mut rng = seeded_rng(seed);
     let fm_cfg = |engine| FmConfig {
         engine,
@@ -141,24 +149,24 @@ fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<(Partition, u64
             return Err("--k 4 requires --algo ml-c or ml-f".to_owned());
         }
         let (p, r) = ml_kway(h, &cfg, &[], &mut rng);
-        return Ok((p, r.cut));
+        return Ok((p, r.cut, r.level_stats));
     }
     Ok(match args.algo.as_str() {
         "ml-c" => {
             let (p, r) = ml_bipartition(h, &ml_cfg(Engine::Clip), &mut rng);
-            (p, r.cut)
+            (p, r.cut, r.level_stats)
         }
         "ml-f" => {
             let (p, r) = ml_bipartition(h, &ml_cfg(Engine::Fm), &mut rng);
-            (p, r.cut)
+            (p, r.cut, r.level_stats)
         }
         "fm" => {
             let (p, r) = fm_partition(h, None, &fm_cfg(Engine::Fm), &mut rng);
-            (p, r.cut)
+            (p, r.cut, Vec::new())
         }
         "clip" => {
             let (p, r) = fm_partition(h, None, &fm_cfg(Engine::Clip), &mut rng);
-            (p, r.cut)
+            (p, r.cut, Vec::new())
         }
         "lsmc" => {
             let cfg = LsmcConfig {
@@ -166,7 +174,7 @@ fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<(Partition, u64
                 ..LsmcConfig::default()
             };
             let (p, r) = lsmc_bipartition(h, &cfg, &mut rng);
-            (p, r.cut)
+            (p, r.cut, Vec::new())
         }
         "two-phase" => {
             let (p, r) = two_phase_fm(
@@ -175,10 +183,33 @@ fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<(Partition, u64
                 &MatchConfig::with_ratio(args.ratio),
                 &mut rng,
             );
-            (p, r.cut)
+            (p, r.cut, Vec::new())
         }
         other => return Err(format!("unknown algorithm {other:?}\n{USAGE}")),
     })
+}
+
+/// Prints the per-level refinement trajectory collected by a multilevel run.
+fn print_level_stats(stats: &[LevelStats]) {
+    if stats.is_empty() {
+        eprintln!("per-level stats: none (flat algorithm)");
+        return;
+    }
+    eprintln!("level  modules  cut_before  cut_after  kept/attempted  rebalance  passes  fill_ms");
+    for s in stats {
+        eprintln!(
+            "{:>5}  {:>7}  {:>10}  {:>9}  {:>6}/{:<7}  {:>9}  {:>6}  {:>7.3}",
+            s.level,
+            s.modules,
+            s.cut_before,
+            s.cut_after,
+            s.kept_moves,
+            s.attempted_moves,
+            s.rebalance_moves,
+            s.passes,
+            s.fill_time_ns as f64 / 1e6,
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -208,7 +239,10 @@ fn main() -> ExitCode {
     let start = std::time::Instant::now();
     for i in 0..args.runs {
         match run_once(&h, &args, child_seed(args.seed, i as u64)) {
-            Ok((p, cut)) => {
+            Ok((p, cut, level_stats)) => {
+                if args.stats && i == 0 {
+                    print_level_stats(&level_stats);
+                }
                 cuts.push(cut);
                 if best.as_ref().is_none_or(|(c, _)| cut < *c) {
                     best = Some((cut, p));
@@ -259,7 +293,7 @@ mod tests {
     #[test]
     fn parses_full_command_line() {
         let a = parse_args(argv(
-            "design.hgr --algo ml-f --k 4 --ratio 0.33 --runs 3 --seed 9 --output out.part",
+            "design.hgr --algo ml-f --k 4 --ratio 0.33 --runs 3 --seed 9 --output out.part --stats",
         ))
         .expect("parses");
         assert_eq!(a.input, "design.hgr");
@@ -268,6 +302,7 @@ mod tests {
         assert_eq!(a.ratio, 0.33);
         assert_eq!(a.runs, 3);
         assert_eq!(a.output.as_deref(), Some("out.part"));
+        assert!(a.stats);
     }
 
     #[test]
@@ -296,18 +331,25 @@ mod tests {
         };
         for algo in ["ml-c", "ml-f", "fm", "clip", "lsmc", "two-phase"] {
             args.algo = algo.to_owned();
-            let (p, cut) = run_once(&h, &args, 1).expect(algo);
+            let (p, cut, level_stats) = run_once(&h, &args, 1).expect(algo);
             assert!(p.validate(&h), "{algo}");
             assert!(cut > 0, "{algo}");
+            if algo.starts_with("ml") {
+                assert!(!level_stats.is_empty(), "{algo} should report level stats");
+            }
         }
         args.algo = "unknown".to_owned();
         assert!(run_once(&h, &args, 1).is_err());
         // Quadrisection path.
         args.algo = "ml-f".to_owned();
         args.k = 4;
-        let (p, _) = run_once(&h, &args, 1).expect("quadrisection");
+        let (p, _, level_stats) = run_once(&h, &args, 1).expect("quadrisection");
         assert_eq!(p.k(), 4);
+        assert!(!level_stats.is_empty(), "quadrisection reports level stats");
         args.algo = "fm".to_owned();
-        assert!(run_once(&h, &args, 1).is_err(), "flat fm cannot do k=4 here");
+        assert!(
+            run_once(&h, &args, 1).is_err(),
+            "flat fm cannot do k=4 here"
+        );
     }
 }

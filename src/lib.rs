@@ -43,8 +43,11 @@ pub use mlpart_kway as kway;
 pub use mlpart_lsmc as lsmc;
 pub use mlpart_place as place;
 
-pub use mlpart_core::{ml_bipartition, ml_kway, ml_quadrisection, MlConfig, MlKwayConfig};
-pub use mlpart_fm::{fm_partition, BucketPolicy, Engine, FmConfig};
+pub use mlpart_core::{
+    ml_bipartition, ml_bipartition_in, ml_kway, ml_kway_in, ml_quadrisection, LevelStats, MlConfig,
+    MlKwayConfig,
+};
+pub use mlpart_fm::{fm_partition, BucketPolicy, Engine, FmConfig, PassStats, RefineWorkspace};
 pub use mlpart_hypergraph::{
     BipartBalance, Hypergraph, HypergraphBuilder, KwayBalance, ModuleId, NetId, Partition,
 };

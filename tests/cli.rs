@@ -20,7 +20,11 @@ fn partitions_a_synthetic_circuit() {
         .args(["syn-balu", "--algo", "ml-c", "--runs", "3", "--seed", "5"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ml-c x3 runs: min"), "stdout: {stdout}");
 }
@@ -36,7 +40,11 @@ fn partitions_hgr_file_and_writes_part_file() {
         .args(["--output", part.to_str().expect("utf8 path")])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let written = std::fs::read_to_string(&part).expect("partition written");
     let parts: Vec<&str> = written.lines().collect();
     assert_eq!(parts.len(), 6, "one part id per module");
@@ -51,7 +59,11 @@ fn quadrisection_flag_works() {
         .args(["syn-balu", "--algo", "ml-f", "--k", "4", "--runs", "2"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -66,7 +78,10 @@ fn bad_usage_exits_nonzero() {
         .expect("binary runs");
     assert!(!out.status.success());
     // Missing file.
-    let out = mlpart().arg("no-such-file.hgr").output().expect("binary runs");
+    let out = mlpart()
+        .arg("no-such-file.hgr")
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("cannot open"), "stderr: {err}");

@@ -9,8 +9,8 @@ use mlpart::hypergraph::metrics;
 use mlpart::hypergraph::rng::seeded_rng;
 use mlpart::place::{gordian_quadrisection, PlacerConfig};
 use mlpart::{
-    fm_partition, ml_bipartition, ml_quadrisection, BipartBalance, FmConfig, KwayBalance,
-    MlConfig, Partition,
+    fm_partition, ml_bipartition, ml_quadrisection, BipartBalance, FmConfig, KwayBalance, MlConfig,
+    Partition,
 };
 
 #[test]
@@ -143,8 +143,8 @@ fn partition_types_interoperate_across_crates() {
     let circuit = suite::by_name("balu").expect("in suite");
     let h = circuit.generate(7);
     let n = h.num_modules();
-    let p0 = Partition::from_assignment(&h, 2, (0..n).map(|i| (i % 2) as u32).collect())
-        .expect("valid");
+    let p0 =
+        Partition::from_assignment(&h, 2, (0..n).map(|i| (i % 2) as u32).collect()).expect("valid");
     let start = metrics::cut(&h, &p0);
     let mut rng = seeded_rng(3);
     let (p, r) = fm_partition(&h, Some(p0), &FmConfig::default(), &mut rng);

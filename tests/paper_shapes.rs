@@ -9,10 +9,12 @@
 //! * Table IX: multilevel quadrisection beats the placement-derived split.
 
 use mlpart::gen::suite;
-use mlpart::hypergraph::rng::seeded_rng;
 use mlpart::hypergraph::metrics;
+use mlpart::hypergraph::rng::seeded_rng;
 use mlpart::place::{gordian_quadrisection, PlacerConfig};
-use mlpart::{fm_partition, ml_bipartition, ml_quadrisection, BucketPolicy, Engine, FmConfig, MlConfig};
+use mlpart::{
+    fm_partition, ml_bipartition, ml_quadrisection, BucketPolicy, Engine, FmConfig, MlConfig,
+};
 
 const RUNS: u64 = 8;
 
@@ -56,10 +58,7 @@ fn table3_shape_clip_beats_fm() {
         },
         400,
     );
-    assert!(
-        clip < fm,
-        "CLIP avg {clip:.1} should beat FM avg {fm:.1}"
-    );
+    assert!(clip < fm, "CLIP avg {clip:.1} should beat FM avg {fm:.1}");
 }
 
 #[test]
@@ -99,7 +98,10 @@ fn table5_shape_matching_ratio_controls_levels() {
     let half = levels_at(0.5);
     let third = levels_at(0.33);
     assert!(half > full, "R=0.5 levels {half} vs R=1 levels {full}");
-    assert!(third >= half, "R=0.33 levels {third} vs R=0.5 levels {half}");
+    assert!(
+        third >= half,
+        "R=0.33 levels {third} vs R=0.5 levels {half}"
+    );
 }
 
 #[test]

@@ -69,8 +69,8 @@ fn coalescing_shrinks_coarse_netlists_without_changing_objective() {
     // Objective equivalence on random bipartitions of the coarse level.
     for seed in 0..5 {
         let p = Partition::random(&dup1, 2, &mut seeded_rng(100 + seed));
-        let p2 = Partition::from_assignment(&coal1, 2, p.assignment().to_vec())
-            .expect("same modules");
+        let p2 =
+            Partition::from_assignment(&coal1, 2, p.assignment().to_vec()).expect("same modules");
         assert_eq!(metrics::cut(&dup1, &p), metrics::cut(&coal1, &p2));
     }
     // Second level: the win compounds (duplicate bundles accumulate).
@@ -105,8 +105,8 @@ fn weighted_and_duplicate_representations_agree_end_to_end() {
     let merged = build(true);
     for seed in 0..8 {
         let p = Partition::random(&dup, 2, &mut seeded_rng(seed));
-        let q = Partition::from_assignment(&merged, 2, p.assignment().to_vec())
-            .expect("same modules");
+        let q =
+            Partition::from_assignment(&merged, 2, p.assignment().to_vec()).expect("same modules");
         assert_eq!(metrics::cut(&dup, &p), metrics::cut(&merged, &q));
         assert_eq!(
             metrics::sum_of_spans_minus_one(&dup, &p),

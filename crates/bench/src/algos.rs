@@ -1,50 +1,89 @@
 //! One-call wrappers around every algorithm the tables compare, so each
 //! harness binary stays declarative.
+//!
+//! Every wrapper with an `_in` twin routes through the engines' `*_in`
+//! workspace-reuse entry points; results are bit-identical either way (the
+//! `*_in` contract), so the parallel runner can hand each worker thread one
+//! long-lived [`RefineWorkspace`] without changing any table number.
 
-use mlpart_core::{ml_bipartition, ml_kway, MlConfig, MlKwayConfig};
-use mlpart_fm::{fm_partition, BucketPolicy, Engine, FmConfig};
+use mlpart_core::{ml_bipartition_in, ml_kway_in, MlConfig, MlKwayConfig};
+use mlpart_fm::{fm_partition_in, BucketPolicy, Engine, FmConfig, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{Hypergraph, ModuleId, PartId};
-use mlpart_kway::{kway_partition, KwayConfig};
+use mlpart_kway::{kway_partition_in, KwayConfig};
 use mlpart_lsmc::{lsmc_bipartition, lsmc_kway, LsmcConfig, LsmcKwayConfig};
 use mlpart_place::{gordian_quadrisection, PlacerConfig};
 
 /// Flat FM with the given bucket policy; returns the cut.
 pub fn fm_with_policy(h: &Hypergraph, policy: BucketPolicy, rng: &mut MlRng) -> u64 {
+    fm_with_policy_in(h, policy, rng, &mut RefineWorkspace::new())
+}
+
+/// [`fm_with_policy`] through a caller-owned workspace.
+pub fn fm_with_policy_in(
+    h: &Hypergraph,
+    policy: BucketPolicy,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> u64 {
     let cfg = FmConfig {
         policy,
         ..FmConfig::default()
     };
-    fm_partition(h, None, &cfg, rng).1.cut
+    fm_partition_in(h, None, &cfg, rng, ws).1.cut
 }
 
 /// Flat FM (LIFO buckets); Table III baseline.
 pub fn fm(h: &Hypergraph, rng: &mut MlRng) -> u64 {
-    fm_with_policy(h, BucketPolicy::Lifo, rng)
+    fm_in(h, rng, &mut RefineWorkspace::new())
+}
+
+/// [`fm`] through a caller-owned workspace.
+pub fn fm_in(h: &Hypergraph, rng: &mut MlRng, ws: &mut RefineWorkspace) -> u64 {
+    fm_with_policy_in(h, BucketPolicy::Lifo, rng, ws)
 }
 
 /// Flat CLIP (LIFO buckets); Tables III/IV baseline.
 pub fn clip(h: &Hypergraph, rng: &mut MlRng) -> u64 {
+    clip_in(h, rng, &mut RefineWorkspace::new())
+}
+
+/// [`clip`] through a caller-owned workspace.
+pub fn clip_in(h: &Hypergraph, rng: &mut MlRng, ws: &mut RefineWorkspace) -> u64 {
     let cfg = FmConfig {
         engine: Engine::Clip,
         ..FmConfig::default()
     };
-    fm_partition(h, None, &cfg, rng).1.cut
+    fm_partition_in(h, None, &cfg, rng, ws).1.cut
 }
 
 /// `ML_F` with matching ratio `r`.
 pub fn ml_f(h: &Hypergraph, r: f64, rng: &mut MlRng) -> u64 {
-    ml_bipartition(h, &MlConfig::fm().with_ratio(r), rng).1.cut
+    ml_f_in(h, r, rng, &mut RefineWorkspace::new())
 }
 
-/// `ML_C` with matching ratio `r`.
-pub fn ml_c(h: &Hypergraph, r: f64, rng: &mut MlRng) -> u64 {
-    ml_bipartition(h, &MlConfig::clip().with_ratio(r), rng)
+/// [`ml_f`] through a caller-owned workspace.
+pub fn ml_f_in(h: &Hypergraph, r: f64, rng: &mut MlRng, ws: &mut RefineWorkspace) -> u64 {
+    ml_bipartition_in(h, &MlConfig::fm().with_ratio(r), rng, ws)
         .1
         .cut
 }
 
-/// 2-way LSMC with FM descents, `descents` long; Table VII baseline.
+/// `ML_C` with matching ratio `r`.
+pub fn ml_c(h: &Hypergraph, r: f64, rng: &mut MlRng) -> u64 {
+    ml_c_in(h, r, rng, &mut RefineWorkspace::new())
+}
+
+/// [`ml_c`] through a caller-owned workspace.
+pub fn ml_c_in(h: &Hypergraph, r: f64, rng: &mut MlRng, ws: &mut RefineWorkspace) -> u64 {
+    ml_bipartition_in(h, &MlConfig::clip().with_ratio(r), rng, ws)
+        .1
+        .cut
+}
+
+/// 2-way LSMC with FM descents, `descents` long; Table VII baseline. (The
+/// LSMC chain has no workspace-reuse entry point yet; parallel callers pass
+/// it a closure that ignores the worker workspace.)
 pub fn lsmc(h: &Hypergraph, descents: usize, rng: &mut MlRng) -> u64 {
     let cfg = LsmcConfig {
         descents,
@@ -55,7 +94,12 @@ pub fn lsmc(h: &Hypergraph, descents: usize, rng: &mut MlRng) -> u64 {
 
 /// Flat 4-way FM-style engine (net-cut gain); Table IX baseline.
 pub fn fm4(h: &Hypergraph, rng: &mut MlRng) -> u64 {
-    kway_partition(h, 4, None, &[], &KwayConfig::default(), &mut *rng)
+    fm4_in(h, rng, &mut RefineWorkspace::new())
+}
+
+/// [`fm4`] through a caller-owned workspace.
+pub fn fm4_in(h: &Hypergraph, rng: &mut MlRng, ws: &mut RefineWorkspace) -> u64 {
+    kway_partition_in(h, 4, None, &[], &KwayConfig::default(), &mut *rng, ws)
         .1
         .cut
 }
@@ -64,11 +108,18 @@ pub fn fm4(h: &Hypergraph, rng: &mut MlRng) -> u64 {
 /// k-way engine; the paper's 4-way "CLIP" column is approximated by the
 /// k-way engine with net-cut gain (its selectivity behaves similarly).
 pub fn clip4(h: &Hypergraph, rng: &mut MlRng) -> u64 {
+    clip4_in(h, rng, &mut RefineWorkspace::new())
+}
+
+/// [`clip4`] through a caller-owned workspace.
+pub fn clip4_in(h: &Hypergraph, rng: &mut MlRng, ws: &mut RefineWorkspace) -> u64 {
     let cfg = KwayConfig {
         gain: mlpart_kway::KwayGain::NetCut,
         ..KwayConfig::default()
     };
-    kway_partition(h, 4, None, &[], &cfg, &mut *rng).1.cut
+    kway_partition_in(h, 4, None, &[], &cfg, &mut *rng, ws)
+        .1
+        .cut
 }
 
 /// 4-way LSMC with the default (sum-of-degrees) descent engine.
@@ -96,7 +147,19 @@ pub fn lsmc4_c(h: &Hypergraph, descents: usize, rng: &mut MlRng) -> u64 {
 /// Multilevel quadrisection (`ML_F`, `R = 1.0`, `T = 100`), optionally with
 /// pre-assigned pads; the Table IX headline algorithm.
 pub fn ml4(h: &Hypergraph, fixed: &[(ModuleId, PartId)], rng: &mut MlRng) -> u64 {
-    ml_kway(h, &MlKwayConfig::default(), fixed, rng).1.cut
+    ml4_in(h, fixed, rng, &mut RefineWorkspace::new())
+}
+
+/// [`ml4`] through a caller-owned workspace.
+pub fn ml4_in(
+    h: &Hypergraph,
+    fixed: &[(ModuleId, PartId)],
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> u64 {
+    ml_kway_in(h, &MlKwayConfig::default(), fixed, rng, ws)
+        .1
+        .cut
 }
 
 /// GORDIAN-style quadrisection via quadratic placement; deterministic, so
@@ -139,6 +202,39 @@ mod tests {
         assert!(lsmc4_f(&h, 2, &mut rng) >= 1);
         assert!(lsmc4_c(&h, 2, &mut rng) >= 1);
         assert!(ml4(&h, &[], &mut rng) >= 1);
+    }
+
+    #[test]
+    fn workspace_variants_are_bit_identical_under_reuse() {
+        // One workspace reused across every `_in` wrapper in sequence must
+        // reproduce the fresh-workspace wrappers on identical seed streams.
+        let h = two_communities(32);
+        let mut ws = RefineWorkspace::new();
+        let fresh: Vec<u64> = {
+            let mut rng = seeded_rng(9);
+            vec![
+                fm(&h, &mut rng),
+                clip(&h, &mut rng),
+                ml_f(&h, 0.5, &mut rng),
+                ml_c(&h, 0.5, &mut rng),
+                fm4(&h, &mut rng),
+                clip4(&h, &mut rng),
+                ml4(&h, &[], &mut rng),
+            ]
+        };
+        let reused: Vec<u64> = {
+            let mut rng = seeded_rng(9);
+            vec![
+                fm_in(&h, &mut rng, &mut ws),
+                clip_in(&h, &mut rng, &mut ws),
+                ml_f_in(&h, 0.5, &mut rng, &mut ws),
+                ml_c_in(&h, 0.5, &mut rng, &mut ws),
+                fm4_in(&h, &mut rng, &mut ws),
+                clip4_in(&h, &mut rng, &mut ws),
+                ml4_in(&h, &[], &mut rng, &mut ws),
+            ]
+        };
+        assert_eq!(fresh, reused);
     }
 
     #[test]

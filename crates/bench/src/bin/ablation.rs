@@ -16,9 +16,9 @@
 //! These are *our* experiments (not in the paper); they quantify how much
 //! each ingredient of ML matters on the synthetic suite.
 
-use mlpart_bench::{report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_bench::{report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
 use mlpart_core::{
-    ml_bipartition, ml_kway, recursive_ml_bisection, Coarsener, MlConfig, MlKwayConfig,
+    ml_bipartition_in, ml_kway_in, recursive_ml_bisection_in, Coarsener, MlConfig, MlKwayConfig,
 };
 use mlpart_fm::FmConfig;
 use mlpart_hypergraph::rng::child_seed;
@@ -55,9 +55,12 @@ fn main() {
         let h = c.generate(args.seed);
         let seed = child_seed(args.seed, 600 + ci as u64);
         let cell = |cfg: MlConfig, lane: u64| {
-            run_many(args.runs, child_seed(seed, lane), |rng| {
-                ml_bipartition(&h, &cfg, rng).1.cut
-            })
+            run_many_par(
+                args.runs,
+                child_seed(seed, lane),
+                args.threads,
+                |rng, ws| ml_bipartition_in(&h, &cfg, rng, ws).1.cut,
+            )
         };
         let base = MlConfig::clip();
         let a_match = cell(base, 0);
@@ -179,10 +182,10 @@ fn main() {
     for (ci, c) in args.circuits().iter().enumerate() {
         let h = c.generate(args.seed);
         let seed = child_seed(args.seed, 900 + ci as u64);
-        let a_sod = run_many(args.runs, child_seed(seed, 0), |rng| {
-            ml_kway(&h, &MlKwayConfig::default(), &[], rng).1.cut
+        let a_sod = run_many_par(args.runs, child_seed(seed, 0), args.threads, |rng, ws| {
+            ml_kway_in(&h, &MlKwayConfig::default(), &[], rng, ws).1.cut
         });
-        let a_cut = run_many(args.runs, child_seed(seed, 1), |rng| {
+        let a_cut = run_many_par(args.runs, child_seed(seed, 1), args.threads, |rng, ws| {
             let cfg = MlKwayConfig {
                 kway: KwayConfig {
                     gain: KwayGain::NetCut,
@@ -190,10 +193,10 @@ fn main() {
                 },
                 ..MlKwayConfig::default()
             };
-            ml_kway(&h, &cfg, &[], rng).1.cut
+            ml_kway_in(&h, &cfg, &[], rng, ws).1.cut
         });
-        let a_rec = run_many(args.runs, child_seed(seed, 2), |rng| {
-            recursive_ml_bisection(&h, 2, &MlConfig::default(), rng)
+        let a_rec = run_many_par(args.runs, child_seed(seed, 2), args.threads, |rng, ws| {
+            recursive_ml_bisection_in(&h, 2, &MlConfig::default(), rng, ws)
                 .1
                 .cut
         });
@@ -215,17 +218,17 @@ fn main() {
     for (ci, c) in args.circuits().iter().enumerate() {
         let h = c.generate(args.seed);
         let seed = child_seed(args.seed, 1_200 + ci as u64);
-        let a_direct = run_many(args.runs, child_seed(seed, 0), |rng| {
-            ml_bipartition(&h, &MlConfig::clip(), rng).1.cut
+        let a_direct = run_many_par(args.runs, child_seed(seed, 0), args.threads, |rng, ws| {
+            ml_bipartition_in(&h, &MlConfig::clip(), rng, ws).1.cut
         });
         let clique = clique_expansion(&h, DEFAULT_WEIGHT_SCALE, 50);
-        let a_clique = run_many(args.runs, child_seed(seed, 1), |rng| {
-            let (p, _) = ml_bipartition(&clique, &MlConfig::clip(), rng);
+        let a_clique = run_many_par(args.runs, child_seed(seed, 1), args.threads, |rng, ws| {
+            let (p, _) = ml_bipartition_in(&clique, &MlConfig::clip(), rng, ws);
             hypergraph_cut_of_expanded(&h, p.assignment(), 2)
         });
         let (star, _original) = star_expansion(&h, DEFAULT_WEIGHT_SCALE, 200);
-        let a_star = run_many(args.runs, child_seed(seed, 2), |rng| {
-            let (p, _) = ml_bipartition(&star, &MlConfig::clip(), rng);
+        let a_star = run_many_par(args.runs, child_seed(seed, 2), args.threads, |rng, ws| {
+            let (p, _) = ml_bipartition_in(&star, &MlConfig::clip(), rng, ws);
             hypergraph_cut_of_expanded(&h, p.assignment(), 2)
         });
         println!(

@@ -5,7 +5,7 @@
 //! Paper finding: average cut decreases (roughly monotonically) as `R`
 //! decreases, flattening out below ~0.5.
 
-use mlpart_bench::{algos, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_bench::{algos, report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
 use mlpart_hypergraph::rng::child_seed;
 
 const RATIOS: [f64; 7] = [0.1, 0.2, 0.33, 0.5, 0.66, 0.8, 1.0];
@@ -32,10 +32,11 @@ fn main() {
     for (ri, &r) in RATIOS.iter().enumerate() {
         print!("{:<8.2}", r);
         for (ci, h) in hs.iter().enumerate() {
-            let stats = run_many(
+            let stats = run_many_par(
                 args.runs,
                 child_seed(args.seed, 400 + (ri * 16 + ci) as u64),
-                |rng| algos::ml_c(h, r, rng),
+                args.threads,
+                |rng, ws| algos::ml_c_in(h, r, rng, ws),
             );
             print!(" {:>14.1}", stats.cut.avg);
             series[ci].push(stats.cut.avg);

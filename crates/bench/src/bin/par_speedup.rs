@@ -1,0 +1,56 @@
+//! Measures the parallel-starts speedup curve: ML_C on the selected suite
+//! at 1/2/4/8 worker threads, same seeds everywhere.
+//!
+//! Emits one JSON line per (threads, circuit) cell — the format of the
+//! `BENCH_*.json` artifacts at the repo root — plus a `meta` line recording
+//! the machine's core count, since speedup beyond `min(threads, cores)` is
+//! physically impossible. Exits non-zero if any thread count changes any
+//! cut statistic (the executor's bit-identity contract).
+
+use mlpart_bench::{algos, run_many_par, HarnessArgs};
+use mlpart_hypergraph::rng::child_seed;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "{{\"group\":\"parallel_starts\",\"bench\":\"meta\",\"cores\":{cores},\
+         \"runs_per_cell\":{},\"seed\":{},\
+         \"note\":\"wall-clock speedup is bounded by min(threads, cores); \
+         cpu_secs sums per-start busy-time proxies and inflates under \
+         oversubscription\"}}",
+        args.runs, args.seed
+    );
+    let mut ok = true;
+    for (ci, c) in args.circuits().iter().enumerate() {
+        let h = c.generate(args.seed);
+        let seed = child_seed(args.seed, 3_000 + ci as u64);
+        let mut baseline: Option<(f64, mlpart_bench::RunStats)> = None;
+        for threads in THREAD_COUNTS {
+            let stats = run_many_par(args.runs, seed, threads, |rng, ws| {
+                algos::ml_c_in(&h, 0.5, rng, ws)
+            });
+            let (wall1, ref_stats) = *baseline.get_or_insert((stats.wall_secs, stats));
+            if stats != ref_stats {
+                eprintln!(
+                    "DETERMINISM VIOLATION: {} at {threads} threads changed the cut statistics",
+                    c.name
+                );
+                ok = false;
+            }
+            println!(
+                "{{\"group\":\"parallel_starts\",\"bench\":\"{}/t{threads}\",\
+                 \"wall_secs\":{:.6},\"cpu_secs\":{:.6},\"speedup_vs_t1\":{:.3},\
+                 \"min_cut\":{}}}",
+                c.name,
+                stats.wall_secs,
+                stats.cpu_secs,
+                wall1 / stats.wall_secs.max(1e-12),
+                stats.cut.min,
+            );
+        }
+    }
+    std::process::exit(i32::from(!ok));
+}

@@ -4,7 +4,7 @@
 //! Paper finding: LIFO significantly outperforms FIFO; random selection is
 //! as good as (or slightly better than) LIFO.
 
-use mlpart_bench::{algos, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_bench::{algos, report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
 use mlpart_fm::BucketPolicy;
 use mlpart_hypergraph::rng::child_seed;
 
@@ -25,10 +25,11 @@ fn main() {
     for (ci, c) in args.circuits().iter().enumerate() {
         let h = c.generate(args.seed);
         let cell = |policy: BucketPolicy, lane: u64| {
-            run_many(
+            run_many_par(
                 args.runs,
                 child_seed(args.seed, (ci as u64) * 8 + lane),
-                |rng| algos::fm_with_policy(&h, policy, rng),
+                args.threads,
+                |rng, ws| algos::fm_with_policy_in(&h, policy, rng, ws),
             )
         };
         let lifo = cell(BucketPolicy::Lifo, 0);

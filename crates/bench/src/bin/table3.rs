@@ -5,7 +5,7 @@
 //! circuits, at comparable CPU cost (CLIP even converges in fewer passes on
 //! some large cases).
 
-use mlpart_bench::{algos, paper, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_bench::{algos, paper, report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
 use mlpart_hypergraph::rng::child_seed;
 
 fn main() {
@@ -34,12 +34,18 @@ fn main() {
     let mut cpu_ratio_acc = Vec::new();
     for (ci, c) in args.circuits().iter().enumerate() {
         let h = c.generate(args.seed);
-        let fm = run_many(args.runs, child_seed(args.seed, ci as u64 * 4), |rng| {
-            algos::fm(&h, rng)
-        });
-        let clip = run_many(args.runs, child_seed(args.seed, ci as u64 * 4 + 1), |rng| {
-            algos::clip(&h, rng)
-        });
+        let fm = run_many_par(
+            args.runs,
+            child_seed(args.seed, ci as u64 * 4),
+            args.threads,
+            |rng, ws| algos::fm_in(&h, rng, ws),
+        );
+        let clip = run_many_par(
+            args.runs,
+            child_seed(args.seed, ci as u64 * 4 + 1),
+            args.threads,
+            |rng, ws| algos::clip_in(&h, rng, ws),
+        );
         let p = paper::table3_row(c.name);
         println!(
             "{:<16} {:>6} {:>6}  {:>8.1} {:>8.1}  {:>7.1} {:>7.1}  {:>8.2} {:>8.2}  {:>8} {:>8}",
@@ -50,14 +56,14 @@ fn main() {
             clip.cut.avg,
             fm.cut.std,
             clip.cut.std,
-            fm.secs,
-            clip.secs,
+            fm.cpu_secs,
+            clip.cpu_secs,
             p.map_or("-".to_owned(), |r| format!("{:.0}", r.fm_avg)),
             p.map_or("-".to_owned(), |r| format!("{:.0}", r.clip_avg)),
         );
         fm_avgs.push(fm.cut.avg.max(1.0));
         clip_avgs.push(clip.cut.avg.max(1.0));
-        cpu_ratio_acc.push(clip.secs.max(1e-9) / fm.secs.max(1e-9));
+        cpu_ratio_acc.push(clip.cpu_secs.max(1e-9) / fm.cpu_secs.max(1e-9));
     }
     let avg_ratio = mlpart_bench::geomean_ratio(&clip_avgs, &fm_avgs);
     let cpu_geo =

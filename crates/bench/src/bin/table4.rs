@@ -5,7 +5,7 @@
 //! more than ~6000 modules; `ML_C` has the lowest averages overall; ML's
 //! runtime overhead over CLIP shrinks as instances grow.
 
-use mlpart_bench::{algos, paper, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_bench::{algos, paper, report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
 use mlpart_hypergraph::rng::child_seed;
 
 fn main() {
@@ -35,12 +35,14 @@ fn main() {
     for (ci, c) in args.circuits().iter().enumerate() {
         let h = c.generate(args.seed);
         let base = child_seed(args.seed, ci as u64 * 8);
-        let clip = run_many(args.runs, child_seed(base, 0), |rng| algos::clip(&h, rng));
-        let mlf = run_many(args.runs, child_seed(base, 1), |rng| {
-            algos::ml_f(&h, 1.0, rng)
+        let clip = run_many_par(args.runs, child_seed(base, 0), args.threads, |rng, ws| {
+            algos::clip_in(&h, rng, ws)
         });
-        let mlc = run_many(args.runs, child_seed(base, 2), |rng| {
-            algos::ml_c(&h, 1.0, rng)
+        let mlf = run_many_par(args.runs, child_seed(base, 1), args.threads, |rng, ws| {
+            algos::ml_f_in(&h, 1.0, rng, ws)
+        });
+        let mlc = run_many_par(args.runs, child_seed(base, 2), args.threads, |rng, ws| {
+            algos::ml_c_in(&h, 1.0, rng, ws)
         });
         let p = paper::table4_row(c.name);
         println!(
@@ -52,9 +54,9 @@ fn main() {
             clip.cut.avg,
             mlf.cut.avg,
             mlc.cut.avg,
-            clip.secs,
-            mlf.secs,
-            mlc.secs,
+            clip.cpu_secs,
+            mlf.cpu_secs,
+            mlc.cpu_secs,
             p.map_or("-".to_owned(), |r| format!("{:.0}", r.avg[2])),
         );
         clip_avgs.push(clip.cut.avg.max(1.0));

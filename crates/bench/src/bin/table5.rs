@@ -11,7 +11,7 @@ use mlpart_hypergraph::rng::seeded_rng;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let ok = sweeps::run_ratio_sweep("Table V — ML_F", &args, algos::ml_f);
+    let ok = sweeps::run_ratio_sweep("Table V — ML_F", &args, algos::ml_f_in);
 
     // Appendix: the per-level refinement trajectory of one representative
     // run (ML_F, R = 0.5) on the largest selected circuit, from the

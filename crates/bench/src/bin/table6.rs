@@ -9,6 +9,6 @@ use mlpart_bench::{algos, sweeps, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let ok = sweeps::run_ratio_sweep("Table VI — ML_C", &args, algos::ml_c);
+    let ok = sweeps::run_ratio_sweep("Table VI — ML_C", &args, algos::ml_c_in);
     std::process::exit(i32::from(!ok));
 }

@@ -9,7 +9,7 @@
 //! Paper finding: `ML_C` with 100 runs beats every competitor (6.9-27.9%);
 //! even 10 runs of `ML_C` still win (3.0-20.6%).
 
-use mlpart_bench::{algos, paper, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_bench::{algos, paper, report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
 use mlpart_hypergraph::rng::child_seed;
 
 fn main() {
@@ -34,15 +34,23 @@ fn main() {
     for (ci, c) in args.circuits().iter().enumerate() {
         let h = c.generate(args.seed);
         let base = child_seed(args.seed, ci as u64);
-        let mlc = run_many(args.runs, child_seed(base, 0), |rng| {
-            algos::ml_c(&h, 0.5, rng)
+        let mlc = run_many_par(args.runs, child_seed(base, 0), args.threads, |rng, ws| {
+            algos::ml_c_in(&h, 0.5, rng, ws)
         });
-        let mlc10 = run_many(few, child_seed(base, 1), |rng| algos::ml_c(&h, 0.5, rng));
-        let fm = run_many(args.runs, child_seed(base, 2), |rng| algos::fm(&h, rng));
-        let clip = run_many(args.runs, child_seed(base, 3), |rng| algos::clip(&h, rng));
+        let mlc10 = run_many_par(few, child_seed(base, 1), args.threads, |rng, ws| {
+            algos::ml_c_in(&h, 0.5, rng, ws)
+        });
+        let fm = run_many_par(args.runs, child_seed(base, 2), args.threads, |rng, ws| {
+            algos::fm_in(&h, rng, ws)
+        });
+        let clip = run_many_par(args.runs, child_seed(base, 3), args.threads, |rng, ws| {
+            algos::clip_in(&h, rng, ws)
+        });
         // The paper's LSMC column is 100 descents of a single chain; scale
-        // descents with the run budget so CPU stays comparable.
-        let lsmc = run_many(1, child_seed(base, 4), |rng| {
+        // descents with the run budget so CPU stays comparable. (A single
+        // chain is inherently sequential, so this cell ignores the worker
+        // workspace and runs on one start.)
+        let lsmc = run_many_par(1, child_seed(base, 4), args.threads, |rng, _ws| {
             algos::lsmc(&h, args.runs.max(10), rng)
         });
         println!(

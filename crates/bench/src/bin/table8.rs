@@ -3,12 +3,13 @@
 //!
 //! The paper reports total time for 10 runs of `ML_C` on a Sun Sparc 5 and
 //! observes it is cheaper than every competitor except GMetis. Our harness
-//! measures wall-clock on the synthetic suite for the algorithms we
-//! implement; cross-platform absolute times are meaningless, so the shape
+//! measures summed per-start CPU on the synthetic suite for the algorithms
+//! we implement (thread-count independent, matching the paper's total-CPU
+//! convention); cross-platform absolute times are meaningless, so the shape
 //! check compares *ratios*: ML_C's run budget must cost no more than a small
 //! multiple of the flat engines at equal run counts.
 
-use mlpart_bench::{algos, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_bench::{algos, report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
 use mlpart_hypergraph::rng::child_seed;
 
 fn main() {
@@ -32,20 +33,28 @@ fn main() {
     for (ci, c) in args.circuits().iter().enumerate() {
         let h = c.generate(args.seed);
         let base = child_seed(args.seed, 7_000 + ci as u64);
-        let mlc = run_many(few, child_seed(base, 0), |rng| algos::ml_c(&h, 0.5, rng));
-        let fm = run_many(args.runs, child_seed(base, 1), |rng| algos::fm(&h, rng));
-        let clip = run_many(args.runs, child_seed(base, 2), |rng| algos::clip(&h, rng));
+        let mlc = run_many_par(few, child_seed(base, 0), args.threads, |rng, ws| {
+            algos::ml_c_in(&h, 0.5, rng, ws)
+        });
+        let fm = run_many_par(args.runs, child_seed(base, 1), args.threads, |rng, ws| {
+            algos::fm_in(&h, rng, ws)
+        });
+        let clip = run_many_par(args.runs, child_seed(base, 2), args.threads, |rng, ws| {
+            algos::clip_in(&h, rng, ws)
+        });
         // Mirror the paper's budget proportions: its LSMC column is a
         // 100-descent chain against 10 ML_C runs, i.e. 10 descents per run.
-        let lsmc = run_many(1, child_seed(base, 3), |rng| algos::lsmc(&h, few * 10, rng));
+        let lsmc = run_many_par(1, child_seed(base, 3), args.threads, |rng, _ws| {
+            algos::lsmc(&h, few * 10, rng)
+        });
         println!(
             "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            c.name, mlc.secs, fm.secs, clip.secs, lsmc.secs
+            c.name, mlc.cpu_secs, fm.cpu_secs, clip.cpu_secs, lsmc.cpu_secs
         );
-        mlc_t.push(mlc.secs.max(1e-9));
-        fm_t.push(fm.secs.max(1e-9));
-        clip_t.push(clip.secs.max(1e-9));
-        lsmc_t.push(lsmc.secs.max(1e-9));
+        mlc_t.push(mlc.cpu_secs.max(1e-9));
+        fm_t.push(fm.cpu_secs.max(1e-9));
+        clip_t.push(clip.cpu_secs.max(1e-9));
+        lsmc_t.push(lsmc.cpu_secs.max(1e-9));
     }
     let vs_clip = mlpart_bench::geomean_ratio(&mlc_t, &clip_t);
     let vs_lsmc = mlpart_bench::geomean_ratio(&mlc_t, &lsmc_t);

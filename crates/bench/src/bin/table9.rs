@@ -6,7 +6,7 @@
 //! GORDIAN-derived quadrisection, and the flat move-based engines trail far
 //! behind on larger circuits.
 
-use mlpart_bench::{algos, paper, report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use mlpart_bench::{algos, paper, report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
 use mlpart_hypergraph::rng::child_seed;
 
 fn main() {
@@ -25,18 +25,22 @@ fn main() {
     for (ci, c) in args.circuits().iter().enumerate() {
         let (h, pads) = c.generate_with_pads(args.seed);
         let base = child_seed(args.seed, 9_000 + ci as u64);
-        let ml = run_many(args.runs, child_seed(base, 0), |rng| {
-            algos::ml4(&h, &[], rng)
+        let ml = run_many_par(args.runs, child_seed(base, 0), args.threads, |rng, ws| {
+            algos::ml4_in(&h, &[], rng, ws)
         });
         let (g_quad, g_lin) = algos::gordian_cuts(&h, &pads);
         let gordian = g_quad.min(g_lin);
-        let fm = run_many(args.runs, child_seed(base, 1), |rng| algos::fm4(&h, rng));
-        let clip = run_many(args.runs, child_seed(base, 2), |rng| algos::clip4(&h, rng));
+        let fm = run_many_par(args.runs, child_seed(base, 1), args.threads, |rng, ws| {
+            algos::fm4_in(&h, rng, ws)
+        });
+        let clip = run_many_par(args.runs, child_seed(base, 2), args.threads, |rng, ws| {
+            algos::clip4_in(&h, rng, ws)
+        });
         let descents = args.runs.max(10);
-        let lf = run_many(1, child_seed(base, 3), |rng| {
+        let lf = run_many_par(1, child_seed(base, 3), args.threads, |rng, _ws| {
             algos::lsmc4_f(&h, descents, rng)
         });
-        let lc = run_many(1, child_seed(base, 4), |rng| {
+        let lc = run_many_par(1, child_seed(base, 4), args.threads, |rng, _ws| {
             algos::lsmc4_c(&h, descents, rng)
         });
         let p = paper::table9_row(c.name);

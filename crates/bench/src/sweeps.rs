@@ -1,6 +1,7 @@
 //! Shared experiment drivers used by more than one harness binary.
 
-use crate::{report_shape_checks, run_many, HarnessArgs, ShapeCheck};
+use crate::{report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
+use mlpart_fm::RefineWorkspace;
 use mlpart_hypergraph::rng::{child_seed, MlRng};
 use mlpart_hypergraph::Hypergraph;
 
@@ -10,7 +11,7 @@ use mlpart_hypergraph::Hypergraph;
 pub fn run_ratio_sweep(
     label: &str,
     args: &HarnessArgs,
-    ml: fn(&Hypergraph, f64, &mut MlRng) -> u64,
+    ml: fn(&Hypergraph, f64, &mut MlRng, &mut RefineWorkspace) -> u64,
 ) -> bool {
     const RATIOS: [f64; 3] = [1.0, 0.5, 0.33];
     println!(
@@ -33,7 +34,14 @@ pub fn run_ratio_sweep(
         let cells: Vec<_> = RATIOS
             .iter()
             .enumerate()
-            .map(|(ri, &r)| run_many(args.runs, child_seed(base, ri as u64), |rng| ml(&h, r, rng)))
+            .map(|(ri, &r)| {
+                run_many_par(
+                    args.runs,
+                    child_seed(base, ri as u64),
+                    args.threads,
+                    |rng, ws| ml(&h, r, rng, ws),
+                )
+            })
             .collect();
         println!(
             "{:<16} {:>6} {:>6} {:>6}  {:>8.1} {:>8.1} {:>8.1}  {:>8.2} {:>8.2} {:>8.2}",
@@ -44,13 +52,13 @@ pub fn run_ratio_sweep(
             cells[0].cut.avg,
             cells[1].cut.avg,
             cells[2].cut.avg,
-            cells[0].secs,
-            cells[1].secs,
-            cells[2].secs,
+            cells[0].cpu_secs,
+            cells[1].cpu_secs,
+            cells[2].cpu_secs,
         );
         for (ri, cell) in cells.iter().enumerate() {
             avgs[ri].push(cell.cut.avg.max(1.0));
-            cpus[ri].push(cell.secs.max(1e-9));
+            cpus[ri].push(cell.cpu_secs.max(1e-9));
         }
     }
     let half_vs_full = crate::geomean_ratio(&avgs[1], &avgs[0]);

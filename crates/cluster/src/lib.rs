@@ -47,6 +47,6 @@ pub use hierarchy::{
     rebalance_kway_frozen,
 };
 pub use matching::{
-    conn, heavy_edge_matching, match_clusters, match_clusters_frozen, random_matching, MatchConfig,
-    MATCH_MAX_NET_SIZE,
+    conn, heavy_edge_matching, match_clusters, match_clusters_frozen, match_clusters_frozen_in,
+    random_matching, MatchConfig, MatchScratch, MATCH_MAX_NET_SIZE,
 };

@@ -16,9 +16,31 @@
 //! proceeds more slowly and the hierarchy gains more levels.
 
 use crate::clustering::Clustering;
-use mlpart_hypergraph::rng::random_permutation;
+use mlpart_hypergraph::rng::{random_permutation, random_permutation_into};
 use mlpart_hypergraph::{Hypergraph, ModuleId};
 use rand::Rng;
+
+/// Reusable scratch buffers for [`match_clusters_frozen_in`]: the random
+/// module permutation of Fig. 3 step 1 plus the `Conn` array and touched set
+/// `S` of step 5. The multilevel coarsener calls `Match` once per pass, and
+/// holding one `MatchScratch` across the whole coarsening loop means no
+/// per-pass allocation (levels shrink, so level-0 capacity serves them all).
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// The random visit permutation π (Fig. 3 step 1).
+    perm: Vec<u32>,
+    /// Per-module accumulated connectivity (`Conn`, Fig. 3 step 5).
+    conn: Vec<f64>,
+    /// Modules with a nonzero `Conn` entry (the set `S`).
+    touched: Vec<u32>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch; the first `Match` call sizes it.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+}
 
 /// Nets larger than this are invisible to `conn` (paper §III-A: "nets with
 /// more than ten modules are ignored to reduce runtimes").
@@ -104,6 +126,23 @@ pub fn match_clusters_frozen<R: Rng + ?Sized>(
     frozen: Option<&[bool]>,
     rng: &mut R,
 ) -> Clustering {
+    let mut scratch = MatchScratch::new();
+    match_clusters_frozen_in(h, cfg, frozen, rng, &mut scratch)
+}
+
+/// [`match_clusters_frozen`] with caller-owned scratch buffers: bit-identical
+/// results, no per-pass allocation of the permutation or `Conn` machinery.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not in `(0, 1]` or `frozen` has the wrong length.
+pub fn match_clusters_frozen_in<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    cfg: &MatchConfig,
+    frozen: Option<&[bool]>,
+    rng: &mut R,
+    scratch: &mut MatchScratch,
+) -> Clustering {
     assert!(
         cfg.ratio > 0.0 && cfg.ratio <= 1.0,
         "matching ratio must be in (0, 1]"
@@ -119,11 +158,17 @@ pub fn match_clusters_frozen<R: Rng + ?Sized>(
     let mut n_match: usize = 0;
 
     // Scratch for the conn computation: Conn array + touched set S (Fig. 3's
-    // description of step 5).
-    let mut conn = vec![0.0f64; n];
-    let mut touched: Vec<u32> = Vec::new();
+    // description of step 5). `conn` is all-zero between modules (entries are
+    // reset via `touched`), so clear+resize restores the invariant without
+    // reallocating.
+    scratch.conn.clear();
+    scratch.conn.resize(n, 0.0);
+    scratch.touched.clear();
+    let conn = &mut scratch.conn;
+    let touched = &mut scratch.touched;
 
-    let perm = random_permutation(n, rng);
+    random_permutation_into(n, rng, &mut scratch.perm);
+    let perm = &scratch.perm;
     let mut j = 0usize;
     while (n_match as f64) < cfg.ratio * n as f64 && j < n {
         let v = ModuleId::from(perm[j]);
@@ -150,7 +195,7 @@ pub fn match_clusters_frozen<R: Rng + ?Sized>(
             }
             // Pick w maximizing conn(v, w) including the area preference.
             let mut best: Option<(f64, u32)> = None;
-            for &wr in &touched {
+            for &wr in touched.iter() {
                 let w = ModuleId::from(wr);
                 let score = conn[w.index()] / (h.area(v) + h.area(w)) as f64;
                 match best {
@@ -164,7 +209,7 @@ pub fn match_clusters_frozen<R: Rng + ?Sized>(
             }
             // Reset only the touched entries (Fig. 3: "reinitialization can
             // be done efficiently by resetting entries indexed by S").
-            for &wr in &touched {
+            for &wr in touched.iter() {
                 conn[wr as usize] = 0.0;
             }
             touched.clear();
@@ -251,7 +296,7 @@ pub fn heavy_edge_matching<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> Clus
             }
         }
         let mut best: Option<(f64, u32)> = None;
-        for &wr in &touched {
+        for &wr in touched.iter() {
             let score = conn[wr as usize];
             match best {
                 Some((b, _)) if b >= score => {}
@@ -261,7 +306,7 @@ pub fn heavy_edge_matching<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> Clus
         if let Some((_, wr)) = best {
             cluster_of[wr as usize] = cluster;
         }
-        for &wr in &touched {
+        for &wr in touched.iter() {
             conn[wr as usize] = 0.0;
         }
         touched.clear();
@@ -455,6 +500,29 @@ mod tests {
         let mut rng = seeded_rng(0);
         let c = match_clusters(&h, &MatchConfig::default(), &mut rng);
         assert_eq!(c.num_clusters(), 0);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_across_shrinking_inputs() {
+        // Mimic the coarsening loop: the same scratch serves a sequence of
+        // progressively smaller netlists, and every result must equal the
+        // fresh-scratch path on an identical RNG stream.
+        let mut scratch = MatchScratch::new();
+        let mut rng_reuse = seeded_rng(33);
+        let mut rng_fresh = seeded_rng(33);
+        for half in [40usize, 17, 6] {
+            let mut b = HypergraphBuilder::with_unit_areas(2 * half);
+            for base in [0, half] {
+                for i in 0..half {
+                    b.add_net([base + i, base + (i + 1) % half]).unwrap();
+                }
+            }
+            let h = b.build().unwrap();
+            let cfg = MatchConfig::with_ratio(0.7);
+            let with_reuse = match_clusters_frozen_in(&h, &cfg, None, &mut rng_reuse, &mut scratch);
+            let fresh = match_clusters_frozen(&h, &cfg, None, &mut rng_fresh);
+            assert_eq!(with_reuse.as_map(), fresh.as_map(), "half={half}");
+        }
     }
 }
 

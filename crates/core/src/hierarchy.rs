@@ -2,8 +2,8 @@
 //! Fig. 2, steps 1-5).
 
 use mlpart_cluster::{
-    heavy_edge_matching, induce, induce_coalesced, match_clusters_frozen, random_matching,
-    Clustering, MatchConfig,
+    heavy_edge_matching, induce, induce_coalesced, match_clusters_frozen_in, random_matching,
+    Clustering, MatchConfig, MatchScratch,
 };
 use mlpart_hypergraph::{Hypergraph, ModuleId, PartId};
 use rand::Rng;
@@ -91,6 +91,9 @@ impl Hierarchy {
         rng: &mut R,
     ) -> Self {
         let match_cfg = MatchConfig::with_ratio(cfg.matching_ratio);
+        // One scratch serves every `Match` pass: levels shrink, so the
+        // level-0 buffers are never reallocated further down the hierarchy.
+        let mut scratch = MatchScratch::new();
         let mut clusterings = Vec::new();
         let mut coarse: Vec<Hypergraph> = Vec::new();
         let mut fixed_levels: Vec<Vec<(ModuleId, PartId)>> = vec![fixed.to_vec()];
@@ -108,9 +111,13 @@ impl Hierarchy {
                 Some(mask)
             };
             let clustering = match cfg.coarsener {
-                Coarsener::PaperMatch => {
-                    match_clusters_frozen(current, &match_cfg, frozen_mask.as_deref(), rng)
-                }
+                Coarsener::PaperMatch => match_clusters_frozen_in(
+                    current,
+                    &match_cfg,
+                    frozen_mask.as_deref(),
+                    rng,
+                    &mut scratch,
+                ),
                 Coarsener::RandomMatching => {
                     assert!(
                         frozen_mask.is_none(),

@@ -47,7 +47,9 @@ pub mod recursive;
 pub mod two_phase;
 
 pub use hierarchy::{Coarsener, Hierarchy};
-pub use ml::{ml_bipartition, ml_bipartition_in, LevelStats, MlConfig, MlResult};
-pub use quadrisection::{ml_kway, ml_kway_in, ml_quadrisection, MlKwayConfig, MlKwayResult};
+pub use ml::{ml_best_of_in, ml_bipartition, ml_bipartition_in, LevelStats, MlConfig, MlResult};
+pub use quadrisection::{
+    ml_kway, ml_kway_best_of_in, ml_kway_in, ml_quadrisection, MlKwayConfig, MlKwayResult,
+};
 pub use recursive::{recursive_ml_bisection, recursive_ml_bisection_in, RecursiveResult};
 pub use two_phase::{two_phase_fm, two_phase_fm_in, TwoPhaseResult};

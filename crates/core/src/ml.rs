@@ -20,7 +20,7 @@
 use crate::hierarchy::Hierarchy;
 use mlpart_cluster::{project, rebalance_bipart};
 use mlpart_fm::{fm_partition_in, refine_in, Engine, FmConfig, PassStats, RefineWorkspace};
-use mlpart_hypergraph::rng::MlRng;
+use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
 use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, Partition};
 
 /// Per-level instrumentation of a multilevel run, collected during
@@ -306,6 +306,40 @@ pub fn ml_bipartition_in(
     (p, result)
 }
 
+/// Multi-start convenience driver: runs [`ml_bipartition_in`] once per start
+/// with the independent seed stream `child_seed(base_seed, i)` and returns
+/// the winning start's index, partition, and statistics. The winner is the
+/// lowest cut, ties broken by the **lowest start index**, so the result is a
+/// pure function of `(h, cfg, runs, base_seed)` — the contract the parallel
+/// execution layer (`mlpart-exec`) relies on to fan starts out across
+/// threads without changing any answer.
+///
+/// All starts refine through the caller's workspace, so per-start allocation
+/// stays amortized.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn ml_best_of_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    runs: usize,
+    base_seed: u64,
+    ws: &mut RefineWorkspace,
+) -> (usize, Partition, MlResult) {
+    assert!(runs > 0, "need at least one start");
+    let mut best: Option<(usize, Partition, MlResult)> = None;
+    for i in 0..runs {
+        let mut rng = seeded_rng(child_seed(base_seed, i as u64));
+        let (p, r) = ml_bipartition_in(h, cfg, &mut rng, ws);
+        // Strict `<`: the earliest start that reaches the minimum wins.
+        if best.as_ref().is_none_or(|(_, _, b)| r.cut < b.cut) {
+            best = Some((i, p, r));
+        }
+    }
+    best.expect("at least one start")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +488,36 @@ mod tests {
             let (p, _) = ml_bipartition(&h, &cfg, &mut rng);
             assert!(p.validate(&h));
         }
+    }
+
+    #[test]
+    fn best_of_matches_manual_sequential_loop() {
+        let h = two_communities(48);
+        let cfg = MlConfig::clip();
+        let (runs, base) = (6usize, 77u64);
+        let mut ws = RefineWorkspace::new();
+        let (win_idx, win_p, win_r) = ml_best_of_in(&h, &cfg, runs, base, &mut ws);
+        // Manual loop with fresh workspaces: same streams, same winner.
+        let mut best: Option<(usize, Partition, MlResult)> = None;
+        for i in 0..runs {
+            let mut rng = seeded_rng(child_seed(base, i as u64));
+            let (p, r) = ml_bipartition(&h, &cfg, &mut rng);
+            if best.as_ref().is_none_or(|(_, _, b)| r.cut < b.cut) {
+                best = Some((i, p, r));
+            }
+        }
+        let (idx, p, r) = best.unwrap();
+        assert_eq!(win_idx, idx);
+        assert_eq!(win_p.assignment(), p.assignment());
+        assert_eq!(win_r, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one start")]
+    fn best_of_rejects_zero_runs() {
+        let h = two_communities(8);
+        let mut ws = RefineWorkspace::new();
+        let _ = ml_best_of_in(&h, &MlConfig::default(), 0, 1, &mut ws);
     }
 
     #[test]

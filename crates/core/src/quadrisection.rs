@@ -11,7 +11,7 @@ use crate::hierarchy::Hierarchy;
 use crate::ml::{LevelStats, MlConfig};
 use mlpart_cluster::{project, rebalance_kway_frozen};
 use mlpart_fm::RefineWorkspace;
-use mlpart_hypergraph::rng::MlRng;
+use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
 use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
 use mlpart_kway::{kway_partition_in, kway_refine_in, KwayConfig};
 
@@ -197,6 +197,36 @@ pub fn ml_kway_in(
     (p, result)
 }
 
+/// Multi-start convenience driver: runs [`ml_kway_in`] once per start with
+/// the independent seed stream `child_seed(base_seed, i)` and returns the
+/// winning start's index, partition, and statistics (lowest cut, ties to the
+/// lowest start index). The k-way twin of
+/// [`ml_best_of_in`](crate::ml_best_of_in); see there for why this total
+/// order makes the result schedule-independent.
+///
+/// # Panics
+///
+/// Panics if `runs == 0` or the underlying [`ml_kway_in`] panics.
+pub fn ml_kway_best_of_in(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    fixed: &[(ModuleId, PartId)],
+    runs: usize,
+    base_seed: u64,
+    ws: &mut RefineWorkspace,
+) -> (usize, Partition, MlKwayResult) {
+    assert!(runs > 0, "need at least one start");
+    let mut best: Option<(usize, Partition, MlKwayResult)> = None;
+    for i in 0..runs {
+        let mut rng = seeded_rng(child_seed(base_seed, i as u64));
+        let (p, r) = ml_kway_in(h, cfg, fixed, &mut rng, ws);
+        if best.as_ref().is_none_or(|(_, _, b)| r.cut < b.cut) {
+            best = Some((i, p, r));
+        }
+    }
+    best.expect("at least one start")
+}
+
 /// Convenience wrapper for the paper's quadrisection setup: `k = 4`,
 /// `T = 100`, `R = 1.0`, sum-of-degrees gain.
 pub fn ml_quadrisection(
@@ -254,6 +284,27 @@ mod tests {
         assert_eq!(r.cut, metrics::cut(&h, &p));
         assert_eq!(r.sum_of_degrees, metrics::sum_of_spans_minus_one(&h, &p));
         assert_eq!(r.level_sizes.len(), r.levels + 1);
+    }
+
+    #[test]
+    fn kway_best_of_matches_manual_sequential_loop() {
+        let h = four_communities(40);
+        let cfg = MlKwayConfig::default();
+        let (runs, base) = (4usize, 13u64);
+        let mut ws = RefineWorkspace::new();
+        let (win_idx, win_p, win_r) = ml_kway_best_of_in(&h, &cfg, &[], runs, base, &mut ws);
+        let mut best: Option<(usize, Partition, MlKwayResult)> = None;
+        for i in 0..runs {
+            let mut rng = seeded_rng(child_seed(base, i as u64));
+            let (p, r) = ml_kway(&h, &cfg, &[], &mut rng);
+            if best.as_ref().is_none_or(|(_, _, b)| r.cut < b.cut) {
+                best = Some((i, p, r));
+            }
+        }
+        let (idx, p, r) = best.unwrap();
+        assert_eq!(win_idx, idx);
+        assert_eq!(win_p.assignment(), p.assignment());
+        assert_eq!(win_r, r);
     }
 
     #[test]

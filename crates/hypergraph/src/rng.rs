@@ -47,9 +47,19 @@ pub fn child_seed(base: u64, stream: u64) -> u64 {
 /// A uniformly random permutation of `0..n`, as used by `Match` (Fig. 3,
 /// step 1: "Construct random permutation π of [1..n]").
 pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<u32> {
-    let mut perm: Vec<u32> = (0..n as u32).collect();
-    perm.shuffle(rng);
+    let mut perm = Vec::new();
+    random_permutation_into(n, rng, &mut perm);
     perm
+}
+
+/// [`random_permutation`] into a caller-owned buffer, reusing its
+/// allocation. Consumes the identical RNG stream and produces the identical
+/// permutation; the multilevel coarsener calls `Match` once per level, and
+/// this keeps that loop from allocating a fresh permutation every pass.
+pub fn random_permutation_into<R: Rng + ?Sized>(n: usize, rng: &mut R, buf: &mut Vec<u32>) {
+    buf.clear();
+    buf.extend(0..n as u32);
+    buf.shuffle(rng);
 }
 
 #[cfg(test)]
@@ -75,6 +85,18 @@ mod tests {
     #[test]
     fn empty_permutation() {
         assert!(random_permutation(0, &mut seeded_rng(0)).is_empty());
+    }
+
+    #[test]
+    fn permutation_into_reuses_buffer_and_matches_stream() {
+        let mut rng_a = seeded_rng(11);
+        let mut rng_b = seeded_rng(11);
+        let mut buf = Vec::new();
+        for n in [100usize, 40, 7, 0, 64] {
+            random_permutation_into(n, &mut rng_a, &mut buf);
+            assert_eq!(buf, random_permutation(n, &mut rng_b), "n={n}");
+        }
+        assert!(buf.capacity() >= 100, "buffer allocation is reused");
     }
 
     #[test]

@@ -7,23 +7,29 @@
 //! ```text
 //! mlpart <netlist.hgr> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase]
 //!                      [--k 2|4] [--ratio R] [--threshold T]
-//!                      [--runs N] [--seed S] [--output best.part] [--stats]
+//!                      [--runs N] [--seed S] [--threads P]
+//!                      [--output best.part] [--stats]
 //! ```
 //!
 //! `--k 4` uses multilevel quadrisection (only with the ml algorithms).
 //! `--stats` prints the per-level refinement trajectory of the first run
-//! (multilevel algorithms only).
+//! (multilevel algorithms only). `--threads` spreads the independent starts
+//! over worker threads; every start draws its seed from the same per-start
+//! stream and the best cut ties break to the lowest start index, so the
+//! reported cuts and the written partition are bit-identical at every
+//! thread count (only the wall-clock changes).
 
 use mlpart::cluster::MatchConfig;
-use mlpart::core::two_phase_fm;
+use mlpart::core::two_phase_fm_in;
+use mlpart::fm::fm_partition_in;
 use mlpart::gen::by_name;
 use mlpart::hypergraph::io::{read_hgr, write_partition};
 use mlpart::hypergraph::metrics::CutStats;
-use mlpart::hypergraph::rng::{child_seed, seeded_rng};
+use mlpart::hypergraph::rng::MlRng;
 use mlpart::lsmc::{lsmc_bipartition, LsmcConfig};
 use mlpart::{
-    fm_partition, ml_bipartition, ml_kway, Engine, FmConfig, Hypergraph, LevelStats, MlConfig,
-    MlKwayConfig, Partition,
+    ml_bipartition_in, ml_kway_in, Engine, FmConfig, Hypergraph, LevelStats, MlConfig,
+    MlKwayConfig, Partition, RefineWorkspace,
 };
 use std::io::Read;
 use std::process::ExitCode;
@@ -37,6 +43,7 @@ struct CliArgs {
     threshold: usize,
     runs: usize,
     seed: u64,
+    threads: usize,
     output: Option<String>,
     stats: bool,
 }
@@ -51,6 +58,7 @@ impl Default for CliArgs {
             threshold: 35,
             runs: 10,
             seed: 1,
+            threads: mlpart::exec::default_threads(),
             output: None,
             stats: false,
         }
@@ -59,7 +67,8 @@ impl Default for CliArgs {
 
 const USAGE: &str =
     "usage: mlpart <netlist.hgr | syn-NAME> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase] \
-[--k 2|4] [--ratio R] [--threshold T] [--runs N] [--seed S] [--output best.part] [--stats]";
+[--k 2|4] [--ratio R] [--threshold T] [--runs N] [--seed S] [--threads P] \
+[--output best.part] [--stats]";
 
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String> {
     let mut out = CliArgs::default();
@@ -92,6 +101,14 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String
                 }
             }
             "--seed" => out.seed = value("--seed")?.parse().map_err(|_| "invalid --seed")?,
+            "--threads" => {
+                out.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads")?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".to_owned());
+                }
+            }
             "--output" => out.output = Some(value("--output")?),
             "--stats" => out.stats = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
@@ -127,8 +144,12 @@ fn load_netlist(input: &str) -> Result<Hypergraph, String> {
 /// algorithms) the per-level refinement trajectory.
 type RunOutcome = (Partition, u64, Vec<LevelStats>);
 
-fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<RunOutcome, String> {
-    let mut rng = seeded_rng(seed);
+fn run_once(
+    h: &Hypergraph,
+    args: &CliArgs,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> Result<RunOutcome, String> {
     let fm_cfg = |engine| FmConfig {
         engine,
         ..FmConfig::default()
@@ -148,24 +169,24 @@ fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<RunOutcome, Str
         if !args.algo.starts_with("ml") {
             return Err("--k 4 requires --algo ml-c or ml-f".to_owned());
         }
-        let (p, r) = ml_kway(h, &cfg, &[], &mut rng);
+        let (p, r) = ml_kway_in(h, &cfg, &[], rng, ws);
         return Ok((p, r.cut, r.level_stats));
     }
     Ok(match args.algo.as_str() {
         "ml-c" => {
-            let (p, r) = ml_bipartition(h, &ml_cfg(Engine::Clip), &mut rng);
+            let (p, r) = ml_bipartition_in(h, &ml_cfg(Engine::Clip), rng, ws);
             (p, r.cut, r.level_stats)
         }
         "ml-f" => {
-            let (p, r) = ml_bipartition(h, &ml_cfg(Engine::Fm), &mut rng);
+            let (p, r) = ml_bipartition_in(h, &ml_cfg(Engine::Fm), rng, ws);
             (p, r.cut, r.level_stats)
         }
         "fm" => {
-            let (p, r) = fm_partition(h, None, &fm_cfg(Engine::Fm), &mut rng);
+            let (p, r) = fm_partition_in(h, None, &fm_cfg(Engine::Fm), rng, ws);
             (p, r.cut, Vec::new())
         }
         "clip" => {
-            let (p, r) = fm_partition(h, None, &fm_cfg(Engine::Clip), &mut rng);
+            let (p, r) = fm_partition_in(h, None, &fm_cfg(Engine::Clip), rng, ws);
             (p, r.cut, Vec::new())
         }
         "lsmc" => {
@@ -173,15 +194,16 @@ fn run_once(h: &Hypergraph, args: &CliArgs, seed: u64) -> Result<RunOutcome, Str
                 descents: 20,
                 ..LsmcConfig::default()
             };
-            let (p, r) = lsmc_bipartition(h, &cfg, &mut rng);
+            let (p, r) = lsmc_bipartition(h, &cfg, rng);
             (p, r.cut, Vec::new())
         }
         "two-phase" => {
-            let (p, r) = two_phase_fm(
+            let (p, r) = two_phase_fm_in(
                 h,
                 &fm_cfg(Engine::Fm),
                 &MatchConfig::with_ratio(args.ratio),
-                &mut rng,
+                rng,
+                ws,
             );
             (p, r.cut, Vec::new())
         }
@@ -234,11 +256,17 @@ fn main() -> ExitCode {
         h.num_nets(),
         h.num_pins()
     );
+    // Every start is an independent seeded job; the executor spreads them
+    // over `--threads` workers and returns the outcomes in start order, so
+    // everything below this line is oblivious to the thread count.
+    let (outcomes, timing) =
+        mlpart::exec::run_starts(args.runs, args.seed, args.threads, &|rng, ws| {
+            run_once(&h, &args, rng, ws)
+        });
     let mut best: Option<(u64, Partition)> = None;
     let mut cuts = Vec::with_capacity(args.runs);
-    let start = std::time::Instant::now();
-    for i in 0..args.runs {
-        match run_once(&h, &args, child_seed(args.seed, i as u64)) {
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
             Ok((p, cut, level_stats)) => {
                 if args.stats && i == 0 {
                     print_level_stats(&level_stats);
@@ -256,13 +284,15 @@ fn main() -> ExitCode {
     }
     let stats = CutStats::from_samples(&cuts);
     println!(
-        "{} x{} runs: min {} avg {:.1} std {:.1} ({:.2}s)",
+        "{} x{} runs: min {} avg {:.1} std {:.1} ({:.2}s wall, {:.2}s cpu, {} threads)",
         args.algo,
         args.runs,
         stats.min,
         stats.avg,
         stats.std,
-        start.elapsed().as_secs_f64()
+        timing.wall_secs,
+        timing.cpu_secs,
+        args.threads.min(args.runs),
     );
     if let Some(path) = &args.output {
         let (_, p) = best.expect("at least one run");
@@ -293,7 +323,8 @@ mod tests {
     #[test]
     fn parses_full_command_line() {
         let a = parse_args(argv(
-            "design.hgr --algo ml-f --k 4 --ratio 0.33 --runs 3 --seed 9 --output out.part --stats",
+            "design.hgr --algo ml-f --k 4 --ratio 0.33 --runs 3 --seed 9 --threads 2 \
+             --output out.part --stats",
         ))
         .expect("parses");
         assert_eq!(a.input, "design.hgr");
@@ -301,6 +332,7 @@ mod tests {
         assert_eq!(a.k, 4);
         assert_eq!(a.ratio, 0.33);
         assert_eq!(a.runs, 3);
+        assert_eq!(a.threads, 2);
         assert_eq!(a.output.as_deref(), Some("out.part"));
         assert!(a.stats);
     }
@@ -311,6 +343,8 @@ mod tests {
         assert!(parse_args(argv("x.hgr --k 3")).is_err());
         assert!(parse_args(argv("x.hgr --ratio 0")).is_err());
         assert!(parse_args(argv("x.hgr --runs 0")).is_err());
+        assert!(parse_args(argv("x.hgr --threads 0")).is_err());
+        assert!(parse_args(argv("x.hgr --threads x")).is_err());
         assert!(parse_args(argv("x.hgr --bogus 1")).is_err());
     }
 
@@ -329,26 +363,29 @@ mod tests {
             runs: 1,
             ..CliArgs::default()
         };
+        let mut ws = RefineWorkspace::new();
         for algo in ["ml-c", "ml-f", "fm", "clip", "lsmc", "two-phase"] {
             args.algo = algo.to_owned();
-            let (p, cut, level_stats) = run_once(&h, &args, 1).expect(algo);
+            let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
+            let (p, cut, level_stats) = run_once(&h, &args, &mut rng, &mut ws).expect(algo);
             assert!(p.validate(&h), "{algo}");
             assert!(cut > 0, "{algo}");
             if algo.starts_with("ml") {
                 assert!(!level_stats.is_empty(), "{algo} should report level stats");
             }
         }
+        let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
         args.algo = "unknown".to_owned();
-        assert!(run_once(&h, &args, 1).is_err());
+        assert!(run_once(&h, &args, &mut rng, &mut ws).is_err());
         // Quadrisection path.
         args.algo = "ml-f".to_owned();
         args.k = 4;
-        let (p, _, level_stats) = run_once(&h, &args, 1).expect("quadrisection");
+        let (p, _, level_stats) = run_once(&h, &args, &mut rng, &mut ws).expect("quadrisection");
         assert_eq!(p.k(), 4);
         assert!(!level_stats.is_empty(), "quadrisection reports level stats");
         args.algo = "fm".to_owned();
         assert!(
-            run_once(&h, &args, 1).is_err(),
+            run_once(&h, &args, &mut rng, &mut ws).is_err(),
             "flat fm cannot do k=4 here"
         );
     }

@@ -8,6 +8,7 @@
 //! * [`fm`] — FM/CLIP iterative engines with LIFO/FIFO/Random buckets;
 //! * [`cluster`] — `Match` coarsening, `Induce`, `Project`, rebalancing;
 //! * [`core`] — the ML multilevel algorithm (bipartitioning + quadrisection);
+//! * [`exec`] — deterministic parallel execution of independent starts;
 //! * [`kway`] — Sanchis-style k-way FM without lookahead;
 //! * [`lsmc`] — the Large-Step Markov Chain baseline;
 //! * [`place`] — the GORDIAN-analogue quadratic placer.
@@ -36,6 +37,7 @@
 
 pub use mlpart_cluster as cluster;
 pub use mlpart_core as core;
+pub use mlpart_exec as exec;
 pub use mlpart_fm as fm;
 pub use mlpart_gen as gen;
 pub use mlpart_hypergraph as hypergraph;

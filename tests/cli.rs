@@ -67,6 +67,49 @@ fn quadrisection_flag_works() {
 }
 
 #[test]
+fn thread_count_does_not_change_results() {
+    // The executor promises bit-identical output at every thread count;
+    // check it end-to-end through the binary, including the written
+    // partition file. Only the timing parenthetical may differ.
+    let report = |threads: &str, part: &std::path::Path| {
+        let out = mlpart()
+            .args(["syn-balu", "--algo", "ml-c", "--runs", "4", "--seed", "7"])
+            .args(["--threads", threads])
+            .args(["--output", part.to_str().expect("utf8 path")])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let stats = stdout
+            .split(" (")
+            .next()
+            .expect("report line has a timing parenthetical")
+            .to_owned();
+        let partition = std::fs::read_to_string(part).expect("partition written");
+        (stats, partition)
+    };
+    let part1 = temp_path("t1.part");
+    let part4 = temp_path("t4.part");
+    let (stats1, partition1) = report("1", &part1);
+    let (stats4, partition4) = report("4", &part4);
+    assert_eq!(
+        stats1, stats4,
+        "cut statistics must not depend on --threads"
+    );
+    assert_eq!(
+        partition1, partition4,
+        "best partition must not depend on --threads"
+    );
+    assert!(stats1.contains("ml-c x4 runs: min"), "stats: {stats1}");
+    let _ = std::fs::remove_file(&part1);
+    let _ = std::fs::remove_file(&part4);
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     // No input at all.
     let out = mlpart().output().expect("binary runs");

@@ -62,9 +62,20 @@ pub fn induce(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
             .add_weighted_net(scratch.iter().copied(), h.net_weight(e))
             .expect("cluster ids in range, weight positive");
     }
-    builder
+    let coarse = builder
         .build()
-        .expect("induced areas are positive sums of positive areas")
+        .expect("induced areas are positive sums of positive areas");
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_hypergraph(&coarse));
+        mlpart_audit::enforce(mlpart_audit::check_counter(
+            "Hypergraph",
+            "induce-total-area",
+            coarse.total_area(),
+            h.total_area(),
+        ));
+    }
+    coarse
 }
 
 /// [`induce`] followed by **coalescing identical nets**: coarse nets with the
@@ -82,16 +93,18 @@ pub fn induce(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
 /// Panics if the clustering does not match `h`.
 pub fn induce_coalesced(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
     let dup = induce(h, clustering);
-    // Group nets by sorted pin set.
-    let mut keyed: std::collections::HashMap<Vec<u32>, u64> = std::collections::HashMap::new();
+    // Group nets by sorted pin set. A BTreeMap keeps the grouping — and
+    // therefore the coarse net order — independent of hash state and
+    // insertion order: iteration is always ascending by pin set, so no
+    // separate sort pass is needed and no default-hasher nondeterminism
+    // can ever leak into the coarse netlist.
+    let mut keyed: std::collections::BTreeMap<Vec<u32>, u64> = std::collections::BTreeMap::new();
     for e in dup.net_ids() {
         let mut key: Vec<u32> = dup.pins(e).iter().map(|v| v.raw()).collect();
         key.sort_unstable();
         *keyed.entry(key).or_insert(0) += dup.net_weight(e) as u64;
     }
-    // Deterministic order: sort the merged nets by pin set.
-    let mut merged: Vec<(Vec<u32>, u64)> = keyed.into_iter().collect();
-    merged.sort();
+    let merged: Vec<(Vec<u32>, u64)> = keyed.into_iter().collect();
     let mut builder = HypergraphBuilder::new(
         (0..dup.num_modules())
             .map(|i| dup.area(ModuleId::new(i)))
@@ -103,7 +116,20 @@ pub fn induce_coalesced(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
             .add_weighted_net(pins.iter().map(|&p| p as usize), weight)
             .expect("pins in range, weight positive");
     }
-    builder.build().expect("areas positive")
+    let coalesced = builder.build().expect("areas positive");
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_hypergraph(&coalesced));
+        // Coalescing must conserve total net weight (each merged net carries
+        // the sum of its duplicates), which is what keeps weighted cuts equal.
+        mlpart_audit::enforce(mlpart_audit::check_counter(
+            "Hypergraph",
+            "coalesce-net-weight",
+            coalesced.total_net_weight(),
+            dup.total_net_weight(),
+        ));
+    }
+    coalesced
 }
 
 /// Definition 2: projects a partition of the coarse netlist back onto the
@@ -130,8 +156,31 @@ pub fn project(
     let assignment: Vec<u32> = (0..fine.num_modules())
         .map(|i| coarse_partition.part(ModuleId::new(clustering.cluster_of_index(i) as usize)))
         .collect();
-    Partition::from_assignment(fine, coarse_partition.k(), assignment)
-        .expect("projected assignment is valid by construction")
+    let fine_p = Partition::from_assignment(fine, coarse_partition.k(), assignment)
+        .expect("projected assignment is valid by construction");
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_cluster_map(
+            clustering.as_map(),
+            clustering.num_clusters(),
+        ));
+        mlpart_audit::enforce(mlpart_audit::audit_partition(fine, &fine_p));
+        // Definition 2 preserves per-part areas; the multilevel driver
+        // additionally audits bit-exact cut preservation (it owns both the
+        // fine and the coarse netlist).
+        if fine_p.part_areas() != coarse_partition.part_areas() {
+            mlpart_audit::enforce(Err(mlpart_audit::AuditError::new(
+                "Projection",
+                "area-preserved",
+                format!(
+                    "fine part areas {:?} != coarse part areas {:?}",
+                    fine_p.part_areas(),
+                    coarse_partition.part_areas()
+                ),
+            )));
+        }
+    }
+    fine_p
 }
 
 /// §III-B rebalancing for bipartitions: "the solution is rebalanced by
@@ -446,6 +495,48 @@ mod coalesce_tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn coalesced_independent_of_net_insertion_order() {
+        // Regression for the old default-hasher grouping: the coarse netlist
+        // must be a pure function of the (multiset of) fine nets, never of
+        // the order they were inserted in or of any map's iteration order.
+        let nets: Vec<[usize; 2]> = (0..8).map(|i| [i, (i + 1) % 8]).collect();
+        let build = |order: &[usize]| {
+            let mut b = HypergraphBuilder::with_unit_areas(8);
+            for &i in order {
+                b.add_net(nets[i]).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let forward = build(&(0..8).collect::<Vec<_>>());
+        let reversed = build(&(0..8).rev().collect::<Vec<_>>());
+        let c = Clustering::from_map(vec![0, 0, 1, 1, 2, 2, 3, 3]).unwrap();
+        assert_eq!(
+            induce_coalesced(&forward, &c),
+            induce_coalesced(&reversed, &c)
+        );
+    }
+
+    #[test]
+    fn coalesced_net_order_is_sorted_by_pin_set() {
+        // BTreeMap grouping emits merged nets ascending by pin set; pin this
+        // down so the coarse net order stays canonical.
+        let mut b = HypergraphBuilder::with_unit_areas(6);
+        b.add_net([4, 5]).unwrap();
+        b.add_net([2, 4]).unwrap();
+        b.add_net([0, 2]).unwrap();
+        let h = b.build().unwrap();
+        let c = Clustering::from_map(vec![0, 0, 1, 1, 2, 2]).unwrap();
+        let merged = induce_coalesced(&h, &c);
+        let pin_sets: Vec<Vec<u32>> = merged
+            .net_ids()
+            .map(|e| merged.pins(e).iter().map(|v| v.raw()).collect())
+            .collect();
+        let mut sorted = pin_sets.clone();
+        sorted.sort();
+        assert_eq!(pin_sets, sorted);
     }
 
     #[test]

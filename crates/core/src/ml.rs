@@ -277,6 +277,22 @@ pub fn ml_bipartition_in(
     for i in (0..m).rev() {
         let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
         let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        // Definition 2 audit: the projected solution must pull back through
+        // the cluster map and preserve the cut bit-exactly, checked before
+        // §III-B rebalancing perturbs `fine_p`.
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                mlpart_audit::audit_projection(
+                    fine,
+                    &fine_p,
+                    hierarchy.level(i + 1),
+                    &p,
+                    hierarchy.clustering(i).as_map(),
+                )
+                .map_err(|e| e.with_level(i)),
+            );
+        }
         let balance = BipartBalance::new(fine, cfg.fm.balance_r);
         let mut level_rebalance = 0usize;
         if !balance.is_partition_feasible(&fine_p) {
@@ -294,6 +310,10 @@ pub fn ml_bipartition_in(
         p = fine_p;
     }
 
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_partition(h, &p));
+    }
     let cut = metrics::cut(h, &p);
     let result = MlResult {
         cut,
@@ -518,6 +538,20 @@ mod tests {
         let h = two_communities(8);
         let mut ws = RefineWorkspace::new();
         let _ = ml_best_of_in(&h, &MlConfig::default(), 0, 1, &mut ws);
+    }
+
+    /// With audits forced on, every projection boundary of a multilevel run
+    /// is checked (and a healthy run survives them all).
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_hooks_fire_on_healthy_run() {
+        mlpart_audit::force_enabled(true);
+        let h = two_communities(64); // 128 modules > T = 35, so m >= 1
+        let mut rng = seeded_rng(11);
+        let (p, r) = ml_bipartition(&h, &MlConfig::default(), &mut rng);
+        mlpart_audit::force_enabled(false);
+        assert!(r.levels >= 1, "need at least one projection to audit");
+        assert!(p.validate(&h));
     }
 
     #[test]

@@ -157,6 +157,21 @@ pub fn ml_kway_in(
     for i in (0..m).rev() {
         let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
         let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        // Definition 2 audit (k-way form), before rebalancing perturbs
+        // `fine_p`: pullback through the cluster map and bit-exact cut.
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                mlpart_audit::audit_projection(
+                    fine,
+                    &fine_p,
+                    hierarchy.level(i + 1),
+                    &p,
+                    hierarchy.clustering(i).as_map(),
+                )
+                .map_err(|e| e.with_level(i)),
+            );
+        }
         let balance = KwayBalance::new(fine, cfg.k, cfg.kway.balance_r);
         let mut level_rebalance = 0usize;
         if !balance.is_partition_feasible(&fine_p) {
@@ -185,6 +200,10 @@ pub fn ml_kway_in(
         p = fine_p;
     }
 
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_partition(h, &p));
+    }
     let result = MlKwayResult {
         cut: metrics::cut(h, &p),
         sum_of_degrees: metrics::sum_of_spans_minus_one(h, &p),
@@ -362,6 +381,19 @@ mod tests {
         let (p, r) = ml_kway(&h, &cfg, &[], &mut rng);
         assert_eq!(p.k(), 2);
         assert_eq!(r.cut, metrics::cut(&h, &p));
+    }
+
+    /// With audits forced on, every k-way projection boundary is checked.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_hooks_fire_on_healthy_run() {
+        mlpart_audit::force_enabled(true);
+        let h = four_communities(50); // 200 modules > T = 100, so m >= 1
+        let mut rng = seeded_rng(12);
+        let (p, r) = ml_quadrisection(&h, &[], &mut rng);
+        mlpart_audit::force_enabled(false);
+        assert!(r.levels >= 1, "need at least one projection to audit");
+        assert!(p.validate(&h));
     }
 
     #[test]

@@ -142,9 +142,22 @@ where
     // Scatter into start order; completion order is irrelevant.
     let mut cpu_secs = 0.0;
     let mut slots: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    #[cfg(feature = "audit")]
+    let mut claims = vec![0u32; runs];
     for (i, secs, value) in locals.into_iter().flatten() {
         cpu_secs += secs;
+        #[cfg(feature = "audit")]
+        {
+            claims[i] += 1;
+        }
         slots[i] = Some(value);
+    }
+    // Work-stealing audit: every start index must have been claimed by
+    // exactly one worker (a duplicate or dropped claim would silently break
+    // the determinism contract before the `expect` below fires).
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_start_claims(&claims));
     }
     let out: Vec<T> = slots
         .into_iter()
@@ -266,5 +279,17 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    /// With audits forced on, the scatter-claims check runs on a healthy
+    /// multi-threaded batch and the results stay bit-identical.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_hooks_fire_on_healthy_batch() {
+        mlpart_audit::force_enabled(true);
+        let (seq, _) = run_starts(17, 21, 1, &job);
+        let (par, _) = run_starts(17, 21, 4, &job);
+        mlpart_audit::force_enabled(false);
+        assert_eq!(seq, par);
     }
 }

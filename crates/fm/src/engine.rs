@@ -246,7 +246,7 @@ pub fn refine_in(
     let mut attempted_moves = 0u64;
     let mut pass_stats = Vec::new();
     while passes < cfg.max_passes {
-        let outcome = st.run_pass(h, p, cfg, &balance, rng);
+        let outcome = st.run_pass(h, p, cfg, &balance, rng, passes);
         passes += 1;
         kept_moves += outcome.stats.kept_moves as u64;
         attempted_moves += outcome.stats.attempted_moves as u64;
@@ -595,6 +595,7 @@ impl RefineState {
         cfg: &FmConfig,
         balance: &BipartBalance,
         rng: &mut MlRng,
+        _pass_no: usize,
     ) -> PassOutcome {
         let fill_start = Instant::now();
         let start_cut = if cfg.incremental_reinit && self.state_valid {
@@ -616,6 +617,13 @@ impl RefineState {
         self.moves.clear();
         self.fill_buckets(h, p, cfg);
         let fill_time_ns = fill_start.elapsed().as_nanos() as u64;
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                crate::audit::audit_pass_start(self, h, p, cfg, start_cut)
+                    .map_err(|e| e.with_pass(_pass_no)),
+            );
+        }
 
         let mut cut = start_cut;
         let mut best_cut = start_cut;
@@ -682,6 +690,20 @@ impl RefineState {
                         }
                     }
                     self.moves.truncate(best_len);
+                    // In audit builds this runs in release too (the
+                    // debug_assert it replaces was debug-only).
+                    #[cfg(feature = "audit")]
+                    if mlpart_audit::enabled() {
+                        mlpart_audit::enforce(
+                            mlpart_audit::check_counter(
+                                "RefineState",
+                                "cdip-backtrack-cut",
+                                cut,
+                                best_cut,
+                            )
+                            .map_err(|e| e.with_pass(_pass_no)),
+                        );
+                    }
                     debug_assert_eq!(cut, best_cut);
                     stall = 0;
                 }
@@ -696,6 +718,13 @@ impl RefineState {
             for &(v, _from) in undo.iter().rev() {
                 self.shift_module(h, p, v, cfg, &mut cut);
             }
+            #[cfg(feature = "audit")]
+            if mlpart_audit::enabled() {
+                mlpart_audit::enforce(
+                    mlpart_audit::check_counter("RefineState", "rollback-cut", cut, best_cut)
+                        .map_err(|e| e.with_pass(_pass_no)),
+                );
+            }
             debug_assert_eq!(cut, best_cut);
             self.cut_cache = best_cut;
             self.state_valid = true;
@@ -703,6 +732,13 @@ impl RefineState {
             for &(v, from) in self.moves[best_len..].iter().rev() {
                 p.move_module(h, v, from);
             }
+        }
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                crate::audit::audit_pass_end(self, h, p, cfg, best_cut)
+                    .map_err(|e| e.with_pass(_pass_no)),
+            );
         }
         PassOutcome {
             improved: best_cut < start_cut,

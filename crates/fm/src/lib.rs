@@ -34,6 +34,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod bucket;
 pub mod engine;
 pub mod state;

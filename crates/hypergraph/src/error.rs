@@ -99,6 +99,13 @@ pub enum ParseHgrError {
         /// The unsupported format code.
         fmt: u32,
     },
+    /// A net line contained no pins (e.g. a weighted line whose only token
+    /// was the weight). Blank lines are skipped as comments, so an empty
+    /// net is always a malformed file rather than a formatting artifact.
+    EmptyNet {
+        /// 1-based line number of the pinless net.
+        line_no: usize,
+    },
     /// The netlist failed semantic validation after parsing.
     Build(BuildHypergraphError),
 }
@@ -132,6 +139,9 @@ impl fmt::Display for ParseHgrError {
             }
             ParseHgrError::UnsupportedFormat { fmt } => {
                 write!(f, "unsupported hMETIS format code {fmt}")
+            }
+            ParseHgrError::EmptyNet { line_no } => {
+                write!(f, "line {line_no}: net has no pins")
             }
             ParseHgrError::Build(e) => write!(f, "invalid netlist: {e}"),
         }

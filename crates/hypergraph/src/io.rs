@@ -133,6 +133,9 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
             }
             pins.push(pin - 1);
         }
+        if pins.is_empty() {
+            return Err(ParseHgrError::EmptyNet { line_no });
+        }
         builder
             .add_weighted_net(pins, weight)
             .map_err(ParseHgrError::Build)?;

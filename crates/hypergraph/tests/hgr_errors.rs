@@ -1,0 +1,140 @@
+//! Error-path coverage for the hMETIS `.hgr` parser: every malformed-input
+//! class must surface as the matching typed [`ParseHgrError`] variant, with
+//! enough context (line numbers, offending values) to locate the defect.
+
+use mlpart_hypergraph::io::read_hgr;
+use mlpart_hypergraph::ParseHgrError;
+use std::io::Read;
+
+#[test]
+fn truncated_net_section_reports_counts() {
+    // Header declares 4 nets; the file ends after 2.
+    let err = read_hgr("4 5\n1 2\n2 3\n".as_bytes()).unwrap_err();
+    match err {
+        ParseHgrError::TooFewNets { expected, found } => {
+            assert_eq!(expected, 4);
+            assert_eq!(found, 2);
+        }
+        other => panic!("expected TooFewNets, got {other}"),
+    }
+}
+
+#[test]
+fn truncated_module_weight_section() {
+    // fmt=10 requires one weight line per module; only 2 of 3 present.
+    let err = read_hgr("1 3 10\n1 2\n7\n8\n".as_bytes()).unwrap_err();
+    assert!(matches!(err, ParseHgrError::TooFewNets { .. }), "{err}");
+}
+
+#[test]
+fn completely_empty_file_is_a_header_error() {
+    let err = read_hgr("".as_bytes()).unwrap_err();
+    assert!(matches!(err, ParseHgrError::BadHeader { .. }), "{err}");
+    // Comments only, no header either.
+    let err = read_hgr("% nothing\n% here\n".as_bytes()).unwrap_err();
+    assert!(matches!(err, ParseHgrError::BadHeader { .. }), "{err}");
+}
+
+#[test]
+fn pin_above_module_count_is_localized() {
+    let err = read_hgr("2 3\n1 2\n2 9\n".as_bytes()).unwrap_err();
+    match err {
+        ParseHgrError::PinOutOfRange {
+            line_no,
+            pin,
+            num_modules,
+        } => {
+            assert_eq!(line_no, 3);
+            assert_eq!(pin, 9);
+            assert_eq!(num_modules, 3);
+        }
+        other => panic!("expected PinOutOfRange, got {other}"),
+    }
+}
+
+#[test]
+fn pin_zero_is_rejected_in_one_based_format() {
+    let err = read_hgr("1 3\n0 2\n".as_bytes()).unwrap_err();
+    assert!(
+        matches!(err, ParseHgrError::PinOutOfRange { pin: 0, .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn zero_pin_net_line_is_typed() {
+    // fmt=1: the only token on the net line is its weight — no pins.
+    let err = read_hgr("2 3 1\n5\n9 2 3\n".as_bytes()).unwrap_err();
+    match err {
+        ParseHgrError::EmptyNet { line_no } => assert_eq!(line_no, 2),
+        other => panic!("expected EmptyNet, got {other}"),
+    }
+}
+
+#[test]
+fn single_pin_nets_are_dropped_not_errors() {
+    // A 1-pin net is legal input (the builder drops it, per the paper's
+    // net definition), unlike a 0-pin line which is malformed.
+    let h = read_hgr("2 3\n2\n1 3\n".as_bytes()).unwrap();
+    assert_eq!(h.num_nets(), 1);
+}
+
+#[test]
+fn non_numeric_tokens_are_localized() {
+    let err = read_hgr("1 2\n1 x\n".as_bytes()).unwrap_err();
+    match err {
+        ParseHgrError::BadToken { line_no, token } => {
+            assert_eq!(line_no, 2);
+            assert_eq!(token, "x");
+        }
+        other => panic!("expected BadToken, got {other}"),
+    }
+}
+
+#[test]
+fn unsupported_format_code_is_typed() {
+    let err = read_hgr("1 2 2\n1 2\n".as_bytes()).unwrap_err();
+    assert!(
+        matches!(err, ParseHgrError::UnsupportedFormat { fmt: 2 }),
+        "{err}"
+    );
+}
+
+/// A reader that fails mid-stream, as a genuinely truncated transfer would.
+struct FailingReader {
+    served: bool,
+}
+
+impl Read for FailingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.served {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "stream cut off",
+            ))
+        } else {
+            self.served = true;
+            let head = b"3 4\n1 2\n";
+            buf[..head.len()].copy_from_slice(head);
+            Ok(head.len())
+        }
+    }
+}
+
+#[test]
+fn io_failures_surface_as_io_variant() {
+    let err = read_hgr(FailingReader { served: false }).unwrap_err();
+    match err {
+        ParseHgrError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        other => panic!("expected Io, got {other}"),
+    }
+    // And the error chain exposes the source.
+    let err = read_hgr(FailingReader { served: false }).unwrap_err();
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn error_displays_carry_location() {
+    let e = ParseHgrError::EmptyNet { line_no: 7 };
+    assert_eq!(e.to_string(), "line 7: net has no pins");
+}

@@ -43,6 +43,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
+
 use mlpart_fm::{BucketPolicy, PassStats, RefineState, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
@@ -364,6 +367,12 @@ pub fn kway_refine_in(
         }
         let fill_time_ns = fill_start.elapsed().as_nanos() as u64;
         let start_obj = kway_objective(st, h, cfg, p);
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                audit::audit_pass_start(st, h, p, cfg, start_obj).map_err(|e| e.with_pass(passes)),
+            );
+        }
         let mut obj = start_obj as i64;
         let mut best_obj = obj;
         let mut best_len = 0usize;
@@ -446,6 +455,14 @@ pub fn kway_refine_in(
             p.move_module(h, v, from);
         }
         kept_moves += best_len as u64;
+        // In audit builds the rollback invariant runs in release too (the
+        // debug_assert below is debug-only).
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                audit::audit_pass_end(st, h, p, cfg, best_obj).map_err(|e| e.with_pass(passes)),
+            );
+        }
         debug_assert_eq!(kway_objective(st, h, cfg, p) as i64, best_obj);
         pass_stats.push(PassStats {
             cut_before: start_obj,

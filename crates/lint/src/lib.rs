@@ -1,0 +1,454 @@
+//! Determinism lint for the mlpart workspace.
+//!
+//! The partitioner's headline contract is bit-exact reproducibility: the
+//! same `(netlist, config, seed)` must produce the same partition on every
+//! machine, thread count, and run. Four classes of source constructs can
+//! silently break that contract, so this crate denies them in every
+//! algorithm crate:
+//!
+//! * **`default-hasher`** — `std::collections::HashMap`/`HashSet` seed
+//!   their hasher per-process, so iteration order (and anything derived
+//!   from it) varies between runs. Use `BTreeMap`/`BTreeSet` or
+//!   sort-then-dedup instead.
+//! * **`entropy-rng`** — `thread_rng()` / `SeedableRng::from_entropy()`
+//!   pull operating-system entropy; all randomness must flow from the
+//!   caller's seed through `mlpart_hypergraph::rng`.
+//! * **`wall-clock`** — `std::time::Instant` / `SystemTime` reads are fine
+//!   for telemetry but poison results if they leak into algorithm
+//!   decisions; only the whitelisted timing sites may touch them.
+//! * **`id-truncation`** — truncating casts on id-sized integers
+//!   (`as u8`/`as u16`, `.len() as u32`, `.index() as u32`) silently wrap
+//!   on large netlists instead of failing loudly.
+//!
+//! Known-legitimate sites are declared in `lint-allow.txt` at the
+//! workspace root, one `check path-prefix` pair per line. The lint is run
+//! by `cargo run -p mlpart-lint`, which exits nonzero on any finding not
+//! covered by the allowlist.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// In-workspace stand-in crates (vendored API shims, not algorithm code)
+/// and this crate itself — excluded from scanning.
+const SKIP_CRATES: &[&str] = &["rand", "proptest", "criterion", "lint"];
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes, e.g.
+    /// `crates/fm/src/engine.rs`.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// The violated rule: `default-hasher`, `entropy-rng`, `wall-clock`,
+    /// or `id-truncation`.
+    pub check: &'static str,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.check, self.snippet
+        )
+    }
+}
+
+/// One allowlist entry: findings of `check` under `path_prefix` are
+/// accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule being allowed.
+    pub check: String,
+    /// Workspace-relative path prefix the exemption covers.
+    pub path_prefix: String,
+}
+
+/// Parses `lint-allow.txt` content: one `check path-prefix` pair per line,
+/// `#` starts a comment, blank lines ignored.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if let (Some(check), Some(prefix)) = (it.next(), it.next()) {
+            entries.push(AllowEntry {
+                check: check.to_string(),
+                path_prefix: prefix.to_string(),
+            });
+        }
+    }
+    entries
+}
+
+/// True when `f` is covered by some allowlist entry (same check, file
+/// under the entry's path prefix).
+pub fn is_allowed(f: &Finding, allow: &[AllowEntry]) -> bool {
+    allow
+        .iter()
+        .any(|a| a.check == f.check && f.file.starts_with(&a.path_prefix))
+}
+
+/// Strips `//` line comments and `/* ... */` block comments, preserving
+/// line structure so findings keep their line numbers. String literals are
+/// respected (a `//` inside a string does not start a comment).
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut in_block = 0usize;
+    let mut in_str = false;
+    let mut in_char = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = if i + 1 < bytes.len() {
+            Some(bytes[i + 1] as char)
+        } else {
+            None
+        };
+        if in_block > 0 {
+            if c == '*' && next == Some('/') {
+                in_block -= 1;
+                i += 2;
+                continue;
+            }
+            if c == '/' && next == Some('*') {
+                in_block += 1;
+                i += 2;
+                continue;
+            }
+            if c == '\n' {
+                out.push('\n');
+            }
+            i += 1;
+            continue;
+        }
+        if in_str {
+            out.push(c);
+            if c == '\\' {
+                if let Some(n) = next {
+                    out.push(n);
+                    i += 2;
+                    continue;
+                }
+            } else if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        if in_char {
+            out.push(c);
+            if c == '\\' {
+                if let Some(n) = next {
+                    out.push(n);
+                    i += 2;
+                    continue;
+                }
+            } else if c == '\'' {
+                in_char = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '/' if next == Some('/') => {
+                // Line comment: drop to end of line.
+                while i < bytes.len() && bytes[i] as char != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                in_block = 1;
+                i += 2;
+            }
+            '"' => {
+                in_str = true;
+                out.push(c);
+                i += 1;
+            }
+            '\'' => {
+                // Only treat as a char literal when it looks like one
+                // (avoids lifetimes: `'a`, `'static`).
+                let looks_like_char =
+                    bytes.get(i + 2).is_some_and(|&b| b as char == '\'') || next == Some('\\');
+                if looks_like_char {
+                    in_char = true;
+                }
+                out.push(c);
+                i += 1;
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when `hay` contains `needle` not followed by an identifier
+/// character (so ` as u8` does not match ` as u8something`).
+fn contains_token(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let end = start + pos + needle.len();
+        let boundary = hay[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Scans one source text and returns every rule violation, comment text
+/// excluded. `file` is the workspace-relative label stamped on findings.
+pub fn lint_source(file: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let stripped = strip_comments(text);
+    for (idx, (line, raw)) in stripped.lines().zip(text.lines()).enumerate() {
+        let mut hit = |check: &'static str| {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                check,
+                snippet: raw.trim().to_string(),
+            });
+        };
+        if contains_token(line, "HashMap") || contains_token(line, "HashSet") {
+            hit("default-hasher");
+        }
+        if contains_token(line, "thread_rng") || contains_token(line, "from_entropy") {
+            hit("entropy-rng");
+        }
+        if contains_token(line, "Instant") || contains_token(line, "SystemTime") {
+            hit("wall-clock");
+        }
+        if contains_token(line, "as u8")
+            || contains_token(line, "as u16")
+            || contains_token(line, ".len() as u32")
+            || contains_token(line, ".index() as u32")
+        {
+            hit("id-truncation");
+        }
+    }
+    findings
+}
+
+/// Collects the `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every algorithm crate's `src/` tree plus the facade's root
+/// `src/`, returning all findings (allowlist not yet applied).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?.collect::<io::Result<_>>()?;
+    crate_dirs.sort_by_key(|e| e.path());
+    for entry in crate_dirs {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !path.is_dir() || SKIP_CRATES.contains(&name.as_ref()) {
+            continue;
+        }
+        let src = path.join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut files)?;
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        rust_files(&facade_src, &mut files)?;
+    }
+
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &text));
+    }
+    Ok(findings)
+}
+
+/// Loads the allowlist (if present) and lints the workspace. Returns the
+/// surviving findings and the number suppressed by the allowlist.
+pub fn run(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let allow = match fs::read_to_string(root.join("lint-allow.txt")) {
+        Ok(text) => parse_allowlist(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let all = lint_workspace(root)?;
+    let total = all.len();
+    let kept: Vec<Finding> = all.into_iter().filter(|f| !is_allowed(f, &allow)).collect();
+    let suppressed = total - kept.len();
+    Ok((kept, suppressed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_default_hasher() {
+        let src = "use std::collections::HashMap;\nlet m: HashMap<u32, u64> = HashMap::new();\n";
+        let f = lint_source("x.rs", src);
+        assert!(f.iter().all(|f| f.check == "default-hasher"));
+        assert_eq!(f[0].line, 1);
+        assert!(f.len() >= 2);
+    }
+
+    #[test]
+    fn flags_hash_set() {
+        let f = lint_source("x.rs", "let s = std::collections::HashSet::<u32>::new();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "default-hasher");
+    }
+
+    #[test]
+    fn flags_entropy_rng() {
+        let src = "let mut rng = rand::thread_rng();\nlet r = SmallRng::from_entropy();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.check == "entropy-rng"));
+    }
+
+    #[test]
+    fn flags_wall_clock() {
+        let src = "let t = std::time::Instant::now();\nlet s = SystemTime::now();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.check == "wall-clock"));
+    }
+
+    #[test]
+    fn flags_truncating_casts() {
+        let src = "let a = x as u8;\nlet b = y as u16;\nlet c = v.len() as u32;\nlet d = m.index() as u32;\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|f| f.check == "id-truncation"));
+    }
+
+    #[test]
+    fn widening_casts_are_fine() {
+        let src = "let a = x as u64;\nlet b = y as usize;\nlet c = z as u32;\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_trip_checks() {
+        let src = "// a HashMap would be nondeterministic here\n/* thread_rng();\n   Instant::now(); */\nlet x = 1; // as u8\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_literals_do_not_hide_code() {
+        // `//` inside a string must not comment out the rest of the line.
+        let src = "let s = \"//\"; let t = std::time::Instant::now();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "wall-clock");
+    }
+
+    #[test]
+    fn line_numbers_survive_block_comments() {
+        let src = "/* line 1\n   line 2 */\nlet t = Instant::now();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn allowlist_parsing_and_matching() {
+        let allow = parse_allowlist(
+            "# comment\n\nwall-clock crates/exec/src/lib.rs # telemetry\nid-truncation crates/kway/src/\n",
+        );
+        assert_eq!(allow.len(), 2);
+        let f = Finding {
+            file: "crates/exec/src/lib.rs".into(),
+            line: 1,
+            check: "wall-clock",
+            snippet: String::new(),
+        };
+        assert!(is_allowed(&f, &allow));
+        let g = Finding {
+            check: "default-hasher",
+            ..f.clone()
+        };
+        assert!(!is_allowed(&g, &allow));
+        let h = Finding {
+            file: "crates/kway/src/lib.rs".into(),
+            check: "id-truncation",
+            ..f
+        };
+        assert!(is_allowed(&h, &allow));
+    }
+
+    /// The seeded fixture contains every banned pattern exactly once per
+    /// class; each must be reported.
+    #[test]
+    fn fixture_trips_every_check() {
+        let text = include_str!("../fixtures/banned.rs.fixture");
+        let f = lint_source("fixtures/banned.rs", text);
+        for check in [
+            "default-hasher",
+            "entropy-rng",
+            "wall-clock",
+            "id-truncation",
+        ] {
+            assert!(
+                f.iter().any(|f| f.check == check),
+                "{check} not reported: {f:?}"
+            );
+        }
+    }
+
+    /// The real workspace must scan clean under its committed allowlist —
+    /// the acceptance gate `cargo run -p mlpart-lint` enforces in CI.
+    #[test]
+    fn workspace_is_clean_under_allowlist() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let (kept, suppressed) = run(&root).expect("lint scan");
+        assert!(
+            kept.is_empty(),
+            "determinism lint findings:\n{}",
+            kept.iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // The allowlist is load-bearing: the timing telemetry sites exist.
+        assert!(suppressed > 0, "expected allowlisted telemetry sites");
+    }
+}

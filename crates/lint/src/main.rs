@@ -1,0 +1,31 @@
+//! `mlpart-lint`: denies determinism hazards in the algorithm crates.
+//!
+//! Usage: `cargo run -p mlpart-lint` (from anywhere in the workspace).
+//! Exits 0 when the tree is clean under `lint-allow.txt`, 1 otherwise.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The crate sits at `<workspace>/crates/lint`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (kept, suppressed) = match mlpart_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mlpart-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if kept.is_empty() {
+        println!("mlpart-lint: clean ({suppressed} allowlisted site(s))");
+        return ExitCode::SUCCESS;
+    }
+    for f in &kept {
+        println!("{f}");
+    }
+    println!(
+        "mlpart-lint: {} finding(s); fix them or add `check path-prefix` lines to lint-allow.txt",
+        kept.len()
+    );
+    ExitCode::FAILURE
+}

@@ -10,6 +10,11 @@ use mlpart_hypergraph::rng::child_seed;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let ok = mlpart_bench::with_report(&args, "table2", || run(&args));
+    std::process::exit(i32::from(!ok));
+}
+
+fn run(args: &HarnessArgs) -> bool {
     println!(
         "Table II — FM bucket tie-breaking ({} runs per cell, seed {})",
         args.runs, args.seed
@@ -88,5 +93,5 @@ fn main() {
             rnd_vs_lifo >= 0.8 && rnd_vs_lifo <= 1.0 / lifo_vs_fifo,
         ),
     ];
-    std::process::exit(i32::from(!report_shape_checks(&checks)));
+    report_shape_checks(&checks)
 }

@@ -10,6 +10,11 @@ use mlpart_hypergraph::rng::child_seed;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let ok = mlpart_bench::with_report(&args, "table4", || run(&args));
+    std::process::exit(i32::from(!ok));
+}
+
+fn run(args: &HarnessArgs) -> bool {
     println!(
         "Table IV — CLIP vs ML_F vs ML_C at R=1 ({} runs per cell, seed {})",
         args.runs, args.seed
@@ -90,5 +95,5 @@ fn main() {
             mlc_best * 3 >= mlc_avgs.len() * 2,
         ),
     ];
-    std::process::exit(i32::from(!report_shape_checks(&checks)));
+    report_shape_checks(&checks)
 }

@@ -100,10 +100,82 @@ where
     F: Fn(&mut MlRng, &mut RefineWorkspace) -> u64 + Sync,
 {
     let (samples, timing) = mlpart_exec::run_starts(runs, base_seed, threads, &f);
-    RunStats {
+    let stats = RunStats {
         cut: CutStats::from_samples(&samples),
         cpu_secs: timing.cpu_secs,
         wall_secs: timing.wall_secs,
+    };
+    // One deterministic summary event per batch; timing stays out of the
+    // args so trace content is reproducible across runs and thread counts.
+    #[cfg(feature = "obs")]
+    if mlpart_obs::recording() {
+        mlpart_obs::counter(
+            "batch",
+            &[
+                ("runs", runs.into()),
+                ("seed", base_seed.into()),
+                ("cut_min", stats.cut.min.into()),
+                ("cut_max", stats.cut.max.into()),
+                ("cut_avg", stats.cut.avg.into()),
+            ],
+        );
+    }
+    stats
+}
+
+/// Runs `body` under the observability gate when `--report-out` was given,
+/// then writes a `mlpart-run-report-v1` JSON document capturing every batch
+/// the body executed (each multi-start batch contributes its per-start
+/// `start` spans plus one `batch` summary counter). Without the `obs`
+/// feature the flag is rejected up front so a report is never silently
+/// skipped. Returns whatever `body` returns.
+pub fn with_report<R>(args: &HarnessArgs, harness: &'static str, body: impl FnOnce() -> R) -> R {
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = harness;
+        if args.report_out.is_some() {
+            eprintln!(
+                "--report-out needs a binary built with the `obs` feature \
+                 (cargo build --release --features obs)"
+            );
+            std::process::exit(2);
+        }
+        body()
+    }
+    #[cfg(feature = "obs")]
+    {
+        let Some(path) = &args.report_out else {
+            return body();
+        };
+        mlpart_obs::force_enabled(true);
+        let wall = Instant::now();
+        let (value, trace) = mlpart_obs::capture(|| {
+            let _run = mlpart_obs::span(
+                "run",
+                &[("runs", args.runs.into()), ("seed", args.seed.into())],
+            );
+            body()
+        });
+        let report = mlpart_obs::report::RunReport {
+            meta: vec![
+                ("harness", mlpart_obs::V::S(harness)),
+                ("runs", args.runs.into()),
+                ("seed", args.seed.into()),
+                ("threads", args.threads.into()),
+            ],
+            cuts: Vec::new(), // per-batch cuts live in the `batch` counters
+            wall_secs: wall.elapsed().as_secs_f64(),
+            cpu_secs: 0.0,
+            trace: trace.expect("gate forced on"),
+        };
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!("run report written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        value
     }
 }
 
@@ -127,6 +199,7 @@ pub enum SuiteSelection {
 /// --seed S        base seed                            [default 1997]
 /// --suite small|medium|all|name1,name2,...             [default small]
 /// --threads N     worker threads for multi-start cells [default: available parallelism]
+/// --report-out P  write a machine-readable run report  [needs the `obs` feature]
 /// ```
 ///
 /// `--threads` only changes wall-clock time: per-start seed streams are
@@ -142,6 +215,9 @@ pub struct HarnessArgs {
     pub suite: SuiteSelection,
     /// Worker threads for multi-start cells (never changes results).
     pub threads: usize,
+    /// Write a `mlpart-run-report-v1` JSON document here (needs the `obs`
+    /// feature; see [`with_report`]).
+    pub report_out: Option<String>,
 }
 
 /// The complete usage line; printed on `--help` and flag errors.
@@ -150,7 +226,8 @@ pub const USAGE: &str = "usage: --runs N --seed S --suite small|medium|all|name,
      \x20 --seed S      base seed                            [default 1997]\n\
      \x20 --suite SEL   small|medium|all|name1,name2,...     [default small]\n\
      \x20 --threads N   worker threads for multi-start cells [default: available parallelism];\n\
-     \x20               results are bit-identical for every thread count";
+     \x20               results are bit-identical for every thread count\n\
+     \x20 --report-out PATH  write a machine-readable run report (needs the `obs` feature)";
 
 impl Default for HarnessArgs {
     fn default() -> Self {
@@ -159,6 +236,7 @@ impl Default for HarnessArgs {
             seed: 1997,
             suite: SuiteSelection::Small,
             threads: mlpart_exec::default_threads(),
+            report_out: None,
         }
     }
 }
@@ -212,6 +290,7 @@ impl HarnessArgs {
                         return Err("--threads must be positive".to_owned());
                     }
                 }
+                "--report-out" => out.report_out = Some(value("--report-out")?),
                 "--help" | "-h" => return Err(USAGE.to_owned()),
                 other => return Err(format!("unknown flag {other}\n{USAGE}")),
             }
@@ -369,7 +448,7 @@ mod tests {
 
     #[test]
     fn usage_documents_every_flag() {
-        for flag in ["--runs", "--seed", "--suite", "--threads"] {
+        for flag in ["--runs", "--seed", "--suite", "--threads", "--report-out"] {
             assert!(USAGE.contains(flag), "usage omits {flag}");
         }
         let help = HarnessArgs::parse(argv("--help")).expect_err("help is an Err");

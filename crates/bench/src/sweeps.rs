@@ -13,6 +13,14 @@ pub fn run_ratio_sweep(
     args: &HarnessArgs,
     ml: fn(&Hypergraph, f64, &mut MlRng, &mut RefineWorkspace) -> u64,
 ) -> bool {
+    crate::with_report(args, "ratio_sweep", || ratio_sweep_body(label, args, ml))
+}
+
+fn ratio_sweep_body(
+    label: &str,
+    args: &HarnessArgs,
+    ml: fn(&Hypergraph, f64, &mut MlRng, &mut RefineWorkspace) -> u64,
+) -> bool {
     const RATIOS: [f64; 3] = [1.0, 0.5, 0.33];
     println!(
         "{label} for R in {{1.0, 0.5, 0.33}} ({} runs per cell, seed {})",

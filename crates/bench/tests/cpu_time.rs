@@ -1,0 +1,79 @@
+//! Regression tests for the `cpu_secs` accounting convention.
+//!
+//! `RunStats::cpu_secs` must time the **entire** per-start closure — every
+//! phase a start executes (coarsening, initial partitioning, refinement),
+//! not just the final refinement — summed over all starts regardless of
+//! which thread ran them. These tests pin that contract with a job whose
+//! cost is dominated by a sleep standing in for pre-refinement work: if the
+//! harness ever timed only a trailing phase, the sleep would vanish from
+//! `cpu_secs` and the floor assertions below would fail.
+
+use mlpart_bench::{run_many, run_many_par};
+use std::time::Duration;
+
+const SLEEP_MS: u64 = 15;
+const RUNS: usize = 4;
+
+/// A start whose work happens *before* it would hand off to refinement.
+fn sleepy_job() -> u64 {
+    std::thread::sleep(Duration::from_millis(SLEEP_MS));
+    7
+}
+
+/// The minimum `cpu_secs` any correct accounting must report: every start
+/// sleeps for `SLEEP_MS`, and `sleep` never returns early.
+fn cpu_floor() -> f64 {
+    (RUNS as u64 * SLEEP_MS) as f64 / 1000.0
+}
+
+#[test]
+fn sequential_cpu_secs_covers_the_whole_start() {
+    let stats = run_many(RUNS, 11, |_rng| sleepy_job());
+    assert!(
+        stats.cpu_secs >= cpu_floor(),
+        "cpu_secs {} must include all {} starts' full closures (floor {})",
+        stats.cpu_secs,
+        RUNS,
+        cpu_floor()
+    );
+    assert!(
+        stats.wall_secs >= cpu_floor(),
+        "sequential wall >= cpu floor"
+    );
+}
+
+#[test]
+fn parallel_cpu_secs_covers_the_whole_start_at_every_thread_count() {
+    for threads in [1, 2, 4] {
+        let stats = run_many_par(RUNS, 11, threads, |_rng, _ws| sleepy_job());
+        assert!(
+            stats.cpu_secs >= cpu_floor(),
+            "threads={threads}: cpu_secs {} below floor {}",
+            stats.cpu_secs,
+            cpu_floor()
+        );
+    }
+}
+
+/// `cpu_secs` is a total-CPU convention (the paper's "total CPU for N
+/// runs"), so adding workers must not shrink it: the sum of per-start times
+/// is scheduling-independent up to timer noise, while `wall_secs` is what
+/// parallelism improves.
+#[test]
+fn parallelism_shrinks_wall_not_cpu() {
+    let seq = run_many_par(RUNS, 11, 1, |_rng, _ws| sleepy_job());
+    let par = run_many_par(RUNS, 11, 4, |_rng, _ws| sleepy_job());
+    assert!(
+        par.cpu_secs >= cpu_floor(),
+        "parallel cpu_secs keeps the sum"
+    );
+    // With 4 workers and 4 sleeping starts, the batch finishes in roughly
+    // one sleep; allow generous scheduling slack but require a clear win
+    // over the sequential batch's four back-to-back sleeps.
+    assert!(
+        par.wall_secs < seq.wall_secs,
+        "4 workers should beat 1 on wall-clock ({} vs {})",
+        par.wall_secs,
+        seq.wall_secs
+    );
+}

@@ -1,0 +1,115 @@
+//! Trace-content determinism contract (needs `--features obs`).
+//!
+//! With tracing enabled, a fixed-seed batch must emit a trace whose
+//! **content** — every event name, nesting, and argument, i.e. everything
+//! except the timestamp fields — is byte-identical across repeated runs and
+//! across thread counts. And turning tracing on must never change the cuts:
+//! observation is read-only.
+//!
+//! CI runs this file twice, once additionally forcing a thread count via
+//! `MLPART_TEST_THREADS`, mirroring `determinism.rs`.
+#![cfg(feature = "obs")]
+
+use mlpart_bench::{algos, run_many_par, RunStats};
+use mlpart_gen::suite;
+use mlpart_hypergraph::Hypergraph;
+use mlpart_obs as obs;
+use std::sync::{Mutex, MutexGuard};
+
+/// The observability gate is process-global; tests that toggle it must not
+/// interleave.
+fn gate_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8];
+    if let Ok(forced) = std::env::var("MLPART_TEST_THREADS") {
+        let forced: usize = forced
+            .parse()
+            .expect("MLPART_TEST_THREADS must be a positive integer");
+        assert!(forced > 0, "MLPART_TEST_THREADS must be positive");
+        if !counts.contains(&forced) {
+            counts.push(forced);
+        }
+    }
+    counts
+}
+
+fn circuit() -> Hypergraph {
+    suite::by_name("balu").expect("suite circuit").generate(3)
+}
+
+fn batch(h: &Hypergraph, threads: usize) -> RunStats {
+    run_many_par(6, 29, threads, |rng, ws| algos::ml_c_in(h, 0.5, rng, ws))
+}
+
+/// Runs one traced batch and returns the cut statistics plus the stripped
+/// (timestamp-free) JSONL rendering of the captured trace.
+fn traced_batch(h: &Hypergraph, threads: usize) -> (RunStats, String) {
+    obs::force_enabled(true);
+    let (stats, trace) = obs::capture(|| {
+        let _run = obs::span("run", &[("seed", 29u64.into())]);
+        batch(h, threads)
+    });
+    obs::force_enabled(false);
+    let trace = trace.expect("gate forced on");
+    assert!(!trace.events.is_empty(), "instrumentation should fire");
+    (stats, obs::strip_timing(&obs::to_jsonl(&trace)))
+}
+
+#[test]
+fn trace_content_is_identical_across_repeated_runs() {
+    let _gate = gate_lock();
+    let h = circuit();
+    let (s1, t1) = traced_batch(&h, 2);
+    let (s2, t2) = traced_batch(&h, 2);
+    assert_eq!(s1, s2, "cuts are seed-deterministic");
+    assert_eq!(t1, t2, "stripped trace must be byte-identical across runs");
+}
+
+#[test]
+fn trace_content_is_identical_across_thread_counts() {
+    let _gate = gate_lock();
+    let h = circuit();
+    let (s1, t1) = traced_batch(&h, 1);
+    for threads in thread_counts() {
+        let (s, t) = traced_batch(&h, threads);
+        assert_eq!(s1, s, "threads={threads}: cuts");
+        assert_eq!(t1, t, "threads={threads}: stripped trace content");
+    }
+}
+
+/// The Chrome export is a pure function of the trace, so its stripped form
+/// inherits the same invariance.
+#[test]
+fn chrome_trace_content_is_thread_count_invariant() {
+    let _gate = gate_lock();
+    let h = circuit();
+    let render = |threads: usize| {
+        obs::force_enabled(true);
+        let (_, trace) = obs::capture(|| batch(&h, threads));
+        obs::force_enabled(false);
+        obs::strip_timing(&obs::to_chrome_trace(&trace.expect("gate forced on")))
+    };
+    let c1 = render(1);
+    for threads in [2, 8] {
+        assert_eq!(c1, render(threads), "threads={threads}");
+    }
+}
+
+/// Observation is read-only: the cuts of a traced batch are bit-identical
+/// to the same batch run with the gate off (compiled in, disabled) — the
+/// hooks never perturb RNG streams, move order, or tie-breaking.
+#[test]
+fn cuts_are_bit_identical_with_obs_on_and_off() {
+    let _gate = gate_lock();
+    let h = circuit();
+    obs::force_enabled(false);
+    let off = batch(&h, 2);
+    let (on, _) = traced_batch(&h, 2);
+    assert_eq!(off, on, "tracing must not change results");
+    assert_eq!(off.cut.min, on.cut.min);
+    assert_eq!(off.cut.avg, on.cut.avg);
+}

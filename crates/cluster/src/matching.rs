@@ -223,6 +223,16 @@ pub fn match_clusters_frozen_in<R: Rng + ?Sized>(
             k += 1;
         }
     }
+    #[cfg(feature = "obs")]
+    mlpart_obs::counter(
+        "match_pass",
+        &[
+            ("modules", n.into()),
+            ("clusters", u64::from(k).into()),
+            ("matched", n_match.into()),
+            ("ratio", cfg.ratio.into()),
+        ],
+    );
     Clustering::from_map(cluster_of).expect("matching produces dense cluster ids")
 }
 

@@ -99,6 +99,15 @@ impl Hierarchy {
         let mut fixed_levels: Vec<Vec<(ModuleId, PartId)>> = vec![fixed.to_vec()];
 
         let mut current: &Hypergraph = h0;
+        #[cfg(feature = "obs")]
+        let _obs_span = mlpart_obs::span(
+            "coarsen",
+            &[
+                ("modules", h0.num_modules().into()),
+                ("threshold", cfg.coarsen_threshold.into()),
+                ("ratio", cfg.matching_ratio.into()),
+            ],
+        );
         while current.num_modules() > cfg.coarsen_threshold && clusterings.len() < cfg.max_levels {
             let level_fixed = fixed_levels.last().expect("at least level 0");
             let frozen_mask: Option<Vec<bool>> = if level_fixed.is_empty() {
@@ -143,7 +152,18 @@ impl Hierarchy {
                 Coarsener::RandomMatching | Coarsener::HeavyEdge => 1.0,
             };
             let guard = 1.0 - effective_ratio / 4.0;
-            if clustering.num_clusters() as f64 > guard * current.num_modules() as f64 {
+            let stalled = clustering.num_clusters() as f64 > guard * current.num_modules() as f64;
+            #[cfg(feature = "obs")]
+            mlpart_obs::counter(
+                "coarsen_level",
+                &[
+                    ("level", clusterings.len().into()),
+                    ("modules", current.num_modules().into()),
+                    ("clusters", clustering.num_clusters().into()),
+                    ("stalled", u64::from(stalled).into()),
+                ],
+            );
+            if stalled {
                 break; // matching stalled: treat this level as coarsest
             }
             let next = if cfg.coalesce_nets {

@@ -243,6 +243,8 @@ pub fn ml_bipartition_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, MlResult) {
+    #[cfg(feature = "obs")]
+    let _obs_run = mlpart_obs::span("ml_bipartition", &[("modules", h.num_modules().into())]);
     // --- Coarsening phase (steps 1-5). ---
     let hierarchy = Hierarchy::coarsen(h, cfg, &[], rng);
     let m = hierarchy.num_levels();
@@ -252,18 +254,51 @@ pub fn ml_bipartition_in(
     let mut total_passes = 0usize;
     let tries = cfg.initial_tries.max(1);
     let mut best: Option<(u64, Partition, Vec<PassStats>)> = None;
-    for _ in 0..tries {
+    let mut _winner = 0usize;
+    #[cfg(feature = "obs")]
+    let obs_initial = mlpart_obs::span(
+        "initial",
+        &[
+            ("tries", tries.into()),
+            ("level", m.into()),
+            ("modules", coarsest.num_modules().into()),
+        ],
+    );
+    for _t in 0..tries {
+        #[cfg(feature = "obs")]
+        let obs_try = mlpart_obs::span("try", &[("try", _t.into())]);
         let (p, r) = fm_partition_in(coarsest, None, &cfg.fm, rng, ws);
         total_passes += r.passes;
+        #[cfg(feature = "obs")]
+        {
+            drop(obs_try);
+            mlpart_obs::counter(
+                "initial_try",
+                &[
+                    ("try", _t.into()),
+                    ("cut", r.cut.into()),
+                    ("passes", r.passes.into()),
+                ],
+            );
+        }
         // Determinism tie-break: strict `<` keeps the *first* try that
         // reaches the minimum cut, so for a fixed seed the winning
         // partition — and every downstream projection/refinement — does not
         // depend on how many later tries happen to tie it.
         if best.as_ref().is_none_or(|(c, _, _)| r.cut < *c) {
             best = Some((r.cut, p, r.pass_stats));
+            _winner = _t;
         }
     }
-    let (_, mut p, initial_stats) = best.expect("at least one try");
+    let (_best_cut, mut p, initial_stats) = best.expect("at least one try");
+    #[cfg(feature = "obs")]
+    {
+        mlpart_obs::counter(
+            "initial_winner",
+            &[("try", _winner.into()), ("cut", _best_cut.into())],
+        );
+        drop(obs_initial);
+    }
     let mut level_stats = Vec::with_capacity(m + 1);
     level_stats.push(LevelStats::from_passes(
         m,
@@ -276,6 +311,11 @@ pub fn ml_bipartition_in(
     let mut rebalance_moves = 0usize;
     for i in (0..m).rev() {
         let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
+        #[cfg(feature = "obs")]
+        let _obs_level = mlpart_obs::span(
+            "level",
+            &[("level", i.into()), ("modules", fine.num_modules().into())],
+        );
         let mut fine_p = project(fine, hierarchy.clustering(i), &p);
         // Definition 2 audit: the projected solution must pull back through
         // the cluster map and preserve the cut bit-exactly, checked before
@@ -299,6 +339,11 @@ pub fn ml_bipartition_in(
             level_rebalance = rebalance_bipart(fine, &mut fine_p, &balance, rng);
             rebalance_moves += level_rebalance;
         }
+        #[cfg(feature = "obs")]
+        mlpart_obs::counter(
+            "rebalance",
+            &[("level", i.into()), ("moves", level_rebalance.into())],
+        );
         let r = refine_in(fine, &mut fine_p, &cfg.fm, rng, ws);
         total_passes += r.passes;
         level_stats.push(LevelStats::from_passes(

@@ -129,11 +129,30 @@ pub fn ml_kway_in(
         max_levels: cfg.max_levels,
         ..MlConfig::default()
     };
+    #[cfg(feature = "obs")]
+    let _obs_run = mlpart_obs::span(
+        "ml_kway",
+        &[
+            ("k", u64::from(cfg.k).into()),
+            ("modules", h.num_modules().into()),
+        ],
+    );
     let hierarchy = Hierarchy::coarsen(h, &ml_cfg, fixed, rng);
     let m = hierarchy.num_levels();
 
     // Initial k-way partitioning of the coarsest netlist.
     let coarsest = hierarchy.coarsest(h);
+    #[cfg(feature = "obs")]
+    let obs_initial = mlpart_obs::span(
+        "initial",
+        &[
+            ("tries", 1u64.into()),
+            ("level", m.into()),
+            ("modules", coarsest.num_modules().into()),
+        ],
+    );
+    #[cfg(feature = "obs")]
+    let obs_try = mlpart_obs::span("try", &[("try", 0u64.into())]);
     let (mut p, r0) = kway_partition_in(
         coarsest,
         cfg.k,
@@ -143,6 +162,15 @@ pub fn ml_kway_in(
         rng,
         ws,
     );
+    #[cfg(feature = "obs")]
+    {
+        drop(obs_try);
+        mlpart_obs::counter(
+            "initial_winner",
+            &[("try", 0u64.into()), ("cut", r0.cut.into())],
+        );
+        drop(obs_initial);
+    }
     let mut total_passes = r0.passes;
     let mut level_stats = Vec::with_capacity(m + 1);
     level_stats.push(LevelStats::from_passes(
@@ -156,6 +184,11 @@ pub fn ml_kway_in(
     let mut rebalance_moves = 0usize;
     for i in (0..m).rev() {
         let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
+        #[cfg(feature = "obs")]
+        let _obs_level = mlpart_obs::span(
+            "level",
+            &[("level", i.into()), ("modules", fine.num_modules().into())],
+        );
         let mut fine_p = project(fine, hierarchy.clustering(i), &p);
         // Definition 2 audit (k-way form), before rebalancing perturbs
         // `fine_p`: pullback through the cluster map and bit-exact cut.
@@ -189,6 +222,11 @@ pub fn ml_kway_in(
                 rebalance_kway_frozen(fine, &mut fine_p, &balance, mask.as_deref(), rng);
             rebalance_moves += level_rebalance;
         }
+        #[cfg(feature = "obs")]
+        mlpart_obs::counter(
+            "rebalance",
+            &[("level", i.into()), ("moves", level_rebalance.into())],
+        );
         let r = kway_refine_in(fine, &mut fine_p, hierarchy.fixed_at(i), &cfg.kway, rng, ws);
         total_passes += r.passes;
         level_stats.push(LevelStats::from_passes(

@@ -84,6 +84,11 @@ pub fn recursive_ml_bisection_in(
     assert!(depth <= 16, "depth over 16 is surely a mistake");
     let k = 1u32 << depth;
     let n = h.num_modules();
+    #[cfg(feature = "obs")]
+    let _obs_run = mlpart_obs::span(
+        "recursive_bisection",
+        &[("depth", u64::from(depth).into()), ("modules", n.into())],
+    );
     // `region[v]` is the current part of module v; regions split in place.
     let mut region = vec![0u32; n];
     let mut bisections = 0usize;
@@ -108,6 +113,15 @@ pub fn recursive_ml_bisection_in(
                 continue;
             }
             let (sub, back) = h.extract(&keep);
+            #[cfg(feature = "obs")]
+            let _obs_region = mlpart_obs::span(
+                "region",
+                &[
+                    ("depth_level", u64::from(level).into()),
+                    ("region", u64::from(r_id).into()),
+                    ("modules", count.into()),
+                ],
+            );
             let (sub_p, _) = ml_bipartition_in(&sub, cfg, rng, ws);
             bisections += 1;
             // Write back: side 0 -> low, side 1 -> high.

@@ -75,17 +75,30 @@ pub fn two_phase_fm_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, TwoPhaseResult) {
+    #[cfg(feature = "obs")]
+    let _obs_run = mlpart_obs::span("two_phase", &[("modules", h.num_modules().into())]);
     // Phase 1: cluster once and partition the coarse netlist.
     let clustering = match_clusters(h, match_cfg, rng);
     let coarse = induce(h, &clustering);
+    #[cfg(feature = "obs")]
+    mlpart_obs::counter(
+        "two_phase_coarse",
+        &[("coarse_modules", coarse.num_modules().into())],
+    );
     let (coarse_p, coarse_r) = fm_partition_in(&coarse, None, fm, rng, ws);
 
     // Phase 2: project and refine on the original netlist.
     let mut p = project(h, &clustering, &coarse_p);
     let balance = BipartBalance::new(h, fm.balance_r);
+    let mut _rebalance = 0usize;
     if !balance.is_partition_feasible(&p) {
-        rebalance_bipart(h, &mut p, &balance, rng);
+        _rebalance = rebalance_bipart(h, &mut p, &balance, rng);
     }
+    #[cfg(feature = "obs")]
+    mlpart_obs::counter(
+        "rebalance",
+        &[("level", 0u64.into()), ("moves", _rebalance.into())],
+    );
     let refine_r = refine_in(h, &mut p, fm, rng, ws);
 
     let result = TwoPhaseResult {

@@ -40,6 +40,27 @@ use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// Per-start observability payload: each start's events are captured on
+/// whichever worker ran it, then merged into the caller's trace **in start
+/// order** — so the merged stream's content is thread-count-invariant, the
+/// same argument as for the result vector itself.
+#[cfg(feature = "obs")]
+type StartTrace = Option<mlpart_obs::Trace>;
+/// Zero-sized stand-in so the runner's plumbing is feature-independent.
+#[cfg(not(feature = "obs"))]
+type StartTrace = ();
+
+/// Splices one start's captured trace into the calling thread's recorder as
+/// a `start` span. No-op when the start recorded nothing.
+#[cfg(feature = "obs")]
+fn append_start_trace(i: usize, trace: &StartTrace) {
+    if let Some(t) = trace {
+        mlpart_obs::append_trace("start", &[("start", (i as u64).into())], t);
+    }
+}
+#[cfg(not(feature = "obs"))]
+fn append_start_trace(_i: usize, _trace: &StartTrace) {}
+
 /// Timing telemetry for one [`run_starts`] batch.
 ///
 /// The paper's tables report *total CPU for 100 runs*; a parallel batch
@@ -89,11 +110,17 @@ where
     assert!(threads > 0, "need at least one thread");
     let wall = Instant::now();
 
-    let run_one = |i: usize, ws: &mut RefineWorkspace| -> (f64, T) {
+    let run_one = |i: usize, ws: &mut RefineWorkspace| -> (f64, T, StartTrace) {
         let start = Instant::now();
         let mut rng = seeded_rng(child_seed(base_seed, i as u64));
-        let value = job(&mut rng, ws);
-        (start.elapsed().as_secs_f64(), value)
+        // Capture this start's events into a private stream (the caller's
+        // recorder, if any, is stashed for the duration), so per-start
+        // content is identical whether the start ran inline or on a worker.
+        #[cfg(feature = "obs")]
+        let (value, trace) = mlpart_obs::capture(|| job(&mut rng, ws));
+        #[cfg(not(feature = "obs"))]
+        let (value, trace) = (job(&mut rng, ws), ());
+        (start.elapsed().as_secs_f64(), value, trace)
     };
 
     // Single-thread fast path: no spawn, identical seed streams and order.
@@ -102,8 +129,9 @@ where
         let mut cpu_secs = 0.0;
         let mut out = Vec::with_capacity(runs);
         for i in 0..runs {
-            let (secs, value) = run_one(i, &mut ws);
+            let (secs, value, trace) = run_one(i, &mut ws);
             cpu_secs += secs;
+            append_start_trace(i, &trace);
             out.push(value);
         }
         let timing = ExecTiming {
@@ -115,7 +143,7 @@ where
 
     let next = AtomicUsize::new(0);
     let workers = threads.min(runs);
-    let locals: Vec<Vec<(usize, f64, T)>> = std::thread::scope(|s| {
+    let locals: Vec<Vec<(usize, f64, T, StartTrace)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
@@ -126,8 +154,8 @@ where
                         if i >= runs {
                             break;
                         }
-                        let (secs, value) = run_one(i, &mut ws);
-                        local.push((i, secs, value));
+                        let (secs, value, trace) = run_one(i, &mut ws);
+                        local.push((i, secs, value, trace));
                     }
                     local
                 })
@@ -141,16 +169,16 @@ where
 
     // Scatter into start order; completion order is irrelevant.
     let mut cpu_secs = 0.0;
-    let mut slots: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    let mut slots: Vec<Option<(T, StartTrace)>> = (0..runs).map(|_| None).collect();
     #[cfg(feature = "audit")]
     let mut claims = vec![0u32; runs];
-    for (i, secs, value) in locals.into_iter().flatten() {
+    for (i, secs, value, trace) in locals.into_iter().flatten() {
         cpu_secs += secs;
         #[cfg(feature = "audit")]
         {
             claims[i] += 1;
         }
-        slots[i] = Some(value);
+        slots[i] = Some((value, trace));
     }
     // Work-stealing audit: every start index must have been claimed by
     // exactly one worker (a duplicate or dropped claim would silently break
@@ -159,10 +187,14 @@ where
     if mlpart_audit::enabled() {
         mlpart_audit::enforce(mlpart_audit::audit_start_claims(&claims));
     }
-    let out: Vec<T> = slots
-        .into_iter()
-        .map(|s| s.expect("every start index claimed exactly once"))
-        .collect();
+    let mut out: Vec<T> = Vec::with_capacity(runs);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (value, trace) = slot.expect("every start index claimed exactly once");
+        // Merge per-start streams in start order — identical content to the
+        // single-thread path even though workers finished in any order.
+        append_start_trace(i, &trace);
+        out.push(value);
+    }
     let timing = ExecTiming {
         wall_secs: wall.elapsed().as_secs_f64(),
         cpu_secs,
@@ -279,6 +311,41 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    /// Per-start spans merge in start order, so the merged stream's content
+    /// (timestamps excluded) is byte-identical at every thread count.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn trace_content_is_thread_count_invariant() {
+        mlpart_obs::force_enabled(true);
+        let span_job = |rng: &mut MlRng, _ws: &mut RefineWorkspace| -> u64 {
+            let v = rng.gen_range(0..1000u64);
+            let _s = mlpart_obs::span("job", &[("draw", v.into())]);
+            mlpart_obs::counter("draw", &[("value", v.into())]);
+            v
+        };
+        let capture_run = |threads: usize| {
+            let ((vals, _), trace) = mlpart_obs::capture(|| run_starts(13, 77, threads, &span_job));
+            let trace = trace.expect("gate forced on");
+            // Every start contributes its span wrapper plus the job's events.
+            assert_eq!(
+                trace.events.iter().filter(|e| e.name == "start").count(),
+                2 * 13,
+                "threads={threads}"
+            );
+            (
+                vals,
+                mlpart_obs::strip_timing(&mlpart_obs::to_jsonl(&trace)),
+            )
+        };
+        let (v1, t1) = capture_run(1);
+        for threads in [2, 4, 8] {
+            let (v, t) = capture_run(threads);
+            assert_eq!(v1, v, "threads={threads}");
+            assert_eq!(t1, t, "threads={threads}");
+        }
+        mlpart_obs::force_enabled(false);
     }
 
     /// With audits forced on, the scatter-claims check runs on a healthy

@@ -240,6 +240,21 @@ pub fn refine_in(
     );
     let st = &mut ws.state;
     bind_bipart(st, h, cfg);
+    #[cfg(feature = "obs")]
+    let _obs_span = mlpart_obs::span(
+        "fm_refine",
+        &[
+            (
+                "engine",
+                match cfg.engine {
+                    Engine::Fm => "FM",
+                    Engine::Clip => "CLIP",
+                }
+                .into(),
+            ),
+            ("modules", h.num_modules().into()),
+        ],
+    );
     let balance = BipartBalance::new(h, cfg.balance_r);
     let mut passes = 0;
     let mut kept_moves = 0u64;
@@ -617,6 +632,24 @@ impl RefineState {
         self.moves.clear();
         self.fill_buckets(h, p, cfg);
         let fill_time_ns = fill_start.elapsed().as_nanos() as u64;
+        // Post-fill gain distribution and bucket occupancy; sampled here (a
+        // deterministic point in the pass) only when a trace is recording.
+        #[cfg(feature = "obs")]
+        let obs_fill = mlpart_obs::recording().then(|| {
+            let (mut neg, mut zero, mut pos) = (0u64, 0u64, 0u64);
+            let (mut gmin, mut gmax) = (0i64, 0i64);
+            for v in h.modules() {
+                let g = i64::from(self.gain[v.index()]);
+                match g.cmp(&0) {
+                    std::cmp::Ordering::Less => neg += 1,
+                    std::cmp::Ordering::Equal => zero += 1,
+                    std::cmp::Ordering::Greater => pos += 1,
+                }
+                gmin = gmin.min(g);
+                gmax = gmax.max(g);
+            }
+            (self.buckets[0].len() as u64, gmin, gmax, neg, zero, pos)
+        });
         #[cfg(feature = "audit")]
         if mlpart_audit::enabled() {
             mlpart_audit::enforce(
@@ -738,6 +771,27 @@ impl RefineState {
             mlpart_audit::enforce(
                 crate::audit::audit_pass_end(self, h, p, cfg, best_cut)
                     .map_err(|e| e.with_pass(_pass_no)),
+            );
+        }
+        #[cfg(feature = "obs")]
+        if let Some((occupancy, gmin, gmax, neg, zero, pos)) = obs_fill {
+            mlpart_obs::counter(
+                "fm_pass",
+                &[
+                    ("pass", (_pass_no as u64).into()),
+                    ("cut_before", start_cut.into()),
+                    ("cut_after", best_cut.into()),
+                    ("attempted", (attempted as u64).into()),
+                    ("kept", (best_len as u64).into()),
+                    ("rolled_back", ((attempted - best_len) as u64).into()),
+                    ("backtracks", (backtracks as u64).into()),
+                    ("bucket_occupancy", occupancy.into()),
+                    ("gain_min", gmin.into()),
+                    ("gain_max", gmax.into()),
+                    ("gain_neg", neg.into()),
+                    ("gain_zero", zero.into()),
+                    ("gain_pos", pos.into()),
+                ],
             );
         }
         PassOutcome {

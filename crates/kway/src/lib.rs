@@ -329,6 +329,14 @@ pub fn kway_refine_in(
         st.fixed[v.index()] = true;
     }
     let balance = KwayBalance::new(h, k, cfg.balance_r);
+    #[cfg(feature = "obs")]
+    let _obs_span = mlpart_obs::span(
+        "kway_refine",
+        &[
+            ("k", u64::from(k).into()),
+            ("modules", h.num_modules().into()),
+        ],
+    );
 
     let mut passes = 0usize;
     let mut kept_moves = 0u64;
@@ -366,6 +374,34 @@ pub fn kway_refine_in(
             }
         }
         let fill_time_ns = fill_start.elapsed().as_nanos() as u64;
+        // Post-fill gain distribution and total bucket occupancy, sampled
+        // only when a trace is recording (the scan re-reads stored keys, so
+        // it cannot perturb the pass).
+        #[cfg(feature = "obs")]
+        let obs_fill = mlpart_obs::recording().then(|| {
+            let (mut neg, mut zero, mut pos) = (0u64, 0u64, 0u64);
+            let (mut gmin, mut gmax) = (0i64, 0i64);
+            let part_of = p.assignment();
+            for v in h.modules() {
+                if st.fixed[v.index()] {
+                    continue;
+                }
+                for t in 0..k {
+                    if t != part_of[v.index()] {
+                        let g = i64::from(st.buckets[t as usize].key_of(v));
+                        match g.cmp(&0) {
+                            std::cmp::Ordering::Less => neg += 1,
+                            std::cmp::Ordering::Equal => zero += 1,
+                            std::cmp::Ordering::Greater => pos += 1,
+                        }
+                        gmin = gmin.min(g);
+                        gmax = gmax.max(g);
+                    }
+                }
+            }
+            let occupancy: u64 = st.buckets.iter().map(|b| b.len() as u64).sum();
+            (occupancy, gmin, gmax, neg, zero, pos)
+        });
         let start_obj = kway_objective(st, h, cfg, p);
         #[cfg(feature = "audit")]
         if mlpart_audit::enabled() {
@@ -471,6 +507,26 @@ pub fn kway_refine_in(
             kept_moves: best_len,
             fill_time_ns,
         });
+        #[cfg(feature = "obs")]
+        if let Some((occupancy, gmin, gmax, neg, zero, pos)) = obs_fill {
+            mlpart_obs::counter(
+                "kway_pass",
+                &[
+                    ("pass", (passes as u64 - 1).into()),
+                    ("cut_before", start_obj.into()),
+                    ("cut_after", (best_obj as u64).into()),
+                    ("attempted", (attempted as u64).into()),
+                    ("kept", (best_len as u64).into()),
+                    ("rolled_back", ((attempted - best_len) as u64).into()),
+                    ("bucket_occupancy", occupancy.into()),
+                    ("gain_min", gmin.into()),
+                    ("gain_max", gmax.into()),
+                    ("gain_neg", neg.into()),
+                    ("gain_zero", zero.into()),
+                    ("gain_pos", pos.into()),
+                ],
+            );
+        }
         if best_obj >= start_obj as i64 {
             break;
         }

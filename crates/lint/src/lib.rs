@@ -451,4 +451,39 @@ mod tests {
         // The allowlist is load-bearing: the timing telemetry sites exist.
         assert!(suppressed > 0, "expected allowlisted telemetry sites");
     }
+
+    /// The observability crate funnels every monotonic-clock read through
+    /// `clock.rs`; the allowlist entry is that single file, not a crate-wide
+    /// blanket, so a stray `Instant` anywhere else in `mlpart-obs` fails the
+    /// lint. This test pins both halves of that contract.
+    #[test]
+    fn obs_clock_reads_are_confined_to_clock_rs() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = lint_workspace(&root).expect("lint scan");
+        let obs_wall: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.check == "wall-clock" && f.file.starts_with("crates/obs/"))
+            .collect();
+        assert!(
+            !obs_wall.is_empty(),
+            "expected the obs clock site to be scanned, not skipped"
+        );
+        assert!(
+            obs_wall.iter().all(|f| f.file == "crates/obs/src/clock.rs"),
+            "obs clock reads outside clock.rs: {obs_wall:?}"
+        );
+        let allow_text = fs::read_to_string(root.join("lint-allow.txt")).expect("allowlist exists");
+        let obs_entries: Vec<AllowEntry> = parse_allowlist(&allow_text)
+            .into_iter()
+            .filter(|a| a.path_prefix.starts_with("crates/obs"))
+            .collect();
+        assert_eq!(
+            obs_entries,
+            vec![AllowEntry {
+                check: "wall-clock".into(),
+                path_prefix: "crates/obs/src/clock.rs".into(),
+            }],
+            "the obs exemption must stay a single-file wall-clock entry"
+        );
+    }
 }

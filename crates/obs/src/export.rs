@@ -1,0 +1,212 @@
+//! Trace exporters: JSONL event stream and Chrome Trace Event Format.
+//!
+//! Both formats interleave deterministic content with timestamps;
+//! [`strip_timing`] normalizes the timestamp fields so exported documents
+//! can be compared byte-for-byte across runs and thread counts.
+
+use crate::json;
+use crate::trace::{EvKind, Trace, V};
+
+pub(crate) fn write_v(out: &mut String, v: &V) {
+    match v {
+        V::U(n) => out.push_str(&format!("{n}")),
+        V::I(n) => out.push_str(&format!("{n}")),
+        V::F(n) => json::write_f64(out, *n),
+        V::S(s) => json::write_str(out, s),
+    }
+}
+
+pub(crate) fn write_args(out: &mut String, args: &[(&'static str, V)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(out, k);
+        out.push(':');
+        write_v(out, v);
+    }
+    out.push('}');
+}
+
+/// Serializes a trace as one JSON object per line:
+/// `{"ev":"B"|"E"|"C","name":...,"ts":<ns>,"args":{...}}`.
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for ev in &trace.events {
+        out.push_str("{\"ev\":\"");
+        out.push(match ev.kind {
+            EvKind::Begin => 'B',
+            EvKind::End => 'E',
+            EvKind::Counter => 'C',
+        });
+        out.push_str("\",\"name\":");
+        json::write_str(&mut out, ev.name);
+        out.push_str(&format!(",\"ts\":{}", ev.ts_ns));
+        out.push_str(",\"args\":");
+        write_args(&mut out, &ev.args);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Serializes a trace in Chrome Trace Event Format (JSON object format),
+/// loadable in `chrome://tracing` and Perfetto.
+///
+/// Spans become duration events (`ph: "B"`/`"E"`); counters become thread
+/// instants (`ph: "i"`, `s: "t"`). Timestamps are microseconds as the
+/// format requires; everything runs on `pid` 0 with `tid` 0 (the merged
+/// stream is already serialized in deterministic start order).
+pub fn to_chrome_trace(trace: &Trace) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in trace.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::write_str(&mut out, ev.name);
+        let ph = match ev.kind {
+            EvKind::Begin => "B",
+            EvKind::End => "E",
+            EvKind::Counter => "i",
+        };
+        out.push_str(&format!(
+            ",\"ph\":\"{ph}\",\"pid\":0,\"tid\":0,\"ts\":{}",
+            ev.ts_ns / 1_000
+        ));
+        if ev.kind == EvKind::Counter {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":");
+        write_args(&mut out, &ev.args);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Timestamp-carrying JSON keys excluded from the determinism contract.
+const TIMING_KEYS: [&str; 5] = ["ts", "dur_ns", "wall_secs", "cpu_secs", "fill_ms"];
+
+/// Returns `s` with the numeric value after every timing key (`"ts"`,
+/// `"dur_ns"`, `"wall_secs"`, `"cpu_secs"`, `"fill_ms"`) replaced by `0`.
+///
+/// Everything else is left byte-for-byte intact, so two exports of the same
+/// deterministic content compare equal after stripping — this is the
+/// comparison the trace-determinism tests and CI perform.
+pub fn strip_timing(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let matched = TIMING_KEYS.iter().find_map(|key| {
+            let pat_len = key.len() + 3; // "key":
+            let pat = format!("\"{key}\":");
+            bytes[pos..].starts_with(pat.as_bytes()).then_some(pat_len)
+        });
+        if let Some(pat_len) = matched {
+            out.push_str(&s[pos..pos + pat_len]);
+            pos += pat_len;
+            let start = pos;
+            while pos < bytes.len()
+                && matches!(bytes[pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                pos += 1;
+            }
+            // Only replace an actual number; leave anything else alone.
+            out.push_str(if pos > start { "0" } else { &s[start..pos] });
+        } else {
+            let c = s[pos..].chars().next().unwrap();
+            out.push(c);
+            pos += c.len_utf8();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{capture, counter, span};
+
+    fn sample_trace() -> Trace {
+        crate::force_enabled(true);
+        let (_, t) = capture(|| {
+            let _run = span("run", &[("runs", V::U(2)), ("algo", V::S("ml-fm"))]);
+            counter(
+                "pass",
+                &[
+                    ("cut_before", V::U(40)),
+                    ("cut_after", V::U(31)),
+                    ("ratio", V::F(0.35)),
+                ],
+            );
+        });
+        crate::force_enabled(false);
+        t.expect("recorded")
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_args() {
+        let _gate = crate::test_gate_lock();
+        let jsonl = to_jsonl(&sample_trace());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            json::parse(line).expect("each JSONL line is valid JSON");
+        }
+        let pass = json::parse(lines[1]).unwrap();
+        assert_eq!(pass.get("ev").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            pass.get("args").unwrap().get("cut_after").unwrap().as_num(),
+            Some(31.0)
+        );
+        assert_eq!(
+            pass.get("args").unwrap().get("ratio").unwrap().as_num(),
+            Some(0.35)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_balanced() {
+        let _gate = crate::test_gate_lock();
+        let doc = to_chrome_trace(&sample_trace());
+        let parsed = json::parse(&doc).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        let phs: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phs, vec!["B", "i", "E"]);
+        assert_eq!(events[1].get("s").unwrap().as_str(), Some("t"));
+    }
+
+    #[test]
+    fn strip_timing_zeroes_only_timing_values() {
+        let line = r#"{"ev":"C","name":"pass","ts":123456,"args":{"cut_after":31,"dur_ns":987,"wall_secs":0.25,"cpu_secs":1.5,"fill_ms":0.2}}"#;
+        let stripped = strip_timing(line);
+        assert_eq!(
+            stripped,
+            r#"{"ev":"C","name":"pass","ts":0,"args":{"cut_after":31,"dur_ns":0,"wall_secs":0,"cpu_secs":0,"fill_ms":0}}"#
+        );
+    }
+
+    #[test]
+    fn same_content_different_timing_strips_equal() {
+        let _gate = crate::test_gate_lock();
+        let t = sample_trace();
+        let mut shifted = t.clone();
+        for ev in &mut shifted.events {
+            ev.ts_ns += 17_000_000;
+        }
+        assert_eq!(
+            strip_timing(&to_jsonl(&t)),
+            strip_timing(&to_jsonl(&shifted))
+        );
+        assert_eq!(
+            strip_timing(&to_chrome_trace(&t)),
+            strip_timing(&to_chrome_trace(&shifted))
+        );
+    }
+}

@@ -1,0 +1,508 @@
+//! Machine-readable run reports built from captured traces.
+//!
+//! A [`RunReport`] pairs the flat event stream with run-level metadata
+//! (algorithm, seed, per-start cuts, total timing) and serializes as a
+//! single JSON document (`schema: "mlpart-run-report-v1"`). The span tree
+//! is rebuilt from `Begin`/`End` bracketing; [`level_rows`] renders the
+//! same per-level table the CLI's `--stats` flag has always printed, now
+//! derived from trace content instead of ad-hoc plumbing.
+
+use crate::export;
+use crate::json;
+use crate::trace::{EvKind, Trace, V};
+
+/// A point counter sample attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Counter name.
+    pub name: &'static str,
+    /// Timestamp (non-normative).
+    pub ts_ns: u64,
+    /// Deterministic values.
+    pub args: Vec<(&'static str, V)>,
+}
+
+/// One reconstructed span with its nested structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: &'static str,
+    /// Begin timestamp (non-normative).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (non-normative).
+    pub dur_ns: u64,
+    /// Arguments recorded at `Begin`.
+    pub args: Vec<(&'static str, V)>,
+    /// Counters sampled directly inside this span.
+    pub counters: Vec<CounterSample>,
+    /// Child spans in execution order.
+    pub children: Vec<SpanNode>,
+}
+
+/// A trace reassembled into its span hierarchy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanTree {
+    /// Top-level spans.
+    pub spans: Vec<SpanNode>,
+    /// Counters recorded outside any span.
+    pub counters: Vec<CounterSample>,
+}
+
+/// Rebuilds the span hierarchy from a flat event stream.
+///
+/// Tolerant of imbalance (a truncated capture): an `End` with no open span
+/// is dropped, and spans still open at the end of the stream are closed at
+/// the final event's timestamp.
+pub fn build_tree(trace: &Trace) -> SpanTree {
+    let mut tree = SpanTree::default();
+    let mut stack: Vec<SpanNode> = Vec::new();
+    let last_ts = trace.events.last().map_or(0, |e| e.ts_ns);
+    let close = |stack: &mut Vec<SpanNode>, tree: &mut SpanTree, ts_ns: u64| {
+        if let Some(mut node) = stack.pop() {
+            node.dur_ns = ts_ns.saturating_sub(node.ts_ns);
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => tree.spans.push(node),
+            }
+        }
+    };
+    for ev in &trace.events {
+        match ev.kind {
+            EvKind::Begin => stack.push(SpanNode {
+                name: ev.name,
+                ts_ns: ev.ts_ns,
+                dur_ns: 0,
+                args: ev.args.clone(),
+                counters: Vec::new(),
+                children: Vec::new(),
+            }),
+            EvKind::End => close(&mut stack, &mut tree, ev.ts_ns),
+            EvKind::Counter => {
+                let sample = CounterSample {
+                    name: ev.name,
+                    ts_ns: ev.ts_ns,
+                    args: ev.args.clone(),
+                };
+                match stack.last_mut() {
+                    Some(parent) => parent.counters.push(sample),
+                    None => tree.counters.push(sample),
+                }
+            }
+        }
+    }
+    while !stack.is_empty() {
+        close(&mut stack, &mut tree, last_ts);
+    }
+    tree
+}
+
+/// A run's machine-readable report: metadata + cuts + timing + span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Run metadata (algorithm, k, seed, runs, threads, circuit, …).
+    pub meta: Vec<(&'static str, V)>,
+    /// Final cut per start, in start order.
+    pub cuts: Vec<u64>,
+    /// Total wall-clock seconds (non-normative).
+    pub wall_secs: f64,
+    /// Summed per-start CPU seconds (non-normative).
+    pub cpu_secs: f64,
+    /// The captured run trace (merged across workers in start order).
+    pub trace: Trace,
+}
+
+fn write_counter(out: &mut String, c: &CounterSample) {
+    out.push_str("{\"name\":");
+    json::write_str(out, c.name);
+    out.push_str(&format!(",\"ts\":{}", c.ts_ns));
+    out.push_str(",\"args\":");
+    export::write_args(out, &c.args);
+    out.push('}');
+}
+
+fn write_node(out: &mut String, node: &SpanNode) {
+    out.push_str("{\"name\":");
+    json::write_str(out, node.name);
+    out.push_str(&format!(
+        ",\"ts\":{},\"dur_ns\":{}",
+        node.ts_ns, node.dur_ns
+    ));
+    out.push_str(",\"args\":");
+    export::write_args(out, &node.args);
+    out.push_str(",\"counters\":[");
+    for (i, c) in node.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_counter(out, c);
+    }
+    out.push_str("],\"children\":[");
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_node(out, child);
+    }
+    out.push_str("]}");
+}
+
+impl RunReport {
+    /// Serializes the report as a `mlpart-run-report-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let tree = build_tree(&self.trace);
+        let mut out = String::from("{\"schema\":\"mlpart-run-report-v1\",\"meta\":");
+        export::write_args(&mut out, &self.meta);
+        let min = self.cuts.iter().copied().min().unwrap_or(0);
+        let max = self.cuts.iter().copied().max().unwrap_or(0);
+        let avg = if self.cuts.is_empty() {
+            0.0
+        } else {
+            self.cuts.iter().sum::<u64>() as f64 / self.cuts.len() as f64
+        };
+        out.push_str(&format!(",\"cut\":{{\"min\":{min},\"max\":{max},\"avg\":"));
+        json::write_f64(&mut out, avg);
+        out.push_str(",\"per_start\":[");
+        for (i, c) in self.cuts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{c}"));
+        }
+        out.push_str("]},\"timing\":{\"wall_secs\":");
+        json::write_f64(&mut out, self.wall_secs);
+        out.push_str(",\"cpu_secs\":");
+        json::write_f64(&mut out, self.cpu_secs);
+        out.push_str("},\"spans\":[");
+        for (i, node) in tree.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_node(&mut out, node);
+        }
+        out.push_str("],\"counters\":[");
+        for (i, c) in tree.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_counter(&mut out, c);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One per-level row of the `--stats` table, derived from trace content.
+///
+/// Field semantics match `LevelStats` in `mlpart-core`: the coarsest level
+/// reports the winning initial-partitioning try, each finer level its
+/// uncoarsening refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelRow {
+    /// Start index this row belongs to (0 when no `start` spans exist).
+    pub start: u64,
+    /// Hierarchy level (coarsest first in the returned order).
+    pub level: u64,
+    /// Modules in this level's netlist.
+    pub modules: u64,
+    /// Engine objective entering refinement.
+    pub cut_before: u64,
+    /// Engine objective after refinement.
+    pub cut_after: u64,
+    /// Moves attempted across the level's passes.
+    pub attempted: u64,
+    /// Moves kept after rollback.
+    pub kept: u64,
+    /// Rebalance moves after projection to this level.
+    pub rebalance_moves: u64,
+    /// Refinement passes run.
+    pub passes: u64,
+}
+
+fn arg_u64(args: &[(&'static str, V)], key: &str) -> Option<u64> {
+    args.iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            V::U(n) => Some(*n),
+            V::I(n) => u64::try_from(*n).ok(),
+            _ => None,
+        })
+}
+
+fn collect_pass_counters<'t>(node: &'t SpanNode, out: &mut Vec<&'t CounterSample>) {
+    for c in &node.counters {
+        if c.name == "fm_pass" || c.name == "kway_pass" {
+            out.push(c);
+        }
+    }
+    for child in &node.children {
+        collect_pass_counters(child, out);
+    }
+}
+
+fn row_from_passes(
+    start: u64,
+    level: u64,
+    modules: u64,
+    rebalance_moves: u64,
+    passes: &[&CounterSample],
+) -> LevelRow {
+    LevelRow {
+        start,
+        level,
+        modules,
+        cut_before: passes
+            .first()
+            .and_then(|c| arg_u64(&c.args, "cut_before"))
+            .unwrap_or(0),
+        cut_after: passes
+            .last()
+            .and_then(|c| arg_u64(&c.args, "cut_after"))
+            .unwrap_or(0),
+        attempted: passes
+            .iter()
+            .filter_map(|c| arg_u64(&c.args, "attempted"))
+            .sum(),
+        kept: passes.iter().filter_map(|c| arg_u64(&c.args, "kept")).sum(),
+        rebalance_moves,
+        passes: passes.len() as u64,
+    }
+}
+
+fn walk_levels(node: &SpanNode, start: u64, rows: &mut Vec<LevelRow>) {
+    let start = match node.name {
+        "start" => arg_u64(&node.args, "start").unwrap_or(start),
+        _ => start,
+    };
+    match node.name {
+        "initial" => {
+            // The coarsest-level row comes from the *winning* try, matching
+            // `LevelStats::from_passes` over the winner's pass stats.
+            let winner = node
+                .counters
+                .iter()
+                .filter(|c| c.name == "initial_winner")
+                .filter_map(|c| arg_u64(&c.args, "try"))
+                .next_back()
+                .unwrap_or(0);
+            let level = arg_u64(&node.args, "level").unwrap_or(0);
+            let modules = arg_u64(&node.args, "modules").unwrap_or(0);
+            let mut passes = Vec::new();
+            for child in &node.children {
+                if child.name == "try" && arg_u64(&child.args, "try") == Some(winner) {
+                    collect_pass_counters(child, &mut passes);
+                }
+            }
+            rows.push(row_from_passes(start, level, modules, 0, &passes));
+        }
+        "level" => {
+            let level = arg_u64(&node.args, "level").unwrap_or(0);
+            let modules = arg_u64(&node.args, "modules").unwrap_or(0);
+            let rebalance = node
+                .counters
+                .iter()
+                .filter(|c| c.name == "rebalance")
+                .filter_map(|c| arg_u64(&c.args, "moves"))
+                .sum();
+            let mut passes = Vec::new();
+            collect_pass_counters(node, &mut passes);
+            rows.push(row_from_passes(start, level, modules, rebalance, &passes));
+            return; // nothing level-shaped nests inside a level span
+        }
+        _ => {}
+    }
+    for child in &node.children {
+        walk_levels(child, start, rows);
+    }
+}
+
+/// Extracts per-level rows from a captured trace, in execution order.
+///
+/// Rows are tagged with the enclosing `start` span's index so a renderer
+/// can select one start (the CLI's `--stats` prints start 0).
+pub fn level_rows(trace: &Trace) -> Vec<LevelRow> {
+    let tree = build_tree(trace);
+    let mut rows = Vec::new();
+    for node in &tree.spans {
+        walk_levels(node, 0, &mut rows);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{append_trace, capture, counter, span};
+
+    fn synthetic_start(win: u64) {
+        let _ml = span("ml_bipartition", &[("modules", V::U(64))]);
+        {
+            let _init = span(
+                "initial",
+                &[("tries", V::U(2)), ("level", V::U(3)), ("modules", V::U(8))],
+            );
+            for t in 0..2u64 {
+                let _try = span("try", &[("try", V::U(t))]);
+                counter(
+                    "fm_pass",
+                    &[
+                        ("pass", V::U(0)),
+                        ("cut_before", V::U(40 + t)),
+                        ("cut_after", V::U(30 + t)),
+                        ("attempted", V::U(10)),
+                        ("kept", V::U(6 + t)),
+                    ],
+                );
+            }
+            counter(
+                "initial_winner",
+                &[("try", V::U(win)), ("cut", V::U(30 + win))],
+            );
+        }
+        let _lvl = span("level", &[("level", V::U(2)), ("modules", V::U(16))]);
+        counter("rebalance", &[("moves", V::U(3))]);
+        let _ref = span("fm_refine", &[]);
+        for p in 0..2u64 {
+            counter(
+                "fm_pass",
+                &[
+                    ("pass", V::U(p)),
+                    ("cut_before", V::U(30 - p * 4)),
+                    ("cut_after", V::U(26 - p * 4)),
+                    ("attempted", V::U(16)),
+                    ("kept", V::U(4)),
+                ],
+            );
+        }
+    }
+
+    fn synthetic_run() -> Trace {
+        crate::force_enabled(true);
+        let (_, t) = capture(|| {
+            let _run = span("run", &[("runs", V::U(2))]);
+            for i in 0..2u64 {
+                let (_, child) = capture(|| synthetic_start(i % 2));
+                append_trace("start", &[("start", V::U(i))], &child.unwrap());
+            }
+        });
+        crate::force_enabled(false);
+        t.expect("recorded")
+    }
+
+    #[test]
+    fn tree_nesting_matches_bracketing() {
+        let _gate = crate::test_gate_lock();
+        let tree = build_tree(&synthetic_run());
+        assert_eq!(tree.spans.len(), 1);
+        let run = &tree.spans[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.children.len(), 2);
+        for (i, start) in run.children.iter().enumerate() {
+            assert_eq!(start.name, "start");
+            assert_eq!(arg_u64(&start.args, "start"), Some(i as u64));
+            let ml = &start.children[0];
+            assert_eq!(ml.name, "ml_bipartition");
+            assert_eq!(ml.children.len(), 2); // initial + level
+        }
+    }
+
+    #[test]
+    fn unbalanced_trace_closes_open_spans() {
+        let _gate = crate::test_gate_lock();
+        let mut t = synthetic_run();
+        t.events.truncate(5); // drop most Ends
+        let tree = build_tree(&t);
+        assert_eq!(tree.spans.len(), 1); // still a single rooted tree
+    }
+
+    #[test]
+    fn level_rows_match_from_passes_semantics() {
+        let _gate = crate::test_gate_lock();
+        let rows = level_rows(&synthetic_run());
+        assert_eq!(rows.len(), 4); // 2 starts × (initial + level)
+                                   // Start 0: winner is try 0.
+        assert_eq!(
+            rows[0],
+            LevelRow {
+                start: 0,
+                level: 3,
+                modules: 8,
+                cut_before: 40,
+                cut_after: 30,
+                attempted: 10,
+                kept: 6,
+                rebalance_moves: 0,
+                passes: 1,
+            }
+        );
+        // Start 1: winner is try 1 → cut_before/after shift by one.
+        assert_eq!(rows[2].start, 1);
+        assert_eq!(rows[2].cut_before, 41);
+        assert_eq!(rows[2].cut_after, 31);
+        assert_eq!(rows[2].kept, 7);
+        // Uncoarsening level: two passes aggregated, first before / last after.
+        assert_eq!(
+            rows[1],
+            LevelRow {
+                start: 0,
+                level: 2,
+                modules: 16,
+                cut_before: 30,
+                cut_after: 22,
+                attempted: 32,
+                kept: 8,
+                rebalance_moves: 3,
+                passes: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let _gate = crate::test_gate_lock();
+        let report = RunReport {
+            meta: vec![
+                ("algo", V::S("ml-fm")),
+                ("seed", V::U(1)),
+                ("runs", V::U(2)),
+            ],
+            cuts: vec![31, 30],
+            wall_secs: 0.5,
+            cpu_secs: 0.9,
+            trace: synthetic_run(),
+        };
+        let doc = report.to_json();
+        let parsed = json::parse(&doc).expect("report is valid JSON");
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some("mlpart-run-report-v1")
+        );
+        assert_eq!(
+            parsed.get("cut").unwrap().get("min").unwrap().as_num(),
+            Some(30.0)
+        );
+        assert_eq!(
+            parsed
+                .get("cut")
+                .unwrap()
+                .get("per_start")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            2
+        );
+        let spans = parsed.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("run"));
+        // Timing-stripped reports of the same content compare equal.
+        let mut shifted = report.clone();
+        for ev in &mut shifted.trace.events {
+            ev.ts_ns += 1_000_000;
+        }
+        shifted.wall_secs = 9.9;
+        assert_eq!(
+            export::strip_timing(&doc),
+            export::strip_timing(&shifted.to_json())
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //!                      [--k 2|4] [--ratio R] [--threshold T]
 //!                      [--runs N] [--seed S] [--threads P]
 //!                      [--output best.part] [--stats]
+//!                      [--trace-out trace.json] [--report-out report.json]
 //! ```
 //!
 //! `--k 4` uses multilevel quadrisection (only with the ml algorithms).
@@ -18,6 +19,12 @@
 //! stream and the best cut ties break to the lowest start index, so the
 //! reported cuts and the written partition are bit-identical at every
 //! thread count (only the wall-clock changes).
+//!
+//! `--trace-out` writes a Chrome Trace Event file (loadable in Perfetto or
+//! `chrome://tracing`) and `--report-out` writes a `mlpart-run-report-v1`
+//! JSON document; both need a binary built with the `obs` feature and imply
+//! tracing for the whole run. Trace *content* (everything except the
+//! timestamp fields) is bit-identical across repeats and thread counts.
 
 use mlpart::cluster::MatchConfig;
 use mlpart::core::two_phase_fm_in;
@@ -46,6 +53,8 @@ struct CliArgs {
     threads: usize,
     output: Option<String>,
     stats: bool,
+    trace_out: Option<String>,
+    report_out: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -61,6 +70,8 @@ impl Default for CliArgs {
             threads: mlpart::exec::default_threads(),
             output: None,
             stats: false,
+            trace_out: None,
+            report_out: None,
         }
     }
 }
@@ -68,7 +79,7 @@ impl Default for CliArgs {
 const USAGE: &str =
     "usage: mlpart <netlist.hgr | syn-NAME> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase] \
 [--k 2|4] [--ratio R] [--threshold T] [--runs N] [--seed S] [--threads P] \
-[--output best.part] [--stats]";
+[--output best.part] [--stats] [--trace-out trace.json] [--report-out report.json]";
 
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String> {
     let mut out = CliArgs::default();
@@ -111,6 +122,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String
             }
             "--output" => out.output = Some(value("--output")?),
             "--stats" => out.stats = true,
+            "--trace-out" => out.trace_out = Some(value("--trace-out")?),
+            "--report-out" => out.report_out = Some(value("--report-out")?),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other if out.input.is_empty() && !other.starts_with('-') => {
                 out.input = other.to_owned();
@@ -211,6 +224,42 @@ fn run_once(
     })
 }
 
+/// Renders `--stats` from the captured trace: the same per-level trajectory
+/// as [`print_level_stats`], reconstructed from span/counter events instead
+/// of the `LevelStats` side channel (the trace is the source of truth when
+/// tracing is on). Only the first start is shown, matching the legacy path.
+#[cfg(feature = "obs")]
+fn print_level_rows(trace: &mlpart::obs::Trace) {
+    let rows: Vec<_> = mlpart::obs::report::level_rows(trace)
+        .into_iter()
+        .filter(|r| r.start == 0)
+        .collect();
+    if rows.is_empty() {
+        eprintln!("per-level stats: none (flat algorithm)");
+        return;
+    }
+    eprintln!("level  modules  cut_before  cut_after  kept/attempted  rebalance  passes");
+    for r in &rows {
+        eprintln!(
+            "{:>5}  {:>7}  {:>10}  {:>9}  {:>6}/{:<7}  {:>9}  {:>6}",
+            r.level,
+            r.modules,
+            r.cut_before,
+            r.cut_after,
+            r.kept,
+            r.attempted,
+            r.rebalance_moves,
+            r.passes,
+        );
+    }
+}
+
+/// Writes `content` to `path`, mapping failures to a printable message.
+#[cfg(feature = "obs")]
+fn write_text(path: &str, content: &str) -> Result<(), String> {
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 /// Prints the per-level refinement trajectory collected by a multilevel run.
 fn print_level_stats(stats: &[LevelStats]) {
     if stats.is_empty() {
@@ -256,19 +305,52 @@ fn main() -> ExitCode {
         h.num_nets(),
         h.num_pins()
     );
+    let tracing = args.trace_out.is_some() || args.report_out.is_some();
+    #[cfg(not(feature = "obs"))]
+    if tracing {
+        eprintln!(
+            "--trace-out/--report-out need a binary built with the `obs` feature \
+             (cargo build --release --features obs)"
+        );
+        return ExitCode::from(2);
+    }
+    #[cfg(feature = "obs")]
+    if tracing {
+        mlpart::obs::force_enabled(true);
+    }
     // Every start is an independent seeded job; the executor spreads them
     // over `--threads` workers and returns the outcomes in start order, so
-    // everything below this line is oblivious to the thread count.
-    let (outcomes, timing) =
+    // everything below this line is oblivious to the thread count. With
+    // tracing on, the whole batch is captured under one `run` span and the
+    // per-start streams arrive merged in start order.
+    let run_batch = || {
+        #[cfg(feature = "obs")]
+        let _obs_run = mlpart::obs::span(
+            "run",
+            &[
+                ("runs", args.runs.into()),
+                ("seed", args.seed.into()),
+                ("k", args.k.into()),
+            ],
+        );
         mlpart::exec::run_starts(args.runs, args.seed, args.threads, &|rng, ws| {
             run_once(&h, &args, rng, ws)
-        });
+        })
+    };
+    #[cfg(feature = "obs")]
+    let ((outcomes, timing), trace) = mlpart::obs::capture(run_batch);
+    #[cfg(not(feature = "obs"))]
+    let (outcomes, timing) = run_batch();
     let mut best: Option<(u64, Partition)> = None;
     let mut cuts = Vec::with_capacity(args.runs);
+    #[cfg(feature = "obs")]
+    let print_legacy_stats = args.stats && trace.is_none();
+    #[cfg(not(feature = "obs"))]
+    let print_legacy_stats = args.stats;
     for (i, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             Ok((p, cut, level_stats)) => {
-                if args.stats && i == 0 {
+                if print_legacy_stats && i == 0 {
                     print_level_stats(&level_stats);
                 }
                 cuts.push(cut);
@@ -280,6 +362,48 @@ fn main() -> ExitCode {
                 eprintln!("{msg}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    #[cfg(feature = "obs")]
+    if let Some(trace) = trace {
+        if args.stats {
+            print_level_rows(&trace);
+        }
+        if let Some(path) = &args.trace_out {
+            if let Err(msg) = write_text(path, &mlpart::obs::to_chrome_trace(&trace)) {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("chrome trace written to {path}");
+        }
+        if let Some(path) = &args.report_out {
+            let report = mlpart::obs::report::RunReport {
+                meta: vec![
+                    (
+                        "circuit",
+                        mlpart::obs::V::S(Box::leak(args.input.clone().into_boxed_str())),
+                    ),
+                    (
+                        "algo",
+                        mlpart::obs::V::S(Box::leak(args.algo.clone().into_boxed_str())),
+                    ),
+                    ("k", args.k.into()),
+                    ("ratio", args.ratio.into()),
+                    ("threshold", args.threshold.into()),
+                    ("runs", args.runs.into()),
+                    ("seed", args.seed.into()),
+                    ("threads", args.threads.into()),
+                ],
+                cuts: cuts.clone(),
+                wall_secs: timing.wall_secs,
+                cpu_secs: timing.cpu_secs,
+                trace,
+            };
+            if let Err(msg) = write_text(path, &report.to_json()) {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("run report written to {path}");
         }
     }
     let stats = CutStats::from_samples(&cuts);

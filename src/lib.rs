@@ -11,7 +11,9 @@
 //! * [`exec`] — deterministic parallel execution of independent starts;
 //! * [`kway`] — Sanchis-style k-way FM without lookahead;
 //! * [`lsmc`] — the Large-Step Markov Chain baseline;
-//! * [`place`] — the GORDIAN-analogue quadratic placer.
+//! * [`place`] — the GORDIAN-analogue quadratic placer;
+//! * `obs` (feature-gated) — deterministic structured tracing, metrics,
+//!   and run-report exporters behind `MLPART_TRACE=1`.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -43,6 +45,10 @@ pub use mlpart_gen as gen;
 pub use mlpart_hypergraph as hypergraph;
 pub use mlpart_kway as kway;
 pub use mlpart_lsmc as lsmc;
+/// Structured observability: spans, counters, trace/report exporters.
+/// Present only with the `obs` feature.
+#[cfg(feature = "obs")]
+pub use mlpart_obs as obs;
 pub use mlpart_place as place;
 
 pub use mlpart_core::{

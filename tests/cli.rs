@@ -109,6 +109,107 @@ fn thread_count_does_not_change_results() {
     let _ = std::fs::remove_file(&part4);
 }
 
+/// Without the `obs` feature the tracing flags fail fast with a pointer to
+/// the right build invocation instead of silently writing nothing.
+#[cfg(not(feature = "obs"))]
+#[test]
+fn tracing_flags_require_obs_feature() {
+    let out = mlpart()
+        .args(["syn-balu", "--runs", "1", "--trace-out", "x.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("obs"), "stderr should name the feature: {err}");
+}
+
+/// End-to-end tracing contract (needs `--features obs`): one fixed-seed
+/// invocation writes a Chrome trace and a run report that validate against
+/// the checked-in schemas, the report covers every level and pass of the
+/// multilevel run, and the trace *content* (timestamps stripped) is
+/// byte-identical across repeats and thread counts.
+#[cfg(feature = "obs")]
+#[test]
+fn trace_and_report_outputs_are_valid_and_deterministic() {
+    use mlpart::obs::{json, schema, strip_timing};
+
+    let run = |threads: &str, tag: &str| {
+        let trace = temp_path(&format!("trace-{tag}.json"));
+        let report = temp_path(&format!("report-{tag}.json"));
+        let out = mlpart()
+            .args(["syn-balu", "--algo", "ml-c", "--runs", "3", "--seed", "7"])
+            .args(["--threads", threads])
+            .args(["--trace-out", trace.to_str().expect("utf8 path")])
+            .args(["--report-out", report.to_str().expect("utf8 path")])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+        let report_text = std::fs::read_to_string(&report).expect("report written");
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&report);
+        (trace_text, report_text)
+    };
+
+    let (trace1, report1) = run("1", "a");
+
+    // Both documents validate against the schemas CI ships.
+    let chrome_schema = json::parse(include_str!("../schemas/chrome-trace.schema.json"))
+        .expect("chrome schema parses");
+    let report_schema = json::parse(include_str!("../schemas/run-report.schema.json"))
+        .expect("report schema parses");
+    let trace_doc = json::parse(&trace1).expect("trace is valid JSON");
+    let report_doc = json::parse(&report1).expect("report is valid JSON");
+    assert_eq!(
+        schema::validate(&chrome_schema, &trace_doc),
+        Vec::<String>::new()
+    );
+    assert_eq!(
+        schema::validate(&report_schema, &report_doc),
+        Vec::<String>::new()
+    );
+
+    // The report covers the whole multilevel run: one start span per run,
+    // per-level spans, and per-pass counters.
+    assert_eq!(report1.matches("\"name\":\"start\"").count(), 3);
+    assert!(
+        report1.contains("\"name\":\"level\""),
+        "level spans present"
+    );
+    assert!(
+        report1.contains("\"name\":\"fm_pass\""),
+        "pass counters present"
+    );
+    assert!(
+        report1.contains("\"name\":\"coarsen\""),
+        "coarsening covered"
+    );
+    assert!(
+        report1.contains("\"name\":\"initial\""),
+        "initial tries covered"
+    );
+
+    // Content determinism: repeats and thread counts agree once the timing
+    // fields are zeroed.
+    let (trace1b, report1b) = run("1", "b");
+    assert_eq!(strip_timing(&trace1), strip_timing(&trace1b), "repeat run");
+    assert_eq!(
+        strip_timing(&report1),
+        strip_timing(&report1b),
+        "repeat run"
+    );
+    let (trace4, report4) = run("4", "c");
+    assert_eq!(strip_timing(&trace1), strip_timing(&trace4), "threads=4");
+    // The report's meta records the thread count itself — the one field
+    // that legitimately differs — so normalize it before comparing.
+    let normalize = |s: &str| strip_timing(s).replace("\"threads\":4", "\"threads\":1");
+    assert_eq!(normalize(&report1), normalize(&report4), "threads=4");
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     // No input at all.

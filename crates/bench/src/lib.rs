@@ -124,7 +124,7 @@ where
 }
 
 /// Runs `body` under the observability gate when `--report-out` was given,
-/// then writes a `mlpart-run-report-v1` JSON document capturing every batch
+/// then writes a `mlpart-run-report-v2` JSON document capturing every batch
 /// the body executed (each multi-start batch contributes its per-start
 /// `start` spans plus one `batch` summary counter). Without the `obs`
 /// feature the flag is rejected up front so a report is never silently
@@ -164,6 +164,8 @@ pub fn with_report<R>(args: &HarnessArgs, harness: &'static str, body: impl FnOn
                 ("threads", args.threads.into()),
             ],
             cuts: Vec::new(), // per-batch cuts live in the `batch` counters
+            failures: Vec::new(),
+            truncations: Vec::new(),
             wall_secs: wall.elapsed().as_secs_f64(),
             cpu_secs: 0.0,
             trace: trace.expect("gate forced on"),
@@ -215,7 +217,7 @@ pub struct HarnessArgs {
     pub suite: SuiteSelection,
     /// Worker threads for multi-start cells (never changes results).
     pub threads: usize,
-    /// Write a `mlpart-run-report-v1` JSON document here (needs the `obs`
+    /// Write a `mlpart-run-report-v2` JSON document here (needs the `obs`
     /// feature; see [`with_report`]).
     pub report_out: Option<String>,
 }
@@ -278,7 +280,19 @@ impl HarnessArgs {
                         "medium" => SuiteSelection::Medium,
                         "all" => SuiteSelection::All,
                         names => {
-                            SuiteSelection::Named(names.split(',').map(str::to_owned).collect())
+                            let list: Vec<String> = names.split(',').map(str::to_owned).collect();
+                            // Validate here so `from_env` exits with a flag
+                            // error (code 2) instead of `circuits()`
+                            // panicking mid-harness.
+                            if let Some(bad) =
+                                list.iter().find(|n| mlpart_gen::by_name(n).is_none())
+                            {
+                                return Err(format!(
+                                    "unknown circuit {bad:?} in --suite \
+                                     (expected small|medium|all or suite names like balu)"
+                                ));
+                            }
+                            SuiteSelection::Named(list)
                         }
                     };
                 }
@@ -314,7 +328,9 @@ impl HarnessArgs {
     ///
     /// # Panics
     ///
-    /// Panics if a named circuit does not exist.
+    /// Panics if a named circuit does not exist — unreachable for values
+    /// produced by [`HarnessArgs::parse`], which rejects unknown names as a
+    /// flag error.
     pub fn circuits(&self) -> Vec<&'static SuiteCircuit> {
         match &self.suite {
             SuiteSelection::Small => mlpart_gen::small_suite(),
@@ -471,6 +487,9 @@ mod tests {
         assert!(HarnessArgs::parse(argv("--threads 0")).is_err());
         assert!(HarnessArgs::parse(argv("--threads x")).is_err());
         assert!(HarnessArgs::parse(argv("--threads")).is_err());
+        let msg = HarnessArgs::parse(argv("--suite balu,no-such-circuit"))
+            .expect_err("unknown circuit names are flag errors, not panics");
+        assert!(msg.contains("no-such-circuit"), "message names it: {msg}");
         assert_eq!(
             HarnessArgs::parse(argv("--threads 0")).expect_err("rejected"),
             "--threads must be positive"

@@ -106,3 +106,33 @@ fn repeated_parallel_runs_agree_with_each_other() {
     let b = run_many_par(8, 1234, 4, |rng, ws| algos::ml_c_in(&h, 0.33, rng, ws));
     assert_eq!(a, b);
 }
+
+/// Budgets must not weaken the determinism contract: a budget-truncated
+/// batch — cuts, per-start partitions, *and* the truncation records
+/// themselves — is bit-identical at every thread count, because each start
+/// spends against its own meter and the checkpoints count work, not time.
+#[test]
+fn budgeted_runs_are_thread_count_invariant() {
+    use mlpart_core::{ml_bipartition_budgeted_in, Budget, BudgetMeter, MlConfig, Truncation};
+
+    let h = suite::by_name("balu").expect("suite circuit").generate(3);
+    let budget = Budget {
+        max_passes: Some(1),
+        ..Budget::default()
+    };
+    let cfg = MlConfig::clip().with_ratio(0.5);
+    let job = |rng: &mut _, ws: &mut _| -> (u64, Vec<u32>, Option<Truncation>) {
+        let mut meter = BudgetMeter::new(&budget);
+        let (p, r) = ml_bipartition_budgeted_in(&h, &cfg, rng, ws, &mut meter);
+        (r.cut, p.assignment().to_vec(), r.truncation)
+    };
+    let (reference, _) = mlpart_exec::run_starts(6, 55, 1, &job);
+    assert!(
+        reference.iter().any(|(_, _, t)| t.is_some()),
+        "a one-pass budget must truncate some start on balu"
+    );
+    for threads in thread_counts() {
+        let (outcomes, _) = mlpart_exec::run_starts(6, 55, threads, &job);
+        assert_eq!(reference, outcomes, "threads = {threads}");
+    }
+}

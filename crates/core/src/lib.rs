@@ -42,14 +42,27 @@
 
 pub mod hierarchy;
 pub mod ml;
+pub mod preflight;
 pub mod quadrisection;
 pub mod recursive;
 pub mod two_phase;
 
 pub use hierarchy::{Coarsener, Hierarchy};
-pub use ml::{ml_best_of_in, ml_bipartition, ml_bipartition_in, LevelStats, MlConfig, MlResult};
-pub use quadrisection::{
-    ml_kway, ml_kway_best_of_in, ml_kway_in, ml_quadrisection, MlKwayConfig, MlKwayResult,
+pub use ml::{
+    ml_best_of_in, ml_bipartition, ml_bipartition_budgeted_in, ml_bipartition_in, LevelStats,
+    MlConfig, MlResult,
 };
-pub use recursive::{recursive_ml_bisection, recursive_ml_bisection_in, RecursiveResult};
-pub use two_phase::{two_phase_fm, two_phase_fm_in, TwoPhaseResult};
+pub use preflight::{preflight, PreflightError};
+pub use quadrisection::{
+    ml_kway, ml_kway_best_of_in, ml_kway_budgeted_in, ml_kway_in, ml_quadrisection, MlKwayConfig,
+    MlKwayResult,
+};
+pub use recursive::{
+    recursive_ml_bisection, recursive_ml_bisection_budgeted_in, recursive_ml_bisection_in,
+    RecursiveResult,
+};
+pub use two_phase::{two_phase_fm, two_phase_fm_budgeted_in, two_phase_fm_in, TwoPhaseResult};
+
+// Re-export the budget vocabulary so pipeline callers need not depend on
+// `mlpart-fm` directly.
+pub use mlpart_fm::{Budget, BudgetLimit, BudgetMeter, Truncation};

@@ -19,7 +19,10 @@
 
 use crate::hierarchy::Hierarchy;
 use mlpart_cluster::{project, rebalance_bipart};
-use mlpart_fm::{fm_partition_in, refine_in, Engine, FmConfig, PassStats, RefineWorkspace};
+use mlpart_fm::{
+    fm_partition_budgeted_in, refine_budgeted_in, BudgetMeter, Engine, FmConfig, PassStats,
+    RefineWorkspace, Truncation,
+};
 use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
 use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, Partition};
 
@@ -198,6 +201,10 @@ pub struct MlResult {
     /// initial partitioning (from the winning try) first, then each
     /// uncoarsening level down to the original netlist.
     pub level_stats: Vec<LevelStats>,
+    /// `Some` when a budget limit fired and the run returned its best
+    /// partition so far instead of running to convergence; `None` for
+    /// unlimited (or untruncated) runs.
+    pub truncation: Option<Truncation>,
 }
 
 /// Runs the ML multilevel bipartitioning algorithm of Fig. 2.
@@ -243,6 +250,25 @@ pub fn ml_bipartition_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, MlResult) {
+    ml_bipartition_budgeted_in(h, cfg, rng, ws, &mut BudgetMeter::unlimited())
+}
+
+/// [`ml_bipartition_in`] under a cooperative execution budget.
+///
+/// The meter is consulted at every pass and level boundary; once a limit
+/// fires the remaining refinement is skipped, but projection and §III-B
+/// rebalancing still run at every level, so the returned partition is always
+/// a valid, feasible bipartition of `h` — the best solution reachable within
+/// the budget. The truncation (if any) is recorded in
+/// [`MlResult::truncation`]. With an unlimited meter this is bit-identical
+/// to [`ml_bipartition_in`].
+pub fn ml_bipartition_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, MlResult) {
     #[cfg(feature = "obs")]
     let _obs_run = mlpart_obs::span("ml_bipartition", &[("modules", h.num_modules().into())]);
     // --- Coarsening phase (steps 1-5). ---
@@ -251,6 +277,7 @@ pub fn ml_bipartition_in(
 
     // --- Initial partitioning of Hₘ (step 6). ---
     let coarsest = hierarchy.coarsest(h);
+    meter.set_level_context(Some(m as u32));
     let mut total_passes = 0usize;
     let tries = cfg.initial_tries.max(1);
     let mut best: Option<(u64, Partition, Vec<PassStats>)> = None;
@@ -267,7 +294,7 @@ pub fn ml_bipartition_in(
     for _t in 0..tries {
         #[cfg(feature = "obs")]
         let obs_try = mlpart_obs::span("try", &[("try", _t.into())]);
-        let (p, r) = fm_partition_in(coarsest, None, &cfg.fm, rng, ws);
+        let (p, r) = fm_partition_budgeted_in(coarsest, None, &cfg.fm, rng, ws, meter);
         total_passes += r.passes;
         #[cfg(feature = "obs")]
         {
@@ -344,7 +371,15 @@ pub fn ml_bipartition_in(
             "rebalance",
             &[("level", i.into()), ("moves", level_rebalance.into())],
         );
-        let r = refine_in(fine, &mut fine_p, &cfg.fm, rng, ws);
+        // Cooperative budget checkpoint. When the level budget (or any
+        // sticky earlier limit) is exhausted, refinement below runs zero
+        // passes and the projected, rebalanced partition flows through
+        // unchanged — projection never stops, so the final answer is always
+        // a valid partition of `h`.
+        meter.set_level_context(Some(i as u32));
+        let _ = meter.level_checkpoint(i as u32);
+        let r = refine_budgeted_in(fine, &mut fine_p, &cfg.fm, rng, ws, meter);
+        meter.note_level();
         total_passes += r.passes;
         level_stats.push(LevelStats::from_passes(
             i,
@@ -367,6 +402,7 @@ pub fn ml_bipartition_in(
         total_passes,
         rebalance_moves,
         level_stats,
+        truncation: meter.truncation(),
     };
     (p, result)
 }
@@ -606,6 +642,132 @@ mod tests {
         let (p, r) = ml_bipartition(&h, &MlConfig::default(), &mut rng);
         assert_eq!(r.cut, 0);
         assert!(p.validate(&h));
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use mlpart_fm::{Budget, BudgetLimit};
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    fn two_communities(half: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(2 * half);
+        for base in [0, half] {
+            for i in 0..half {
+                b.add_net([base + i, base + (i + 1) % half]).unwrap();
+                b.add_net([base + i, base + (i + 3) % half]).unwrap();
+            }
+        }
+        b.add_net([half - 1, half]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unlimited_meter_is_bit_identical_to_unbudgeted() {
+        let h = two_communities(64);
+        let cfg = MlConfig::clip();
+        let mut rng1 = seeded_rng(21);
+        let mut rng2 = seeded_rng(21);
+        let mut ws = RefineWorkspace::new();
+        let (p1, r1) = ml_bipartition_in(&h, &cfg, &mut rng1, &mut ws);
+        let (p2, r2) =
+            ml_bipartition_budgeted_in(&h, &cfg, &mut rng2, &mut ws, &mut BudgetMeter::unlimited());
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+        assert_eq!(r2.truncation, None);
+    }
+
+    #[test]
+    fn pass_budget_truncates_but_keeps_result_valid_and_feasible() {
+        let h = two_communities(64);
+        let cfg = MlConfig::default();
+        let budget = Budget {
+            max_passes: Some(2),
+            ..Budget::default()
+        };
+        let mut rng = seeded_rng(5);
+        let mut ws = RefineWorkspace::new();
+        let mut meter = BudgetMeter::new(&budget);
+        let (p, r) = ml_bipartition_budgeted_in(&h, &cfg, &mut rng, &mut ws, &mut meter);
+        let t = r
+            .truncation
+            .expect("two passes cannot finish a V-cycle here");
+        assert_eq!(t.limit, BudgetLimit::Passes);
+        assert!(
+            r.total_passes <= 2,
+            "pass budget respected: {}",
+            r.total_passes
+        );
+        assert!(p.validate(&h));
+        let bal = BipartBalance::new(&h, cfg.fm.balance_r);
+        assert!(bal.is_partition_feasible(&p));
+        assert_eq!(r.cut, metrics::cut(&h, &p));
+    }
+
+    #[test]
+    fn zero_move_budget_yields_the_projected_initial_partition() {
+        let h = two_communities(64);
+        let cfg = MlConfig::default();
+        let mut rng = seeded_rng(9);
+        let mut ws = RefineWorkspace::new();
+        let mut meter = BudgetMeter::new(&Budget {
+            max_moves: Some(0),
+            ..Budget::default()
+        });
+        let (p, r) = ml_bipartition_budgeted_in(&h, &cfg, &mut rng, &mut ws, &mut meter);
+        assert_eq!(r.total_passes, 0, "no refinement pass may run");
+        assert_eq!(r.truncation.unwrap().limit, BudgetLimit::Moves);
+        assert!(p.validate(&h));
+        let bal = BipartBalance::new(&h, cfg.fm.balance_r);
+        assert!(bal.is_partition_feasible(&p));
+    }
+
+    #[test]
+    fn level_budget_refines_only_the_coarsest_levels() {
+        let h = two_communities(128);
+        let cfg = MlConfig::default().with_ratio(0.5);
+        let mut rng = seeded_rng(17);
+        let mut ws = RefineWorkspace::new();
+        let mut meter = BudgetMeter::new(&Budget {
+            max_levels: Some(1),
+            ..Budget::default()
+        });
+        let (p, r) = ml_bipartition_budgeted_in(&h, &cfg, &mut rng, &mut ws, &mut meter);
+        assert!(r.levels >= 2, "need a deep hierarchy for this test");
+        let t = r.truncation.expect("level budget must fire");
+        assert_eq!(t.limit, BudgetLimit::Levels);
+        // Exactly the coarsest uncoarsening level refined; every later level
+        // has zero passes but still projected.
+        let refined: Vec<_> = r
+            .level_stats
+            .iter()
+            .skip(1) // entry 0 is the coarsest-level initial partitioning
+            .filter(|s| s.passes > 0)
+            .collect();
+        assert_eq!(refined.len(), 1);
+        assert!(p.validate(&h));
+    }
+
+    #[test]
+    fn budgeted_runs_are_deterministic() {
+        let h = two_communities(64);
+        let cfg = MlConfig::clip();
+        let budget = Budget {
+            max_passes: Some(3),
+            ..Budget::default()
+        };
+        let run = || {
+            let mut rng = seeded_rng(33);
+            let mut ws = RefineWorkspace::new();
+            let mut meter = BudgetMeter::new(&budget);
+            ml_bipartition_budgeted_in(&h, &cfg, &mut rng, &mut ws, &mut meter)
+        };
+        let (p1, r1) = run();
+        let (p2, r2) = run();
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
     }
 }
 

@@ -1,0 +1,203 @@
+//! Pre-flight feasibility validation: typed errors instead of panics (or
+//! degenerate runs) for inputs no partitioning configuration can satisfy.
+//!
+//! The pipelines assume a sane problem instance — at least two modules,
+//! positive total area, `k` no larger than the module count, and a balance
+//! tolerance wide enough that every module fits in a part. Violations used to
+//! surface as engine panics or silently-degenerate answers deep inside a run;
+//! [`preflight`] rejects them up front with a [`PreflightError`] the CLI (and
+//! any embedding tool) can report as *invalid input* rather than a crash.
+
+use mlpart_hypergraph::Hypergraph;
+
+/// Why a `(netlist, k, balance)` problem instance is infeasible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PreflightError {
+    /// Fewer than two modules: there is nothing to partition.
+    TooFewModules {
+        /// Modules in the netlist.
+        modules: usize,
+    },
+    /// `k == 0`: no parts to assign modules to.
+    ZeroParts,
+    /// More parts than modules: at least one part must stay empty, which the
+    /// balance constraint can never accept for a meaningful tolerance.
+    KExceedsModules {
+        /// Requested part count.
+        k: u32,
+        /// Modules in the netlist.
+        modules: usize,
+    },
+    /// Total module area is zero, so balance bounds collapse to `[0, 0]`.
+    ZeroTotalArea,
+    /// A single module is larger than a part's capacity at the *requested*
+    /// tolerance `r`. The engines would still run — §III-B widens the slack
+    /// to the largest module area so their bounds never strand a module —
+    /// but the balance constraint as stated is unattainable, which a tool
+    /// driving the partitioner should hear about up front rather than
+    /// discover in a meaninglessly "balanced" answer.
+    InfeasibleBalance {
+        /// Index of the offending module.
+        module: usize,
+        /// Its area.
+        area: u64,
+        /// The per-part capacity implied by `(k, r)` before §III-B widening:
+        /// `A(V)/k + ⌊r·A(V)·2/k⌋`.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for PreflightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreflightError::TooFewModules { modules } => {
+                write!(f, "netlist has {modules} module(s); need at least 2")
+            }
+            PreflightError::ZeroParts => write!(f, "k must be at least 1"),
+            PreflightError::KExceedsModules { k, modules } => {
+                write!(f, "k = {k} exceeds the {modules} module(s) in the netlist")
+            }
+            PreflightError::ZeroTotalArea => {
+                write!(f, "total module area is zero; balance bounds are empty")
+            }
+            PreflightError::InfeasibleBalance {
+                module,
+                area,
+                capacity,
+            } => write!(
+                f,
+                "module {module} (area {area}) exceeds the per-part capacity \
+                 {capacity}; no feasible partition exists at this tolerance"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PreflightError {}
+
+/// Validates that partitioning `h` into `k` parts at balance tolerance
+/// `balance_r` has any feasible solution, returning the first violation as a
+/// typed error.
+///
+/// The capacity check mirrors the engines' balance arithmetic (`BipartBalance`
+/// / `KwayBalance`) **without** the §III-B max-module widening: the engines
+/// widen their bounds so every module always has a feasible home, which means
+/// a widened-bounds check can never fail — pre-flight instead reports when
+/// that widening would be the only thing keeping the instance feasible.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_core::preflight::{preflight, PreflightError};
+/// use mlpart_hypergraph::HypergraphBuilder;
+///
+/// let h = HypergraphBuilder::with_unit_areas(8).build().unwrap();
+/// assert!(preflight(&h, 2, 0.1).is_ok());
+/// assert!(matches!(
+///     preflight(&h, 16, 0.1),
+///     Err(PreflightError::KExceedsModules { k: 16, modules: 8 })
+/// ));
+/// ```
+pub fn preflight(h: &Hypergraph, k: u32, balance_r: f64) -> Result<(), PreflightError> {
+    let modules = h.num_modules();
+    if modules < 2 {
+        return Err(PreflightError::TooFewModules { modules });
+    }
+    if k == 0 {
+        return Err(PreflightError::ZeroParts);
+    }
+    if k as usize > modules {
+        return Err(PreflightError::KExceedsModules { k, modules });
+    }
+    let total = h.total_area();
+    if total == 0 {
+        return Err(PreflightError::ZeroTotalArea);
+    }
+    // Per-part capacity at the requested tolerance. With k = 2 this is the
+    // paper's `A(V)/2 + r·A(V)` bound before the max-module widening.
+    let slack = (balance_r * total as f64 * 2.0 / k as f64).floor() as u64;
+    let capacity = (total / k as u64).saturating_add(slack);
+    for (module, &area) in h.areas().iter().enumerate() {
+        if area > capacity {
+            return Err(PreflightError::InfeasibleBalance {
+                module,
+                area,
+                capacity,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn accepts_a_sane_instance() {
+        let mut b = HypergraphBuilder::with_unit_areas(16);
+        for i in 0..15 {
+            b.add_net([i, i + 1]).unwrap();
+        }
+        let h = b.build().unwrap();
+        assert_eq!(preflight(&h, 2, 0.1), Ok(()));
+        assert_eq!(preflight(&h, 4, 0.1), Ok(()));
+    }
+
+    #[test]
+    fn rejects_single_module_graphs() {
+        let h = HypergraphBuilder::with_unit_areas(1).build().unwrap();
+        assert_eq!(
+            preflight(&h, 2, 0.1),
+            Err(PreflightError::TooFewModules { modules: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_zero_parts_and_oversized_k() {
+        let h = HypergraphBuilder::with_unit_areas(4).build().unwrap();
+        assert_eq!(preflight(&h, 0, 0.1), Err(PreflightError::ZeroParts));
+        assert_eq!(
+            preflight(&h, 5, 0.1),
+            Err(PreflightError::KExceedsModules { k: 5, modules: 4 })
+        );
+    }
+
+    #[test]
+    fn rejects_an_area_outlier_the_balance_cannot_hold() {
+        // One module carries (almost) all the area: its area exceeds the
+        // per-part capacity at r = 0.1 for both 2- and 4-way splits, so any
+        // "balanced" partition is balanced in name only.
+        let mut areas = vec![1u64; 16];
+        areas[3] = 1_000_000;
+        let h = HypergraphBuilder::new(areas).build().unwrap();
+        for k in [2u32, 4] {
+            match preflight(&h, k, 0.1) {
+                Err(PreflightError::InfeasibleBalance { module, area, .. }) => {
+                    assert_eq!(module, 3, "k = {k}");
+                    assert_eq!(area, 1_000_000);
+                }
+                other => panic!("expected InfeasibleBalance for k = {k}, got {other:?}"),
+            }
+        }
+        // A mild outlier fits within the requested tolerance.
+        let mut areas = vec![1u64; 16];
+        areas[0] = 4;
+        let h = HypergraphBuilder::new(areas).build().unwrap();
+        assert_eq!(preflight(&h, 2, 0.1), Ok(()));
+    }
+
+    #[test]
+    fn errors_render_a_message() {
+        let e = PreflightError::InfeasibleBalance {
+            module: 7,
+            area: 10,
+            capacity: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("module 7"), "{msg}");
+        assert!(msg.contains("capacity"), "{msg}");
+    }
+}

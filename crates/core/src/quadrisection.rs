@@ -10,10 +10,10 @@
 use crate::hierarchy::Hierarchy;
 use crate::ml::{LevelStats, MlConfig};
 use mlpart_cluster::{project, rebalance_kway_frozen};
-use mlpart_fm::RefineWorkspace;
+use mlpart_fm::{BudgetMeter, RefineWorkspace, Truncation};
 use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
 use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
-use mlpart_kway::{kway_partition_in, kway_refine_in, KwayConfig};
+use mlpart_kway::{kway_partition_budgeted_in, kway_refine_budgeted_in, KwayConfig};
 
 /// Configuration for multilevel k-way partitioning.
 ///
@@ -64,6 +64,9 @@ pub struct MlKwayResult {
     /// `cut_*` fields carry the k-way engine objective (sum-of-degrees or
     /// net cut, per the configured gain).
     pub level_stats: Vec<LevelStats>,
+    /// `Some` when a budget limit fired and the run returned its best
+    /// partition so far instead of running to convergence.
+    pub truncation: Option<Truncation>,
 }
 
 /// Runs the multilevel k-way (quadrisection for `k = 4`) algorithm.
@@ -121,6 +124,22 @@ pub fn ml_kway_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, MlKwayResult) {
+    ml_kway_budgeted_in(h, cfg, fixed, rng, ws, &mut BudgetMeter::unlimited())
+}
+
+/// [`ml_kway_in`] under a cooperative execution budget; the k-way twin of
+/// [`ml_bipartition_budgeted_in`](crate::ml_bipartition_budgeted_in). Once a
+/// limit fires refinement stops, but projection and rebalancing still run at
+/// every level, so the returned partition is always valid and feasible. With
+/// an unlimited meter this is bit-identical to [`ml_kway_in`].
+pub fn ml_kway_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    fixed: &[(ModuleId, PartId)],
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, MlKwayResult) {
     assert!(cfg.k > 0, "k must be positive");
     // Reuse the bipartition hierarchy builder: only T / R / max_levels apply.
     let ml_cfg = MlConfig {
@@ -153,7 +172,8 @@ pub fn ml_kway_in(
     );
     #[cfg(feature = "obs")]
     let obs_try = mlpart_obs::span("try", &[("try", 0u64.into())]);
-    let (mut p, r0) = kway_partition_in(
+    meter.set_level_context(Some(m as u32));
+    let (mut p, r0) = kway_partition_budgeted_in(
         coarsest,
         cfg.k,
         None,
@@ -161,6 +181,7 @@ pub fn ml_kway_in(
         &cfg.kway,
         rng,
         ws,
+        meter,
     );
     #[cfg(feature = "obs")]
     {
@@ -227,7 +248,21 @@ pub fn ml_kway_in(
             "rebalance",
             &[("level", i.into()), ("moves", level_rebalance.into())],
         );
-        let r = kway_refine_in(fine, &mut fine_p, hierarchy.fixed_at(i), &cfg.kway, rng, ws);
+        // Cooperative budget checkpoint; see `ml_bipartition_budgeted_in`.
+        // An exhausted meter skips the refinement below (zero passes) while
+        // projection and rebalancing keep the partition valid and feasible.
+        meter.set_level_context(Some(i as u32));
+        let _ = meter.level_checkpoint(i as u32);
+        let r = kway_refine_budgeted_in(
+            fine,
+            &mut fine_p,
+            hierarchy.fixed_at(i),
+            &cfg.kway,
+            rng,
+            ws,
+            meter,
+        );
+        meter.note_level();
         total_passes += r.passes;
         level_stats.push(LevelStats::from_passes(
             i,
@@ -250,6 +285,7 @@ pub fn ml_kway_in(
         total_passes,
         rebalance_moves,
         level_stats,
+        truncation: meter.truncation(),
     };
     (p, result)
 }
@@ -445,5 +481,49 @@ mod tests {
         let (p2, r2) = run(6);
         assert_eq!(p1.assignment(), p2.assignment());
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn budgeted_kway_truncates_and_stays_feasible() {
+        use mlpart_fm::{Budget, BudgetLimit};
+        let h = four_communities(60);
+        let cfg = MlKwayConfig::default();
+        let mut rng = seeded_rng(14);
+        let mut ws = RefineWorkspace::new();
+        let mut meter = BudgetMeter::new(&Budget {
+            max_passes: Some(1),
+            ..Budget::default()
+        });
+        let (p, r) = ml_kway_budgeted_in(&h, &cfg, &[], &mut rng, &mut ws, &mut meter);
+        let t = r
+            .truncation
+            .expect("one pass cannot finish a k-way V-cycle");
+        assert_eq!(t.limit, BudgetLimit::Passes);
+        assert!(r.total_passes <= 1);
+        assert!(p.validate(&h));
+        let bal = KwayBalance::new(&h, 4, cfg.kway.balance_r);
+        assert!(bal.is_partition_feasible(&p));
+        assert_eq!(r.cut, metrics::cut(&h, &p));
+    }
+
+    #[test]
+    fn budgeted_kway_with_unlimited_meter_matches_unbudgeted() {
+        let h = four_communities(40);
+        let cfg = MlKwayConfig::default();
+        let mut rng1 = seeded_rng(4);
+        let mut rng2 = seeded_rng(4);
+        let mut ws = RefineWorkspace::new();
+        let (p1, r1) = ml_kway_in(&h, &cfg, &[], &mut rng1, &mut ws);
+        let (p2, r2) = ml_kway_budgeted_in(
+            &h,
+            &cfg,
+            &[],
+            &mut rng2,
+            &mut ws,
+            &mut BudgetMeter::unlimited(),
+        );
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+        assert_eq!(r2.truncation, None);
     }
 }

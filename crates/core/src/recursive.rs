@@ -9,8 +9,8 @@
 //! sub-netlist and bisected again, recursively, yielding `k = 2^depth`
 //! parts.
 
-use crate::ml::{ml_bipartition_in, MlConfig};
-use mlpart_fm::RefineWorkspace;
+use crate::ml::{ml_bipartition_budgeted_in, MlConfig};
+use mlpart_fm::{BudgetMeter, RefineWorkspace, Truncation};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, Hypergraph, Partition};
 
@@ -24,6 +24,10 @@ pub struct RecursiveResult {
     /// Number of bisections performed (`2^depth − 1` unless a region became
     /// too small to split).
     pub bisections: usize,
+    /// `Some` when a budget limit fired during any region's bisection; the
+    /// budget is shared across all regions, so later bisections degrade to
+    /// projected (unrefined) splits.
+    pub truncation: Option<Truncation>,
 }
 
 /// Partitions `h` into `2^depth` parts by recursive ML bisection.
@@ -80,6 +84,23 @@ pub fn recursive_ml_bisection_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, RecursiveResult) {
+    recursive_ml_bisection_budgeted_in(h, depth, cfg, rng, ws, &mut BudgetMeter::unlimited())
+}
+
+/// [`recursive_ml_bisection_in`] under a cooperative execution budget.
+///
+/// One meter is shared across every region's multilevel bisection, so the
+/// limits bound the *whole* recursive run, not each region: once exhausted,
+/// the remaining regions still split (their sub-bisections project random
+/// coarse partitions without refinement), keeping the `2^depth`-part shape.
+pub fn recursive_ml_bisection_budgeted_in(
+    h: &Hypergraph,
+    depth: u32,
+    cfg: &MlConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, RecursiveResult) {
     assert!(depth >= 1, "depth must be at least 1");
     assert!(depth <= 16, "depth over 16 is surely a mistake");
     let k = 1u32 << depth;
@@ -122,7 +143,7 @@ pub fn recursive_ml_bisection_in(
                     ("modules", count.into()),
                 ],
             );
-            let (sub_p, _) = ml_bipartition_in(&sub, cfg, rng, ws);
+            let (sub_p, _) = ml_bipartition_budgeted_in(&sub, cfg, rng, ws, meter);
             bisections += 1;
             // Write back: side 0 -> low, side 1 -> high.
             for (sub_v, &orig) in back.iter().enumerate() {
@@ -140,6 +161,7 @@ pub fn recursive_ml_bisection_in(
         cut: metrics::cut(h, &p),
         sum_of_degrees: metrics::sum_of_spans_minus_one(h, &p),
         bisections,
+        truncation: meter.truncation(),
     };
     (p, result)
 }
@@ -218,6 +240,34 @@ mod tests {
         let (p, _) = recursive_ml_bisection(&h, 3, &MlConfig::default(), &mut rng);
         assert_eq!(p.k(), 8);
         assert!(p.validate(&h));
+    }
+
+    #[test]
+    fn budgeted_recursion_shares_one_meter_across_regions() {
+        use mlpart_fm::{Budget, BudgetLimit, BudgetMeter};
+        let h = four_communities(32);
+        let mut rng = seeded_rng(3);
+        let mut ws = RefineWorkspace::new();
+        let mut meter = BudgetMeter::new(&Budget {
+            max_passes: Some(2),
+            ..Budget::default()
+        });
+        let (p, r) = recursive_ml_bisection_budgeted_in(
+            &h,
+            2,
+            &MlConfig::default(),
+            &mut rng,
+            &mut ws,
+            &mut meter,
+        );
+        // Two passes cannot cover three bisections' V-cycles.
+        assert_eq!(
+            r.truncation.expect("must truncate").limit,
+            BudgetLimit::Passes
+        );
+        assert_eq!(p.k(), 4, "shape is preserved under exhaustion");
+        assert!(p.validate(&h));
+        assert_eq!(r.bisections, 3, "exhausted regions still split");
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! *multiple* levels can be isolated experimentally.
 
 use mlpart_cluster::{induce, match_clusters, project, rebalance_bipart, MatchConfig};
-use mlpart_fm::{fm_partition_in, refine_in, FmConfig, FmResult, RefineWorkspace};
+use mlpart_fm::{
+    fm_partition_budgeted_in, refine_budgeted_in, BudgetMeter, FmConfig, FmResult, RefineWorkspace,
+    Truncation,
+};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, Partition};
 
@@ -27,6 +30,9 @@ pub struct TwoPhaseResult {
     pub coarse_modules: usize,
     /// Statistics of the second (refinement) FM run.
     pub refine: FmResult,
+    /// `Some` when a budget limit fired and one (or both) FM runs were cut
+    /// short.
+    pub truncation: Option<Truncation>,
 }
 
 /// Runs two-phase FM: one `Match` clustering, FM on the induced netlist,
@@ -75,6 +81,22 @@ pub fn two_phase_fm_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, TwoPhaseResult) {
+    two_phase_fm_budgeted_in(h, fm, match_cfg, rng, ws, &mut BudgetMeter::unlimited())
+}
+
+/// [`two_phase_fm_in`] under a cooperative execution budget. Both FM runs
+/// draw on the same meter; once exhausted, the remaining refinement is
+/// skipped while projection and rebalancing keep the result valid and
+/// feasible. With an unlimited meter this is bit-identical to
+/// [`two_phase_fm_in`].
+pub fn two_phase_fm_budgeted_in(
+    h: &Hypergraph,
+    fm: &FmConfig,
+    match_cfg: &MatchConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, TwoPhaseResult) {
     #[cfg(feature = "obs")]
     let _obs_run = mlpart_obs::span("two_phase", &[("modules", h.num_modules().into())]);
     // Phase 1: cluster once and partition the coarse netlist.
@@ -85,7 +107,8 @@ pub fn two_phase_fm_in(
         "two_phase_coarse",
         &[("coarse_modules", coarse.num_modules().into())],
     );
-    let (coarse_p, coarse_r) = fm_partition_in(&coarse, None, fm, rng, ws);
+    meter.set_level_context(Some(1));
+    let (coarse_p, coarse_r) = fm_partition_budgeted_in(&coarse, None, fm, rng, ws, meter);
 
     // Phase 2: project and refine on the original netlist.
     let mut p = project(h, &clustering, &coarse_p);
@@ -99,13 +122,15 @@ pub fn two_phase_fm_in(
         "rebalance",
         &[("level", 0u64.into()), ("moves", _rebalance.into())],
     );
-    let refine_r = refine_in(h, &mut p, fm, rng, ws);
+    meter.set_level_context(Some(0));
+    let refine_r = refine_budgeted_in(h, &mut p, fm, rng, ws, meter);
 
     let result = TwoPhaseResult {
         cut: metrics::cut(h, &p),
         coarse_cut: coarse_r.cut,
         coarse_modules: coarse.num_modules(),
         refine: refine_r,
+        truncation: meter.truncation(),
     };
     (p, result)
 }
@@ -198,6 +223,36 @@ mod tests {
             .min()
             .expect("runs");
         assert!(ml <= two_phase, "ML {ml} vs two-phase {two_phase}");
+    }
+
+    #[test]
+    fn budgeted_two_phase_truncates_and_stays_feasible() {
+        use mlpart_fm::{Budget, BudgetLimit, BudgetMeter};
+        let h = two_communities(50);
+        let fm = FmConfig::default();
+        let mut rng = seeded_rng(8);
+        let mut ws = RefineWorkspace::new();
+        let mut meter = BudgetMeter::new(&Budget {
+            max_passes: Some(1),
+            ..Budget::default()
+        });
+        let (p, r) = two_phase_fm_budgeted_in(
+            &h,
+            &fm,
+            &MatchConfig::default(),
+            &mut rng,
+            &mut ws,
+            &mut meter,
+        );
+        assert_eq!(
+            r.truncation.expect("must truncate").limit,
+            BudgetLimit::Passes
+        );
+        assert_eq!(r.refine.passes, 0, "the budget went to the coarse run");
+        assert!(p.validate(&h));
+        let bal = BipartBalance::new(&h, fm.balance_r);
+        assert!(bal.is_partition_feasible(&p));
+        assert_eq!(r.cut, metrics::cut(&h, &p));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Deterministic parallel multi-start execution.
+//! Deterministic parallel multi-start execution with per-start fault
+//! isolation.
 //!
 //! The paper's headline numbers are best/average statistics over many
 //! independent starts (100 starts of FM/CLIP against a handful of ML starts,
@@ -21,6 +22,17 @@
 //!    reductions such as [`best_index_by_key`] break ties by the lowest
 //!    start index — a total order independent of scheduling.
 //!
+//! # Fault isolation
+//!
+//! Independence also makes starts a natural *fault* boundary:
+//! [`try_run_starts`] runs each start under `catch_unwind`, records a panic
+//! as a structured [`StartFailure`] (start index, panic message, and the
+//! deepest observability phase when tracing is on), and reduces over the
+//! surviving starts. Because the winner is still chosen by (cut, lowest
+//! start index), the surviving-start result is **bit-identical to a
+//! sequential run with the failed starts removed** — at every thread count.
+//! A batch where every start fails is a typed [`ExecError`], not a panic.
+//!
 //! ```
 //! use mlpart_exec::run_starts;
 //! use rand::Rng;
@@ -37,6 +49,7 @@
 
 use mlpart_fm::RefineWorkspace;
 use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -61,7 +74,160 @@ fn append_start_trace(i: usize, trace: &StartTrace) {
 #[cfg(not(feature = "obs"))]
 fn append_start_trace(_i: usize, _trace: &StartTrace) {}
 
-/// Timing telemetry for one [`run_starts`] batch.
+/// Best-effort phase attribution for a failed start: the innermost span
+/// open when the panic began unwinding. Span guards close during the unwind
+/// (their `Drop` records `End`), so a drained stack is recovered from the
+/// trailing run of `End` events the unwind appended.
+#[cfg(feature = "obs")]
+fn failure_phase(trace: &StartTrace) -> Option<String> {
+    use mlpart_obs::EvKind;
+    let t = trace.as_ref()?;
+    let mut stack: Vec<&'static str> = Vec::new();
+    for e in &t.events {
+        match e.kind {
+            EvKind::Begin => stack.push(e.name),
+            EvKind::End => {
+                stack.pop();
+            }
+            EvKind::Counter => {}
+        }
+    }
+    if let Some(name) = stack.last() {
+        // A panic with the unwind trace cut short (or a non-unwinding
+        // recorder) leaves the true open stack behind.
+        return Some((*name).to_string());
+    }
+    let mut i = t.events.len();
+    while i > 0 && t.events[i - 1].kind == EvKind::End {
+        i -= 1;
+    }
+    (i < t.events.len()).then(|| t.events[i].name.to_string())
+}
+#[cfg(not(feature = "obs"))]
+fn failure_phase(_trace: &StartTrace) -> Option<String> {
+    None
+}
+
+/// Renders a caught panic payload as a message (the common `&str` / `String`
+/// payloads verbatim, anything else a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One start that panicked, recorded instead of propagated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartFailure {
+    /// The start index that failed.
+    pub start: usize,
+    /// The panic payload message.
+    pub message: String,
+    /// The innermost observability span open at the panic, when tracing was
+    /// active (`None` otherwise) — e.g. `"fm_refine"` or `"level"`.
+    pub phase: Option<String>,
+}
+
+impl std::fmt::Display for StartFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.phase {
+            Some(p) => write!(
+                f,
+                "start {} panicked in {}: {}",
+                self.start, p, self.message
+            ),
+            None => write!(f, "start {} panicked: {}", self.start, self.message),
+        }
+    }
+}
+
+/// A batch that completed with at least one surviving start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResult<T> {
+    /// Surviving starts as `(start index, value)`, in start order.
+    pub survivors: Vec<(usize, T)>,
+    /// Failed starts, in start order.
+    pub failures: Vec<StartFailure>,
+}
+
+impl<T> BatchResult<T> {
+    /// Reduces the survivors to the best value under `key`: the minimal key,
+    /// ties broken by the **lowest start index**. Because survivors are in
+    /// start order, this returns exactly what a sequential loop over the
+    /// surviving start indices would have kept — the invariance the
+    /// fault-isolation tests pin down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no survivors ([`try_run_starts`] never returns an
+    /// empty survivor set).
+    pub fn into_best_by_key<K, F>(mut self, key: F) -> RunOutcome<T>
+    where
+        K: Ord,
+        F: Fn(&T) -> K,
+    {
+        let best_pos = best_index_by_key(&self.survivors, |(_, v)| key(v));
+        let (best_start, best) = self.survivors.swap_remove(best_pos);
+        RunOutcome {
+            best,
+            best_start,
+            failures: self.failures,
+        }
+    }
+}
+
+/// The reduced outcome of a fault-isolated batch: the winning start plus the
+/// failures that were tolerated along the way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome<T> {
+    /// The winning survivor's value.
+    pub best: T,
+    /// The winning survivor's start index.
+    pub best_start: usize,
+    /// Starts that panicked and were excluded from the reduction.
+    pub failures: Vec<StartFailure>,
+}
+
+/// Why a batch produced no usable result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// Every start panicked; the per-start failures are preserved.
+    AllStartsFailed {
+        /// One failure per start, in start order.
+        failures: Vec<StartFailure>,
+    },
+    /// The runner itself lost results — a worker died outside the per-start
+    /// isolation boundary or a start index was never claimed. This indicates
+    /// a harness bug, not a job failure.
+    Lost {
+        /// Human-readable description of what was lost.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::AllStartsFailed { failures } => {
+                write!(f, "all {} start(s) failed", failures.len())?;
+                if let Some(first) = failures.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+            ExecError::Lost { detail } => write!(f, "execution lost results: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Timing telemetry for one batch.
 ///
 /// The paper's tables report *total CPU for 100 runs*; a parallel batch
 /// finishes in less wall-clock than that, so the two notions must be kept
@@ -83,19 +249,194 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Runs `runs` independent starts of `job` on `threads` worker threads and
-/// returns the per-start results **in start order** plus timing telemetry.
+/// Per-start outcome on the wire between worker and scatter.
+type StartSlot<T> = (Result<T, String>, StartTrace);
+
+/// What one worker thread hands back: every start it claimed, with the
+/// start index, its per-start seconds, and the outcome slot.
+type WorkerYield<T> = Vec<(usize, f64, StartSlot<T>)>;
+
+/// Runs `runs` independent starts of `job` on `threads` worker threads with
+/// **per-start panic isolation**, returning survivors and failures in start
+/// order plus timing telemetry.
+///
+/// Each start runs under `catch_unwind`: a panicking start becomes a
+/// [`StartFailure`] (with the panic message and, under `obs`, the innermost
+/// open span as its phase) while every other start proceeds normally. A
+/// worker whose start panicked replaces its workspace with a fresh one —
+/// fresh allocation is bit-identical to reuse by the `*_in` contract, so
+/// isolation cannot change any surviving start's result. Consequently the
+/// surviving results are bit-identical to a sequential run over just the
+/// surviving start indices, at every thread count.
 ///
 /// Start `i` receives a PRNG seeded with `child_seed(base_seed, i)` and its
-/// worker's long-lived [`RefineWorkspace`] (so per-start allocation stays
-/// amortized via the `*_in` entry points). Starts are distributed by an
+/// worker's long-lived [`RefineWorkspace`]. Starts are distributed by an
 /// atomic next-start counter — idle workers steal whatever start is next —
-/// but the returned vector, and therefore any deterministic reduction over
-/// it, is bit-identical for every `threads` value including 1.
+/// but the returned vectors are in start order for every `threads` value.
+///
+/// # Errors
+///
+/// [`ExecError::AllStartsFailed`] when no start survived;
+/// [`ExecError::Lost`] when the runner lost results (worker death outside
+/// the isolation boundary, or an unclaimed start index).
 ///
 /// # Panics
 ///
-/// Panics if `runs == 0`, `threads == 0`, or a worker thread panics.
+/// Panics if `runs == 0` or `threads == 0` (caller bugs, not input faults).
+pub fn try_run_starts<T, F>(
+    runs: usize,
+    base_seed: u64,
+    threads: usize,
+    job: &F,
+) -> Result<(BatchResult<T>, ExecTiming), ExecError>
+where
+    T: Send,
+    F: Fn(&mut MlRng, &mut RefineWorkspace) -> T + Sync,
+{
+    assert!(runs > 0, "need at least one start");
+    assert!(threads > 0, "need at least one thread");
+    let wall = Instant::now();
+
+    // Runs one start under the isolation boundary. The fault site fires
+    // *inside* catch_unwind and *inside* the obs capture, so injected
+    // per-start panics exercise exactly the recovery path a real panic
+    // takes, partial trace included.
+    let run_one = |i: usize, ws: &mut RefineWorkspace| -> (f64, StartSlot<T>) {
+        let start = Instant::now();
+        let mut rng = seeded_rng(child_seed(base_seed, i as u64));
+        let body = AssertUnwindSafe(|| {
+            #[cfg(feature = "fault")]
+            mlpart_fault::maybe_panic("start", i as u64);
+            job(&mut rng, ws)
+        });
+        #[cfg(feature = "obs")]
+        let (result, trace) = mlpart_obs::capture(|| catch_unwind(body));
+        #[cfg(not(feature = "obs"))]
+        let (result, trace) = (catch_unwind(body), ());
+        let secs = start.elapsed().as_secs_f64();
+        let result = result.map_err(panic_message);
+        if result.is_err() {
+            // The unwound job may have left the workspace mid-mutation;
+            // a fresh workspace is bit-identical to a reused one (the
+            // `*_in` contract), so recovery is unobservable to later
+            // starts on this worker.
+            *ws = RefineWorkspace::new();
+        }
+        (secs, (result, trace))
+    };
+
+    let mut cpu_secs = 0.0;
+    let mut slots: Vec<Option<StartSlot<T>>>;
+
+    if threads == 1 {
+        // Single-thread fast path: no spawn, identical seed streams and
+        // identical isolation boundary.
+        let mut ws = RefineWorkspace::new();
+        slots = Vec::with_capacity(runs);
+        for i in 0..runs {
+            let (secs, slot) = run_one(i, &mut ws);
+            cpu_secs += secs;
+            slots.push(Some(slot));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(runs);
+        let locals: Vec<Result<WorkerYield<T>, ExecError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut ws = RefineWorkspace::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= runs {
+                                break;
+                            }
+                            let (secs, slot) = run_one(i, &mut ws);
+                            local.push((i, secs, slot));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().map_err(|_| ExecError::Lost {
+                        detail: "worker thread died outside the per-start isolation boundary"
+                            .to_string(),
+                    })
+                })
+                .collect()
+        });
+
+        // Scatter into start order; completion order is irrelevant.
+        slots = (0..runs).map(|_| None).collect();
+        #[cfg(feature = "audit")]
+        let mut claims = vec![0u32; runs];
+        for local in locals {
+            for (i, secs, slot) in local? {
+                cpu_secs += secs;
+                #[cfg(feature = "audit")]
+                {
+                    claims[i] += 1;
+                }
+                slots[i] = Some(slot);
+            }
+        }
+        // Work-stealing audit: every start index must have been claimed by
+        // exactly one worker (a duplicate or dropped claim would silently
+        // break the determinism contract before the `Lost` check fires).
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(mlpart_audit::audit_start_claims(&claims));
+        }
+    }
+
+    let mut survivors: Vec<(usize, T)> = Vec::with_capacity(runs);
+    let mut failures: Vec<StartFailure> = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (result, trace) = slot.ok_or_else(|| ExecError::Lost {
+            detail: format!("start {i} was never claimed by any worker"),
+        })?;
+        // Merge per-start streams in start order — failed starts contribute
+        // their partial trace, so a panic is visible in the timeline.
+        append_start_trace(i, &trace);
+        match result {
+            Ok(value) => survivors.push((i, value)),
+            Err(message) => failures.push(StartFailure {
+                start: i,
+                message,
+                phase: failure_phase(&trace),
+            }),
+        }
+    }
+    let timing = ExecTiming {
+        wall_secs: wall.elapsed().as_secs_f64(),
+        cpu_secs,
+    };
+    if survivors.is_empty() {
+        return Err(ExecError::AllStartsFailed { failures });
+    }
+    Ok((
+        BatchResult {
+            survivors,
+            failures,
+        },
+        timing,
+    ))
+}
+
+/// Runs `runs` independent starts of `job` on `threads` worker threads and
+/// returns the per-start results **in start order** plus timing telemetry.
+///
+/// The non-isolating wrapper over [`try_run_starts`]: any start failure (or
+/// lost result) propagates as a panic, preserving the historical contract
+/// for callers that treat a panicking job as a programming error.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`, `threads == 0`, or any start panics.
 pub fn run_starts<T, F>(
     runs: usize,
     base_seed: u64,
@@ -106,100 +447,18 @@ where
     T: Send,
     F: Fn(&mut MlRng, &mut RefineWorkspace) -> T + Sync,
 {
-    assert!(runs > 0, "need at least one start");
-    assert!(threads > 0, "need at least one thread");
-    let wall = Instant::now();
-
-    let run_one = |i: usize, ws: &mut RefineWorkspace| -> (f64, T, StartTrace) {
-        let start = Instant::now();
-        let mut rng = seeded_rng(child_seed(base_seed, i as u64));
-        // Capture this start's events into a private stream (the caller's
-        // recorder, if any, is stashed for the duration), so per-start
-        // content is identical whether the start ran inline or on a worker.
-        #[cfg(feature = "obs")]
-        let (value, trace) = mlpart_obs::capture(|| job(&mut rng, ws));
-        #[cfg(not(feature = "obs"))]
-        let (value, trace) = (job(&mut rng, ws), ());
-        (start.elapsed().as_secs_f64(), value, trace)
-    };
-
-    // Single-thread fast path: no spawn, identical seed streams and order.
-    if threads == 1 {
-        let mut ws = RefineWorkspace::new();
-        let mut cpu_secs = 0.0;
-        let mut out = Vec::with_capacity(runs);
-        for i in 0..runs {
-            let (secs, value, trace) = run_one(i, &mut ws);
-            cpu_secs += secs;
-            append_start_trace(i, &trace);
-            out.push(value);
+    match try_run_starts(runs, base_seed, threads, job) {
+        Ok((batch, timing)) => {
+            if let Some(f) = batch.failures.first() {
+                panic!("{f}");
+            }
+            (
+                batch.survivors.into_iter().map(|(_, v)| v).collect(),
+                timing,
+            )
         }
-        let timing = ExecTiming {
-            wall_secs: wall.elapsed().as_secs_f64(),
-            cpu_secs,
-        };
-        return (out, timing);
+        Err(e) => panic!("{e}"),
     }
-
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(runs);
-    let locals: Vec<Vec<(usize, f64, T, StartTrace)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut ws = RefineWorkspace::new();
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= runs {
-                            break;
-                        }
-                        let (secs, value, trace) = run_one(i, &mut ws);
-                        local.push((i, secs, value, trace));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-
-    // Scatter into start order; completion order is irrelevant.
-    let mut cpu_secs = 0.0;
-    let mut slots: Vec<Option<(T, StartTrace)>> = (0..runs).map(|_| None).collect();
-    #[cfg(feature = "audit")]
-    let mut claims = vec![0u32; runs];
-    for (i, secs, value, trace) in locals.into_iter().flatten() {
-        cpu_secs += secs;
-        #[cfg(feature = "audit")]
-        {
-            claims[i] += 1;
-        }
-        slots[i] = Some((value, trace));
-    }
-    // Work-stealing audit: every start index must have been claimed by
-    // exactly one worker (a duplicate or dropped claim would silently break
-    // the determinism contract before the `expect` below fires).
-    #[cfg(feature = "audit")]
-    if mlpart_audit::enabled() {
-        mlpart_audit::enforce(mlpart_audit::audit_start_claims(&claims));
-    }
-    let mut out: Vec<T> = Vec::with_capacity(runs);
-    for (i, slot) in slots.into_iter().enumerate() {
-        let (value, trace) = slot.expect("every start index claimed exactly once");
-        // Merge per-start streams in start order — identical content to the
-        // single-thread path even though workers finished in any order.
-        append_start_trace(i, &trace);
-        out.push(value);
-    }
-    let timing = ExecTiming {
-        wall_secs: wall.elapsed().as_secs_f64(),
-        cpu_secs,
-    };
-    (out, timing)
 }
 
 /// Index of the best element under `key`: the minimal key, ties broken by
@@ -313,6 +572,181 @@ mod tests {
         assert!(default_threads() >= 1);
     }
 
+    /// Runs a flaky batch where the job learns its start index from the rng
+    /// stream (the only deterministic identity a job has).
+    fn run_flaky(
+        runs: usize,
+        seed: u64,
+        threads: usize,
+        fail: &[usize],
+    ) -> Result<(BatchResult<u64>, ExecTiming), ExecError> {
+        // Reconstruct the start index from the seed stream: each start's
+        // first draw is a pure function of child_seed(seed, i), so a lookup
+        // table maps first-draws back to indices.
+        let firsts: Vec<u64> = (0..runs)
+            .map(|i| seeded_rng(child_seed(seed, i as u64)).gen_range(0..u64::MAX))
+            .collect();
+        let fail: Vec<usize> = fail.to_vec();
+        let job = move |rng: &mut MlRng, _ws: &mut RefineWorkspace| -> u64 {
+            let first = rng.gen_range(0..u64::MAX);
+            let i = firsts
+                .iter()
+                .position(|&f| f == first)
+                .expect("known start");
+            if fail.contains(&i) {
+                panic!("boom at start {i}");
+            }
+            first
+        };
+        try_run_starts(runs, seed, threads, &job)
+    }
+
+    #[test]
+    fn panicking_starts_become_failures_not_panics() {
+        let (batch, _) = run_flaky(8, 11, 1, &[2, 5]).expect("survivors exist");
+        assert_eq!(batch.failures.len(), 2);
+        assert_eq!(batch.failures[0].start, 2);
+        assert_eq!(batch.failures[1].start, 5);
+        assert!(batch.failures[0].message.contains("boom at start 2"));
+        assert_eq!(batch.survivors.len(), 6);
+        assert!(batch.survivors.iter().all(|&(i, _)| i != 2 && i != 5));
+    }
+
+    #[test]
+    fn survivors_are_bit_identical_to_sequential_with_failed_removed() {
+        let clean = run_flaky(13, 19, 1, &[]).expect("all survive");
+        let fail_set = [0usize, 4, 7];
+        let expected: Vec<(usize, u64)> = clean
+            .0
+            .survivors
+            .iter()
+            .filter(|(i, _)| !fail_set.contains(i))
+            .cloned()
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let (batch, _) = run_flaky(13, 19, threads, &fail_set).expect("survivors exist");
+            assert_eq!(batch.survivors, expected, "threads={threads}");
+            assert_eq!(
+                batch.failures.iter().map(|f| f.start).collect::<Vec<_>>(),
+                fail_set,
+                "threads={threads}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The isolation contract over random (runs, threads, failure-set)
+        /// triples: survivors are bit-identical to a clean sequential run
+        /// with the failed starts filtered out, failures are reported in
+        /// start order, and an all-failed batch is the typed error.
+        #[test]
+        fn prop_survivors_match_filtered_sequential(
+            runs in 1usize..14,
+            threads in 1usize..10,
+            seed in 0u64..10_000,
+            fail_bits in 0u64..16_384,
+        ) {
+            use proptest::prelude::*;
+            let fail: Vec<usize> = (0..runs).filter(|i| (fail_bits >> i) & 1 == 1).collect();
+            let clean = run_flaky(runs, seed, 1, &[]).expect("all survive").0;
+            let expected: Vec<(usize, u64)> = clean
+                .survivors
+                .iter()
+                .filter(|(i, _)| !fail.contains(i))
+                .cloned()
+                .collect();
+            match run_flaky(runs, seed, threads, &fail) {
+                Ok((batch, _)) => {
+                    prop_assert!(fail.len() < runs, "a fully-failed batch must be an error");
+                    prop_assert_eq!(batch.survivors, expected);
+                    prop_assert_eq!(
+                        batch.failures.iter().map(|f| f.start).collect::<Vec<_>>(),
+                        fail
+                    );
+                }
+                Err(ExecError::AllStartsFailed { failures }) => {
+                    prop_assert_eq!(fail.len(), runs);
+                    prop_assert_eq!(failures.len(), runs);
+                }
+                Err(e) => panic!("unexpected executor error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_ignores_failed_starts_and_breaks_ties_low() {
+        let (batch, _) = run_flaky(10, 23, 4, &[1, 6]).expect("survivors exist");
+        let outcome = batch.clone().into_best_by_key(|&v| v);
+        let manual = batch
+            .survivors
+            .iter()
+            .min_by_key(|(_, v)| *v)
+            .expect("non-empty");
+        assert_eq!(outcome.best, manual.1);
+        assert_eq!(outcome.best_start, manual.0);
+        assert_eq!(outcome.failures.len(), 2);
+    }
+
+    #[test]
+    fn all_starts_failed_is_a_typed_error() {
+        let all: Vec<usize> = (0..5).collect();
+        for threads in [1, 3] {
+            match run_flaky(5, 31, threads, &all) {
+                Err(ExecError::AllStartsFailed { failures }) => {
+                    assert_eq!(failures.len(), 5, "threads={threads}");
+                    assert_eq!(
+                        failures.iter().map(|f| f.start).collect::<Vec<_>>(),
+                        all,
+                        "threads={threads}"
+                    );
+                }
+                other => panic!("expected AllStartsFailed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at start 3")]
+    fn run_starts_preserves_the_panicking_contract() {
+        let firsts: Vec<u64> = (0..6)
+            .map(|i| seeded_rng(child_seed(41, i as u64)).gen_range(0..u64::MAX))
+            .collect();
+        let job = move |rng: &mut MlRng, _ws: &mut RefineWorkspace| -> u64 {
+            let first = rng.gen_range(0..u64::MAX);
+            let i = firsts
+                .iter()
+                .position(|&f| f == first)
+                .expect("known start");
+            if i == 3 {
+                panic!("boom at start {i}");
+            }
+            first
+        };
+        let _ = run_starts(6, 41, 2, &job);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let f = StartFailure {
+            start: 4,
+            message: "overflow".to_string(),
+            phase: Some("fm_refine".to_string()),
+        };
+        assert_eq!(f.to_string(), "start 4 panicked in fm_refine: overflow");
+        let e = ExecError::AllStartsFailed {
+            failures: vec![f.clone()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("all 1 start(s) failed"), "{msg}");
+        assert!(msg.contains("fm_refine"), "{msg}");
+        let lost = ExecError::Lost {
+            detail: "slot 3".to_string(),
+        };
+        assert!(lost.to_string().contains("slot 3"));
+    }
+
     /// Per-start spans merge in start order, so the merged stream's content
     /// (timestamps excluded) is byte-identical at every thread count.
     #[cfg(feature = "obs")]
@@ -346,6 +780,34 @@ mod tests {
             assert_eq!(t1, t, "threads={threads}");
         }
         mlpart_obs::force_enabled(false);
+    }
+
+    /// A panicking start is attributed to the innermost open span.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn failure_phase_names_the_innermost_span() {
+        mlpart_obs::force_enabled(true);
+        let firsts: Vec<u64> = (0..4)
+            .map(|i| seeded_rng(child_seed(53, i as u64)).gen_range(0..u64::MAX))
+            .collect();
+        let job = move |rng: &mut MlRng, _ws: &mut RefineWorkspace| -> u64 {
+            let first = rng.gen_range(0..u64::MAX);
+            let i = firsts
+                .iter()
+                .position(|&f| f == first)
+                .expect("known start");
+            let _outer = mlpart_obs::span("outer", &[]);
+            let _inner = mlpart_obs::span("inner", &[]);
+            if i == 2 {
+                panic!("mid-span failure");
+            }
+            first
+        };
+        let ((batch, _), _trace) =
+            mlpart_obs::capture(|| try_run_starts(4, 53, 2, &job).expect("survivors"));
+        mlpart_obs::force_enabled(false);
+        assert_eq!(batch.failures.len(), 1);
+        assert_eq!(batch.failures[0].phase.as_deref(), Some("inner"));
     }
 
     /// With audits forced on, the scatter-claims check runs on a healthy

@@ -24,6 +24,7 @@
 //! of non-improving moves).
 
 use crate::bucket::BucketPolicy;
+use crate::budget::BudgetMeter;
 use crate::state::{PassStats, RefineState, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, ModuleId, NetId, Partition};
@@ -197,6 +198,20 @@ pub fn fm_partition_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, FmResult) {
+    fm_partition_budgeted_in(h, initial, cfg, rng, ws, &mut BudgetMeter::unlimited())
+}
+
+/// [`fm_partition_in`] accounting against a caller-owned [`BudgetMeter`]:
+/// when the meter is exhausted no refinement pass runs and the (rebalanced)
+/// initial partition is returned as the best-so-far solution.
+pub fn fm_partition_budgeted_in(
+    h: &Hypergraph,
+    initial: Option<Partition>,
+    cfg: &FmConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, FmResult) {
     let mut p = match initial {
         Some(p) => {
             assert_eq!(p.k(), 2, "fm_partition requires a bipartition");
@@ -209,7 +224,7 @@ pub fn fm_partition_in(
         }
         None => Partition::random(h, 2, rng),
     };
-    let result = refine_in(h, &mut p, cfg, rng, ws);
+    let result = refine_budgeted_in(h, &mut p, cfg, rng, ws, meter);
     (p, result)
 }
 
@@ -231,6 +246,24 @@ pub fn refine_in(
     cfg: &FmConfig,
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
+) -> FmResult {
+    refine_budgeted_in(h, p, cfg, rng, ws, &mut BudgetMeter::unlimited())
+}
+
+/// [`refine_in`] with a cooperative budget checkpoint before every pass.
+///
+/// The pass loop consults `meter` at each pass boundary and stops early
+/// when a limit fires, so a budgeted run executes a prefix of the
+/// unbudgeted pass sequence and the partition left in `p` is the best
+/// solution found so far (each pass keeps its best move prefix). The
+/// truncation record, if any, is available from the meter.
+pub fn refine_budgeted_in(
+    h: &Hypergraph,
+    p: &mut Partition,
+    cfg: &FmConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
 ) -> FmResult {
     assert_eq!(p.k(), 2, "refine requires a bipartition");
     assert_eq!(
@@ -261,8 +294,12 @@ pub fn refine_in(
     let mut attempted_moves = 0u64;
     let mut pass_stats = Vec::new();
     while passes < cfg.max_passes {
+        if !meter.pass_checkpoint(passes as u32) {
+            break;
+        }
         let outcome = st.run_pass(h, p, cfg, &balance, rng, passes);
         passes += 1;
+        meter.note_pass(outcome.stats.attempted_moves as u64);
         kept_moves += outcome.stats.kept_moves as u64;
         attempted_moves += outcome.stats.attempted_moves as u64;
         pass_stats.push(outcome.stats);

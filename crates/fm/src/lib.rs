@@ -37,9 +37,14 @@
 #[cfg(feature = "audit")]
 pub mod audit;
 pub mod bucket;
+pub mod budget;
 pub mod engine;
 pub mod state;
 
 pub use bucket::{BucketPolicy, GainBuckets};
-pub use engine::{fm_partition, fm_partition_in, refine, refine_in, Engine, FmConfig, FmResult};
+pub use budget::{Budget, BudgetLimit, BudgetMeter, Truncation};
+pub use engine::{
+    fm_partition, fm_partition_budgeted_in, fm_partition_in, refine, refine_budgeted_in, refine_in,
+    Engine, FmConfig, FmResult,
+};
 pub use state::{PassStats, RefineState, RefineWorkspace};

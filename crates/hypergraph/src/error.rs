@@ -31,6 +31,19 @@ pub enum BuildHypergraphError {
         /// Index of the offending net in insertion order.
         net: usize,
     },
+    /// A net listed more pins than there are modules. Duplicates make this
+    /// representable, and [`build`](crate::HypergraphBuilder::build) would
+    /// silently merge them — but for file-sourced netlists an oversized net
+    /// indicates corruption, so the opt-in
+    /// [`validate`](crate::HypergraphBuilder::validate) rejects it.
+    NetTooLarge {
+        /// Index of the offending net in insertion order.
+        net: usize,
+        /// Raw pin count of the net (before duplicate merging).
+        pins: usize,
+        /// Number of modules declared on the builder.
+        num_modules: usize,
+    },
 }
 
 impl fmt::Display for BuildHypergraphError {
@@ -53,6 +66,14 @@ impl fmt::Display for BuildHypergraphError {
             BuildHypergraphError::ZeroWeight { net } => {
                 write!(f, "net {net} has zero weight")
             }
+            BuildHypergraphError::NetTooLarge {
+                net,
+                pins,
+                num_modules,
+            } => write!(
+                f,
+                "net {net} lists {pins} pins but only {num_modules} modules exist"
+            ),
         }
     }
 }
@@ -108,6 +129,13 @@ pub enum ParseHgrError {
     },
     /// The netlist failed semantic validation after parsing.
     Build(BuildHypergraphError),
+    /// A partition file could not be assembled into a
+    /// [`Partition`](crate::Partition) (e.g. the inferred part count
+    /// `max id + 1` is unrepresentable).
+    BadPartition {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ParseHgrError {
@@ -144,6 +172,9 @@ impl fmt::Display for ParseHgrError {
                 write!(f, "line {line_no}: net has no pins")
             }
             ParseHgrError::Build(e) => write!(f, "invalid netlist: {e}"),
+            ParseHgrError::BadPartition { detail } => {
+                write!(f, "invalid partition file: {detail}")
+            }
         }
     }
 }

@@ -390,6 +390,42 @@ impl HypergraphBuilder {
         Ok(())
     }
 
+    /// Validates the accumulated netlist without consuming the builder,
+    /// applying a **stricter** standard than [`build`](Self::build).
+    ///
+    /// [`build`](Self::build) is deliberately permissive about duplicate
+    /// pins (it merges them — convenient for programmatic construction),
+    /// but a file-sourced net that lists more pins than the netlist has
+    /// modules can only arise from duplicates, i.e. a corrupt or
+    /// adversarial input. `validate` rejects such nets with
+    /// [`BuildHypergraphError::NetTooLarge`], along with everything
+    /// [`build`](Self::build) itself would reject (zero areas, area
+    /// overflow), so parsers can fail with a typed error before committing
+    /// to construction.
+    pub fn validate(&self) -> Result<(), BuildHypergraphError> {
+        if let Some(z) = self.areas.iter().position(|&a| a == 0) {
+            return Err(BuildHypergraphError::ZeroArea { module: z });
+        }
+        let mut total: u64 = 0;
+        for &a in &self.areas {
+            total = total
+                .checked_add(a)
+                .ok_or(BuildHypergraphError::AreaOverflow)?;
+        }
+        let n = self.areas.len();
+        for (net, w) in self.offsets.windows(2).enumerate() {
+            let pins = (w[1] - w[0]) as usize;
+            if pins > n {
+                return Err(BuildHypergraphError::NetTooLarge {
+                    net,
+                    pins,
+                    num_modules: n,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Consumes the builder and produces the immutable hypergraph.
     ///
     /// Duplicate pins within a net are merged, and nets left with fewer than

@@ -140,6 +140,10 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
             .add_weighted_net(pins, weight)
             .map_err(ParseHgrError::Build)?;
     }
+    // Strict validation for file-sourced netlists: a net listing more pins
+    // than |V| can only be duplicate-laden corruption, which `build` would
+    // otherwise merge away silently.
+    builder.validate().map_err(ParseHgrError::Build)?;
     Ok(builder.build()?)
 }
 
@@ -237,9 +241,15 @@ pub fn read_partition<R: Read>(
             found: parts.len(),
         });
     }
-    let k = parts.iter().copied().max().unwrap_or(0) + 1;
-    Ok(crate::Partition::from_assignment(h, k, parts)
-        .expect("all part ids are below the inferred k by construction"))
+    let max_part = parts.iter().copied().max().unwrap_or(0);
+    let k = max_part
+        .checked_add(1)
+        .ok_or_else(|| ParseHgrError::BadPartition {
+            detail: format!("part id {max_part} overflows the inferred part count"),
+        })?;
+    crate::Partition::from_assignment(h, k, parts).ok_or_else(|| ParseHgrError::BadPartition {
+        detail: "assignment was rejected by the partition constructor".to_string(),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,169 @@
+//! Parser robustness fuzzing: arbitrary mutations — truncation, byte
+//! corruption, token injection — of well-formed hMETIS files must surface as
+//! typed [`ParseHgrError`]s (or parse successfully), never as panics. The
+//! partitioner is driven from the CLI on user-supplied files, so the parser
+//! is the widest attack surface for malformed input.
+
+use mlpart_hypergraph::io::{read_hgr, read_partition, write_hgr, write_partition};
+use mlpart_hypergraph::rng::seeded_rng;
+use mlpart_hypergraph::HypergraphBuilder;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A syntactically valid `.hgr` file derived deterministically from `seed`,
+/// covering all four format codes (0/1/10/11) plus comments and blank lines.
+fn random_hgr_text(seed: u64) -> String {
+    let mut rng = seeded_rng(seed);
+    let modules = rng.gen_range(2..40usize);
+    let nets = rng.gen_range(1..40usize);
+    let fmt = [0u32, 1, 10, 11][rng.gen_range(0..4usize)];
+    let mut s = String::new();
+    if rng.gen_range(0..4u32) == 0 {
+        s.push_str("% generated test netlist\n\n");
+    }
+    if fmt == 0 {
+        s.push_str(&format!("{nets} {modules}\n"));
+    } else {
+        s.push_str(&format!("{nets} {modules} {fmt}\n"));
+    }
+    let net_weighted = fmt == 1 || fmt == 11;
+    let mod_weighted = fmt == 10 || fmt == 11;
+    for _ in 0..nets {
+        let mut toks: Vec<String> = Vec::new();
+        if net_weighted {
+            toks.push(rng.gen_range(1..9u32).to_string());
+        }
+        let len = rng.gen_range(1..6usize);
+        for _ in 0..len {
+            toks.push((rng.gen_range(0..modules) + 1).to_string());
+        }
+        s.push_str(&toks.join(" "));
+        s.push('\n');
+    }
+    if mod_weighted {
+        for _ in 0..modules {
+            s.push_str(&rng.gen_range(1..20u32).to_string());
+            s.push('\n');
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Prefix truncation at any byte offset: a cut-off transfer must be a
+    /// typed error (or still-valid shorter file), never a panic. The input
+    /// is pure ASCII, so every offset is a char boundary.
+    #[test]
+    fn truncated_files_never_panic(seed in 0u64..100_000, frac in 0usize..=100) {
+        let text = random_hgr_text(seed);
+        let cut = text.len() * frac / 100;
+        let _ = read_hgr(&text.as_bytes()[..cut]);
+    }
+
+    /// Single-byte corruption anywhere in the file.
+    #[test]
+    fn corrupted_files_never_panic(
+        seed in 0u64..100_000,
+        pos in 0usize..10_000,
+        byte in 0u8..128,
+    ) {
+        let mut bytes = random_hgr_text(seed).into_bytes();
+        let idx = pos % bytes.len();
+        bytes[idx] = byte;
+        let _ = read_hgr(&bytes[..]);
+    }
+
+    /// Token injection: splice a hostile token (huge number, negative,
+    /// non-numeric, empty line) at an arbitrary line boundary.
+    #[test]
+    fn injected_tokens_never_panic(
+        seed in 0u64..100_000,
+        line in 0usize..64,
+        which in 0usize..6,
+    ) {
+        let text = random_hgr_text(seed);
+        let token = [
+            "18446744073709551616", // > u64::MAX
+            "-3",
+            "x y z",
+            "",
+            "0",
+            "99999999 99999999 99999999",
+        ][which];
+        let mut lines: Vec<&str> = text.lines().collect();
+        let at = line % (lines.len() + 1);
+        lines.insert(at, token);
+        let _ = read_hgr(lines.join("\n").as_bytes());
+    }
+
+    /// Every valid generated file round-trips through its parsed form.
+    #[test]
+    fn generated_files_roundtrip(seed in 0u64..100_000) {
+        let text = random_hgr_text(seed);
+        if let Ok(h) = read_hgr(text.as_bytes()) {
+            let mut out = Vec::new();
+            write_hgr(&h, &mut out).expect("write to memory");
+            let h2 = read_hgr(&out[..]).expect("own output must parse");
+            prop_assert_eq!(h, h2);
+        }
+    }
+
+    /// Partition files: corrupt a valid part file (or feed garbage) and the
+    /// reader must return a typed error, never panic.
+    #[test]
+    fn partition_files_never_panic(
+        seed in 0u64..100_000,
+        modules in 2usize..20,
+        which in 0usize..5,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let h = HypergraphBuilder::with_unit_areas(modules).build().expect("valid");
+        let mut text = match which {
+            // Valid file with a line chopped off.
+            0 => {
+                let p = mlpart_hypergraph::Partition::from_assignment(
+                    &h,
+                    2,
+                    (0..modules).map(|i| (i % 2) as u32).collect(),
+                ).expect("valid assignment");
+                let mut out = Vec::new();
+                write_partition(&p, &mut out).expect("write to memory");
+                let mut s = String::from_utf8(out).expect("ascii");
+                s.truncate(s.len().saturating_sub(rng.gen_range(0..4usize)));
+                s
+            }
+            1 => "not a number\n".repeat(modules),
+            2 => format!("{}\n", u64::MAX).repeat(modules),
+            3 => String::new(),
+            _ => "0\n".repeat(modules + rng.gen_range(1..5usize)),
+        };
+        if rng.gen_range(0..2u32) == 0 {
+            text.push_str("% trailing comment\n");
+        }
+        let _ = read_partition(&h, text.as_bytes());
+    }
+}
+
+/// The strict net-size validation introduced for file inputs: a net listing
+/// more pins than the netlist has modules is rejected with a typed error
+/// instead of being silently deduplicated.
+#[test]
+fn oversized_net_is_a_typed_error() {
+    use mlpart_hypergraph::{BuildHypergraphError, ParseHgrError};
+    // 3 modules; the single net lists 5 pins (with duplicates).
+    let err = read_hgr("1 3\n1 2 1 2 3\n".as_bytes()).unwrap_err();
+    match err {
+        ParseHgrError::Build(BuildHypergraphError::NetTooLarge {
+            net,
+            pins,
+            num_modules,
+        }) => {
+            assert_eq!(net, 0);
+            assert_eq!(pins, 5);
+            assert_eq!(num_modules, 3);
+        }
+        other => panic!("expected NetTooLarge, got {other}"),
+    }
+}

@@ -46,7 +46,7 @@
 #[cfg(feature = "audit")]
 pub mod audit;
 
-use mlpart_fm::{BucketPolicy, PassStats, RefineState, RefineWorkspace};
+use mlpart_fm::{BucketPolicy, BudgetMeter, PassStats, RefineState, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
 use std::time::Instant;
@@ -202,6 +202,32 @@ pub fn kway_partition_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, KwayResult) {
+    kway_partition_budgeted_in(
+        h,
+        k,
+        initial,
+        fixed,
+        cfg,
+        rng,
+        ws,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// [`kway_partition_in`] accounting against a caller-owned [`BudgetMeter`]:
+/// when the meter is exhausted no refinement pass runs and the rebalanced
+/// starting solution is returned as the best-so-far partition.
+#[allow(clippy::too_many_arguments)]
+pub fn kway_partition_budgeted_in(
+    h: &Hypergraph,
+    k: u32,
+    initial: Option<Partition>,
+    fixed: &[(ModuleId, PartId)],
+    cfg: &KwayConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, KwayResult) {
     assert!(k > 0, "k must be positive");
     let mut p = match initial {
         Some(p) => {
@@ -225,7 +251,7 @@ pub fn kway_partition_in(
     // (and no RNG draws) when the start is already feasible.
     let balance = KwayBalance::new(h, k, cfg.balance_r);
     rebalance_to_feasibility(h, &mut p, fixed, &balance, rng);
-    let result = kway_refine_in(h, &mut p, fixed, cfg, rng, ws);
+    let result = kway_refine_budgeted_in(h, &mut p, fixed, cfg, rng, ws, meter);
     (p, result)
 }
 
@@ -312,6 +338,23 @@ pub fn kway_refine_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> KwayResult {
+    kway_refine_budgeted_in(h, p, fixed, cfg, rng, ws, &mut BudgetMeter::unlimited())
+}
+
+/// [`kway_refine_in`] with a cooperative budget checkpoint before every
+/// pass; mirrors `refine_budgeted_in` in the 2-way engine. A budgeted run
+/// executes a prefix of the unbudgeted pass sequence, and each pass keeps
+/// its best move prefix, so `p` always holds the best-so-far solution.
+#[allow(clippy::too_many_arguments)]
+pub fn kway_refine_budgeted_in(
+    h: &Hypergraph,
+    p: &mut Partition,
+    fixed: &[(ModuleId, PartId)],
+    cfg: &KwayConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> KwayResult {
     assert_eq!(
         p.assignment().len(),
         h.num_modules(),
@@ -342,6 +385,9 @@ pub fn kway_refine_in(
     let mut kept_moves = 0u64;
     let mut pass_stats = Vec::new();
     while passes < cfg.max_passes {
+        if !meter.pass_checkpoint(passes as u32) {
+            break;
+        }
         passes += 1;
         // --- Reinitialize per-pass state. ---
         let fill_start = Instant::now();
@@ -500,6 +546,7 @@ pub fn kway_refine_in(
             );
         }
         debug_assert_eq!(kway_objective(st, h, cfg, p) as i64, best_obj);
+        meter.note_pass(attempted as u64);
         pass_stats.push(PassStats {
             cut_before: start_obj,
             cut_after: best_obj as u64,

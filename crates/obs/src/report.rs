@@ -2,7 +2,7 @@
 //!
 //! A [`RunReport`] pairs the flat event stream with run-level metadata
 //! (algorithm, seed, per-start cuts, total timing) and serializes as a
-//! single JSON document (`schema: "mlpart-run-report-v1"`). The span tree
+//! single JSON document (`schema: "mlpart-run-report-v2"`). The span tree
 //! is rebuilt from `Begin`/`End` bracketing; [`level_rows`] renders the
 //! same per-level table the CLI's `--stats` flag has always printed, now
 //! derived from trace content instead of ad-hoc plumbing.
@@ -96,13 +96,44 @@ pub fn build_tree(trace: &Trace) -> SpanTree {
     tree
 }
 
+/// One start that panicked and was excluded from the run's statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// The failed start's index.
+    pub start: u64,
+    /// The innermost span open at the panic, when known.
+    pub phase: Option<String>,
+    /// The panic payload message.
+    pub message: String,
+}
+
+/// One start whose run was cut short by an execution budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncationRecord {
+    /// The truncated start's index.
+    pub start: u64,
+    /// Which budget limit fired (`"moves"`, `"passes"`, `"levels"`,
+    /// `"deadline"`, or `"injected"`).
+    pub limit: &'static str,
+    /// Checkpoint site where the limit fired (`"pass"` or `"level"`).
+    pub site: &'static str,
+    /// Hierarchy level at the truncation point, when known.
+    pub level: Option<u64>,
+    /// Refinement pass at the truncation point, when known.
+    pub pass: Option<u64>,
+}
+
 /// A run's machine-readable report: metadata + cuts + timing + span tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Run metadata (algorithm, k, seed, runs, threads, circuit, …).
     pub meta: Vec<(&'static str, V)>,
-    /// Final cut per start, in start order.
+    /// Final cut per start, in start order (surviving starts only).
     pub cuts: Vec<u64>,
+    /// Starts that panicked, in start order (empty on a healthy run).
+    pub failures: Vec<FailureRecord>,
+    /// Starts cut short by an execution budget, in start order.
+    pub truncations: Vec<TruncationRecord>,
     /// Total wall-clock seconds (non-normative).
     pub wall_secs: f64,
     /// Summed per-start CPU seconds (non-normative).
@@ -146,11 +177,22 @@ fn write_node(out: &mut String, node: &SpanNode) {
     out.push_str("]}");
 }
 
+fn write_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(n) => out.push_str(&format!("{n}")),
+        None => out.push_str("null"),
+    }
+}
+
 impl RunReport {
-    /// Serializes the report as a `mlpart-run-report-v1` JSON document.
+    /// Serializes the report as a `mlpart-run-report-v2` JSON document.
+    ///
+    /// v2 extends v1 with the `failures` and `truncations` arrays; both are
+    /// `[]` on a healthy, unbudgeted run, so v1 consumers that ignore
+    /// unknown keys keep working.
     pub fn to_json(&self) -> String {
         let tree = build_tree(&self.trace);
-        let mut out = String::from("{\"schema\":\"mlpart-run-report-v1\",\"meta\":");
+        let mut out = String::from("{\"schema\":\"mlpart-run-report-v2\",\"meta\":");
         export::write_args(&mut out, &self.meta);
         let min = self.cuts.iter().copied().min().unwrap_or(0);
         let max = self.cuts.iter().copied().max().unwrap_or(0);
@@ -168,7 +210,36 @@ impl RunReport {
             }
             out.push_str(&format!("{c}"));
         }
-        out.push_str("]},\"timing\":{\"wall_secs\":");
+        out.push_str("]},\"failures\":[");
+        for (i, rec) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"start\":{},\"phase\":", rec.start));
+            match &rec.phase {
+                Some(p) => json::write_str(&mut out, p),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"message\":");
+            json::write_str(&mut out, &rec.message);
+            out.push('}');
+        }
+        out.push_str("],\"truncations\":[");
+        for (i, rec) in self.truncations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"start\":{},\"limit\":", rec.start));
+            json::write_str(&mut out, rec.limit);
+            out.push_str(",\"site\":");
+            json::write_str(&mut out, rec.site);
+            out.push_str(",\"level\":");
+            write_opt_u64(&mut out, rec.level);
+            out.push_str(",\"pass\":");
+            write_opt_u64(&mut out, rec.pass);
+            out.push('}');
+        }
+        out.push_str("],\"timing\":{\"wall_secs\":");
         json::write_f64(&mut out, self.wall_secs);
         out.push_str(",\"cpu_secs\":");
         json::write_f64(&mut out, self.cpu_secs);
@@ -466,6 +537,8 @@ mod tests {
                 ("runs", V::U(2)),
             ],
             cuts: vec![31, 30],
+            failures: Vec::new(),
+            truncations: Vec::new(),
             wall_secs: 0.5,
             cpu_secs: 0.9,
             trace: synthetic_run(),
@@ -474,7 +547,12 @@ mod tests {
         let parsed = json::parse(&doc).expect("report is valid JSON");
         assert_eq!(
             parsed.get("schema").unwrap().as_str(),
-            Some("mlpart-run-report-v1")
+            Some("mlpart-run-report-v2")
+        );
+        assert_eq!(
+            parsed.get("failures").unwrap().as_arr().unwrap().len(),
+            0,
+            "healthy run reports no failures"
         );
         assert_eq!(
             parsed.get("cut").unwrap().get("min").unwrap().as_num(),
@@ -504,5 +582,50 @@ mod tests {
             export::strip_timing(&doc),
             export::strip_timing(&shifted.to_json())
         );
+    }
+
+    #[test]
+    fn failures_and_truncations_serialize() {
+        let _gate = crate::test_gate_lock();
+        let report = RunReport {
+            meta: vec![("algo", V::S("ml-fm"))],
+            cuts: vec![30],
+            failures: vec![FailureRecord {
+                start: 1,
+                phase: Some("fm_refine".to_string()),
+                message: "injected fault: panic@start:1".to_string(),
+            }],
+            truncations: vec![TruncationRecord {
+                start: 0,
+                limit: "passes",
+                site: "pass",
+                level: Some(2),
+                pass: Some(4),
+            }],
+            wall_secs: 0.1,
+            cpu_secs: 0.1,
+            trace: synthetic_run(),
+        };
+        let parsed = json::parse(&report.to_json()).expect("valid JSON");
+        let failures = parsed.get("failures").unwrap().as_arr().unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].get("start").unwrap().as_num(), Some(1.0));
+        assert_eq!(
+            failures[0].get("phase").unwrap().as_str(),
+            Some("fm_refine")
+        );
+        assert!(failures[0]
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("injected"));
+        let truncations = parsed.get("truncations").unwrap().as_arr().unwrap();
+        assert_eq!(truncations.len(), 1);
+        assert_eq!(
+            truncations[0].get("limit").unwrap().as_str(),
+            Some("passes")
+        );
+        assert_eq!(truncations[0].get("level").unwrap().as_num(), Some(2.0));
     }
 }

@@ -42,6 +42,18 @@ fn run_report_matches_checked_in_schema() {
     let report = RunReport {
         meta: vec![("algo", obs::V::S("ml-c")), ("seed", 5u64.into())],
         cuts: vec![7, 9],
+        failures: vec![obs::report::FailureRecord {
+            start: 1,
+            phase: None,
+            message: "injected fault: panic@start:1".to_string(),
+        }],
+        truncations: vec![obs::report::TruncationRecord {
+            start: 0,
+            limit: "passes",
+            site: "pass",
+            level: None,
+            pass: Some(3),
+        }],
         wall_secs: 0.25,
         cpu_secs: 0.5,
         trace: sample_trace(),

@@ -8,6 +8,8 @@
 //! mlpart <netlist.hgr> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase]
 //!                      [--k 2|4] [--ratio R] [--threshold T]
 //!                      [--runs N] [--seed S] [--threads P]
+//!                      [--max-moves N] [--max-passes N] [--max-levels N]
+//!                      [--deadline-secs F]
 //!                      [--output best.part] [--stats]
 //!                      [--trace-out trace.json] [--report-out report.json]
 //! ```
@@ -20,23 +22,29 @@
 //! reported cuts and the written partition are bit-identical at every
 //! thread count (only the wall-clock changes).
 //!
+//! The `--max-*` flags bound each start's effort (see `mlpart --help` for
+//! the exit-code contract); a start that panics is isolated and reported
+//! while the surviving starts' results stay bit-identical to a run without
+//! the failed starts.
+//!
 //! `--trace-out` writes a Chrome Trace Event file (loadable in Perfetto or
-//! `chrome://tracing`) and `--report-out` writes a `mlpart-run-report-v1`
+//! `chrome://tracing`) and `--report-out` writes a `mlpart-run-report-v2`
 //! JSON document; both need a binary built with the `obs` feature and imply
 //! tracing for the whole run. Trace *content* (everything except the
 //! timestamp fields) is bit-identical across repeats and thread counts.
 
 use mlpart::cluster::MatchConfig;
-use mlpart::core::two_phase_fm_in;
-use mlpart::fm::fm_partition_in;
+use mlpart::core::two_phase_fm_budgeted_in;
+use mlpart::fm::fm_partition_budgeted_in;
 use mlpart::gen::by_name;
 use mlpart::hypergraph::io::{read_hgr, write_partition};
 use mlpart::hypergraph::metrics::CutStats;
 use mlpart::hypergraph::rng::MlRng;
 use mlpart::lsmc::{lsmc_bipartition, LsmcConfig};
 use mlpart::{
-    ml_bipartition_in, ml_kway_in, Engine, FmConfig, Hypergraph, LevelStats, MlConfig,
-    MlKwayConfig, Partition, RefineWorkspace,
+    ml_bipartition_budgeted_in, ml_kway_budgeted_in, preflight, Budget, BudgetMeter, Engine,
+    ExecError, FmConfig, Hypergraph, LevelStats, MlConfig, MlKwayConfig, Partition,
+    RefineWorkspace, Truncation,
 };
 use std::io::Read;
 use std::process::ExitCode;
@@ -51,6 +59,7 @@ struct CliArgs {
     runs: usize,
     seed: u64,
     threads: usize,
+    budget: Budget,
     output: Option<String>,
     stats: bool,
     trace_out: Option<String>,
@@ -68,6 +77,7 @@ impl Default for CliArgs {
             runs: 10,
             seed: 1,
             threads: mlpart::exec::default_threads(),
+            budget: Budget::UNLIMITED,
             output: None,
             stats: false,
             trace_out: None,
@@ -76,12 +86,68 @@ impl Default for CliArgs {
     }
 }
 
+/// What one invocation asked for.
+#[derive(Debug, Clone, PartialEq)]
+enum CliCommand {
+    /// Partition a netlist (boxed: the args dwarf the other variant).
+    Run(Box<CliArgs>),
+    /// Print the long help and exit 0.
+    Help,
+}
+
 const USAGE: &str =
     "usage: mlpart <netlist.hgr | syn-NAME> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase] \
 [--k 2|4] [--ratio R] [--threshold T] [--runs N] [--seed S] [--threads P] \
-[--output best.part] [--stats] [--trace-out trace.json] [--report-out report.json]";
+[--max-moves N] [--max-passes N] [--max-levels N] [--deadline-secs F] \
+[--output best.part] [--stats] [--trace-out trace.json] [--report-out report.json]\n\
+run `mlpart --help` for details and the exit-code contract";
 
-fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String> {
+const HELP: &str = "mlpart — multilevel circuit partitioner \
+(Alpert-Huang-Kahng, DAC 1997)
+
+usage: mlpart <netlist.hgr | syn-NAME | -> [options]
+
+input:
+  netlist.hgr     hMETIS-format netlist file
+  syn-NAME        a synthetic suite circuit (e.g. syn-balu)
+  -               read the netlist from stdin
+
+options:
+  --algo A        ml-c | ml-f | fm | clip | lsmc | two-phase   [ml-c]
+  --k K           2 (bipartition) or 4 (ml quadrisection)      [2]
+  --ratio R       matching ratio in (0, 1]                     [0.5]
+  --threshold T   coarsening stop threshold                    [35]
+  --runs N        independent starts                           [10]
+  --seed S        base seed; start i uses child_seed(S, i)     [1]
+  --threads P     worker threads (results identical for all P) [cores]
+  --output PATH   write the best partition (one part id/line)
+  --stats         print the first start's per-level trajectory
+  --trace-out F   write a Chrome Trace Event file  (obs build)
+  --report-out F  write a mlpart-run-report-v2 doc (obs build)
+
+budgets (per start; cooperative, checked at pass/level boundaries):
+  --max-moves N      stop refining after ~N attempted moves
+  --max-passes N     stop refining after N passes
+  --max-levels N     refine only the N coarsest uncoarsening levels
+  --deadline-secs F  soft wall-clock deadline — NON-deterministic
+                     (machine-dependent); the three limits above are
+                     bit-reproducible at every thread count
+
+A budget-truncated run still produces a valid, balance-feasible
+partition (the best solution found so far, projected to the finest
+level) — it is written to --output as usual.
+
+exit codes:
+  0  success
+  1  execution failure (every start panicked, or an output path
+     could not be written)
+  2  invalid input: bad flags, unreadable or malformed netlist,
+     or an infeasible problem instance (preflight)
+  3  budget truncated: at least one start hit a --max-* limit or
+     the deadline; the partial result (cuts, --output partition)
+     is still produced";
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliCommand, String> {
     let mut out = CliArgs::default();
     let mut it = args.into_iter().skip(1);
     while let Some(arg) = it.next() {
@@ -120,11 +186,41 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String
                     return Err("--threads must be positive".to_owned());
                 }
             }
+            "--max-moves" => {
+                out.budget.max_moves = Some(
+                    value("--max-moves")?
+                        .parse()
+                        .map_err(|_| "invalid --max-moves")?,
+                );
+            }
+            "--max-passes" => {
+                out.budget.max_passes = Some(
+                    value("--max-passes")?
+                        .parse()
+                        .map_err(|_| "invalid --max-passes")?,
+                );
+            }
+            "--max-levels" => {
+                out.budget.max_levels = Some(
+                    value("--max-levels")?
+                        .parse()
+                        .map_err(|_| "invalid --max-levels")?,
+                );
+            }
+            "--deadline-secs" => {
+                let secs: f64 = value("--deadline-secs")?
+                    .parse()
+                    .map_err(|_| "invalid --deadline-secs")?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--deadline-secs must be positive".to_owned());
+                }
+                out.budget.soft_deadline_secs = Some(secs);
+            }
             "--output" => out.output = Some(value("--output")?),
             "--stats" => out.stats = true,
             "--trace-out" => out.trace_out = Some(value("--trace-out")?),
             "--report-out" => out.report_out = Some(value("--report-out")?),
-            "--help" | "-h" => return Err(USAGE.to_owned()),
+            "--help" | "-h" => return Ok(CliCommand::Help),
             other if out.input.is_empty() && !other.starts_with('-') => {
                 out.input = other.to_owned();
             }
@@ -134,7 +230,10 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliArgs, String
     if out.input.is_empty() {
         return Err(USAGE.to_owned());
     }
-    Ok(out)
+    if out.algo == "lsmc" && !out.budget.is_unlimited() {
+        return Err("--max-*/--deadline-secs are not supported with --algo lsmc".to_owned());
+    }
+    Ok(CliCommand::Run(Box::new(out)))
 }
 
 fn load_netlist(input: &str) -> Result<Hypergraph, String> {
@@ -153,16 +252,17 @@ fn load_netlist(input: &str) -> Result<Hypergraph, String> {
     read_hgr(file).map_err(|e| format!("cannot parse {input}: {e}"))
 }
 
-/// One run's outcome: the partition, its cut, and (for the multilevel
-/// algorithms) the per-level refinement trajectory.
-type RunOutcome = (Partition, u64, Vec<LevelStats>);
+/// One start's outcome: the partition, its cut, the per-level refinement
+/// trajectory (multilevel algorithms only), and the budget-truncation
+/// record when a `--max-*` limit fired.
+type StartResult = (Partition, u64, Vec<LevelStats>, Option<Truncation>);
 
 fn run_once(
     h: &Hypergraph,
     args: &CliArgs,
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
-) -> Result<RunOutcome, String> {
+) -> Result<StartResult, String> {
     let fm_cfg = |engine| FmConfig {
         engine,
         ..FmConfig::default()
@@ -173,6 +273,9 @@ fn run_once(
         fm: fm_cfg(engine),
         ..MlConfig::default()
     };
+    // Each start spends against its own meter, so budgets cannot couple
+    // starts and results stay thread-count-invariant.
+    let mut meter = BudgetMeter::new(&args.budget);
     if args.k == 4 {
         let cfg = MlKwayConfig {
             matching_ratio: args.ratio,
@@ -182,25 +285,27 @@ fn run_once(
         if !args.algo.starts_with("ml") {
             return Err("--k 4 requires --algo ml-c or ml-f".to_owned());
         }
-        let (p, r) = ml_kway_in(h, &cfg, &[], rng, ws);
-        return Ok((p, r.cut, r.level_stats));
+        let (p, r) = ml_kway_budgeted_in(h, &cfg, &[], rng, ws, &mut meter);
+        return Ok((p, r.cut, r.level_stats, r.truncation));
     }
     Ok(match args.algo.as_str() {
         "ml-c" => {
-            let (p, r) = ml_bipartition_in(h, &ml_cfg(Engine::Clip), rng, ws);
-            (p, r.cut, r.level_stats)
+            let (p, r) = ml_bipartition_budgeted_in(h, &ml_cfg(Engine::Clip), rng, ws, &mut meter);
+            (p, r.cut, r.level_stats, r.truncation)
         }
         "ml-f" => {
-            let (p, r) = ml_bipartition_in(h, &ml_cfg(Engine::Fm), rng, ws);
-            (p, r.cut, r.level_stats)
+            let (p, r) = ml_bipartition_budgeted_in(h, &ml_cfg(Engine::Fm), rng, ws, &mut meter);
+            (p, r.cut, r.level_stats, r.truncation)
         }
         "fm" => {
-            let (p, r) = fm_partition_in(h, None, &fm_cfg(Engine::Fm), rng, ws);
-            (p, r.cut, Vec::new())
+            let (p, r) =
+                fm_partition_budgeted_in(h, None, &fm_cfg(Engine::Fm), rng, ws, &mut meter);
+            (p, r.cut, Vec::new(), meter.truncation())
         }
         "clip" => {
-            let (p, r) = fm_partition_in(h, None, &fm_cfg(Engine::Clip), rng, ws);
-            (p, r.cut, Vec::new())
+            let (p, r) =
+                fm_partition_budgeted_in(h, None, &fm_cfg(Engine::Clip), rng, ws, &mut meter);
+            (p, r.cut, Vec::new(), meter.truncation())
         }
         "lsmc" => {
             let cfg = LsmcConfig {
@@ -208,17 +313,18 @@ fn run_once(
                 ..LsmcConfig::default()
             };
             let (p, r) = lsmc_bipartition(h, &cfg, rng);
-            (p, r.cut, Vec::new())
+            (p, r.cut, Vec::new(), None)
         }
         "two-phase" => {
-            let (p, r) = two_phase_fm_in(
+            let (p, r) = two_phase_fm_budgeted_in(
                 h,
                 &fm_cfg(Engine::Fm),
                 &MatchConfig::with_ratio(args.ratio),
                 rng,
                 ws,
+                &mut meter,
             );
-            (p, r.cut, Vec::new())
+            (p, r.cut, Vec::new(), r.truncation)
         }
         other => return Err(format!("unknown algorithm {other:?}\n{USAGE}")),
     })
@@ -283,21 +389,37 @@ fn print_level_stats(stats: &[LevelStats]) {
     }
 }
 
+/// Exit-code contract (documented in `--help`): success / failure /
+/// invalid-input / budget-truncated.
+const EXIT_FAILURE: u8 = 1;
+const EXIT_INVALID_INPUT: u8 = 2;
+const EXIT_TRUNCATED: u8 = 3;
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args()) {
-        Ok(a) => a,
+        Ok(CliCommand::Help) => {
+            println!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(CliCommand::Run(a)) => *a,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_INVALID_INPUT);
         }
     };
     let h = match load_netlist(&args.input) {
         Ok(h) => h,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INVALID_INPUT);
         }
     };
+    // Pre-flight: reject infeasible problem instances with a typed message
+    // before any start burns cycles on them.
+    if let Err(e) = preflight(&h, args.k, FmConfig::default().balance_r) {
+        eprintln!("infeasible input: {e}");
+        return ExitCode::from(EXIT_INVALID_INPUT);
+    }
     eprintln!(
         "{}: {} modules, {} nets, {} pins",
         args.input,
@@ -312,17 +434,18 @@ fn main() -> ExitCode {
             "--trace-out/--report-out need a binary built with the `obs` feature \
              (cargo build --release --features obs)"
         );
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_INVALID_INPUT);
     }
     #[cfg(feature = "obs")]
     if tracing {
         mlpart::obs::force_enabled(true);
     }
     // Every start is an independent seeded job; the executor spreads them
-    // over `--threads` workers and returns the outcomes in start order, so
-    // everything below this line is oblivious to the thread count. With
-    // tracing on, the whole batch is captured under one `run` span and the
-    // per-start streams arrive merged in start order.
+    // over `--threads` workers, isolates per-start panics, and returns the
+    // outcomes in start order, so everything below this line is oblivious
+    // to the thread count. With tracing on, the whole batch is captured
+    // under one `run` span and the per-start streams arrive merged in
+    // start order.
     let run_batch = || {
         #[cfg(feature = "obs")]
         let _obs_run = mlpart::obs::span(
@@ -333,36 +456,68 @@ fn main() -> ExitCode {
                 ("k", args.k.into()),
             ],
         );
-        mlpart::exec::run_starts(args.runs, args.seed, args.threads, &|rng, ws| {
+        mlpart::exec::try_run_starts(args.runs, args.seed, args.threads, &|rng, ws| {
             run_once(&h, &args, rng, ws)
         })
     };
     #[cfg(feature = "obs")]
-    let ((outcomes, timing), trace) = mlpart::obs::capture(run_batch);
+    let (batch_result, trace) = mlpart::obs::capture(run_batch);
     #[cfg(not(feature = "obs"))]
-    let (outcomes, timing) = run_batch();
+    let batch_result = run_batch();
+    let (batch, timing) = match batch_result {
+        Ok(ok) => ok,
+        Err(e @ ExecError::AllStartsFailed { .. }) => {
+            if let ExecError::AllStartsFailed { failures } = &e {
+                for f in failures {
+                    eprintln!("{f}");
+                }
+            }
+            eprintln!("error: every start failed; no result produced");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    for f in &batch.failures {
+        eprintln!("warning: {f} (start excluded from results)");
+    }
     let mut best: Option<(u64, Partition)> = None;
-    let mut cuts = Vec::with_capacity(args.runs);
+    let mut cuts = Vec::with_capacity(batch.survivors.len());
+    let mut truncations: Vec<(usize, Truncation)> = Vec::new();
     #[cfg(feature = "obs")]
     let print_legacy_stats = args.stats && trace.is_none();
     #[cfg(not(feature = "obs"))]
     let print_legacy_stats = args.stats;
-    for (i, outcome) in outcomes.into_iter().enumerate() {
+    for (i, outcome) in batch.survivors {
         match outcome {
-            Ok((p, cut, level_stats)) => {
+            Ok((p, cut, level_stats, truncation)) => {
                 if print_legacy_stats && i == 0 {
                     print_level_stats(&level_stats);
                 }
                 cuts.push(cut);
+                if let Some(t) = truncation {
+                    truncations.push((i, t));
+                }
                 if best.as_ref().is_none_or(|(c, _)| cut < *c) {
                     best = Some((cut, p));
                 }
             }
             Err(msg) => {
+                // A configuration error (unknown algorithm, bad k/algo
+                // combination) — every start reports the same one.
                 eprintln!("{msg}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INVALID_INPUT);
             }
         }
+    }
+    for (i, t) in &truncations {
+        eprintln!(
+            "note: start {i} budget-truncated ({} limit at the {} checkpoint)",
+            t.limit.name(),
+            t.site
+        );
     }
     #[cfg(feature = "obs")]
     if let Some(trace) = trace {
@@ -372,7 +527,7 @@ fn main() -> ExitCode {
         if let Some(path) = &args.trace_out {
             if let Err(msg) = write_text(path, &mlpart::obs::to_chrome_trace(&trace)) {
                 eprintln!("{msg}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_FAILURE);
             }
             eprintln!("chrome trace written to {path}");
         }
@@ -395,13 +550,32 @@ fn main() -> ExitCode {
                     ("threads", args.threads.into()),
                 ],
                 cuts: cuts.clone(),
+                failures: batch
+                    .failures
+                    .iter()
+                    .map(|f| mlpart::obs::report::FailureRecord {
+                        start: f.start as u64,
+                        phase: f.phase.clone(),
+                        message: f.message.clone(),
+                    })
+                    .collect(),
+                truncations: truncations
+                    .iter()
+                    .map(|(i, t)| mlpart::obs::report::TruncationRecord {
+                        start: *i as u64,
+                        limit: t.limit.name(),
+                        site: t.site,
+                        level: t.level.map(u64::from),
+                        pass: t.pass.map(u64::from),
+                    })
+                    .collect(),
                 wall_secs: timing.wall_secs,
                 cpu_secs: timing.cpu_secs,
                 trace,
             };
             if let Err(msg) = write_text(path, &report.to_json()) {
                 eprintln!("{msg}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_FAILURE);
             }
             eprintln!("run report written to {path}");
         }
@@ -410,7 +584,7 @@ fn main() -> ExitCode {
     println!(
         "{} x{} runs: min {} avg {:.1} std {:.1} ({:.2}s wall, {:.2}s cpu, {} threads)",
         args.algo,
-        args.runs,
+        cuts.len(),
         stats.min,
         stats.avg,
         stats.std,
@@ -419,7 +593,12 @@ fn main() -> ExitCode {
         args.threads.min(args.runs),
     );
     if let Some(path) = &args.output {
-        let (_, p) = best.expect("at least one run");
+        let Some((_, p)) = best else {
+            // Unreachable: survivors are non-empty and config errors return
+            // earlier — but a typed exit beats a panic if that ever changes.
+            eprintln!("no partition to write");
+            return ExitCode::from(EXIT_FAILURE);
+        };
         match std::fs::File::create(path)
             .map_err(|e| e.to_string())
             .and_then(|f| write_partition(&p, f).map_err(|e| e.to_string()))
@@ -427,9 +606,14 @@ fn main() -> ExitCode {
             Ok(()) => eprintln!("best partition written to {path}"),
             Err(msg) => {
                 eprintln!("cannot write {path}: {msg}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_FAILURE);
             }
         }
+    }
+    if !truncations.is_empty() {
+        // Partial-but-valid result: everything above ran (cuts printed,
+        // partition written); the code tells scripts the budget fired.
+        return ExitCode::from(EXIT_TRUNCATED);
     }
     ExitCode::SUCCESS
 }
@@ -444,12 +628,19 @@ mod tests {
             .collect()
     }
 
+    fn parse_run(s: &str) -> Result<CliArgs, String> {
+        match parse_args(argv(s))? {
+            CliCommand::Run(a) => Ok(*a),
+            CliCommand::Help => Err("unexpected help".to_owned()),
+        }
+    }
+
     #[test]
     fn parses_full_command_line() {
-        let a = parse_args(argv(
+        let a = parse_run(
             "design.hgr --algo ml-f --k 4 --ratio 0.33 --runs 3 --seed 9 --threads 2 \
              --output out.part --stats",
-        ))
+        )
         .expect("parses");
         assert_eq!(a.input, "design.hgr");
         assert_eq!(a.algo, "ml-f");
@@ -459,6 +650,33 @@ mod tests {
         assert_eq!(a.threads, 2);
         assert_eq!(a.output.as_deref(), Some("out.part"));
         assert!(a.stats);
+        assert!(a.budget.is_unlimited());
+    }
+
+    #[test]
+    fn parses_budget_flags() {
+        let a = parse_run("x.hgr --max-moves 500 --max-passes 3 --max-levels 2").expect("parses");
+        assert_eq!(a.budget.max_moves, Some(500));
+        assert_eq!(a.budget.max_passes, Some(3));
+        assert_eq!(a.budget.max_levels, Some(2));
+        assert_eq!(a.budget.soft_deadline_secs, None);
+        let a = parse_run("x.hgr --deadline-secs 1.5").expect("parses");
+        assert_eq!(a.budget.soft_deadline_secs, Some(1.5));
+    }
+
+    #[test]
+    fn help_is_a_command_not_an_error() {
+        assert_eq!(parse_args(argv("--help")), Ok(CliCommand::Help));
+        assert_eq!(parse_args(argv("x.hgr -h")), Ok(CliCommand::Help));
+        // The long help documents the exit-code contract.
+        for needle in [
+            "exit codes:",
+            "0  success",
+            "2  invalid input",
+            "3  budget truncated",
+        ] {
+            assert!(HELP.contains(needle), "--help must document {needle:?}");
+        }
     }
 
     #[test]
@@ -470,6 +688,10 @@ mod tests {
         assert!(parse_args(argv("x.hgr --threads 0")).is_err());
         assert!(parse_args(argv("x.hgr --threads x")).is_err());
         assert!(parse_args(argv("x.hgr --bogus 1")).is_err());
+        assert!(parse_args(argv("x.hgr --max-moves")).is_err());
+        assert!(parse_args(argv("x.hgr --max-passes x")).is_err());
+        assert!(parse_args(argv("x.hgr --deadline-secs -1")).is_err());
+        assert!(parse_args(argv("x.hgr --algo lsmc --max-passes 1")).is_err());
     }
 
     #[test]
@@ -491,9 +713,11 @@ mod tests {
         for algo in ["ml-c", "ml-f", "fm", "clip", "lsmc", "two-phase"] {
             args.algo = algo.to_owned();
             let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
-            let (p, cut, level_stats) = run_once(&h, &args, &mut rng, &mut ws).expect(algo);
+            let (p, cut, level_stats, truncation) =
+                run_once(&h, &args, &mut rng, &mut ws).expect(algo);
             assert!(p.validate(&h), "{algo}");
             assert!(cut > 0, "{algo}");
+            assert!(truncation.is_none(), "{algo}: unlimited run truncated");
             if algo.starts_with("ml") {
                 assert!(!level_stats.is_empty(), "{algo} should report level stats");
             }
@@ -504,7 +728,7 @@ mod tests {
         // Quadrisection path.
         args.algo = "ml-f".to_owned();
         args.k = 4;
-        let (p, _, level_stats) = run_once(&h, &args, &mut rng, &mut ws).expect("quadrisection");
+        let (p, _, level_stats, _) = run_once(&h, &args, &mut rng, &mut ws).expect("quadrisection");
         assert_eq!(p.k(), 4);
         assert!(!level_stats.is_empty(), "quadrisection reports level stats");
         args.algo = "fm".to_owned();
@@ -512,5 +736,25 @@ mod tests {
             run_once(&h, &args, &mut rng, &mut ws).is_err(),
             "flat fm cannot do k=4 here"
         );
+    }
+
+    #[test]
+    fn budgeted_run_once_reports_truncation() {
+        let h = load_netlist("syn-balu").expect("suite circuit");
+        let args = CliArgs {
+            input: "syn-balu".to_owned(),
+            budget: Budget {
+                max_passes: Some(1),
+                ..Budget::default()
+            },
+            ..CliArgs::default()
+        };
+        let mut ws = RefineWorkspace::new();
+        let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
+        let (p, cut, _, truncation) = run_once(&h, &args, &mut rng, &mut ws).expect("runs");
+        assert!(p.validate(&h));
+        assert!(cut > 0);
+        let t = truncation.expect("one pass cannot finish syn-balu");
+        assert_eq!(t.limit.name(), "passes");
     }
 }

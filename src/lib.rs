@@ -13,7 +13,9 @@
 //! * [`lsmc`] — the Large-Step Markov Chain baseline;
 //! * [`place`] — the GORDIAN-analogue quadratic placer;
 //! * `obs` (feature-gated) — deterministic structured tracing, metrics,
-//!   and run-report exporters behind `MLPART_TRACE=1`.
+//!   and run-report exporters behind `MLPART_TRACE=1`;
+//! * `fault` (feature-gated) — deterministic fault injection (panics and
+//!   budget exhaustion at named sites) behind `MLPART_FAULTS`.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -40,6 +42,10 @@
 pub use mlpart_cluster as cluster;
 pub use mlpart_core as core;
 pub use mlpart_exec as exec;
+/// Deterministic fault injection: named panic/exhaustion sites behind
+/// `MLPART_FAULTS`. Present only with the `fault` feature.
+#[cfg(feature = "fault")]
+pub use mlpart_fault as fault;
 pub use mlpart_fm as fm;
 pub use mlpart_gen as gen;
 pub use mlpart_hypergraph as hypergraph;
@@ -52,9 +58,11 @@ pub use mlpart_obs as obs;
 pub use mlpart_place as place;
 
 pub use mlpart_core::{
-    ml_bipartition, ml_bipartition_in, ml_kway, ml_kway_in, ml_quadrisection, LevelStats, MlConfig,
-    MlKwayConfig,
+    ml_bipartition, ml_bipartition_budgeted_in, ml_bipartition_in, ml_kway, ml_kway_budgeted_in,
+    ml_kway_in, ml_quadrisection, preflight, Budget, BudgetLimit, BudgetMeter, LevelStats,
+    MlConfig, MlKwayConfig, PreflightError, Truncation,
 };
+pub use mlpart_exec::{BatchResult, ExecError, RunOutcome, StartFailure};
 pub use mlpart_fm::{fm_partition, BucketPolicy, Engine, FmConfig, PassStats, RefineWorkspace};
 pub use mlpart_hypergraph::{
     BipartBalance, Hypergraph, HypergraphBuilder, KwayBalance, ModuleId, NetId, Partition,

@@ -210,6 +210,142 @@ fn trace_and_report_outputs_are_valid_and_deterministic() {
     assert_eq!(normalize(&report1), normalize(&report4), "threads=4");
 }
 
+/// `--help` is a successful command (exit 0) and documents the full
+/// exit-code contract so scripts can rely on it.
+#[test]
+fn help_exits_zero_and_documents_exit_codes() {
+    let out = mlpart().arg("--help").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "exit codes:",
+        "0  success",
+        "1  execution failure",
+        "2  invalid input",
+        "3  budget truncated",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "--help missing {needle:?}: {stdout}"
+        );
+    }
+}
+
+/// Exit-code contract, code 2: malformed netlists are invalid input, not
+/// crashes or generic failures.
+#[test]
+fn malformed_netlist_exits_two() {
+    let hgr = temp_path("garbage.hgr");
+    std::fs::write(&hgr, "2 3\n1 99\n2 3\n").expect("write temp netlist");
+    let out = mlpart()
+        .arg(hgr.to_str().expect("utf8 path"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse"), "stderr: {err}");
+    let _ = std::fs::remove_file(&hgr);
+}
+
+/// Exit-code contract, code 2: a structurally valid netlist that cannot
+/// satisfy the requested partitioning (here k exceeds the module count)
+/// is rejected by pre-flight before any start runs.
+#[test]
+fn infeasible_input_exits_two() {
+    let hgr = temp_path("tiny.hgr");
+    std::fs::write(&hgr, "1 2\n1 2\n").expect("write temp netlist");
+    let out = mlpart()
+        .arg(hgr.to_str().expect("utf8 path"))
+        .args(["--algo", "ml-c", "--k", "4"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("infeasible input"), "stderr: {err}");
+    let _ = std::fs::remove_file(&hgr);
+}
+
+/// Exit-code contract, code 3: a budget-truncated run still prints the cut
+/// statistics and writes a complete, valid partition file — the exit code
+/// is the only signal that the result is partial.
+#[test]
+fn budget_truncation_exits_three_and_still_writes_partition() {
+    let part = temp_path("truncated.part");
+    let out = mlpart()
+        .args(["syn-balu", "--algo", "ml-c", "--runs", "2", "--seed", "3"])
+        .args(["--max-passes", "1"])
+        .args(["--output", part.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ml-c x2 runs: min"), "stdout: {stdout}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("budget-truncated"), "stderr: {err}");
+    let written = std::fs::read_to_string(&part).expect("partition still written");
+    let parts: Vec<&str> = written.lines().collect();
+    assert_eq!(parts.len(), 801, "one part id per syn-balu module");
+    assert!(parts.iter().all(|l| l == &"0" || l == &"1"));
+    let _ = std::fs::remove_file(&part);
+}
+
+/// Budget flags do not work with the flat LSMC baseline — rejecting the
+/// combination is invalid input, not a silent no-op.
+#[test]
+fn budget_with_lsmc_exits_two() {
+    let out = mlpart()
+        .args(["syn-balu", "--algo", "lsmc", "--max-moves", "10"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// End-to-end panic isolation (needs `--features fault`): an injected
+/// per-start panic is reported on stderr, the start is excluded, and the
+/// surviving starts still produce a successful result.
+#[cfg(feature = "fault")]
+#[test]
+fn injected_start_panic_is_isolated_end_to_end() {
+    let out = mlpart()
+        .args(["syn-balu", "--algo", "ml-c", "--runs", "3", "--seed", "5"])
+        .env("MLPART_FAULTS", "panic@start:1")
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("start 1 panicked") && err.contains("excluded"),
+        "stderr: {err}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ml-c x2 runs: min"), "stdout: {stdout}");
+}
+
+/// End-to-end all-starts-failed (needs `--features fault`): when every
+/// start panics there is no result and the exit code is 1, not a crash.
+#[cfg(feature = "fault")]
+#[test]
+fn all_starts_failed_exits_one() {
+    let out = mlpart()
+        .args(["syn-balu", "--algo", "ml-c", "--runs", "2", "--seed", "5"])
+        .env("MLPART_FAULTS", "panic@start:0|1")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("every start failed"), "stderr: {err}");
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     // No input at all.

@@ -609,6 +609,74 @@ pub fn audit_projection(
     Ok(())
 }
 
+/// Constraint legality: every *fixed* module sits on exactly the part it was
+/// pinned to. Run after every refinement phase and at every level of a
+/// projection so a pin violated deep in the V-cycle is caught where it
+/// happens, not at the end.
+pub fn audit_fixed_assignment(
+    p: &Partition,
+    fixed: &[(mlpart_hypergraph::ModuleId, mlpart_hypergraph::PartId)],
+) -> AuditResult {
+    const ST: &str = "Constraints";
+    for &(v, part) in fixed {
+        if v.index() >= p.assignment().len() {
+            return Err(AuditError::new(
+                ST,
+                "fixed-range",
+                format!(
+                    "fixed module out of range ({} modules)",
+                    p.assignment().len()
+                ),
+            )
+            .with_module(v.index()));
+        }
+        if part >= p.k() {
+            return Err(AuditError::new(
+                ST,
+                "fixed-range",
+                format!("pinned to part {part} with k={}", p.k()),
+            )
+            .with_module(v.index()));
+        }
+        if p.part(v) != part {
+            return Err(AuditError::new(
+                ST,
+                "fixed-immovable",
+                format!("pinned to part {part} but assigned to part {}", p.part(v)),
+            )
+            .with_module(v.index()));
+        }
+    }
+    Ok(())
+}
+
+/// Constraint legality: every part's area lies inside its `[lo, hi]` window.
+/// `bounds` is supplied as parallel `lo`/`hi` slices (one entry per part) so
+/// this crate stays decoupled from the constraints type that owns them.
+pub fn audit_part_bounds(p: &Partition, lo: &[u64], hi: &[u64]) -> AuditResult {
+    const ST: &str = "Constraints";
+    if lo.len() != p.k() as usize || hi.len() != p.k() as usize {
+        return Err(AuditError::new(
+            ST,
+            "bounds-shape",
+            format!("{}/{} window entries for k={}", lo.len(), hi.len(), p.k()),
+        ));
+    }
+    for (part, &area) in p.part_areas().iter().enumerate() {
+        if area < lo[part] || area > hi[part] {
+            return Err(AuditError::new(
+                ST,
+                "part-bounds",
+                format!(
+                    "part {part} has area {area}, outside its window [{}, {}]",
+                    lo[part], hi[part]
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Multi-start scatter legality for `mlpart-exec`: `claims[i]` counts how
 /// many workers claimed start `i`; the work-stealing contract is exactly
 /// once each.
@@ -645,6 +713,43 @@ mod tests {
         let h = sample();
         assert_eq!(h.audit(), Ok(()));
         assert_eq!(audit_hypergraph(&RawIncidence::from_hypergraph(&h)), Ok(()));
+    }
+
+    #[test]
+    fn fixed_assignment_checker_accepts_and_rejects() {
+        use mlpart_hypergraph::ModuleId;
+        let h = sample();
+        let p = Partition::from_assignment(&h, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let pins = vec![(ModuleId::new(0), 0), (ModuleId::new(4), 1)];
+        assert_eq!(audit_fixed_assignment(&p, &pins), Ok(()));
+        let bad = vec![(ModuleId::new(0), 1)];
+        let e = audit_fixed_assignment(&p, &bad).unwrap_err();
+        assert_eq!(e.check, "fixed-immovable");
+        assert_eq!(e.module, Some(0));
+        let oob = vec![(ModuleId::new(99), 0)];
+        assert_eq!(
+            audit_fixed_assignment(&p, &oob).unwrap_err().check,
+            "fixed-range"
+        );
+        let bad_part = vec![(ModuleId::new(0), 7)];
+        assert_eq!(
+            audit_fixed_assignment(&p, &bad_part).unwrap_err().check,
+            "fixed-range"
+        );
+    }
+
+    #[test]
+    fn part_bounds_checker_accepts_and_rejects() {
+        let h = sample();
+        let p = Partition::from_assignment(&h, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        assert_eq!(audit_part_bounds(&p, &[2, 2], &[4, 4]), Ok(()));
+        let e = audit_part_bounds(&p, &[4, 2], &[6, 4]).unwrap_err();
+        assert_eq!(e.check, "part-bounds");
+        assert!(e.detail.contains("part 0"), "{e}");
+        assert_eq!(
+            audit_part_bounds(&p, &[0], &[9]).unwrap_err().check,
+            "bounds-shape"
+        );
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! `*_in` contract), so the parallel runner can hand each worker thread one
 //! long-lived [`RefineWorkspace`] without changing any table number.
 
-use mlpart_core::{ml_bipartition_in, ml_kway_in, MlConfig, MlKwayConfig};
+use mlpart_core::{
+    ml_bipartition_constrained_in, ml_bipartition_in, ml_kway_constrained_in, ml_kway_in,
+    recursive_ml_partition_budgeted_in, BudgetMeter, MlConfig, MlKwayConfig,
+};
 use mlpart_fm::{fm_partition_in, BucketPolicy, Engine, FmConfig, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
-use mlpart_hypergraph::{Hypergraph, ModuleId, PartId};
+use mlpart_hypergraph::{Constraints, Hypergraph, ModuleId, PartId, Partition};
 use mlpart_kway::{kway_partition_in, KwayConfig};
 use mlpart_lsmc::{lsmc_bipartition, lsmc_kway, LsmcConfig, LsmcKwayConfig};
 use mlpart_place::{gordian_quadrisection, PlacerConfig};
@@ -162,6 +165,69 @@ pub fn ml4_in(
         .cut
 }
 
+/// Panics if any pinned module ended up off its pin — the bench harness's
+/// cheap end-to-end check that the constrained drivers honor fixed
+/// terminals even in release builds (the audit layer is compiled out here).
+fn assert_pins(p: &Partition, constraints: &Constraints) {
+    for &(v, part) in constraints.fixed() {
+        assert_eq!(p.part(v), part, "pinned module {v:?} moved off part {part}");
+    }
+}
+
+/// Constraint-aware `ML_C` bipartition with matching ratio `r`; honors the
+/// constraints' pins and ε-bounds (`constraints.k()` must be 2).
+pub fn ml_c_constrained_in(
+    h: &Hypergraph,
+    r: f64,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> u64 {
+    let cfg = MlConfig::clip()
+        .with_ratio(r)
+        .with_epsilon(constraints.epsilon());
+    let (p, result) = ml_bipartition_constrained_in(h, &cfg, constraints, rng, ws);
+    assert_pins(&p, constraints);
+    result.cut
+}
+
+/// Constraint-aware multilevel quadrisection (`constraints.k()` must be 4).
+pub fn ml4_constrained_in(
+    h: &Hypergraph,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> u64 {
+    let (p, result) = ml_kway_constrained_in(h, &MlKwayConfig::default(), constraints, rng, ws);
+    assert_pins(&p, constraints);
+    result.cut
+}
+
+/// Constraint-aware recursive general-k partition (any `k ≥ 1`) with
+/// matching ratio `r` for each bisection level.
+pub fn ml_general_k_in(
+    h: &Hypergraph,
+    r: f64,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> u64 {
+    let cfg = MlConfig::clip()
+        .with_ratio(r)
+        .with_k(constraints.k())
+        .with_epsilon(constraints.epsilon());
+    let (p, result) = recursive_ml_partition_budgeted_in(
+        h,
+        &cfg,
+        constraints,
+        rng,
+        ws,
+        &mut BudgetMeter::unlimited(),
+    );
+    assert_pins(&p, constraints);
+    result.cut
+}
+
 /// GORDIAN-style quadrisection via quadratic placement; deterministic, so
 /// harnesses call it once per circuit. Returns (GORDIAN cut, GORDIAN-L cut);
 /// the paper's Table IX reports the better of the two.
@@ -235,6 +301,20 @@ mod tests {
             ]
         };
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn constrained_wrappers_run_at_every_k() {
+        let h = two_communities(32);
+        let mut ws = RefineWorkspace::new();
+        let mut rng = seeded_rng(5);
+        let pins = |k: u32| vec![(ModuleId::new(0), k - 1), (ModuleId::new(40), 0)];
+        let c2 = Constraints::new(2, 0.2, pins(2)).expect("valid");
+        assert!(ml_c_constrained_in(&h, 0.5, &c2, &mut rng, &mut ws) >= 1);
+        let c4 = Constraints::new(4, 0.2, pins(4)).expect("valid");
+        assert!(ml4_constrained_in(&h, &c4, &mut rng, &mut ws) >= 1);
+        let c8 = Constraints::new(8, 0.2, pins(8)).expect("valid");
+        assert!(ml_general_k_in(&h, 0.5, &c8, &mut rng, &mut ws) >= 1);
     }
 
     #[test]

@@ -48,5 +48,6 @@ pub use hierarchy::{
 };
 pub use matching::{
     conn, heavy_edge_matching, match_clusters, match_clusters_frozen, match_clusters_frozen_in,
-    random_matching, MatchConfig, MatchScratch, MATCH_MAX_NET_SIZE,
+    match_clusters_parts, match_clusters_parts_in, random_matching, MatchConfig, MatchScratch,
+    MATCH_MAX_NET_SIZE,
 };

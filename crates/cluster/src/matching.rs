@@ -17,7 +17,7 @@
 
 use crate::clustering::Clustering;
 use mlpart_hypergraph::rng::{random_permutation, random_permutation_into};
-use mlpart_hypergraph::{Hypergraph, ModuleId};
+use mlpart_hypergraph::{Hypergraph, ModuleId, PartId};
 use rand::Rng;
 
 /// Reusable scratch buffers for [`match_clusters_frozen_in`]: the random
@@ -143,14 +143,84 @@ pub fn match_clusters_frozen_in<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut MatchScratch,
 ) -> Clustering {
-    assert!(
-        cfg.ratio > 0.0 && cfg.ratio <= 1.0,
-        "matching ratio must be in (0, 1]"
-    );
     if let Some(f) = frozen {
         assert_eq!(f.len(), h.num_modules(), "frozen mask has wrong length");
     }
     let is_frozen = |v: ModuleId| frozen.is_some_and(|f| f[v.index()]);
+    match_core(h, cfg, rng, scratch, is_frozen, |_, w| !is_frozen(w))
+}
+
+/// [`match_clusters`] restricted by a per-module *part seed*: free modules
+/// (`None`) pair only with free modules, and modules pre-assigned to a part
+/// pair only with modules pre-assigned to the *same* part. Fixed cells of
+/// different parts are therefore never merged, while same-part terminals may
+/// still coalesce — Definition-1 coarsening then gives the coarse cluster an
+/// unambiguous inherited assignment.
+///
+/// With `parts = None` this is byte-identical to [`match_clusters`] on an
+/// identical RNG stream.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not in `(0, 1]` or `parts` has the wrong length.
+pub fn match_clusters_parts<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    cfg: &MatchConfig,
+    parts: Option<&[Option<PartId>]>,
+    rng: &mut R,
+) -> Clustering {
+    let mut scratch = MatchScratch::new();
+    match_clusters_parts_in(h, cfg, parts, rng, &mut scratch)
+}
+
+/// [`match_clusters_parts`] with caller-owned scratch buffers.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not in `(0, 1]` or `parts` has the wrong length.
+pub fn match_clusters_parts_in<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    cfg: &MatchConfig,
+    parts: Option<&[Option<PartId>]>,
+    rng: &mut R,
+    scratch: &mut MatchScratch,
+) -> Clustering {
+    if let Some(p) = parts {
+        assert_eq!(p.len(), h.num_modules(), "part seed has wrong length");
+    }
+    let part_of = |v: ModuleId| parts.and_then(|p| p[v.index()]);
+    match_core(
+        h,
+        cfg,
+        rng,
+        scratch,
+        |_| false,
+        |v, w| part_of(v) == part_of(w),
+    )
+}
+
+/// The shared Fig. 3 loop. `skip(v)` excludes a module from opening a
+/// cluster (it stays a singleton); `mergeable(v, w)` gates which neighbors
+/// may join `v`'s cluster. Both predicates only prune candidates — the RNG
+/// is consumed solely by the visit permutation, so every caller draws an
+/// identical stream regardless of its policy.
+fn match_core<R, S, M>(
+    h: &Hypergraph,
+    cfg: &MatchConfig,
+    rng: &mut R,
+    scratch: &mut MatchScratch,
+    skip: S,
+    mergeable: M,
+) -> Clustering
+where
+    R: Rng + ?Sized,
+    S: Fn(ModuleId) -> bool,
+    M: Fn(ModuleId, ModuleId) -> bool,
+{
+    assert!(
+        cfg.ratio > 0.0 && cfg.ratio <= 1.0,
+        "matching ratio must be in (0, 1]"
+    );
     let n = h.num_modules();
     const UNMATCHED: u32 = u32::MAX;
     let mut cluster_of = vec![UNMATCHED; n];
@@ -172,7 +242,7 @@ pub fn match_clusters_frozen_in<R: Rng + ?Sized>(
     let mut j = 0usize;
     while (n_match as f64) < cfg.ratio * n as f64 && j < n {
         let v = ModuleId::from(perm[j]);
-        if cluster_of[v.index()] == UNMATCHED && !is_frozen(v) {
+        if cluster_of[v.index()] == UNMATCHED && !skip(v) {
             // Step 4: open a new cluster containing v.
             let cluster = k;
             k += 1;
@@ -185,7 +255,7 @@ pub fn match_clusters_frozen_in<R: Rng + ?Sized>(
                 }
                 let weight = h.net_weight(e) as f64 / (size as f64 - 1.0);
                 for &w in h.pins(e) {
-                    if w != v && cluster_of[w.index()] == UNMATCHED && !is_frozen(w) {
+                    if w != v && cluster_of[w.index()] == UNMATCHED && mergeable(v, w) {
                         if conn[w.index()] == 0.0 {
                             touched.push(w.raw());
                         }
@@ -578,5 +648,100 @@ mod frozen_tests {
         let h = b.build().unwrap();
         let mut rng = seeded_rng(0);
         let _ = match_clusters_frozen(&h, &MatchConfig::default(), Some(&[true]), &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod parts_tests {
+    use super::*;
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn cross_part_fixed_pairs_never_merge() {
+        // 0 and 1 share a strong net but are pinned to different parts.
+        let mut b = HypergraphBuilder::with_unit_areas(4);
+        b.add_net([0, 1]).unwrap();
+        b.add_net([0, 1]).unwrap();
+        b.add_net([2, 3]).unwrap();
+        let h = b.build().unwrap();
+        let parts = [Some(0), Some(1), None, None];
+        for seed in 0..10 {
+            let mut rng = seeded_rng(seed);
+            let c = match_clusters_parts(&h, &MatchConfig::default(), Some(&parts), &mut rng);
+            assert!(c.validate(&h));
+            assert_ne!(c.cluster_of_index(0), c.cluster_of_index(1), "seed {seed}");
+            // The free pair is unaffected by the constraint.
+            assert_eq!(c.cluster_of_index(2), c.cluster_of_index(3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn same_part_fixed_pairs_may_merge() {
+        let mut b = HypergraphBuilder::with_unit_areas(2);
+        b.add_net([0, 1]).unwrap();
+        let h = b.build().unwrap();
+        let parts = [Some(1), Some(1)];
+        for seed in 0..10 {
+            let mut rng = seeded_rng(seed);
+            let c = match_clusters_parts(&h, &MatchConfig::default(), Some(&parts), &mut rng);
+            assert_eq!(c.cluster_of_index(0), c.cluster_of_index(1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fixed_free_pairs_never_merge() {
+        let mut b = HypergraphBuilder::with_unit_areas(2);
+        b.add_net([0, 1]).unwrap();
+        let h = b.build().unwrap();
+        let parts = [Some(0), None];
+        for seed in 0..10 {
+            let mut rng = seeded_rng(seed);
+            let c = match_clusters_parts(&h, &MatchConfig::default(), Some(&parts), &mut rng);
+            assert_eq!(c.num_clusters(), 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn no_parts_is_byte_identical_to_plain_match() {
+        let mut b = HypergraphBuilder::with_unit_areas(20);
+        for i in 0..19 {
+            b.add_net([i, i + 1]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let cfg = MatchConfig::with_ratio(0.7);
+        for seed in 0..5 {
+            let mut rng_a = seeded_rng(seed);
+            let mut rng_b = seeded_rng(seed);
+            let plain = match_clusters(&h, &cfg, &mut rng_a);
+            let parts = match_clusters_parts(&h, &cfg, None, &mut rng_b);
+            assert_eq!(plain.as_map(), parts.as_map(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_free_seed_is_byte_identical_to_plain_match() {
+        let mut b = HypergraphBuilder::with_unit_areas(12);
+        for i in 0..11 {
+            b.add_net([i, i + 1]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let cfg = MatchConfig::default();
+        let seed_vec = vec![None; 12];
+        let mut rng_a = seeded_rng(9);
+        let mut rng_b = seeded_rng(9);
+        let plain = match_clusters(&h, &cfg, &mut rng_a);
+        let seeded = match_clusters_parts(&h, &cfg, Some(&seed_vec), &mut rng_b);
+        assert_eq!(plain.as_map(), seeded.as_map());
+    }
+
+    #[test]
+    #[should_panic(expected = "part seed has wrong length")]
+    fn rejects_wrong_seed_length() {
+        let mut b = HypergraphBuilder::with_unit_areas(3);
+        b.add_net([0, 1]).unwrap();
+        let h = b.build().unwrap();
+        let mut rng = seeded_rng(0);
+        let _ = match_clusters_parts(&h, &MatchConfig::default(), Some(&[None]), &mut rng);
     }
 }

@@ -2,8 +2,8 @@
 //! Fig. 2, steps 1-5).
 
 use mlpart_cluster::{
-    heavy_edge_matching, induce, induce_coalesced, match_clusters_frozen_in, random_matching,
-    Clustering, MatchConfig, MatchScratch,
+    heavy_edge_matching, induce, induce_coalesced, match_clusters_frozen_in,
+    match_clusters_parts_in, random_matching, Clustering, MatchConfig, MatchScratch,
 };
 use mlpart_hypergraph::{Hypergraph, ModuleId, PartId};
 use rand::Rng;
@@ -187,6 +187,105 @@ impl Hierarchy {
         }
     }
 
+    /// [`Hierarchy::coarsen`] for the constraint-aware pipelines: instead of
+    /// freezing every fixed module as a singleton, `Match` may merge two
+    /// fixed modules pre-assigned to the **same** part (free–free pairs
+    /// merge as always; fixed–free and cross-part pairs never do), so
+    /// heavily pinned netlists still coarsen. Coarse fixed lists are
+    /// deduplicated per cluster — a cluster of same-part pins appears once —
+    /// and stay sorted by coarse module id, keeping every downstream loop
+    /// over them deterministic. With no fixed modules this is byte-identical
+    /// to [`Hierarchy::coarsen`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fixed modules are combined with a baseline coarsener or a
+    /// fixed module is out of range.
+    pub fn coarsen_parts<R: Rng + ?Sized>(
+        h0: &Hypergraph,
+        cfg: &crate::MlConfig,
+        fixed: &[(ModuleId, PartId)],
+        rng: &mut R,
+    ) -> Self {
+        if fixed.is_empty() {
+            return Hierarchy::coarsen(h0, cfg, fixed, rng);
+        }
+        assert!(
+            cfg.coarsener == Coarsener::PaperMatch,
+            "fixed modules require the PaperMatch coarsener"
+        );
+        let match_cfg = MatchConfig::with_ratio(cfg.matching_ratio);
+        let mut scratch = MatchScratch::new();
+        let mut clusterings = Vec::new();
+        let mut coarse: Vec<Hypergraph> = Vec::new();
+        let mut fixed_levels: Vec<Vec<(ModuleId, PartId)>> = vec![fixed.to_vec()];
+
+        let mut current: &Hypergraph = h0;
+        #[cfg(feature = "obs")]
+        let _obs_span = mlpart_obs::span(
+            "coarsen_parts",
+            &[
+                ("modules", h0.num_modules().into()),
+                ("fixed", fixed.len().into()),
+                ("threshold", cfg.coarsen_threshold.into()),
+                ("ratio", cfg.matching_ratio.into()),
+            ],
+        );
+        while current.num_modules() > cfg.coarsen_threshold && clusterings.len() < cfg.max_levels {
+            let level_fixed = fixed_levels.last().expect("at least level 0");
+            let mut seed: Vec<Option<PartId>> = vec![None; current.num_modules()];
+            for &(v, p) in level_fixed {
+                seed[v.index()] = Some(p);
+            }
+            let clustering = match_clusters_parts_in(
+                current,
+                &match_cfg,
+                Some(seed.as_slice()),
+                rng,
+                &mut scratch,
+            );
+            let guard = 1.0 - cfg.matching_ratio / 4.0;
+            let stalled = clustering.num_clusters() as f64 > guard * current.num_modules() as f64;
+            #[cfg(feature = "obs")]
+            mlpart_obs::counter(
+                "coarsen_level",
+                &[
+                    ("level", clusterings.len().into()),
+                    ("modules", current.num_modules().into()),
+                    ("clusters", clustering.num_clusters().into()),
+                    ("stalled", u64::from(stalled).into()),
+                ],
+            );
+            if stalled {
+                break; // matching stalled: treat this level as coarsest
+            }
+            let next = if cfg.coalesce_nets {
+                induce_coalesced(current, &clustering)
+            } else {
+                induce(current, &clustering)
+            };
+            let mut next_fixed: Vec<(ModuleId, PartId)> = level_fixed
+                .iter()
+                .map(|&(v, p)| (ModuleId::new(clustering.cluster_of(v) as usize), p))
+                .collect();
+            // Same-part pins may now share a cluster; keep one entry each.
+            next_fixed.sort_unstable_by_key(|&(v, _)| v.index());
+            next_fixed.dedup_by(|a, b| {
+                debug_assert!(a.0 != b.0 || a.1 == b.1, "cross-part pins merged");
+                a.0 == b.0
+            });
+            clusterings.push(clustering);
+            coarse.push(next);
+            fixed_levels.push(next_fixed);
+            current = coarse.last().expect("just pushed");
+        }
+        Hierarchy {
+            clusterings,
+            coarse,
+            fixed: fixed_levels,
+        }
+    }
+
     /// Number of coarsening levels `m` (zero if `H₀` was already below the
     /// threshold).
     pub fn num_levels(&self) -> usize {
@@ -231,6 +330,16 @@ impl Hierarchy {
         sizes.extend(self.coarse.iter().map(Hypergraph::num_modules));
         sizes
     }
+}
+
+/// Dense `module → fixed?` mask over `n` modules, shared by the
+/// constraint-aware pipelines.
+pub(crate) fn fixed_mask(fixed: &[(ModuleId, PartId)], n: usize) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &(v, _) in fixed {
+        mask[v.index()] = true;
+    }
+    mask
 }
 
 #[cfg(test)]
@@ -342,6 +451,52 @@ mod tests {
         let mut rng = seeded_rng(0);
         let hier = Hierarchy::coarsen(&h, &cfg, &[], &mut rng);
         assert_eq!(hier.num_levels(), 3);
+    }
+
+    #[test]
+    fn coarsen_parts_merges_same_part_pins_and_dedups() {
+        let h = grid(8, 8);
+        let cfg = MlConfig {
+            coarsen_threshold: 8,
+            ..MlConfig::default()
+        };
+        // Pin a whole edge of the grid to part 0 and the opposite corner to
+        // part 1: adjacent same-part pins are mergeable, so coarsening can
+        // go deep even though an eighth of the netlist is pinned.
+        let mut fixed: Vec<(ModuleId, u32)> = (0..8).map(|x| (ModuleId::new(x), 0u32)).collect();
+        fixed.push((ModuleId::new(63), 1));
+        let mut rng = seeded_rng(5);
+        let hier = Hierarchy::coarsen_parts(&h, &cfg, &fixed, &mut rng);
+        assert!(hier.coarsest(&h).num_modules() <= 8);
+        for i in 0..=hier.num_levels() {
+            let level_fixed = hier.fixed_at(i);
+            // Sorted, deduplicated, and part ids preserved.
+            assert!(level_fixed
+                .windows(2)
+                .all(|w| w[0].0.index() < w[1].0.index()));
+            assert!(level_fixed.iter().any(|&(_, p)| p == 0));
+            assert!(level_fixed.iter().any(|&(_, p)| p == 1));
+        }
+        // The edge pins eventually share clusters: strictly fewer coarse
+        // fixed entries than fine ones by the coarsest level.
+        assert!(hier.fixed_at(hier.num_levels()).len() < fixed.len());
+    }
+
+    #[test]
+    fn coarsen_parts_without_pins_matches_plain_coarsen() {
+        let h = grid(12, 12);
+        let cfg = MlConfig {
+            coarsen_threshold: 20,
+            ..MlConfig::default()
+        };
+        let mut rng1 = seeded_rng(9);
+        let mut rng2 = seeded_rng(9);
+        let a = Hierarchy::coarsen(&h, &cfg, &[], &mut rng1);
+        let b = Hierarchy::coarsen_parts(&h, &cfg, &[], &mut rng2);
+        assert_eq!(a.num_levels(), b.num_levels());
+        for i in 0..a.num_levels() {
+            assert_eq!(a.clustering(i).as_map(), b.clustering(i).as_map());
+        }
     }
 
     #[test]

@@ -49,20 +49,32 @@ pub mod two_phase;
 
 pub use hierarchy::{Coarsener, Hierarchy};
 pub use ml::{
-    ml_best_of_in, ml_bipartition, ml_bipartition_budgeted_in, ml_bipartition_in, LevelStats,
-    MlConfig, MlResult,
+    ml_best_of_in, ml_bipartition, ml_bipartition_budgeted_in, ml_bipartition_constrained,
+    ml_bipartition_constrained_budgeted_in, ml_bipartition_constrained_in, ml_bipartition_in,
+    LevelStats, MlConfig, MlResult,
 };
-pub use preflight::{preflight, PreflightError};
+pub use preflight::{preflight, preflight_constrained, PreflightError};
 pub use quadrisection::{
-    ml_kway, ml_kway_best_of_in, ml_kway_budgeted_in, ml_kway_in, ml_quadrisection, MlKwayConfig,
-    MlKwayResult,
+    ml_kway, ml_kway_best_of_in, ml_kway_budgeted_in, ml_kway_constrained,
+    ml_kway_constrained_budgeted_in, ml_kway_constrained_in, ml_kway_in, ml_quadrisection,
+    MlKwayConfig, MlKwayResult,
 };
 pub use recursive::{
     recursive_ml_bisection, recursive_ml_bisection_budgeted_in, recursive_ml_bisection_in,
-    RecursiveResult,
+    recursive_ml_partition, recursive_ml_partition_budgeted_in, RecursiveResult,
 };
-pub use two_phase::{two_phase_fm, two_phase_fm_budgeted_in, two_phase_fm_in, TwoPhaseResult};
+pub use two_phase::{
+    two_phase_fm, two_phase_fm_budgeted_in, two_phase_fm_constrained,
+    two_phase_fm_constrained_budgeted_in, two_phase_fm_constrained_in, two_phase_fm_in,
+    TwoPhaseResult,
+};
 
 // Re-export the budget vocabulary so pipeline callers need not depend on
 // `mlpart-fm` directly.
 pub use mlpart_fm::{Budget, BudgetLimit, BudgetMeter, Truncation};
+
+// Re-export the constraint vocabulary so constraint-aware callers (the CLI,
+// benches, embedders) need not depend on `mlpart-hypergraph` directly.
+pub use mlpart_hypergraph::{
+    adapted_epsilon, Constraints, ConstraintsError, PartBounds, DEFAULT_EPSILON,
+};

@@ -17,14 +17,18 @@
 //! during uncoarsening; §III-B prescribes rebalancing by random moves from
 //! the larger side, which happens between steps 8 and 9.
 
-use crate::hierarchy::Hierarchy;
+use crate::hierarchy::{fixed_mask, Hierarchy};
 use mlpart_cluster::{project, rebalance_bipart};
 use mlpart_fm::{
-    fm_partition_budgeted_in, refine_budgeted_in, BudgetMeter, Engine, FmConfig, PassStats,
-    RefineWorkspace, Truncation,
+    fm_partition_budgeted_in, refine_budgeted_in, refine_constrained_budgeted_in, BudgetMeter,
+    Engine, FmConfig, PassStats, RefineWorkspace, Truncation,
 };
 use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
-use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, Partition};
+use mlpart_hypergraph::{
+    metrics, BipartBalance, Constraints, Hypergraph, ModuleId, PartBounds, PartId, Partition,
+    DEFAULT_EPSILON,
+};
+use mlpart_kway::rebalance_to_bounds;
 
 /// Per-level instrumentation of a multilevel run, collected during
 /// uncoarsening (and for the coarsest-level initial partitioning).
@@ -138,6 +142,17 @@ pub struct MlConfig {
     /// more CPU time partitioning at these levels, e.g., by calling FM
     /// multiple times"). `1` reproduces the paper's algorithm.
     pub initial_tries: usize,
+    /// Number of parts `k` for the constraint-generic drivers
+    /// ([`recursive_ml_partition`](crate::recursive_ml_partition) and the
+    /// CLI). The classic entry points ([`ml_bipartition`]) are 2-way by
+    /// construction and ignore this field.
+    pub k: u32,
+    /// Balance tolerance ε for the constraint-generic drivers: each part
+    /// stays within `(1 ± ε)·A(V)/k`. The default ε = 0.2 equals `2r` for
+    /// the paper's `r = 0.1`, so constraint-aware runs reproduce the legacy
+    /// `fm.balance_r` windows. The classic entry points keep reading
+    /// `fm.balance_r` and ignore this field.
+    pub epsilon: f64,
 }
 
 impl Default for MlConfig {
@@ -150,6 +165,8 @@ impl Default for MlConfig {
             coarsener: crate::hierarchy::Coarsener::PaperMatch,
             coalesce_nets: false,
             initial_tries: 1,
+            k: 2,
+            epsilon: DEFAULT_EPSILON,
         }
     }
 }
@@ -180,6 +197,20 @@ impl MlConfig {
     /// Returns a copy with the given coarsening threshold `T`.
     pub fn with_threshold(mut self, t: usize) -> Self {
         self.coarsen_threshold = t;
+        self
+    }
+
+    /// Returns a copy with the given part count `k` (constraint-generic
+    /// drivers only).
+    pub fn with_k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Returns a copy with the given balance tolerance ε (constraint-generic
+    /// drivers only).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
         self
     }
 }
@@ -393,6 +424,223 @@ pub fn ml_bipartition_budgeted_in(
     #[cfg(feature = "audit")]
     if mlpart_audit::enabled() {
         mlpart_audit::enforce(mlpart_audit::audit_partition(h, &p));
+    }
+    let cut = metrics::cut(h, &p);
+    let result = MlResult {
+        cut,
+        levels: m,
+        level_sizes: hierarchy.level_sizes(h),
+        total_passes,
+        rebalance_moves,
+        level_stats,
+        truncation: meter.truncation(),
+    };
+    (p, result)
+}
+
+/// Constraint-aware ML bipartition: [`ml_bipartition`] honoring a
+/// [`Constraints`] set — fixed (pre-assigned) modules and an ε balance
+/// tolerance.
+///
+/// Fixed modules are threaded through every phase: coarsening merges only
+/// same-part pins (via [`Hierarchy::coarsen_parts`]), the initial partition
+/// seeds them on their pinned parts, and refinement/rebalancing never move
+/// them. With no fixed modules and ε = 0.2 the constraint machinery is
+/// algebraically inert, but the RNG schedule differs from
+/// [`ml_bipartition`] (the initial partition is generated by the pipeline,
+/// not inside FM), so cuts are comparable rather than byte-identical.
+///
+/// # Panics
+///
+/// Panics if `constraints.k() != 2` or a fixed module is out of range (run
+/// [`preflight_constrained`](crate::preflight_constrained) first for typed
+/// errors).
+pub fn ml_bipartition_constrained(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+) -> (Partition, MlResult) {
+    let mut ws = RefineWorkspace::new();
+    ml_bipartition_constrained_in(h, cfg, constraints, rng, &mut ws)
+}
+
+/// [`ml_bipartition_constrained`] with caller-owned scratch.
+pub fn ml_bipartition_constrained_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> (Partition, MlResult) {
+    assert_eq!(constraints.k(), 2, "bipartition requires k = 2");
+    constraints
+        .check_modules(h.num_modules())
+        .expect("fixed module out of range");
+    ml_bipartition_constrained_budgeted_in(
+        h,
+        cfg,
+        constraints.fixed(),
+        h.total_area() / 2,
+        constraints.epsilon(),
+        rng,
+        ws,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// The fully general constrained bisection step: pins, an explicit area
+/// target for side 0 (side 1 gets the rest), a tolerance ε, and a budget.
+///
+/// This is the primitive [`recursive_ml_partition`](crate::recursive_ml_partition)
+/// builds general k from — asymmetric targets let one bisection carve
+/// `⌈k/2⌉ : ⌊k/2⌋` area shares. Per-level bounds recompute around the
+/// targets with each level's max module area (the §III-B widening), so
+/// coarse levels are never over-constrained.
+///
+/// # Panics
+///
+/// Panics if `target0 > A(V)`, ε is invalid, or a fixed entry is out of
+/// range.
+#[allow(clippy::too_many_arguments)]
+pub fn ml_bipartition_constrained_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    fixed: &[(ModuleId, PartId)],
+    target0: u64,
+    epsilon: f64,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, MlResult) {
+    let total = h.total_area();
+    assert!(target0 <= total, "target0 exceeds the total area");
+    for &(v, p) in fixed {
+        assert!(v.index() < h.num_modules(), "fixed module out of range");
+        assert!(p < 2, "fixed part id out of range for a bisection");
+    }
+    #[cfg(feature = "obs")]
+    let _obs_run = mlpart_obs::span(
+        "ml_bipartition_constrained",
+        &[
+            ("modules", h.num_modules().into()),
+            ("fixed", fixed.len().into()),
+        ],
+    );
+    let bounds_for = |fine: &Hypergraph| {
+        PartBounds::around_targets(&[target0, total - target0], total, fine.max_area(), epsilon)
+    };
+
+    // --- Coarsening (same-part pins may merge). ---
+    let hierarchy = Hierarchy::coarsen_parts(h, cfg, fixed, rng);
+    let m = hierarchy.num_levels();
+
+    // --- Initial partitioning of Hₘ, seeded from the coarse pins. ---
+    let coarsest = hierarchy.coarsest(h);
+    let coarse_fixed = hierarchy.fixed_at(m);
+    let coarse_mask = fixed_mask(coarse_fixed, coarsest.num_modules());
+    let coarse_bounds = bounds_for(coarsest);
+    meter.set_level_context(Some(m as u32));
+    let mut total_passes = 0usize;
+    let tries = cfg.initial_tries.max(1);
+    let mut best: Option<(u64, Partition, Vec<PassStats>)> = None;
+    for _t in 0..tries {
+        let mut p = Partition::random_fixed(coarsest, 2, coarse_fixed, rng);
+        if !coarse_bounds.is_partition_feasible(&p) {
+            let _ = rebalance_to_bounds(coarsest, &mut p, coarse_fixed, &coarse_bounds, rng);
+        }
+        let r = refine_constrained_budgeted_in(
+            coarsest,
+            &mut p,
+            &cfg.fm,
+            &coarse_bounds,
+            &coarse_mask,
+            rng,
+            ws,
+            meter,
+        );
+        total_passes += r.passes;
+        // Strict `<`: the first try reaching the minimum wins (see
+        // `ml_bipartition_budgeted_in`).
+        if best.as_ref().is_none_or(|(c, _, _)| r.cut < *c) {
+            best = Some((r.cut, p, r.pass_stats));
+        }
+    }
+    let (_best_cut, mut p, initial_stats) = best.expect("at least one try");
+    let mut level_stats = Vec::with_capacity(m + 1);
+    level_stats.push(LevelStats::from_passes(
+        m,
+        coarsest.num_modules(),
+        &initial_stats,
+        0,
+    ));
+
+    // --- Uncoarsening with pin-respecting rebalance and refinement. ---
+    let mut rebalance_moves = 0usize;
+    for i in (0..m).rev() {
+        let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
+        #[cfg(feature = "obs")]
+        let _obs_level = mlpart_obs::span(
+            "level",
+            &[("level", i.into()), ("modules", fine.num_modules().into())],
+        );
+        let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                mlpart_audit::audit_projection(
+                    fine,
+                    &fine_p,
+                    hierarchy.level(i + 1),
+                    &p,
+                    hierarchy.clustering(i).as_map(),
+                )
+                .map_err(|e| e.with_level(i)),
+            );
+        }
+        let bounds = bounds_for(fine);
+        let level_fixed = hierarchy.fixed_at(i);
+        let mut level_rebalance = 0usize;
+        if !bounds.is_partition_feasible(&fine_p) {
+            level_rebalance = rebalance_to_bounds(fine, &mut fine_p, level_fixed, &bounds, rng);
+            rebalance_moves += level_rebalance;
+        }
+        meter.set_level_context(Some(i as u32));
+        let _ = meter.level_checkpoint(i as u32);
+        let mask = fixed_mask(level_fixed, fine.num_modules());
+        let r = refine_constrained_budgeted_in(
+            fine,
+            &mut fine_p,
+            &cfg.fm,
+            &bounds,
+            &mask,
+            rng,
+            ws,
+            meter,
+        );
+        meter.note_level();
+        // Pins must survive every level, not just the final answer.
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                mlpart_audit::audit_fixed_assignment(&fine_p, level_fixed)
+                    .map_err(|e| e.with_level(i)),
+            );
+        }
+        total_passes += r.passes;
+        level_stats.push(LevelStats::from_passes(
+            i,
+            fine.num_modules(),
+            &r.pass_stats,
+            level_rebalance,
+        ));
+        p = fine_p;
+    }
+
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_partition(h, &p));
+        mlpart_audit::enforce(mlpart_audit::audit_fixed_assignment(&p, fixed));
     }
     let cut = metrics::cut(h, &p);
     let result = MlResult {
@@ -642,6 +890,165 @@ mod tests {
         let (p, r) = ml_bipartition(&h, &MlConfig::default(), &mut rng);
         assert_eq!(r.cut, 0);
         assert!(p.validate(&h));
+    }
+}
+
+#[cfg(test)]
+mod constrained_tests {
+    use super::*;
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    fn two_communities(half: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(2 * half);
+        for base in [0, half] {
+            for i in 0..half {
+                b.add_net([base + i, base + (i + 1) % half]).unwrap();
+                b.add_net([base + i, base + (i + 3) % half]).unwrap();
+            }
+        }
+        b.add_net([half - 1, half]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fixed_modules_never_move() {
+        let h = two_communities(64);
+        // Pin two modules against the natural community split and one with
+        // it; every seed must honor all three.
+        let c = Constraints::new(
+            2,
+            0.2,
+            vec![
+                (ModuleId::new(0), 1),
+                (ModuleId::new(70), 0),
+                (ModuleId::new(5), 1),
+            ],
+        )
+        .unwrap();
+        for seed in 0..6 {
+            let mut rng = seeded_rng(seed);
+            let (p, r) = ml_bipartition_constrained(&h, &MlConfig::clip(), &c, &mut rng);
+            assert!(p.validate(&h));
+            for &(v, part) in c.fixed() {
+                assert_eq!(p.part(v), part, "seed {seed}");
+            }
+            assert_eq!(r.cut, metrics::cut(&h, &p));
+        }
+    }
+
+    #[test]
+    fn unconstrained_run_matches_legacy_quality_and_bounds() {
+        let h = two_communities(64);
+        let c = Constraints::unconstrained(2);
+        let bounds = c.bounds(&h);
+        let best = (0..5)
+            .map(|s| {
+                let mut rng = seeded_rng(s);
+                let (p, r) = ml_bipartition_constrained(&h, &MlConfig::default(), &c, &mut rng);
+                assert!(bounds.is_partition_feasible(&p), "{:?}", p.part_areas());
+                r.cut
+            })
+            .min()
+            .unwrap();
+        assert!(best <= 4, "best={best}");
+    }
+
+    #[test]
+    fn tight_epsilon_is_respected_at_the_finest_level() {
+        let h = two_communities(64); // 128 unit modules
+        let c = Constraints::new(2, 0.02, vec![]).unwrap();
+        // slack = max(⌊0.02·64⌋, 1) = 1 around the 64/64 target.
+        let bounds = PartBounds::around_targets(&[64, 64], 128, 1, 0.02);
+        for seed in 0..3 {
+            let mut rng = seeded_rng(seed);
+            let (p, _) = ml_bipartition_constrained(&h, &MlConfig::default(), &c, &mut rng);
+            assert!(bounds.is_partition_feasible(&p), "{:?}", p.part_areas());
+        }
+    }
+
+    #[test]
+    fn heavily_pinned_netlist_still_partitions() {
+        let h = two_communities(64);
+        // Pin a quarter of all modules, half of them "against" the grain.
+        let mut fixed = Vec::new();
+        for i in 0..16 {
+            fixed.push((ModuleId::new(i), 0));
+            fixed.push((ModuleId::new(64 + i), u32::from(i % 2 == 0)));
+        }
+        let c = Constraints::new(2, 0.2, fixed).unwrap();
+        let mut rng = seeded_rng(13);
+        let (p, r) = ml_bipartition_constrained(&h, &MlConfig::default(), &c, &mut rng);
+        assert!(p.validate(&h));
+        for &(v, part) in c.fixed() {
+            assert_eq!(p.part(v), part);
+        }
+        assert_eq!(r.cut, metrics::cut(&h, &p));
+        assert!(c.bounds(&h).is_partition_feasible(&p));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h = two_communities(48);
+        let c = Constraints::new(2, 0.1, vec![(ModuleId::new(3), 1)]).unwrap();
+        let run = |seed| {
+            let mut rng = seeded_rng(seed);
+            ml_bipartition_constrained(&h, &MlConfig::clip(), &c, &mut rng)
+        };
+        let (p1, r1) = run(21);
+        let (p2, r2) = run(21);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn budgeted_constrained_run_keeps_pins_under_truncation() {
+        use mlpart_fm::Budget;
+        let h = two_communities(64);
+        let c = Constraints::new(2, 0.2, vec![(ModuleId::new(0), 1)]).unwrap();
+        let mut rng = seeded_rng(2);
+        let mut ws = RefineWorkspace::new();
+        let mut meter = BudgetMeter::new(&Budget {
+            max_passes: Some(1),
+            ..Budget::default()
+        });
+        let (p, r) = ml_bipartition_constrained_budgeted_in(
+            &h,
+            &MlConfig::default(),
+            c.fixed(),
+            h.total_area() / 2,
+            c.epsilon(),
+            &mut rng,
+            &mut ws,
+            &mut meter,
+        );
+        assert!(r.truncation.is_some());
+        assert!(p.validate(&h));
+        assert_eq!(p.part(ModuleId::new(0)), 1, "pin survives truncation");
+    }
+
+    /// With audits forced on, the pin and bounds checkers run at every level
+    /// of a healthy constrained run.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_hooks_fire_on_constrained_run() {
+        mlpart_audit::force_enabled(true);
+        let h = two_communities(64);
+        let c = Constraints::new(2, 0.2, vec![(ModuleId::new(0), 0)]).unwrap();
+        let mut rng = seeded_rng(7);
+        let (p, r) = ml_bipartition_constrained(&h, &MlConfig::default(), &c, &mut rng);
+        mlpart_audit::force_enabled(false);
+        assert!(r.levels >= 1, "need at least one projection to audit");
+        assert!(p.validate(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "bipartition requires k = 2")]
+    fn rejects_nonbisection_k() {
+        let h = two_communities(8);
+        let c = Constraints::unconstrained(4);
+        let mut rng = seeded_rng(0);
+        let _ = ml_bipartition_constrained(&h, &MlConfig::default(), &c, &mut rng);
     }
 }
 

@@ -8,7 +8,7 @@
 //! [`preflight`] rejects them up front with a [`PreflightError`] the CLI (and
 //! any embedding tool) can report as *invalid input* rather than a crash.
 
-use mlpart_hypergraph::Hypergraph;
+use mlpart_hypergraph::{Constraints, ConstraintsError, Hypergraph, PartId};
 
 /// Why a `(netlist, k, balance)` problem instance is infeasible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +46,35 @@ pub enum PreflightError {
         /// `A(V)/k + ⌊r·A(V)·2/k⌋`.
         capacity: u64,
     },
+    /// The modules fixed to one part already exceed that part's ε-capacity:
+    /// no assignment of the free modules can repair it, since fixed modules
+    /// never move.
+    FixedAreaExceedsBound {
+        /// The over-committed part.
+        part: PartId,
+        /// Total area of the modules fixed to it.
+        fixed_area: u64,
+        /// Its upper capacity bound at the requested ε.
+        bound: u64,
+    },
+    /// After pinning, the free modules cannot populate every part that no
+    /// fixed module covers — some part must stay empty, which the balance
+    /// constraint can never accept.
+    KTooLargeForFixed {
+        /// Requested part count.
+        k: u32,
+        /// Parts holding at least one fixed module.
+        fixed_parts: usize,
+        /// Modules left free by the fixed list.
+        free_modules: usize,
+    },
+    /// A fixed module index exceeds the netlist's module count.
+    FixedModuleOutOfRange {
+        /// Offending module index.
+        module: usize,
+        /// Modules in the netlist.
+        modules: usize,
+    },
 }
 
 impl std::fmt::Display for PreflightError {
@@ -70,6 +99,30 @@ impl std::fmt::Display for PreflightError {
                 "module {module} (area {area}) exceeds the per-part capacity \
                  {capacity}; no feasible partition exists at this tolerance"
             ),
+            PreflightError::FixedAreaExceedsBound {
+                part,
+                fixed_area,
+                bound,
+            } => write!(
+                f,
+                "modules fixed to part {part} total area {fixed_area}, over its \
+                 capacity bound {bound}; no assignment of the free modules can fit"
+            ),
+            PreflightError::KTooLargeForFixed {
+                k,
+                fixed_parts,
+                free_modules,
+            } => write!(
+                f,
+                "k = {k} needs more parts than the {fixed_parts} pinned part(s) \
+                 plus {free_modules} free module(s) can populate"
+            ),
+            PreflightError::FixedModuleOutOfRange { module, modules } => {
+                write!(
+                    f,
+                    "fixed module {module} out of range for {modules} module(s)"
+                )
+            }
         }
     }
 }
@@ -126,6 +179,63 @@ pub fn preflight(h: &Hypergraph, k: u32, balance_r: f64) -> Result<(), Preflight
                 capacity,
             });
         }
+    }
+    Ok(())
+}
+
+/// [`preflight`] for a full [`Constraints`] set: the base `(k, r = ε/2)`
+/// checks plus the fixed-module feasibility that only a constraint-aware run
+/// can violate — pins out of range, a part over-committed by its pinned
+/// area, or too few free modules to populate the unpinned parts.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_core::preflight::{preflight_constrained, PreflightError};
+/// use mlpart_hypergraph::{Constraints, HypergraphBuilder, ModuleId};
+///
+/// let h = HypergraphBuilder::with_unit_areas(8).build().unwrap();
+/// let ok = Constraints::new(2, 0.2, vec![(ModuleId::new(0), 1)]).unwrap();
+/// assert!(preflight_constrained(&h, &ok).is_ok());
+/// let oob = Constraints::new(2, 0.2, vec![(ModuleId::new(9), 1)]).unwrap();
+/// assert!(matches!(
+///     preflight_constrained(&h, &oob),
+///     Err(PreflightError::FixedModuleOutOfRange { module: 9, modules: 8 })
+/// ));
+/// ```
+pub fn preflight_constrained(h: &Hypergraph, c: &Constraints) -> Result<(), PreflightError> {
+    preflight(h, c.k(), c.balance_r())?;
+    // Range-check pins before touching their areas.
+    if let Err(ConstraintsError::ModuleOutOfRange { module, modules }) =
+        c.check_modules(h.num_modules())
+    {
+        return Err(PreflightError::FixedModuleOutOfRange { module, modules });
+    }
+    let bounds = c.bounds(h);
+    for (part, &fixed_area) in c.fixed_areas(h).iter().enumerate() {
+        let bound = bounds.hi(part as PartId);
+        if fixed_area > bound {
+            return Err(PreflightError::FixedAreaExceedsBound {
+                part: part as PartId,
+                fixed_area,
+                bound,
+            });
+        }
+    }
+    // Every part needs at least one module; pins cover their own parts and
+    // the free modules must cover the rest.
+    let mut pinned = vec![false; c.k() as usize];
+    for &(_, p) in c.fixed() {
+        pinned[p as usize] = true;
+    }
+    let fixed_parts = pinned.iter().filter(|&&x| x).count();
+    let free_modules = h.num_modules() - c.fixed().len();
+    if fixed_parts + free_modules < c.k() as usize {
+        return Err(PreflightError::KTooLargeForFixed {
+            k: c.k(),
+            fixed_parts,
+            free_modules,
+        });
     }
     Ok(())
 }
@@ -187,6 +297,65 @@ mod tests {
         areas[0] = 4;
         let h = HypergraphBuilder::new(areas).build().unwrap();
         assert_eq!(preflight(&h, 2, 0.1), Ok(()));
+    }
+
+    #[test]
+    fn constrained_accepts_sane_pins_and_defers_to_base_checks() {
+        use mlpart_hypergraph::{Constraints, ModuleId};
+        let mut b = HypergraphBuilder::with_unit_areas(16);
+        for i in 0..15 {
+            b.add_net([i, i + 1]).unwrap();
+        }
+        let h = b.build().unwrap();
+        let c =
+            Constraints::new(4, 0.2, vec![(ModuleId::new(0), 0), (ModuleId::new(15), 3)]).unwrap();
+        assert_eq!(preflight_constrained(&h, &c), Ok(()));
+        // The base checks still fire through the constrained entry.
+        assert_eq!(
+            preflight_constrained(&h, &Constraints::unconstrained(17)),
+            Err(PreflightError::KExceedsModules { k: 17, modules: 16 })
+        );
+    }
+
+    #[test]
+    fn constrained_rejects_overcommitted_part() {
+        use mlpart_hypergraph::{Constraints, ModuleId};
+        // 16 units, k = 4, ε = 0.2: per-part window tops out at
+        // 4 + max(⌊0.2·4⌋, 1) = 5; pinning six modules to part 2 over-commits
+        // it before any free module is placed.
+        let h = HypergraphBuilder::with_unit_areas(16).build().unwrap();
+        let pins: Vec<_> = (0..6).map(|i| (ModuleId::new(i), 2)).collect();
+        let c = Constraints::new(4, 0.2, pins).unwrap();
+        match preflight_constrained(&h, &c) {
+            Err(PreflightError::FixedAreaExceedsBound {
+                part,
+                fixed_area,
+                bound,
+            }) => {
+                assert_eq!(part, 2);
+                assert_eq!(fixed_area, 6);
+                assert!(bound < 6, "bound {bound}");
+            }
+            other => panic!("expected FixedAreaExceedsBound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constrained_rejects_k_the_pins_cannot_populate() {
+        use mlpart_hypergraph::{Constraints, ModuleId};
+        // 4 modules, k = 4, three pinned to part 0: one free module cannot
+        // cover the three unpinned parts.
+        let h = HypergraphBuilder::with_unit_areas(4).build().unwrap();
+        let pins: Vec<_> = (0..3).map(|i| (ModuleId::new(i), 0)).collect();
+        let c = Constraints::new(4, 2.0, pins).unwrap();
+        assert_eq!(
+            preflight_constrained(&h, &c),
+            Err(PreflightError::KTooLargeForFixed {
+                k: 4,
+                fixed_parts: 1,
+                free_modules: 1
+            })
+        );
     }
 
     #[test]

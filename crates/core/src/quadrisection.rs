@@ -12,8 +12,13 @@ use crate::ml::{LevelStats, MlConfig};
 use mlpart_cluster::{project, rebalance_kway_frozen};
 use mlpart_fm::{BudgetMeter, RefineWorkspace, Truncation};
 use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
-use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
-use mlpart_kway::{kway_partition_budgeted_in, kway_refine_budgeted_in, KwayConfig};
+use mlpart_hypergraph::{
+    metrics, Constraints, Hypergraph, KwayBalance, ModuleId, PartBounds, PartId, Partition,
+};
+use mlpart_kway::{
+    kway_partition_budgeted_in, kway_refine_budgeted_in, kway_refine_constrained_budgeted_in,
+    rebalance_to_bounds, KwayConfig,
+};
 
 /// Configuration for multilevel k-way partitioning.
 ///
@@ -290,6 +295,185 @@ pub fn ml_kway_budgeted_in(
     (p, result)
 }
 
+/// Constraint-aware multilevel k-way partitioning: [`ml_kway`] driven by a
+/// full [`Constraints`] set — general `k`, ε-derived per-part bounds, and
+/// fixed modules that may coarsen together when pinned to the same part
+/// (via [`Hierarchy::coarsen_parts`], unlike the singleton-freezing
+/// [`ml_kway`]).
+///
+/// # Panics
+///
+/// Panics if `cfg.k != constraints.k()` or a fixed module is out of range
+/// (run [`preflight_constrained`](crate::preflight_constrained) first for
+/// typed errors).
+pub fn ml_kway_constrained(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+) -> (Partition, MlKwayResult) {
+    let mut ws = RefineWorkspace::new();
+    ml_kway_constrained_in(h, cfg, constraints, rng, &mut ws)
+}
+
+/// [`ml_kway_constrained`] with caller-owned scratch.
+pub fn ml_kway_constrained_in(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> (Partition, MlKwayResult) {
+    ml_kway_constrained_budgeted_in(h, cfg, constraints, rng, ws, &mut BudgetMeter::unlimited())
+}
+
+/// [`ml_kway_constrained_in`] under a cooperative execution budget; the
+/// constraint-aware twin of [`ml_kway_budgeted_in`]. Per-level bounds are
+/// recomputed from ε with each level's max module area, projection and
+/// pin-respecting rebalancing run at every level even once the budget is
+/// exhausted, and pins are audited at every level when audits are enabled.
+pub fn ml_kway_constrained_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, MlKwayResult) {
+    let k = constraints.k();
+    assert_eq!(cfg.k, k, "cfg.k and constraints.k() disagree");
+    constraints
+        .check_modules(h.num_modules())
+        .expect("fixed module out of range");
+    let ml_cfg = MlConfig {
+        coarsen_threshold: cfg.coarsen_threshold,
+        matching_ratio: cfg.matching_ratio,
+        max_levels: cfg.max_levels,
+        ..MlConfig::default()
+    };
+    #[cfg(feature = "obs")]
+    let _obs_run = mlpart_obs::span(
+        "ml_kway_constrained",
+        &[
+            ("k", u64::from(k).into()),
+            ("modules", h.num_modules().into()),
+            ("fixed", constraints.fixed().len().into()),
+        ],
+    );
+    let epsilon = constraints.epsilon();
+    let bounds_for = |fine: &Hypergraph| PartBounds::from_epsilon(fine, k, epsilon);
+    let hierarchy = Hierarchy::coarsen_parts(h, &ml_cfg, constraints.fixed(), rng);
+    let m = hierarchy.num_levels();
+
+    // Initial k-way partitioning of the coarsest netlist, seeded from pins.
+    let coarsest = hierarchy.coarsest(h);
+    let coarse_fixed = hierarchy.fixed_at(m);
+    let coarse_bounds = bounds_for(coarsest);
+    meter.set_level_context(Some(m as u32));
+    let mut p = Partition::random_fixed(coarsest, k, coarse_fixed, rng);
+    if !coarse_bounds.is_partition_feasible(&p) {
+        let _ = rebalance_to_bounds(coarsest, &mut p, coarse_fixed, &coarse_bounds, rng);
+    }
+    let r0 = kway_refine_constrained_budgeted_in(
+        coarsest,
+        &mut p,
+        coarse_fixed,
+        &cfg.kway,
+        &coarse_bounds,
+        rng,
+        ws,
+        meter,
+    );
+    let mut total_passes = r0.passes;
+    let mut level_stats = Vec::with_capacity(m + 1);
+    level_stats.push(LevelStats::from_passes(
+        m,
+        coarsest.num_modules(),
+        &r0.pass_stats,
+        0,
+    ));
+
+    // Uncoarsening with pin-respecting rebalance and bounded refinement.
+    let mut rebalance_moves = 0usize;
+    for i in (0..m).rev() {
+        let fine: &Hypergraph = if i == 0 { h } else { hierarchy.level(i) };
+        #[cfg(feature = "obs")]
+        let _obs_level = mlpart_obs::span(
+            "level",
+            &[("level", i.into()), ("modules", fine.num_modules().into())],
+        );
+        let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                mlpart_audit::audit_projection(
+                    fine,
+                    &fine_p,
+                    hierarchy.level(i + 1),
+                    &p,
+                    hierarchy.clustering(i).as_map(),
+                )
+                .map_err(|e| e.with_level(i)),
+            );
+        }
+        let bounds = bounds_for(fine);
+        let level_fixed = hierarchy.fixed_at(i);
+        let mut level_rebalance = 0usize;
+        if !bounds.is_partition_feasible(&fine_p) {
+            level_rebalance = rebalance_to_bounds(fine, &mut fine_p, level_fixed, &bounds, rng);
+            rebalance_moves += level_rebalance;
+        }
+        meter.set_level_context(Some(i as u32));
+        let _ = meter.level_checkpoint(i as u32);
+        let r = kway_refine_constrained_budgeted_in(
+            fine,
+            &mut fine_p,
+            level_fixed,
+            &cfg.kway,
+            &bounds,
+            rng,
+            ws,
+            meter,
+        );
+        meter.note_level();
+        #[cfg(feature = "audit")]
+        if mlpart_audit::enabled() {
+            mlpart_audit::enforce(
+                mlpart_audit::audit_fixed_assignment(&fine_p, level_fixed)
+                    .map_err(|e| e.with_level(i)),
+            );
+        }
+        total_passes += r.passes;
+        level_stats.push(LevelStats::from_passes(
+            i,
+            fine.num_modules(),
+            &r.pass_stats,
+            level_rebalance,
+        ));
+        p = fine_p;
+    }
+
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_partition(h, &p));
+        mlpart_audit::enforce(mlpart_audit::audit_fixed_assignment(
+            &p,
+            constraints.fixed(),
+        ));
+    }
+    let result = MlKwayResult {
+        cut: metrics::cut(h, &p),
+        sum_of_degrees: metrics::sum_of_spans_minus_one(h, &p),
+        levels: m,
+        level_sizes: hierarchy.level_sizes(h),
+        total_passes,
+        rebalance_moves,
+        level_stats,
+        truncation: meter.truncation(),
+    };
+    (p, result)
+}
+
 /// Multi-start convenience driver: runs [`ml_kway_in`] once per start with
 /// the independent seed stream `child_seed(base_seed, i)` and returns the
 /// winning start's index, partition, and statistics (lowest cut, ties to the
@@ -525,5 +709,72 @@ mod tests {
         assert_eq!(p1.assignment(), p2.assignment());
         assert_eq!(r1, r2);
         assert_eq!(r2.truncation, None);
+    }
+
+    #[test]
+    fn constrained_kway_honors_pins_across_seeds() {
+        let h = four_communities(50);
+        let c = Constraints::new(
+            4,
+            0.2,
+            vec![
+                (ModuleId::new(0), 3),   // against the natural quadrant
+                (ModuleId::new(75), 1),  // with it
+                (ModuleId::new(120), 0), // against
+            ],
+        )
+        .unwrap();
+        let cfg = MlKwayConfig::default();
+        let bounds = c.bounds(&h);
+        for seed in 0..4 {
+            let mut rng = seeded_rng(seed);
+            let (p, r) = ml_kway_constrained(&h, &cfg, &c, &mut rng);
+            assert!(p.validate(&h));
+            for &(v, part) in c.fixed() {
+                assert_eq!(p.part(v), part, "seed {seed}");
+            }
+            assert!(bounds.is_partition_feasible(&p), "{:?}", p.part_areas());
+            assert_eq!(r.cut, metrics::cut(&h, &p));
+        }
+    }
+
+    #[test]
+    fn constrained_kway_without_pins_finds_low_cut() {
+        let h = four_communities(50);
+        let cfg = MlKwayConfig::default();
+        let c = Constraints::unconstrained(4);
+        let best = (0..5)
+            .map(|s| {
+                let mut rng = seeded_rng(s);
+                ml_kway_constrained(&h, &cfg, &c, &mut rng).1.cut
+            })
+            .min()
+            .unwrap();
+        assert!(best <= 12, "best={best}");
+    }
+
+    #[test]
+    fn constrained_kway_is_deterministic_given_seed() {
+        let h = four_communities(40);
+        let cfg = MlKwayConfig::default();
+        let c = Constraints::new(4, 0.1, vec![(ModuleId::new(7), 2)]).unwrap();
+        let run = |seed| {
+            let mut rng = seeded_rng(seed);
+            ml_kway_constrained(&h, &cfg, &c, &mut rng)
+        };
+        let (p1, r1) = run(11);
+        let (p2, r2) = run(11);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cfg.k and constraints.k() disagree")]
+    fn constrained_kway_rejects_mismatched_k() {
+        let h = four_communities(10);
+        let cfg = MlKwayConfig::default(); // k = 4
+        let c = Constraints::unconstrained(8);
+        let mut rng = seeded_rng(0);
+        let _ = ml_kway_constrained(&h, &cfg, &c, &mut rng);
     }
 }

@@ -9,10 +9,12 @@
 //! sub-netlist and bisected again, recursively, yielding `k = 2^depth`
 //! parts.
 
-use crate::ml::{ml_bipartition_budgeted_in, MlConfig};
+use crate::ml::{ml_bipartition_budgeted_in, ml_bipartition_constrained_budgeted_in, MlConfig};
 use mlpart_fm::{BudgetMeter, RefineWorkspace, Truncation};
 use mlpart_hypergraph::rng::MlRng;
-use mlpart_hypergraph::{metrics, Hypergraph, Partition};
+use mlpart_hypergraph::{
+    adapted_epsilon, metrics, Constraints, Hypergraph, ModuleId, PartId, Partition,
+};
 
 /// Statistics from a recursive bisection run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,6 +168,206 @@ pub fn recursive_ml_bisection_budgeted_in(
     (p, result)
 }
 
+/// Partitions `h` into an **arbitrary** `k` parts by recursive constrained
+/// ML bisection, honoring a full [`Constraints`] set.
+///
+/// Where [`recursive_ml_bisection`] serves only `k = 2^depth` with uniform
+/// halves, this driver splits each region `⌈k/2⌉ : ⌊k/2⌋` with an
+/// area target proportional to the part counts, runs every bisection under
+/// the per-level tolerance `ε′ = (1 + ε)^(1/⌈log₂ k⌉) − 1`
+/// ([`adapted_epsilon`]) so the composed imbalance never exceeds the
+/// requested ε, and routes each fixed module to whichever side of a split
+/// contains its pinned part.
+///
+/// # Panics
+///
+/// Panics if a fixed module is out of range (run
+/// [`preflight_constrained`](crate::preflight_constrained) first for typed
+/// errors).
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_core::{recursive_ml_partition, MlConfig};
+/// use mlpart_hypergraph::{Constraints, HypergraphBuilder, rng::seeded_rng, metrics};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_areas(60);
+/// for i in 0..59 {
+///     b.add_net([i, i + 1])?;
+/// }
+/// let h = b.build()?;
+/// let c = Constraints::new(3, 0.1, vec![])?;
+/// let mut rng = seeded_rng(4);
+/// let (p, r) = recursive_ml_partition(&h, &MlConfig::default(), &c, &mut rng);
+/// assert_eq!(p.k(), 3);
+/// assert_eq!(r.cut, metrics::cut(&h, &p));
+/// # Ok(())
+/// # }
+/// ```
+pub fn recursive_ml_partition(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+) -> (Partition, RecursiveResult) {
+    let mut ws = RefineWorkspace::new();
+    recursive_ml_partition_budgeted_in(
+        h,
+        cfg,
+        constraints,
+        rng,
+        &mut ws,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// [`recursive_ml_partition`] with caller-owned scratch and a cooperative
+/// execution budget shared across every region's bisection (exhausted
+/// regions still split, unrefined, preserving the k-part shape).
+pub fn recursive_ml_partition_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, RecursiveResult) {
+    let k = constraints.k();
+    let n = h.num_modules();
+    constraints
+        .check_modules(n)
+        .expect("fixed module out of range");
+    #[cfg(feature = "obs")]
+    let _obs_run = mlpart_obs::span(
+        "recursive_partition",
+        &[
+            ("k", u64::from(k).into()),
+            ("modules", n.into()),
+            ("fixed", constraints.fixed().len().into()),
+        ],
+    );
+    let eps = adapted_epsilon(constraints.epsilon(), k);
+    // Pin lookup dense by module, shared by every region.
+    let mut pin: Vec<Option<PartId>> = vec![None; n];
+    for &(v, p) in constraints.fixed() {
+        pin[v.index()] = Some(p);
+    }
+    let mut region = vec![0u32; n];
+    let mut bisections = 0usize;
+    let members: Vec<u32> = (0..n as u32).collect();
+    split_region(
+        h,
+        cfg,
+        &pin,
+        &mut region,
+        &members,
+        0,
+        k,
+        eps,
+        rng,
+        ws,
+        meter,
+        &mut bisections,
+    );
+    let p = Partition::from_assignment(h, k, region).expect("region ids below k");
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_partition(h, &p));
+        mlpart_audit::enforce(mlpart_audit::audit_fixed_assignment(
+            &p,
+            constraints.fixed(),
+        ));
+    }
+    let result = RecursiveResult {
+        cut: metrics::cut(h, &p),
+        sum_of_degrees: metrics::sum_of_spans_minus_one(h, &p),
+        bisections,
+        truncation: meter.truncation(),
+    };
+    (p, result)
+}
+
+/// One region of the recursion: assign `members` the final part ids
+/// `part_base .. part_base + k_region`, bisecting `⌈k/2⌉ : ⌊k/2⌋` until
+/// regions are single parts. Deterministic: regions recurse low side first,
+/// so the RNG schedule is a pure function of the inputs.
+#[allow(clippy::too_many_arguments)]
+fn split_region(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    pin: &[Option<PartId>],
+    region: &mut [u32],
+    members: &[u32],
+    part_base: u32,
+    k_region: u32,
+    eps: f64,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+    bisections: &mut usize,
+) {
+    if k_region == 1 {
+        for &v in members {
+            region[v as usize] = part_base;
+        }
+        return;
+    }
+    let k_lo = k_region - k_region / 2; // ⌈k/2⌉ parts on side 0
+    let k_hi = k_region / 2;
+    if members.len() < 2 {
+        // Too small to bisect: pins keep their parts, free modules take the
+        // region's first part.
+        for &v in members {
+            region[v as usize] = pin[v as usize].unwrap_or(part_base);
+        }
+        return;
+    }
+    let mut keep = vec![false; h.num_modules()];
+    for &v in members {
+        keep[v as usize] = true;
+    }
+    let (sub, back) = h.extract(&keep);
+    #[cfg(feature = "obs")]
+    let _obs_region = mlpart_obs::span(
+        "region",
+        &[
+            ("part_base", u64::from(part_base).into()),
+            ("k_region", u64::from(k_region).into()),
+            ("modules", members.len().into()),
+        ],
+    );
+    // A pin belongs to side 0 iff its part falls in the low part range.
+    let boundary = part_base + k_lo;
+    let sub_fixed: Vec<(ModuleId, PartId)> = back
+        .iter()
+        .enumerate()
+        .filter_map(|(sub_v, &orig)| {
+            pin[orig.index()].map(|t| (ModuleId::new(sub_v), u32::from(t >= boundary)))
+        })
+        .collect();
+    let total = sub.total_area();
+    let target0 = ((total as u128 * k_lo as u128) / k_region as u128) as u64;
+    let (sub_p, _) =
+        ml_bipartition_constrained_budgeted_in(&sub, cfg, &sub_fixed, target0, eps, rng, ws, meter);
+    *bisections += 1;
+    let mut low = Vec::new();
+    let mut high = Vec::new();
+    for (sub_v, &orig) in back.iter().enumerate() {
+        if sub_p.assignment()[sub_v] == 0 {
+            low.push(orig.raw());
+        } else {
+            high.push(orig.raw());
+        }
+    }
+    split_region(
+        h, cfg, pin, region, &low, part_base, k_lo, eps, rng, ws, meter, bisections,
+    );
+    split_region(
+        h, cfg, pin, region, &high, boundary, k_hi, eps, rng, ws, meter, bisections,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +478,92 @@ mod tests {
         let h = four_communities(8);
         let mut rng = seeded_rng(0);
         let _ = recursive_ml_bisection(&h, 0, &MlConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn general_k_produces_exactly_k_near_even_parts() {
+        let h = four_communities(30); // 120 unit modules
+        for k in [3u32, 5, 6] {
+            let c = Constraints::unconstrained(k);
+            let mut rng = seeded_rng(5);
+            let (p, r) = recursive_ml_partition(&h, &MlConfig::default(), &c, &mut rng);
+            assert_eq!(p.k(), k);
+            assert!(p.validate(&h));
+            assert_eq!(r.cut, metrics::cut(&h, &p));
+            assert_eq!(r.bisections, k as usize - 1, "k−1 bisections for k={k}");
+            let target = h.total_area() / k as u64;
+            for (part, &area) in p.part_areas().iter().enumerate() {
+                assert!(
+                    area >= target / 2 && area <= target * 2,
+                    "k={k} part {part} area {area} far from target {target}: {:?}",
+                    p.part_areas()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn general_k_honors_pins() {
+        let h = four_communities(30);
+        let c = Constraints::new(
+            5,
+            0.2,
+            vec![
+                (ModuleId::new(0), 4),
+                (ModuleId::new(31), 0),
+                (ModuleId::new(64), 2),
+                (ModuleId::new(119), 1),
+            ],
+        )
+        .unwrap();
+        for seed in 0..4 {
+            let mut rng = seeded_rng(seed);
+            let (p, _) = recursive_ml_partition(&h, &MlConfig::default(), &c, &mut rng);
+            for &(v, part) in c.fixed() {
+                assert_eq!(p.part(v), part, "seed {seed}");
+            }
+            assert!(p.validate(&h));
+        }
+    }
+
+    #[test]
+    fn general_k_is_deterministic_given_seed() {
+        let h = four_communities(20);
+        let c = Constraints::new(3, 0.1, vec![(ModuleId::new(2), 1)]).unwrap();
+        let run = |seed| {
+            let mut rng = seeded_rng(seed);
+            recursive_ml_partition(&h, &MlConfig::default(), &c, &mut rng)
+        };
+        let (p1, r1) = run(17);
+        let (p2, r2) = run(17);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn general_k_power_of_two_matches_quadrant_structure() {
+        let h = four_communities(25);
+        let c = Constraints::unconstrained(4);
+        let best = (0..5)
+            .map(|s| {
+                let mut rng = seeded_rng(s);
+                recursive_ml_partition(&h, &MlConfig::default(), &c, &mut rng)
+                    .1
+                    .cut
+            })
+            .min()
+            .unwrap();
+        assert!(best <= 10, "best={best}");
+    }
+
+    #[test]
+    fn general_k_one_part_puts_everything_in_part_zero() {
+        let h = four_communities(8);
+        let c = Constraints::unconstrained(1);
+        let mut rng = seeded_rng(0);
+        let (p, r) = recursive_ml_partition(&h, &MlConfig::default(), &c, &mut rng);
+        assert_eq!(p.k(), 1);
+        assert_eq!(r.bisections, 0);
+        assert_eq!(r.cut, 0);
     }
 }

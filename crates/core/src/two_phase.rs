@@ -11,13 +11,19 @@
 //! to as many phases as desired". Included as a baseline so the value of
 //! *multiple* levels can be isolated experimentally.
 
-use mlpart_cluster::{induce, match_clusters, project, rebalance_bipart, MatchConfig};
+use crate::hierarchy::fixed_mask;
+use mlpart_cluster::{
+    induce, match_clusters, match_clusters_parts, project, rebalance_bipart, MatchConfig,
+};
 use mlpart_fm::{
-    fm_partition_budgeted_in, refine_budgeted_in, BudgetMeter, FmConfig, FmResult, RefineWorkspace,
-    Truncation,
+    fm_partition_budgeted_in, refine_budgeted_in, refine_constrained_budgeted_in, BudgetMeter,
+    FmConfig, FmResult, RefineWorkspace, Truncation,
 };
 use mlpart_hypergraph::rng::MlRng;
-use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, Partition};
+use mlpart_hypergraph::{
+    metrics, BipartBalance, Constraints, Hypergraph, ModuleId, PartBounds, PartId, Partition,
+};
+use mlpart_kway::rebalance_to_bounds;
 
 /// Result of a two-phase FM run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +131,181 @@ pub fn two_phase_fm_budgeted_in(
     meter.set_level_context(Some(0));
     let refine_r = refine_budgeted_in(h, &mut p, fm, rng, ws, meter);
 
+    let result = TwoPhaseResult {
+        cut: metrics::cut(h, &p),
+        coarse_cut: coarse_r.cut,
+        coarse_modules: coarse.num_modules(),
+        refine: refine_r,
+        truncation: meter.truncation(),
+    };
+    (p, result)
+}
+
+/// [`two_phase_fm`] generalized to [`Constraints`]: fixed modules keep their
+/// pinned side through clustering, the coarse partition, projection, and both
+/// refinement runs, and balance follows the constraints' ε window instead of
+/// `fm.balance_r`.
+///
+/// Only `k = 2` constraints are accepted — two-phase FM is a bipartitioning
+/// baseline. Unconstrained runs are comparable rather than byte-identical to
+/// [`two_phase_fm`]: the initial coarse partition is drawn by this driver
+/// (so pins can seed it) rather than inside FM, which shifts the RNG
+/// schedule.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_core::two_phase::two_phase_fm_constrained;
+/// use mlpart_cluster::MatchConfig;
+/// use mlpart_fm::FmConfig;
+/// use mlpart_hypergraph::{Constraints, HypergraphBuilder, ModuleId, rng::seeded_rng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_unit_areas(32);
+/// for i in 0..31 {
+///     b.add_net([i, i + 1])?;
+/// }
+/// let h = b.build()?;
+/// let c = Constraints::new(2, 0.2, vec![(ModuleId::new(0), 1)])?;
+/// let mut rng = seeded_rng(3);
+/// let (p, _) = two_phase_fm_constrained(&h, &FmConfig::default(), &MatchConfig::default(), &c, &mut rng);
+/// assert_eq!(p.part(ModuleId::new(0)), 1);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `constraints.k() != 2` or a fixed module is out of range.
+pub fn two_phase_fm_constrained(
+    h: &Hypergraph,
+    fm: &FmConfig,
+    match_cfg: &MatchConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+) -> (Partition, TwoPhaseResult) {
+    let mut ws = RefineWorkspace::new();
+    two_phase_fm_constrained_in(h, fm, match_cfg, constraints, rng, &mut ws)
+}
+
+/// [`two_phase_fm_constrained`] with caller-owned scratch.
+pub fn two_phase_fm_constrained_in(
+    h: &Hypergraph,
+    fm: &FmConfig,
+    match_cfg: &MatchConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> (Partition, TwoPhaseResult) {
+    two_phase_fm_constrained_budgeted_in(
+        h,
+        fm,
+        match_cfg,
+        constraints,
+        rng,
+        ws,
+        &mut BudgetMeter::unlimited(),
+    )
+}
+
+/// [`two_phase_fm_constrained_in`] under a cooperative execution budget.
+pub fn two_phase_fm_constrained_budgeted_in(
+    h: &Hypergraph,
+    fm: &FmConfig,
+    match_cfg: &MatchConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> (Partition, TwoPhaseResult) {
+    assert_eq!(constraints.k(), 2, "two-phase FM requires k = 2");
+    constraints
+        .check_modules(h.num_modules())
+        .expect("fixed module out of range");
+    let fixed = constraints.fixed();
+    let total = h.total_area();
+    let target0 = total / 2;
+    let epsilon = constraints.epsilon();
+    #[cfg(feature = "obs")]
+    let _obs_run = mlpart_obs::span(
+        "two_phase_constrained",
+        &[
+            ("modules", h.num_modules().into()),
+            ("fixed", fixed.len().into()),
+        ],
+    );
+    let bounds_for = |net: &Hypergraph| {
+        PartBounds::around_targets(&[target0, total - target0], total, net.max_area(), epsilon)
+    };
+
+    // Phase 1: cluster once (same-part pins may merge, cross-part pins may
+    // not) and partition the induced netlist from a pin-seeded start.
+    let clustering = if fixed.is_empty() {
+        match_clusters(h, match_cfg, rng)
+    } else {
+        let mut seed: Vec<Option<PartId>> = vec![None; h.num_modules()];
+        for &(v, p) in fixed {
+            seed[v.index()] = Some(p);
+        }
+        match_clusters_parts(h, match_cfg, Some(seed.as_slice()), rng)
+    };
+    let coarse = induce(h, &clustering);
+    let mut coarse_fixed: Vec<(ModuleId, PartId)> = fixed
+        .iter()
+        .map(|&(v, p)| (ModuleId::new(clustering.cluster_of(v) as usize), p))
+        .collect();
+    coarse_fixed.sort_unstable_by_key(|&(v, _)| v);
+    coarse_fixed.dedup_by(|a, b| {
+        debug_assert!(a.0 != b.0 || a.1 == b.1, "cross-part pins merged");
+        a.0 == b.0
+    });
+    #[cfg(feature = "obs")]
+    mlpart_obs::counter(
+        "two_phase_coarse",
+        &[("coarse_modules", coarse.num_modules().into())],
+    );
+    let coarse_bounds = bounds_for(&coarse);
+    let coarse_mask = fixed_mask(&coarse_fixed, coarse.num_modules());
+    meter.set_level_context(Some(1));
+    let mut coarse_p = Partition::random_fixed(&coarse, 2, &coarse_fixed, rng);
+    if !coarse_bounds.is_partition_feasible(&coarse_p) {
+        let _ = rebalance_to_bounds(&coarse, &mut coarse_p, &coarse_fixed, &coarse_bounds, rng);
+    }
+    let coarse_r = refine_constrained_budgeted_in(
+        &coarse,
+        &mut coarse_p,
+        fm,
+        &coarse_bounds,
+        &coarse_mask,
+        rng,
+        ws,
+        meter,
+    );
+
+    // Phase 2: project and refine on the original netlist.
+    let mut p = project(h, &clustering, &coarse_p);
+    let bounds = bounds_for(h);
+    let mut _rebalance = 0usize;
+    if !bounds.is_partition_feasible(&p) {
+        _rebalance = rebalance_to_bounds(h, &mut p, fixed, &bounds, rng);
+    }
+    #[cfg(feature = "obs")]
+    mlpart_obs::counter(
+        "rebalance",
+        &[("level", 0u64.into()), ("moves", _rebalance.into())],
+    );
+    meter.set_level_context(Some(0));
+    let mask = fixed_mask(fixed, h.num_modules());
+    let refine_r = refine_constrained_budgeted_in(h, &mut p, fm, &bounds, &mask, rng, ws, meter);
+
+    #[cfg(feature = "audit")]
+    if mlpart_audit::enabled() {
+        mlpart_audit::enforce(mlpart_audit::audit_partition(h, &p));
+        mlpart_audit::enforce(mlpart_audit::audit_fixed_assignment(&p, fixed));
+        let (lo, hi): (Vec<u64>, Vec<u64>) =
+            (0..2u32).map(|q| (bounds.lo(q), bounds.hi(q))).unzip();
+        mlpart_audit::enforce(mlpart_audit::audit_part_bounds(&p, &lo, &hi));
+    }
     let result = TwoPhaseResult {
         cut: metrics::cut(h, &p),
         coarse_cut: coarse_r.cut,
@@ -266,5 +447,65 @@ mod tests {
         let (p2, r2) = run(5);
         assert_eq!(p1.assignment(), p2.assignment());
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn constrained_two_phase_honors_pins_across_seeds() {
+        let h = two_communities(50);
+        let c =
+            Constraints::new(2, 0.2, vec![(ModuleId::new(0), 1), (ModuleId::new(60), 0)]).unwrap();
+        let bounds = PartBounds::from_epsilon(&h, 2, 0.2);
+        for seed in 0..5 {
+            let mut rng = seeded_rng(seed);
+            let (p, r) = two_phase_fm_constrained(
+                &h,
+                &FmConfig::default(),
+                &MatchConfig::default(),
+                &c,
+                &mut rng,
+            );
+            assert!(p.validate(&h));
+            for &(v, part) in c.fixed() {
+                assert_eq!(p.part(v), part, "seed {seed}");
+            }
+            assert!(bounds.is_partition_feasible(&p), "{:?}", p.part_areas());
+            assert_eq!(r.cut, metrics::cut(&h, &p));
+            assert!(r.coarse_modules < h.num_modules());
+        }
+    }
+
+    #[test]
+    fn constrained_two_phase_is_deterministic_given_seed() {
+        let h = two_communities(30);
+        let c = Constraints::new(2, 0.1, vec![(ModuleId::new(4), 1)]).unwrap();
+        let run = |seed| {
+            let mut rng = seeded_rng(seed);
+            two_phase_fm_constrained(
+                &h,
+                &FmConfig::default(),
+                &MatchConfig::default(),
+                &c,
+                &mut rng,
+            )
+        };
+        let (p1, r1) = run(9);
+        let (p2, r2) = run(9);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-phase FM requires k = 2")]
+    fn constrained_two_phase_rejects_kway_constraints() {
+        let h = two_communities(8);
+        let c = Constraints::unconstrained(3);
+        let mut rng = seeded_rng(0);
+        let _ = two_phase_fm_constrained(
+            &h,
+            &FmConfig::default(),
+            &MatchConfig::default(),
+            &c,
+            &mut rng,
+        );
     }
 }

@@ -27,7 +27,9 @@ use crate::bucket::BucketPolicy;
 use crate::budget::BudgetMeter;
 use crate::state::{PassStats, RefineState, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
-use mlpart_hypergraph::{metrics, BipartBalance, Hypergraph, ModuleId, NetId, Partition};
+use mlpart_hypergraph::{
+    metrics, BipartBalance, Hypergraph, ModuleId, NetId, PartBounds, Partition,
+};
 use std::time::Instant;
 
 /// Which gain discipline drives module selection.
@@ -265,14 +267,51 @@ pub fn refine_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> FmResult {
+    let bounds = PartBounds::from_bipart(&BipartBalance::new(h, cfg.balance_r));
+    refine_constrained_budgeted_in(h, p, cfg, &bounds, &[], rng, ws, meter)
+}
+
+/// [`refine_budgeted_in`] under explicit constraints: per-part `[lo, hi]`
+/// area windows instead of the ratio-derived §III-B bounds, plus a set of
+/// *fixed* modules that never move (one flag per module; pass an empty slice
+/// for none). Fixed modules are excluded from the gain buckets for the whole
+/// run — they are never selected, so every prefix of the move sequence
+/// leaves them on the part the initial partition assigns.
+///
+/// With bounds derived via [`PartBounds::from_bipart`] from the same
+/// tolerance and an empty fixed set, this is byte-identical to
+/// [`refine_budgeted_in`].
+///
+/// # Panics
+///
+/// Panics if `p` is not a bipartition of `h`, `bounds` is not 2-part, or
+/// `fixed` is non-empty with the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_constrained_budgeted_in(
+    h: &Hypergraph,
+    p: &mut Partition,
+    cfg: &FmConfig,
+    bounds: &PartBounds,
+    fixed: &[bool],
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> FmResult {
     assert_eq!(p.k(), 2, "refine requires a bipartition");
     assert_eq!(
         p.assignment().len(),
         h.num_modules(),
         "partition does not match hypergraph"
     );
+    assert_eq!(bounds.k(), 2, "refine requires 2-part bounds");
+    if !fixed.is_empty() {
+        assert_eq!(fixed.len(), h.num_modules(), "fixed mask has wrong length");
+    }
     let st = &mut ws.state;
     bind_bipart(st, h, cfg);
+    if !fixed.is_empty() {
+        st.fixed.copy_from_slice(fixed);
+    }
     #[cfg(feature = "obs")]
     let _obs_span = mlpart_obs::span(
         "fm_refine",
@@ -288,7 +327,6 @@ pub fn refine_budgeted_in(
             ("modules", h.num_modules().into()),
         ],
     );
-    let balance = BipartBalance::new(h, cfg.balance_r);
     let mut passes = 0;
     let mut kept_moves = 0u64;
     let mut attempted_moves = 0u64;
@@ -297,7 +335,7 @@ pub fn refine_budgeted_in(
         if !meter.pass_checkpoint(passes as u32) {
             break;
         }
-        let outcome = st.run_pass(h, p, cfg, &balance, rng, passes);
+        let outcome = st.run_pass(h, p, cfg, bounds, rng, passes);
         passes += 1;
         meter.note_pass(outcome.stats.attempted_moves as u64);
         kept_moves += outcome.stats.kept_moves as u64;
@@ -416,8 +454,11 @@ impl RefineState {
     /// Loads the bucket structure for a fresh pass.
     fn fill_buckets(&mut self, h: &Hypergraph, p: &Partition, cfg: &FmConfig) {
         self.buckets[0].clear();
-        // Which modules enter initially?
+        // Which modules enter initially? Fixed modules never do.
         let eligible = |ctx: &Self, v: ModuleId| -> bool {
+            if ctx.fixed[v.index()] {
+                return false;
+            }
             if !cfg.boundary_init {
                 return true;
             }
@@ -645,7 +686,7 @@ impl RefineState {
         h: &Hypergraph,
         p: &mut Partition,
         cfg: &FmConfig,
-        balance: &BipartBalance,
+        bounds: &PartBounds,
         rng: &mut MlRng,
         _pass_no: usize,
     ) -> PassOutcome {
@@ -665,7 +706,9 @@ impl RefineState {
             self.recompute(h, p)
         };
         self.state_valid = false;
-        self.locked.fill(false);
+        // Fixed modules start (and stay) locked: never selected, skipped by
+        // the gain-update rules. All-false `fixed` makes this `fill(false)`.
+        self.locked.copy_from_slice(&self.fixed);
         self.moves.clear();
         self.fill_buckets(h, p, cfg);
         let fill_time_ns = fill_start.elapsed().as_nanos() as u64;
@@ -695,6 +738,7 @@ impl RefineState {
             );
         }
 
+        let total = h.total_area();
         let mut cut = start_cut;
         let mut best_cut = start_cut;
         let mut best_len = 0usize;
@@ -720,7 +764,8 @@ impl RefineState {
                     } else {
                         area0 + a
                     };
-                    balance.is_feasible(new_a0)
+                    let new_a1 = total - new_a0.min(total);
+                    bounds.is_area_feasible(0, new_a0) && bounds.is_area_feasible(1, new_a1)
                 };
                 if cfg.lookahead {
                     self.select_lookahead(h, p, check)
@@ -1118,6 +1163,169 @@ mod tests {
         let mut rng = seeded_rng(9);
         let (p, _) = fm_partition(&h, None, &cfg, &mut rng);
         assert!(bal.is_partition_feasible(&p));
+    }
+}
+
+#[cfg(test)]
+mod constrained_tests {
+    use super::*;
+    use mlpart_hypergraph::rng::seeded_rng;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    fn dumbbell() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(8);
+        for i in 0..4usize {
+            for j in (i + 1)..4 {
+                b.add_net([i, j]).unwrap();
+                b.add_net([i + 4, j + 4]).unwrap();
+            }
+        }
+        b.add_net([3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn run_constrained(
+        h: &Hypergraph,
+        p0: &Partition,
+        cfg: &FmConfig,
+        fixed: &[bool],
+        seed: u64,
+    ) -> (Partition, FmResult) {
+        let bounds = PartBounds::from_bipart(&BipartBalance::new(h, cfg.balance_r));
+        let mut p = p0.clone();
+        let r = refine_constrained_budgeted_in(
+            h,
+            &mut p,
+            cfg,
+            &bounds,
+            fixed,
+            &mut seeded_rng(seed),
+            &mut RefineWorkspace::new(),
+            &mut BudgetMeter::unlimited(),
+        );
+        (p, r)
+    }
+
+    #[test]
+    fn empty_fixed_set_is_byte_identical_to_legacy_refine() {
+        let h = dumbbell();
+        for (engine, extra) in [
+            (Engine::Fm, false),
+            (Engine::Clip, false),
+            (Engine::Fm, true),
+        ] {
+            let cfg = FmConfig {
+                engine,
+                boundary_init: extra,
+                cdip_window: extra.then_some(4),
+                ..FmConfig::default()
+            };
+            for seed in 0..6 {
+                let p0 = Partition::random(&h, 2, &mut seeded_rng(1000 + seed));
+                let mut p_legacy = p0.clone();
+                let r_legacy = refine(&h, &mut p_legacy, &cfg, &mut seeded_rng(seed));
+                let (p_new, r_new) = run_constrained(&h, &p0, &cfg, &[], seed);
+                assert_eq!(p_legacy.assignment(), p_new.assignment(), "seed {seed}");
+                assert_eq!(r_legacy, r_new, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_modules_never_move() {
+        let h = dumbbell();
+        // Pin one module of each clique to the "wrong" side: refinement must
+        // work around them, never through them.
+        let p0 = Partition::from_assignment(&h, 2, vec![1, 0, 0, 0, 1, 1, 1, 0]).unwrap();
+        let mut fixed = vec![false; 8];
+        fixed[0] = true;
+        fixed[7] = true;
+        for engine in [Engine::Fm, Engine::Clip] {
+            for boundary_init in [false, true] {
+                let cfg = FmConfig {
+                    engine,
+                    boundary_init,
+                    ..FmConfig::default()
+                };
+                for seed in 0..8 {
+                    let (p, r) = run_constrained(&h, &p0, &cfg, &fixed, seed);
+                    assert_eq!(p.part(ModuleId::new(0)), 1, "seed {seed}");
+                    assert_eq!(p.part(ModuleId::new(7)), 0, "seed {seed}");
+                    assert_eq!(r.cut, metrics::cut(&h, &p));
+                    assert!(p.validate(&h));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_modules_survive_cdip_backtracking() {
+        let h = dumbbell();
+        let p0 = Partition::from_assignment(&h, 2, vec![0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
+        let mut fixed = vec![false; 8];
+        fixed[2] = true;
+        fixed[5] = true;
+        let cfg = FmConfig {
+            cdip_window: Some(1),
+            ..FmConfig::default()
+        };
+        for seed in 0..6 {
+            let (p, _) = run_constrained(&h, &p0, &cfg, &fixed, seed);
+            assert_eq!(p.part(ModuleId::new(2)), 0, "seed {seed}");
+            assert_eq!(p.part(ModuleId::new(5)), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn narrow_window_bounds_are_respected() {
+        let h = dumbbell();
+        // Exact bisection only: lo = hi = 4 on both sides.
+        let bounds = PartBounds::uniform(2, 4, 4);
+        let p0 = Partition::from_assignment(&h, 2, vec![0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
+        let mut p = p0.clone();
+        let cfg = FmConfig::default();
+        let _ = refine_constrained_budgeted_in(
+            &h,
+            &mut p,
+            &cfg,
+            &bounds,
+            &[],
+            &mut seeded_rng(3),
+            &mut RefineWorkspace::new(),
+            &mut BudgetMeter::unlimited(),
+        );
+        assert!(bounds.is_partition_feasible(&p));
+    }
+
+    #[test]
+    fn all_fixed_leaves_partition_untouched() {
+        let h = dumbbell();
+        let p0 = Partition::from_assignment(&h, 2, vec![0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
+        let fixed = vec![true; 8];
+        let (p, r) = run_constrained(&h, &p0, &FmConfig::default(), &fixed, 0);
+        assert_eq!(p.assignment(), p0.assignment());
+        assert_eq!(r.kept_moves, 0);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_accepts_fixed_runs() {
+        mlpart_audit::force_enabled(true);
+        let h = dumbbell();
+        let p0 = Partition::from_assignment(&h, 2, vec![1, 0, 0, 0, 1, 1, 1, 0]).unwrap();
+        let mut fixed = vec![false; 8];
+        fixed[0] = true;
+        let (p, _) = run_constrained(&h, &p0, &FmConfig::default(), &fixed, 2);
+        mlpart_audit::force_enabled(false);
+        assert_eq!(p.part(ModuleId::new(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed mask has wrong length")]
+    fn rejects_wrong_fixed_length() {
+        let h = dumbbell();
+        let p0 = Partition::random(&h, 2, &mut seeded_rng(0));
+        let _ = run_constrained(&h, &p0, &FmConfig::default(), &[true], 0);
     }
 }
 

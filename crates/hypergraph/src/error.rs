@@ -201,6 +201,83 @@ impl From<BuildHypergraphError> for ParseHgrError {
     }
 }
 
+/// Error produced while parsing an hMETIS fixed-vertex (`.fix`) file — the
+/// companion format Coloquinte writes beside its `.hgr` exports: one line
+/// per module holding either the part the module is pinned to or `-1` for a
+/// free module.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseFixError {
+    /// An underlying I/O error while reading.
+    Io(std::io::Error),
+    /// A line could not be parsed as an integer.
+    BadToken {
+        /// 1-based line number of the offending token.
+        line_no: usize,
+        /// The token text.
+        token: String,
+    },
+    /// A line named a part outside `0..k` (and was not the free marker
+    /// `-1`).
+    BadPartId {
+        /// 1-based line number.
+        line_no: usize,
+        /// The out-of-range part id.
+        part: i64,
+        /// The part count the file was validated against.
+        k: u32,
+    },
+    /// The file's line count does not match the netlist's module count —
+    /// the format requires exactly one line per module.
+    WrongLineCount {
+        /// Modules in the companion netlist.
+        expected: usize,
+        /// Assignment lines actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseFixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseFixError::Io(e) => write!(f, "i/o error while reading fixed-vertex file: {e}"),
+            ParseFixError::BadToken { line_no, token } => {
+                write!(
+                    f,
+                    "line {line_no}: cannot parse token {token:?} as a part id"
+                )
+            }
+            ParseFixError::BadPartId { line_no, part, k } => {
+                write!(
+                    f,
+                    "line {line_no}: part id {part} out of range (expected -1 or 0..{k})"
+                )
+            }
+            ParseFixError::WrongLineCount { expected, found } => {
+                write!(
+                    f,
+                    "fixed-vertex file has {found} assignment line(s) for {expected} module(s)"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for ParseFixError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ParseFixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseFixError {
+    fn from(e: std::io::Error) -> Self {
+        ParseFixError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +309,25 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<BuildHypergraphError>();
         assert_send_sync::<ParseHgrError>();
+        assert_send_sync::<ParseFixError>();
+    }
+
+    #[test]
+    fn fix_errors_render_location() {
+        let e = ParseFixError::BadPartId {
+            line_no: 4,
+            part: 7,
+            k: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("7"), "{msg}");
+        let e = ParseFixError::WrongLineCount {
+            expected: 10,
+            found: 8,
+        };
+        assert!(e.to_string().contains("8"));
+        let io = ParseFixError::from(std::io::Error::other("x"));
+        assert!(StdError::source(&io).is_some());
     }
 }

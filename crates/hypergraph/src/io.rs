@@ -16,8 +16,10 @@
 //! weights, `11` = both. Net weights feed the weighted cut objective
 //! (`1` everywhere reproduces the paper's unweighted cut).
 
-use crate::error::ParseHgrError;
+use crate::error::{ParseFixError, ParseHgrError};
 use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+use crate::ids::ModuleId;
+use crate::partition::PartId;
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Parses a hypergraph from hMETIS `.hgr` text.
@@ -250,6 +252,103 @@ pub fn read_partition<R: Read>(
     crate::Partition::from_assignment(h, k, parts).ok_or_else(|| ParseHgrError::BadPartition {
         detail: "assignment was rejected by the partition constructor".to_string(),
     })
+}
+
+/// Reads an hMETIS fixed-vertex (`.fix`) file — the format Coloquinte
+/// writes beside its `.hgr` exports: exactly one line per module holding
+/// the 0-based part the module is pinned to, or `-1` for a free module.
+/// Comment lines (`%`) and blank lines are skipped, matching the `.hgr`
+/// reader's conventions.
+///
+/// `num_modules` is the companion netlist's module count (one line per
+/// module is required); `k` bounds the legal part ids.
+///
+/// Returns the fixed modules as `(module, part)` pairs in module order —
+/// free (`-1`) lines contribute nothing.
+///
+/// # Errors
+///
+/// [`ParseFixError`] on I/O failure, a non-integer line, a part id outside
+/// `-1..k`, or a line count different from `num_modules`.
+///
+/// # Examples
+///
+/// ```
+/// use mlpart_hypergraph::io::read_fix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fixed = read_fix("% pins\n1\n-1\n0\n-1\n".as_bytes(), 4, 2)?;
+/// assert_eq!(fixed.len(), 2);
+/// assert_eq!(fixed[0].0.index(), 0);
+/// assert_eq!(fixed[0].1, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_fix<R: Read>(
+    reader: R,
+    num_modules: usize,
+    k: u32,
+) -> Result<Vec<(ModuleId, PartId)>, ParseFixError> {
+    let buf = BufReader::new(reader);
+    let mut fixed = Vec::new();
+    let mut module = 0usize;
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let line_no = i + 1;
+        let part = trimmed
+            .parse::<i64>()
+            .map_err(|_| ParseFixError::BadToken {
+                line_no,
+                token: trimmed.to_owned(),
+            })?;
+        if part < -1 || part >= i64::from(k) {
+            return Err(ParseFixError::BadPartId { line_no, part, k });
+        }
+        // Surplus lines are a count error, not a silent truncation; report
+        // after the loop so `found` is the true line count.
+        if module < num_modules && part >= 0 {
+            fixed.push((ModuleId::new(module), part as PartId));
+        }
+        module += 1;
+    }
+    if module != num_modules {
+        return Err(ParseFixError::WrongLineCount {
+            expected: num_modules,
+            found: module,
+        });
+    }
+    Ok(fixed)
+}
+
+/// Writes a fixed-vertex file in the format [`read_fix`] parses: one line
+/// per module, `-1` for free modules, the pinned part otherwise.
+///
+/// `fixed` may be in any order; duplicate modules keep the last assignment.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Panics
+///
+/// Panics if a fixed module index is `>= num_modules`.
+pub fn write_fix<W: Write>(
+    fixed: &[(ModuleId, PartId)],
+    num_modules: usize,
+    mut writer: W,
+) -> std::io::Result<()> {
+    let mut line: Vec<i64> = vec![-1; num_modules];
+    for &(v, p) in fixed {
+        line[v.index()] = i64::from(p);
+    }
+    for part in line {
+        writeln!(writer, "{part}")?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

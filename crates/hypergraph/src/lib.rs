@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod constraints;
 pub mod error;
 pub mod hypergraph;
 pub mod ids;
@@ -47,7 +48,10 @@ pub mod rng;
 pub mod stats;
 pub mod transform;
 
-pub use error::{BuildHypergraphError, ParseHgrError};
+pub use constraints::{
+    adapted_epsilon, Constraints, ConstraintsError, PartBounds, DEFAULT_EPSILON,
+};
+pub use error::{BuildHypergraphError, ParseFixError, ParseHgrError};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};
 pub use ids::{ModuleId, NetId};
 pub use metrics::CutStats;

@@ -105,6 +105,53 @@ impl Partition {
         }
     }
 
+    /// [`Partition::random`] honoring fixed (pre-assigned) modules: each
+    /// fixed module sits on its pinned part, and only the free modules are
+    /// shuffled, each landing on the part with the least accumulated area
+    /// (ties to the lowest part id) so the start stays near-balanced even
+    /// when pins pre-load some parts. The starting solution used by the
+    /// constraint-aware pipelines wherever Fig. 2 step 6 calls for `NULL`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, a fixed module or part id is out of range, or a
+    /// module is fixed twice.
+    pub fn random_fixed<R: Rng + ?Sized>(
+        h: &Hypergraph,
+        k: u32,
+        fixed: &[(ModuleId, PartId)],
+        rng: &mut R,
+    ) -> Self {
+        assert!(k > 0, "k must be positive");
+        let n = h.num_modules();
+        let mut part_of = vec![0 as PartId; n];
+        let mut part_areas = vec![0u64; k as usize];
+        let mut is_fixed = vec![false; n];
+        for &(v, p) in fixed {
+            assert!(v.index() < n, "fixed module out of range");
+            assert!(p < k, "fixed part id out of range");
+            assert!(!is_fixed[v.index()], "module fixed twice");
+            is_fixed[v.index()] = true;
+            part_of[v.index()] = p;
+            part_areas[p as usize] += h.area(v);
+        }
+        let mut order: Vec<u32> = (0..n as u32).filter(|&i| !is_fixed[i as usize]).collect();
+        order.shuffle(rng);
+        for &raw in &order {
+            let v = ModuleId::from(raw);
+            let p = (0..k)
+                .min_by_key(|&p| part_areas[p as usize])
+                .expect("k > 0");
+            part_of[raw as usize] = p;
+            part_areas[p as usize] += h.area(v);
+        }
+        Partition {
+            k,
+            part_of,
+            part_areas,
+        }
+    }
+
     /// Number of parts `k`.
     #[inline]
     pub fn k(&self) -> u32 {
@@ -307,6 +354,12 @@ impl KwayBalance {
         self.upper
     }
 
+    /// The part count these bounds were computed for.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
     /// `true` if every part of `p` satisfies the bounds.
     pub fn is_partition_feasible(&self, p: &Partition) -> bool {
         debug_assert_eq!(p.k(), self.k);
@@ -383,6 +436,44 @@ mod tests {
             let a = p.part_area(part);
             assert!((a as i64 - 250).unsigned_abs() <= 1, "part {part}: {a}");
         }
+    }
+
+    #[test]
+    fn random_fixed_honors_pins_and_balances_free_modules() {
+        let h = h_units(100);
+        let fixed = vec![
+            (ModuleId::new(0), 1),
+            (ModuleId::new(7), 0),
+            (ModuleId::new(99), 1),
+        ];
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let p = Partition::random_fixed(&h, 2, &fixed, &mut rng);
+            assert!(p.validate(&h));
+            for &(v, part) in &fixed {
+                assert_eq!(p.part(v), part);
+            }
+            // Least-filled greedy keeps unit-area parts within one of even.
+            assert!((p.part_area(0) as i64 - 50).unsigned_abs() <= 1);
+        }
+        // Pins pre-loading one part still yield a full valid assignment.
+        let heavy: Vec<_> = (0..40).map(|i| (ModuleId::new(i), 0)).collect();
+        let p = Partition::random_fixed(&h, 4, &heavy, &mut rng);
+        assert!(p.validate(&h));
+        assert!(heavy.iter().all(|&(v, part)| p.part(v) == part));
+    }
+
+    #[test]
+    #[should_panic(expected = "module fixed twice")]
+    fn random_fixed_rejects_duplicate_pins() {
+        let h = h_units(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = Partition::random_fixed(
+            &h,
+            2,
+            &[(ModuleId::new(1), 0), (ModuleId::new(1), 1)],
+            &mut rng,
+        );
     }
 
     #[test]

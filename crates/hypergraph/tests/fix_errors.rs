@@ -1,0 +1,112 @@
+//! Error-path coverage for the fixed-vertex (`.fix`) reader, mirroring the
+//! `.hgr` error suite: one test per [`ParseFixError`] variant, driven by
+//! inline byte readers.
+
+use mlpart_hypergraph::io::{read_fix, write_fix};
+use mlpart_hypergraph::{ModuleId, ParseFixError};
+use std::io::Read;
+
+/// A reader that fails after yielding nothing, to exercise the `Io` variant.
+struct FailingReader;
+
+impl Read for FailingReader {
+    fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::other("synthetic read failure"))
+    }
+}
+
+#[test]
+fn io_error_is_propagated() {
+    let err = read_fix(FailingReader, 4, 2).unwrap_err();
+    match err {
+        ParseFixError::Io(e) => assert!(e.to_string().contains("synthetic")),
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_integer_line_is_bad_token() {
+    let err = read_fix("0\nfree\n1\n".as_bytes(), 3, 2).unwrap_err();
+    match err {
+        ParseFixError::BadToken { line_no, token } => {
+            assert_eq!(line_no, 2);
+            assert_eq!(token, "free");
+        }
+        other => panic!("expected BadToken, got {other:?}"),
+    }
+}
+
+#[test]
+fn part_out_of_range_is_bad_part_id() {
+    let err = read_fix("0\n2\n1\n".as_bytes(), 3, 2).unwrap_err();
+    match err {
+        ParseFixError::BadPartId { line_no, part, k } => {
+            assert_eq!(line_no, 2);
+            assert_eq!(part, 2);
+            assert_eq!(k, 2);
+        }
+        other => panic!("expected BadPartId, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_part_below_free_marker_is_bad_part_id() {
+    let err = read_fix("-2\n".as_bytes(), 1, 2).unwrap_err();
+    assert!(matches!(err, ParseFixError::BadPartId { part: -2, .. }));
+}
+
+#[test]
+fn too_few_lines_is_wrong_line_count() {
+    let err = read_fix("0\n1\n".as_bytes(), 3, 2).unwrap_err();
+    match err {
+        ParseFixError::WrongLineCount { expected, found } => {
+            assert_eq!(expected, 3);
+            assert_eq!(found, 2);
+        }
+        other => panic!("expected WrongLineCount, got {other:?}"),
+    }
+}
+
+#[test]
+fn too_many_lines_is_wrong_line_count() {
+    let err = read_fix("0\n1\n0\n1\n".as_bytes(), 3, 2).unwrap_err();
+    assert!(matches!(
+        err,
+        ParseFixError::WrongLineCount {
+            expected: 3,
+            found: 4
+        }
+    ));
+}
+
+#[test]
+fn display_carries_location() {
+    let err = read_fix("0\n9\n".as_bytes(), 2, 4).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "{msg}");
+    assert!(msg.contains("9"), "{msg}");
+    assert!(msg.contains("0..4"), "{msg}");
+}
+
+#[test]
+fn comments_and_blanks_are_skipped() {
+    let fixed = read_fix("% header\n\n1\n-1\n0\n".as_bytes(), 3, 2).expect("valid");
+    assert_eq!(fixed, vec![(ModuleId::new(0), 1), (ModuleId::new(2), 0)]);
+}
+
+#[test]
+fn all_free_file_yields_no_fixed_modules() {
+    let fixed = read_fix("-1\n-1\n-1\n".as_bytes(), 3, 8).expect("valid");
+    assert!(fixed.is_empty());
+}
+
+#[test]
+fn write_then_read_round_trips() {
+    let fixed = vec![(ModuleId::new(1), 3), (ModuleId::new(4), 0)];
+    let mut out = Vec::new();
+    write_fix(&fixed, 6, &mut out).expect("write");
+    let text = String::from_utf8(out).expect("utf8");
+    assert_eq!(text, "-1\n3\n-1\n-1\n0\n-1\n");
+    let back = read_fix(text.as_bytes(), 6, 4).expect("read back");
+    assert_eq!(back, fixed);
+}

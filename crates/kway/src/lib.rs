@@ -48,7 +48,9 @@ pub mod audit;
 
 use mlpart_fm::{BucketPolicy, BudgetMeter, PassStats, RefineState, RefineWorkspace};
 use mlpart_hypergraph::rng::MlRng;
-use mlpart_hypergraph::{metrics, Hypergraph, KwayBalance, ModuleId, PartId, Partition};
+use mlpart_hypergraph::{
+    metrics, Hypergraph, KwayBalance, ModuleId, PartBounds, PartId, Partition,
+};
 use std::time::Instant;
 
 /// Which gain computation drives the k-way engine (§III-C lists the paper's
@@ -152,6 +154,61 @@ pub fn rebalance_to_feasibility(
                 big = part;
             }
             if p.part_area(part) < p.part_area(small) {
+                small = part;
+            }
+        }
+        if big == small {
+            break;
+        }
+        let v = ModuleId::new(rng.gen_range(0..h.num_modules()));
+        if p.part(v) == big && !is_fixed[v.index()] {
+            p.move_module(h, v, small);
+            moved += 1;
+        }
+    }
+    moved
+}
+
+/// [`rebalance_to_feasibility`] generalized to per-part `[lo, hi]` windows:
+/// repeatedly moves a random non-fixed module from the part with the worst
+/// upper-bound overflow to the part with the worst lower-bound deficit until
+/// `bounds` holds (or no move can help). Draws from `rng` only while the
+/// partition is infeasible.
+///
+/// # Panics
+///
+/// Panics if `bounds` does not have `p.k()` parts.
+pub fn rebalance_to_bounds(
+    h: &Hypergraph,
+    p: &mut Partition,
+    fixed: &[(ModuleId, PartId)],
+    bounds: &PartBounds,
+    rng: &mut MlRng,
+) -> usize {
+    use rand::Rng;
+    let k = p.k();
+    assert_eq!(bounds.k(), k, "bounds do not match partition k");
+    let mut is_fixed = vec![false; h.num_modules()];
+    for &(v, _) in fixed {
+        is_fixed[v.index()] = true;
+    }
+    let mut moved = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = 4 * h.num_modules() + 16;
+    while !bounds.is_partition_feasible(p) && attempts < max_attempts {
+        attempts += 1;
+        // Donor: the part furthest above its window (overflow is measured
+        // against `hi`, with ties broken by lowest part id); receiver: the
+        // part furthest below. Parts already inside their window still
+        // donate/receive by the same signed slack when nobody violates.
+        let (mut big, mut small) = (0u32, 0u32);
+        let slack = |part: u32| p.part_area(part) as i128 - bounds.hi(part) as i128;
+        let deficit = |part: u32| bounds.lo(part) as i128 - p.part_area(part) as i128;
+        for part in 1..k {
+            if slack(part) > slack(big) {
+                big = part;
+            }
+            if deficit(part) > deficit(small) {
                 small = part;
             }
         }
@@ -355,12 +412,37 @@ pub fn kway_refine_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> KwayResult {
+    let bounds = PartBounds::from_kway(&KwayBalance::new(h, p.k(), cfg.balance_r));
+    kway_refine_constrained_budgeted_in(h, p, fixed, cfg, &bounds, rng, ws, meter)
+}
+
+/// [`kway_refine_budgeted_in`] under explicit per-part `[lo, hi]` area
+/// windows instead of the uniform ratio-derived bounds. With bounds built
+/// via [`PartBounds::from_kway`] from the same tolerance this is
+/// byte-identical to the ratio path — the windows then equal the legacy
+/// `lower()`/`upper()` pair for every part.
+///
+/// # Panics
+///
+/// Panics if `p` does not match `h` or `bounds` does not have `p.k()` parts.
+#[allow(clippy::too_many_arguments)]
+pub fn kway_refine_constrained_budgeted_in(
+    h: &Hypergraph,
+    p: &mut Partition,
+    fixed: &[(ModuleId, PartId)],
+    cfg: &KwayConfig,
+    bounds: &PartBounds,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> KwayResult {
     assert_eq!(
         p.assignment().len(),
         h.num_modules(),
         "partition does not match hypergraph"
     );
     let k = p.k();
+    assert_eq!(bounds.k(), k, "bounds do not match partition k");
     let st = &mut ws.state;
     let max_vis_weight = st.bind_nets(h, k, cfg.max_net_size);
     assert!(
@@ -371,7 +453,6 @@ pub fn kway_refine_budgeted_in(
     for &(v, _) in fixed {
         st.fixed[v.index()] = true;
     }
-    let balance = KwayBalance::new(h, k, cfg.balance_r);
     #[cfg(feature = "obs")]
     let _obs_span = mlpart_obs::span(
         "kway_refine",
@@ -471,8 +552,7 @@ pub fn kway_refine_budgeted_in(
                 let cand = st.buckets[t as usize].select_where(rng, |v| {
                     let a = areas[v.index()];
                     let from = part_of[v.index()];
-                    area_t + a <= balance.upper()
-                        && part_areas[from as usize] - a >= balance.lower()
+                    area_t + a <= bounds.hi(t) && part_areas[from as usize] - a >= bounds.lo(from)
                 });
                 if let Some(v) = cand {
                     let key = st.buckets[t as usize].key_of(v);
@@ -760,6 +840,89 @@ mod tests {
         let (p, r) = kway_partition(&h, 4, None, &[], &KwayConfig::default(), &mut rng);
         assert_eq!(r.cut, 0);
         assert!(p.validate(&h));
+    }
+
+    #[test]
+    fn constrained_with_legacy_bounds_is_byte_identical() {
+        let h = ring_of_cliques();
+        let cfg = KwayConfig::default();
+        for seed in 0..5 {
+            let p0 = Partition::random(&h, 4, &mut seeded_rng(500 + seed));
+            let bounds = PartBounds::from_kway(&KwayBalance::new(&h, 4, cfg.balance_r));
+            let mut p_legacy = p0.clone();
+            let mut p_new = p0.clone();
+            let r_legacy = kway_refine(&h, &mut p_legacy, &[], &cfg, &mut seeded_rng(seed));
+            let r_new = kway_refine_constrained_budgeted_in(
+                &h,
+                &mut p_new,
+                &[],
+                &cfg,
+                &bounds,
+                &mut seeded_rng(seed),
+                &mut RefineWorkspace::new(),
+                &mut BudgetMeter::unlimited(),
+            );
+            assert_eq!(p_legacy.assignment(), p_new.assignment(), "seed {seed}");
+            assert_eq!(r_legacy, r_new, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_windows_are_respected() {
+        let h = ring_of_cliques();
+        let cfg = KwayConfig::default();
+        // Part 0 must stay small (≤ 3), part 3 must stay large (≥ 5).
+        let bounds = PartBounds::new(vec![1, 1, 1, 5], vec![3, 8, 8, 8]);
+        for seed in 0..5 {
+            let mut p = Partition::random(&h, 4, &mut seeded_rng(seed));
+            rebalance_to_bounds(&h, &mut p, &[], &bounds, &mut seeded_rng(777 + seed));
+            if !bounds.is_partition_feasible(&p) {
+                continue; // random repair can stall; skip this seed
+            }
+            let _ = kway_refine_constrained_budgeted_in(
+                &h,
+                &mut p,
+                &[],
+                &cfg,
+                &bounds,
+                &mut seeded_rng(seed),
+                &mut RefineWorkspace::new(),
+                &mut BudgetMeter::unlimited(),
+            );
+            assert!(
+                bounds.is_partition_feasible(&p),
+                "seed {seed}: {:?}",
+                p.part_areas()
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_to_bounds_repairs_overflow() {
+        let h = ring_of_cliques();
+        // Everything crammed into part 0.
+        let mut p = Partition::from_assignment(&h, 4, vec![0; 16]).unwrap();
+        let bounds = PartBounds::uniform(4, 2, 6);
+        let mut rng = seeded_rng(5);
+        let moved = rebalance_to_bounds(&h, &mut p, &[], &bounds, &mut rng);
+        assert!(moved > 0);
+        assert!(bounds.is_partition_feasible(&p), "{:?}", p.part_areas());
+        assert!(p.validate(&h));
+    }
+
+    #[test]
+    fn rebalance_to_bounds_feasible_start_draws_no_rng() {
+        let h = ring_of_cliques();
+        let mut p =
+            Partition::from_assignment(&h, 4, (0..16).map(|i| (i / 4) as u32).collect()).unwrap();
+        let bounds = PartBounds::uniform(4, 2, 6);
+        let mut rng = seeded_rng(5);
+        let moved = rebalance_to_bounds(&h, &mut p, &[], &bounds, &mut rng);
+        assert_eq!(moved, 0);
+        // The stream is untouched: a fresh rng from the same seed agrees.
+        use rand::Rng;
+        let mut fresh = seeded_rng(5);
+        assert_eq!(rng.gen::<u64>(), fresh.gen::<u64>());
     }
 
     #[test]

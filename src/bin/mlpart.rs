@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! mlpart <netlist.hgr> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase]
-//!                      [--k 2|4] [--ratio R] [--threshold T]
+//!                      [--k K] [--epsilon E] [--fixed cells.fix]
+//!                      [--ratio R] [--threshold T]
 //!                      [--runs N] [--seed S] [--threads P]
 //!                      [--max-moves N] [--max-passes N] [--max-levels N]
 //!                      [--deadline-secs F]
@@ -14,7 +15,12 @@
 //!                      [--trace-out trace.json] [--report-out report.json]
 //! ```
 //!
-//! `--k 4` uses multilevel quadrisection (only with the ml algorithms).
+//! `--k 4` uses multilevel quadrisection (only with the ml algorithms);
+//! any other `--k` is served by recursive multilevel bisection. `--fixed`
+//! pre-assigns modules from a `.fix` file (they never move), and
+//! `--epsilon` sets the per-part balance window; either flag (or a
+//! non-legacy `--k`) routes the run through the constraint-generic
+//! drivers, whose pins are honored at every level of the hierarchy.
 //! `--stats` prints the per-level refinement trajectory of the first run
 //! (multilevel algorithms only). `--threads` spreads the independent starts
 //! over worker threads; every start draws its seed from the same per-start
@@ -34,17 +40,19 @@
 //! timestamp fields) is bit-identical across repeats and thread counts.
 
 use mlpart::cluster::MatchConfig;
-use mlpart::core::two_phase_fm_budgeted_in;
+use mlpart::core::{two_phase_fm_budgeted_in, two_phase_fm_constrained_budgeted_in};
 use mlpart::fm::fm_partition_budgeted_in;
 use mlpart::gen::by_name;
-use mlpart::hypergraph::io::{read_hgr, write_partition};
+use mlpart::hypergraph::io::{read_fix, read_hgr, write_partition};
 use mlpart::hypergraph::metrics::CutStats;
 use mlpart::hypergraph::rng::MlRng;
 use mlpart::lsmc::{lsmc_bipartition, LsmcConfig};
 use mlpart::{
-    ml_bipartition_budgeted_in, ml_kway_budgeted_in, preflight, Budget, BudgetMeter, Engine,
-    ExecError, FmConfig, Hypergraph, LevelStats, MlConfig, MlKwayConfig, Partition,
-    RefineWorkspace, Truncation,
+    ml_bipartition_budgeted_in, ml_bipartition_constrained_budgeted_in, ml_kway_budgeted_in,
+    ml_kway_constrained_budgeted_in, preflight, preflight_constrained,
+    recursive_ml_partition_budgeted_in, Budget, BudgetMeter, Constraints, Engine, ExecError,
+    FmConfig, Hypergraph, LevelStats, MlConfig, MlKwayConfig, Partition, RefineWorkspace,
+    Truncation, DEFAULT_EPSILON,
 };
 use std::io::Read;
 use std::process::ExitCode;
@@ -64,6 +72,11 @@ struct CliArgs {
     stats: bool,
     trace_out: Option<String>,
     report_out: Option<String>,
+    /// Balance tolerance ε; `Some` switches to the constraint-generic
+    /// drivers even without pins.
+    epsilon: Option<f64>,
+    /// Path to an hMETIS/Coloquinte `.fix` file of pre-assigned modules.
+    fixed: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -82,7 +95,19 @@ impl Default for CliArgs {
             stats: false,
             trace_out: None,
             report_out: None,
+            epsilon: None,
+            fixed: None,
         }
+    }
+}
+
+impl CliArgs {
+    /// `true` when the invocation needs the constraint-generic drivers:
+    /// pinned modules, an explicit ε, or a part count the legacy dispatch
+    /// does not serve. Legacy invocations keep their exact pre-constraint
+    /// code path (and bit-identical results).
+    fn is_constrained(&self) -> bool {
+        self.fixed.is_some() || self.epsilon.is_some() || (self.k != 2 && self.k != 4)
     }
 }
 
@@ -97,7 +122,8 @@ enum CliCommand {
 
 const USAGE: &str =
     "usage: mlpart <netlist.hgr | syn-NAME> [--algo ml-c|ml-f|fm|clip|lsmc|two-phase] \
-[--k 2|4] [--ratio R] [--threshold T] [--runs N] [--seed S] [--threads P] \
+[--k K] [--epsilon E] [--fixed cells.fix] [--ratio R] [--threshold T] \
+[--runs N] [--seed S] [--threads P] \
 [--max-moves N] [--max-passes N] [--max-levels N] [--deadline-secs F] \
 [--output best.part] [--stats] [--trace-out trace.json] [--report-out report.json]\n\
 run `mlpart --help` for details and the exit-code contract";
@@ -114,7 +140,12 @@ input:
 
 options:
   --algo A        ml-c | ml-f | fm | clip | lsmc | two-phase   [ml-c]
-  --k K           2 (bipartition) or 4 (ml quadrisection)      [2]
+  --k K           number of parts, any K >= 2                  [2]
+  --epsilon E     balance tolerance: each part stays within
+                  (1 +/- E) x A(V)/K                           [0.2]
+  --fixed FILE    hMETIS-style .fix file pre-assigning modules
+                  (one line per module: part id, or -1 = free);
+                  fixed modules never move
   --ratio R       matching ratio in (0, 1]                     [0.5]
   --threshold T   coarsening stop threshold                    [35]
   --runs N        independent starts                           [10]
@@ -156,10 +187,20 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliCommand, Str
             "--algo" => out.algo = value("--algo")?,
             "--k" => {
                 out.k = value("--k")?.parse().map_err(|_| "invalid --k")?;
-                if out.k != 2 && out.k != 4 {
-                    return Err("--k must be 2 or 4".to_owned());
+                if out.k < 2 {
+                    return Err("--k must be at least 2".to_owned());
                 }
             }
+            "--epsilon" => {
+                let eps: f64 = value("--epsilon")?
+                    .parse()
+                    .map_err(|_| "invalid --epsilon")?;
+                if !(eps > 0.0 && eps.is_finite()) {
+                    return Err("--epsilon must be positive".to_owned());
+                }
+                out.epsilon = Some(eps);
+            }
+            "--fixed" => out.fixed = Some(value("--fixed")?),
             "--ratio" => {
                 out.ratio = value("--ratio")?.parse().map_err(|_| "invalid --ratio")?;
                 if !(out.ratio > 0.0 && out.ratio <= 1.0) {
@@ -233,6 +274,21 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliCommand, Str
     if out.algo == "lsmc" && !out.budget.is_unlimited() {
         return Err("--max-*/--deadline-secs are not supported with --algo lsmc".to_owned());
     }
+    if out.is_constrained() {
+        match out.algo.as_str() {
+            "ml-c" | "ml-f" => {}
+            "two-phase" if out.k == 2 => {}
+            "two-phase" => {
+                return Err("--algo two-phase is 2-way only; drop --k or use ml-c/ml-f".to_owned());
+            }
+            other => {
+                return Err(format!(
+                    "--fixed/--epsilon/general --k need a constraint-aware algorithm \
+                     (ml-c, ml-f, or two-phase), not {other:?}"
+                ));
+            }
+        }
+    }
     Ok(CliCommand::Run(Box::new(out)))
 }
 
@@ -260,6 +316,7 @@ type StartResult = (Partition, u64, Vec<LevelStats>, Option<Truncation>);
 fn run_once(
     h: &Hypergraph,
     args: &CliArgs,
+    constraints: Option<&Constraints>,
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> Result<StartResult, String> {
@@ -276,6 +333,57 @@ fn run_once(
     // Each start spends against its own meter, so budgets cannot couple
     // starts and results stay thread-count-invariant.
     let mut meter = BudgetMeter::new(&args.budget);
+    if let Some(c) = constraints {
+        // Constraint-generic dispatch: pins, explicit ε, or general k.
+        // Parsing already restricted the algorithms to ml-c/ml-f/two-phase.
+        if args.algo == "two-phase" {
+            let (p, r) = two_phase_fm_constrained_budgeted_in(
+                h,
+                &fm_cfg(Engine::Fm),
+                &MatchConfig::with_ratio(args.ratio),
+                c,
+                rng,
+                ws,
+                &mut meter,
+            );
+            return Ok((p, r.cut, Vec::new(), r.truncation));
+        }
+        let engine = if args.algo == "ml-c" {
+            Engine::Clip
+        } else {
+            Engine::Fm
+        };
+        return Ok(match c.k() {
+            2 => {
+                let cfg = ml_cfg(engine).with_epsilon(c.epsilon());
+                let (p, r) = ml_bipartition_constrained_budgeted_in(
+                    h,
+                    &cfg,
+                    c.fixed(),
+                    h.total_area() / 2,
+                    c.epsilon(),
+                    rng,
+                    ws,
+                    &mut meter,
+                );
+                (p, r.cut, r.level_stats, r.truncation)
+            }
+            4 => {
+                let cfg = MlKwayConfig {
+                    matching_ratio: args.ratio,
+                    coarsen_threshold: args.threshold.max(100),
+                    ..MlKwayConfig::default()
+                };
+                let (p, r) = ml_kway_constrained_budgeted_in(h, &cfg, c, rng, ws, &mut meter);
+                (p, r.cut, r.level_stats, r.truncation)
+            }
+            k => {
+                let cfg = ml_cfg(engine).with_k(k).with_epsilon(c.epsilon());
+                let (p, r) = recursive_ml_partition_budgeted_in(h, &cfg, c, rng, ws, &mut meter);
+                (p, r.cut, Vec::new(), r.truncation)
+            }
+        });
+    }
     if args.k == 4 {
         let cfg = MlKwayConfig {
             matching_ratio: args.ratio,
@@ -414,9 +522,45 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_INVALID_INPUT);
         }
     };
+    // Constraint assembly: `.fix` pins and the ε window are invalid-input
+    // concerns, resolved before any start runs.
+    let constraints = if args.is_constrained() {
+        let fixed = match &args.fixed {
+            Some(path) => {
+                let file = match std::fs::File::open(path) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("cannot open {path}: {e}");
+                        return ExitCode::from(EXIT_INVALID_INPUT);
+                    }
+                };
+                match read_fix(file, h.num_modules(), args.k) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("cannot parse {path}: {e}");
+                        return ExitCode::from(EXIT_INVALID_INPUT);
+                    }
+                }
+            }
+            None => Vec::new(),
+        };
+        match Constraints::new(args.k, args.epsilon.unwrap_or(DEFAULT_EPSILON), fixed) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("invalid constraints: {e}");
+                return ExitCode::from(EXIT_INVALID_INPUT);
+            }
+        }
+    } else {
+        None
+    };
     // Pre-flight: reject infeasible problem instances with a typed message
     // before any start burns cycles on them.
-    if let Err(e) = preflight(&h, args.k, FmConfig::default().balance_r) {
+    let feasible = match &constraints {
+        Some(c) => preflight_constrained(&h, c),
+        None => preflight(&h, args.k, FmConfig::default().balance_r),
+    };
+    if let Err(e) = feasible {
         eprintln!("infeasible input: {e}");
         return ExitCode::from(EXIT_INVALID_INPUT);
     }
@@ -457,7 +601,7 @@ fn main() -> ExitCode {
             ],
         );
         mlpart::exec::try_run_starts(args.runs, args.seed, args.threads, &|rng, ws| {
-            run_once(&h, &args, rng, ws)
+            run_once(&h, &args, constraints.as_ref(), rng, ws)
         })
     };
     #[cfg(feature = "obs")]
@@ -680,9 +824,32 @@ mod tests {
     }
 
     #[test]
+    fn parses_constraint_flags() {
+        let a = parse_run("x.hgr --k 8 --epsilon 0.05 --fixed cells.fix").expect("parses");
+        assert_eq!(a.k, 8);
+        assert_eq!(a.epsilon, Some(0.05));
+        assert_eq!(a.fixed.as_deref(), Some("cells.fix"));
+        assert!(a.is_constrained());
+        // General k parses for any constraint-aware algorithm.
+        assert!(parse_run("x.hgr --k 3").is_ok());
+        assert!(parse_run("x.hgr --algo ml-f --k 7").is_ok());
+        assert!(parse_run("x.hgr --algo two-phase --fixed c.fix").is_ok());
+        // Legacy invocations stay unconstrained.
+        assert!(!parse_run("x.hgr --k 2").expect("parses").is_constrained());
+        assert!(!parse_run("x.hgr --k 4").expect("parses").is_constrained());
+    }
+
+    #[test]
     fn rejects_bad_flags() {
         assert!(parse_args(argv("")).is_err());
-        assert!(parse_args(argv("x.hgr --k 3")).is_err());
+        assert!(parse_args(argv("x.hgr --k 1")).is_err());
+        assert!(parse_args(argv("x.hgr --k x")).is_err());
+        assert!(parse_args(argv("x.hgr --epsilon 0")).is_err());
+        assert!(parse_args(argv("x.hgr --epsilon nan")).is_err());
+        assert!(parse_args(argv("x.hgr --fixed")).is_err());
+        assert!(parse_args(argv("x.hgr --algo fm --k 3")).is_err());
+        assert!(parse_args(argv("x.hgr --algo lsmc --fixed c.fix")).is_err());
+        assert!(parse_args(argv("x.hgr --algo two-phase --k 3")).is_err());
         assert!(parse_args(argv("x.hgr --ratio 0")).is_err());
         assert!(parse_args(argv("x.hgr --runs 0")).is_err());
         assert!(parse_args(argv("x.hgr --threads 0")).is_err());
@@ -714,7 +881,7 @@ mod tests {
             args.algo = algo.to_owned();
             let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
             let (p, cut, level_stats, truncation) =
-                run_once(&h, &args, &mut rng, &mut ws).expect(algo);
+                run_once(&h, &args, None, &mut rng, &mut ws).expect(algo);
             assert!(p.validate(&h), "{algo}");
             assert!(cut > 0, "{algo}");
             assert!(truncation.is_none(), "{algo}: unlimited run truncated");
@@ -724,18 +891,48 @@ mod tests {
         }
         let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
         args.algo = "unknown".to_owned();
-        assert!(run_once(&h, &args, &mut rng, &mut ws).is_err());
+        assert!(run_once(&h, &args, None, &mut rng, &mut ws).is_err());
         // Quadrisection path.
         args.algo = "ml-f".to_owned();
         args.k = 4;
-        let (p, _, level_stats, _) = run_once(&h, &args, &mut rng, &mut ws).expect("quadrisection");
+        let (p, _, level_stats, _) =
+            run_once(&h, &args, None, &mut rng, &mut ws).expect("quadrisection");
         assert_eq!(p.k(), 4);
         assert!(!level_stats.is_empty(), "quadrisection reports level stats");
         args.algo = "fm".to_owned();
         assert!(
-            run_once(&h, &args, &mut rng, &mut ws).is_err(),
+            run_once(&h, &args, None, &mut rng, &mut ws).is_err(),
             "flat fm cannot do k=4 here"
         );
+    }
+
+    #[test]
+    fn run_once_covers_constrained_dispatch() {
+        use mlpart::hypergraph::ModuleId;
+        let h = load_netlist("syn-balu").expect("suite circuit");
+        let mut ws = RefineWorkspace::new();
+        let pins = [(ModuleId::new(0), 1u32), (ModuleId::new(5), 0u32)];
+        // k = 2 (constrained ML), 4 (constrained k-way), 3 (recursive).
+        for (algo, k) in [("ml-c", 2u32), ("ml-f", 4), ("ml-c", 3), ("two-phase", 2)] {
+            let pins: Vec<_> = pins.iter().filter(|&&(_, p)| p < k).copied().collect();
+            let c = Constraints::new(k, 0.2, pins.clone()).expect("valid");
+            let args = CliArgs {
+                input: "syn-balu".to_owned(),
+                algo: algo.to_owned(),
+                k,
+                ..CliArgs::default()
+            };
+            let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
+            let (p, cut, _, truncation) =
+                run_once(&h, &args, Some(&c), &mut rng, &mut ws).expect(algo);
+            assert!(p.validate(&h), "{algo} k={k}");
+            assert_eq!(p.k(), k, "{algo}");
+            assert!(cut > 0, "{algo} k={k}");
+            assert!(truncation.is_none(), "{algo} k={k}");
+            for &(v, part) in &pins {
+                assert_eq!(p.part(v), part, "{algo} k={k}: pin moved");
+            }
+        }
     }
 
     #[test]
@@ -751,7 +948,7 @@ mod tests {
         };
         let mut ws = RefineWorkspace::new();
         let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
-        let (p, cut, _, truncation) = run_once(&h, &args, &mut rng, &mut ws).expect("runs");
+        let (p, cut, _, truncation) = run_once(&h, &args, None, &mut rng, &mut ws).expect("runs");
         assert!(p.validate(&h));
         assert!(cut > 0);
         let t = truncation.expect("one pass cannot finish syn-balu");

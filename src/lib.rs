@@ -58,12 +58,16 @@ pub use mlpart_obs as obs;
 pub use mlpart_place as place;
 
 pub use mlpart_core::{
-    ml_bipartition, ml_bipartition_budgeted_in, ml_bipartition_in, ml_kway, ml_kway_budgeted_in,
-    ml_kway_in, ml_quadrisection, preflight, Budget, BudgetLimit, BudgetMeter, LevelStats,
-    MlConfig, MlKwayConfig, PreflightError, Truncation,
+    ml_bipartition, ml_bipartition_budgeted_in, ml_bipartition_constrained,
+    ml_bipartition_constrained_budgeted_in, ml_bipartition_constrained_in, ml_bipartition_in,
+    ml_kway, ml_kway_budgeted_in, ml_kway_constrained, ml_kway_constrained_budgeted_in,
+    ml_kway_constrained_in, ml_kway_in, ml_quadrisection, preflight, preflight_constrained,
+    recursive_ml_partition, recursive_ml_partition_budgeted_in, Budget, BudgetLimit, BudgetMeter,
+    LevelStats, MlConfig, MlKwayConfig, PreflightError, Truncation,
 };
 pub use mlpart_exec::{BatchResult, ExecError, RunOutcome, StartFailure};
 pub use mlpart_fm::{fm_partition, BucketPolicy, Engine, FmConfig, PassStats, RefineWorkspace};
 pub use mlpart_hypergraph::{
-    BipartBalance, Hypergraph, HypergraphBuilder, KwayBalance, ModuleId, NetId, Partition,
+    adapted_epsilon, BipartBalance, Constraints, ConstraintsError, Hypergraph, HypergraphBuilder,
+    KwayBalance, ModuleId, NetId, PartBounds, Partition, DEFAULT_EPSILON,
 };

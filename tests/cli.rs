@@ -346,6 +346,138 @@ fn all_starts_failed_exits_one() {
     assert!(err.contains("every start failed"), "stderr: {err}");
 }
 
+/// The acceptance-criterion invocation: `--k 8 --epsilon 0.05 --fixed`
+/// produces a valid 8-way partition that honors every pin in the `.fix`
+/// file, end to end through the binary and the written partition file.
+#[test]
+fn constrained_k8_run_honors_fix_file() {
+    let fix = temp_path("cells8.fix");
+    let part = temp_path("k8.part");
+    // Pin module 0 to part 7, module 3 to part 0, module 10 to part 5;
+    // everything else free. syn-balu has 801 modules.
+    let mut fix_lines = vec!["-1".to_owned(); 801];
+    fix_lines[0] = "7".to_owned();
+    fix_lines[3] = "0".to_owned();
+    fix_lines[10] = "5".to_owned();
+    std::fs::write(&fix, fix_lines.join("\n") + "\n").expect("write fix file");
+    let out = mlpart()
+        .args(["syn-balu", "--algo", "ml-c", "--runs", "2", "--seed", "9"])
+        .args(["--k", "8", "--epsilon", "0.05"])
+        .args(["--fixed", fix.to_str().expect("utf8 path")])
+        .args(["--output", part.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&part).expect("partition written");
+    let ids: Vec<u32> = written
+        .lines()
+        .map(|l| l.parse().expect("part id"))
+        .collect();
+    assert_eq!(ids.len(), 801, "one part id per module");
+    assert!(ids.iter().all(|&p| p < 8), "all ids below k");
+    assert_eq!(ids[0], 7, "pin to part 7 honored");
+    assert_eq!(ids[3], 0, "pin to part 0 honored");
+    assert_eq!(ids[10], 5, "pin to part 5 honored");
+    // Every part is populated: a degenerate empty part would mean the
+    // recursive splitter lost a region.
+    for p in 0..8u32 {
+        assert!(ids.contains(&p), "part {p} is empty");
+    }
+    let _ = std::fs::remove_file(&fix);
+    let _ = std::fs::remove_file(&part);
+}
+
+/// Constrained runs are thread-count invariant end to end, pins included.
+#[test]
+fn constrained_run_is_thread_count_invariant() {
+    let fix = temp_path("pins.fix");
+    let mut fix_lines = vec!["-1".to_owned(); 801];
+    fix_lines[0] = "1".to_owned();
+    fix_lines[17] = "0".to_owned();
+    std::fs::write(&fix, fix_lines.join("\n") + "\n").expect("write fix file");
+    let report = |threads: &str, tag: &str| {
+        let part = temp_path(&format!("cfix-{tag}.part"));
+        let out = mlpart()
+            .args(["syn-balu", "--algo", "ml-c", "--runs", "3", "--seed", "11"])
+            .args(["--fixed", fix.to_str().expect("utf8 path")])
+            .args(["--threads", threads])
+            .args(["--output", part.to_str().expect("utf8 path")])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let stats = stdout.split(" (").next().expect("report line").to_owned();
+        let partition = std::fs::read_to_string(&part).expect("partition written");
+        let _ = std::fs::remove_file(&part);
+        (stats, partition)
+    };
+    let (stats1, part1) = report("1", "a");
+    let (stats4, part4) = report("4", "b");
+    assert_eq!(stats1, stats4, "cut stats must not depend on --threads");
+    assert_eq!(part1, part4, "partition must not depend on --threads");
+    let ids: Vec<&str> = part1.lines().collect();
+    assert_eq!(ids[0], "1");
+    assert_eq!(ids[17], "0");
+    let _ = std::fs::remove_file(&fix);
+}
+
+/// Exit-code contract, code 2: pins that overcommit a part's capacity are
+/// an infeasible instance, rejected by pre-flight before any start runs.
+#[test]
+fn overcommitted_fix_file_exits_two() {
+    let hgr = temp_path("even.hgr");
+    let fix = temp_path("overcommit.fix");
+    // 8 unit modules, tight ε = 0.05 → each side holds at most 5; pinning
+    // 6 modules to part 0 cannot fit.
+    std::fs::write(&hgr, "2 8\n1 2\n7 8\n").expect("write temp netlist");
+    std::fs::write(&fix, "0\n0\n0\n0\n0\n0\n-1\n-1\n").expect("write fix file");
+    let out = mlpart()
+        .arg(hgr.to_str().expect("utf8 path"))
+        .args(["--algo", "ml-c", "--epsilon", "0.05"])
+        .args(["--fixed", fix.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("infeasible input"), "stderr: {err}");
+    assert!(err.contains("fixed"), "stderr names the fixed area: {err}");
+    let _ = std::fs::remove_file(&hgr);
+    let _ = std::fs::remove_file(&fix);
+}
+
+/// Exit-code contract, code 2: a malformed `.fix` file (part id >= k) is
+/// invalid input with a typed parse error, not a crash.
+#[test]
+fn malformed_fix_file_exits_two() {
+    let hgr = temp_path("fixin.hgr");
+    let fix = temp_path("bad.fix");
+    std::fs::write(&hgr, "2 4\n1 2\n3 4\n").expect("write temp netlist");
+    std::fs::write(&fix, "0\n5\n-1\n-1\n").expect("write fix file");
+    let out = mlpart()
+        .arg(hgr.to_str().expect("utf8 path"))
+        .args(["--fixed", fix.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse"), "stderr: {err}");
+    let _ = std::fs::remove_file(&hgr);
+    let _ = std::fs::remove_file(&fix);
+}
+
 #[test]
 fn bad_usage_exits_nonzero() {
     // No input at all.

@@ -1,0 +1,317 @@
+//! Allowlist (`lint-allow.txt`) and panic ratchet (`panics-allow.txt`)
+//! parsing and application.
+//!
+//! The two files have different semantics on purpose:
+//!
+//! * `lint-allow.txt` — open-ended exemptions: `check path-prefix` pairs.
+//!   A finding matching an entry is suppressed. Entries that suppress
+//!   nothing are *stale* and fail `--check-stale`.
+//! * `panics-allow.txt` — a **ratchet**: `check file count` triples. Up to
+//!   `count` findings of `check` in exactly `file` are tolerated; one more
+//!   fails the build. Fewer than `count` is *stale* (the file must be
+//!   shrunk to match reality). Together the two directions mean the file
+//!   tracks the real panic inventory exactly and can only go down.
+
+use crate::findings::Finding;
+use std::collections::BTreeMap;
+
+/// One allowlist entry: findings of `check` under `path_prefix` are
+/// accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule being allowed.
+    pub check: String,
+    /// Workspace-relative path prefix the exemption covers.
+    pub path_prefix: String,
+}
+
+/// Parses `lint-allow.txt` content: one `check path-prefix` pair per line,
+/// `#` starts a comment, blank lines ignored.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        if let (Some(check), Some(prefix)) = (it.next(), it.next()) {
+            entries.push(AllowEntry {
+                check: check.to_string(),
+                path_prefix: prefix.to_string(),
+            });
+        }
+    }
+    entries
+}
+
+/// True when `f` is covered by some allowlist entry (same check, file
+/// under the entry's path prefix).
+pub fn is_allowed(f: &Finding, allow: &[AllowEntry]) -> bool {
+    allow
+        .iter()
+        .any(|a| a.check == f.check && f.file.starts_with(&a.path_prefix))
+}
+
+/// One ratchet entry: up to `count` findings of `check` in `file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetEntry {
+    /// The panic check being tolerated (`panic-unwrap`, `panic-index`, …).
+    pub check: String,
+    /// Exact workspace-relative file path.
+    pub file: String,
+    /// Tolerated finding count — the ratchet value.
+    pub count: usize,
+}
+
+/// Parses `panics-allow.txt`: `check file count` triples, `#` comments.
+/// Lines with a malformed count are reported as errors, not ignored — a
+/// typo must not silently widen the ratchet.
+pub fn parse_ratchet(text: &str) -> Result<Vec<RatchetEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(check), Some(file), Some(count)) = (it.next(), it.next(), it.next()) else {
+            return Err(format!(
+                "panics-allow.txt:{}: expected `check file count`, got `{raw}`",
+                idx + 1
+            ));
+        };
+        let count: usize = count.parse().map_err(|_| {
+            format!(
+                "panics-allow.txt:{}: bad count `{count}` in `{raw}`",
+                idx + 1
+            )
+        })?;
+        entries.push(RatchetEntry {
+            check: check.to_string(),
+            file: file.to_string(),
+            count,
+        });
+    }
+    Ok(entries)
+}
+
+/// Outcome of applying both allow files to the raw finding set.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings that survive (report these; nonzero ⇒ exit 1).
+    pub kept: Vec<Finding>,
+    /// Number of findings suppressed by either file.
+    pub suppressed: usize,
+    /// Stale-entry descriptions: allow entries that suppress nothing and
+    /// ratchet entries whose count exceeds reality.
+    pub stale: Vec<String>,
+}
+
+/// Applies the allowlist to non-panic findings and the ratchet to panic
+/// findings (checks named `panic-*`), computing staleness for both.
+pub fn apply(findings: Vec<Finding>, allow: &[AllowEntry], ratchet: &[RatchetEntry]) -> Applied {
+    let mut out = Applied::default();
+
+    // Panic findings grouped per (check, file) for ratchet comparison.
+    let mut panic_groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    let mut allow_hits = vec![0usize; allow.len()];
+
+    for f in findings {
+        if f.check.starts_with("panic-") {
+            panic_groups
+                .entry((f.check.to_string(), f.file.clone()))
+                .or_default()
+                .push(f);
+            continue;
+        }
+        let covering = allow
+            .iter()
+            .position(|a| a.check == f.check && f.file.starts_with(&a.path_prefix));
+        match covering {
+            Some(i) => {
+                allow_hits[i] += 1;
+                out.suppressed += 1;
+            }
+            None => out.kept.push(f),
+        }
+    }
+
+    for (i, entry) in allow.iter().enumerate() {
+        if allow_hits[i] == 0 {
+            out.stale.push(format!(
+                "lint-allow.txt entry `{} {}` matches no finding",
+                entry.check, entry.path_prefix
+            ));
+        }
+    }
+
+    for ((check, file), group) in &panic_groups {
+        let budget = ratchet
+            .iter()
+            .find(|r| &r.check == check && &r.file == file)
+            .map_or(0, |r| r.count);
+        let n = group.len();
+        if n <= budget {
+            out.suppressed += n;
+            if n < budget {
+                out.stale.push(format!(
+                    "panics-allow.txt entry `{check} {file} {budget}` is stale: only {n} findings remain — ratchet it down"
+                ));
+            }
+        } else {
+            out.kept.extend(group.iter().cloned());
+        }
+    }
+    for r in ratchet {
+        if !panic_groups.contains_key(&(r.check.clone(), r.file.clone())) {
+            out.stale.push(format!(
+                "panics-allow.txt entry `{} {} {}` is stale: no findings remain — delete it",
+                r.check, r.file, r.count
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the current panic findings as fresh `panics-allow.txt` content
+/// (used by `--write-ratchet` to bootstrap or re-true the ratchet).
+pub fn render_ratchet(findings: &[Finding]) -> String {
+    let mut groups: BTreeMap<(&str, &'static str), usize> = BTreeMap::new();
+    for f in findings {
+        if f.check.starts_with("panic-") {
+            *groups.entry((f.file.as_str(), f.check)).or_default() += 1;
+        }
+    }
+    let mut s = String::from(
+        "# mlpart-analyzer panic ratchet: `check file count` triples.\n\
+         # CI fails when a file gains findings beyond its count; --check-stale\n\
+         # fails when a count exceeds reality. The numbers can only go down.\n",
+    );
+    for ((file, check), n) in groups {
+        s.push_str(&format!("{check} {file} {n}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(file: &str, check: &'static str) -> Finding {
+        Finding {
+            file: file.into(),
+            line: 1,
+            check,
+            snippet: String::new(),
+            context: None,
+        }
+    }
+
+    #[test]
+    fn allowlist_parsing_and_matching() {
+        let allow = parse_allowlist(
+            "# comment\n\nwall-clock crates/exec/src/lib.rs # telemetry\nid-truncation crates/kway/src/\n",
+        );
+        assert_eq!(allow.len(), 2);
+        assert!(is_allowed(
+            &mk("crates/exec/src/lib.rs", "wall-clock"),
+            &allow
+        ));
+        assert!(!is_allowed(
+            &mk("crates/exec/src/lib.rs", "default-hasher"),
+            &allow
+        ));
+        assert!(is_allowed(
+            &mk("crates/kway/src/lib.rs", "id-truncation"),
+            &allow
+        ));
+    }
+
+    #[test]
+    fn ratchet_parses_and_rejects_bad_counts() {
+        let r = parse_ratchet("# hdr\npanic-index crates/fm/src/engine.rs 12\n").unwrap();
+        assert_eq!(
+            r,
+            vec![RatchetEntry {
+                check: "panic-index".into(),
+                file: "crates/fm/src/engine.rs".into(),
+                count: 12
+            }]
+        );
+        assert!(parse_ratchet("panic-index crates/fm/src/engine.rs twelve\n").is_err());
+        assert!(parse_ratchet("panic-index crates/fm/src/engine.rs\n").is_err());
+    }
+
+    #[test]
+    fn ratchet_tolerates_up_to_count_and_fails_beyond() {
+        let ratchet = vec![RatchetEntry {
+            check: "panic-unwrap".into(),
+            file: "a.rs".into(),
+            count: 2,
+        }];
+        // Exactly at budget: suppressed, no stale.
+        let out = apply(
+            vec![mk("a.rs", "panic-unwrap"), mk("a.rs", "panic-unwrap")],
+            &[],
+            &ratchet,
+        );
+        assert!(out.kept.is_empty());
+        assert_eq!(out.suppressed, 2);
+        assert!(out.stale.is_empty());
+        // One over: every finding in the group is reported.
+        let out = apply(
+            vec![
+                mk("a.rs", "panic-unwrap"),
+                mk("a.rs", "panic-unwrap"),
+                mk("a.rs", "panic-unwrap"),
+            ],
+            &[],
+            &ratchet,
+        );
+        assert_eq!(out.kept.len(), 3);
+    }
+
+    #[test]
+    fn ratchet_staleness_both_directions() {
+        let ratchet = vec![
+            RatchetEntry {
+                check: "panic-unwrap".into(),
+                file: "a.rs".into(),
+                count: 3,
+            },
+            RatchetEntry {
+                check: "panic-index".into(),
+                file: "gone.rs".into(),
+                count: 1,
+            },
+        ];
+        let out = apply(vec![mk("a.rs", "panic-unwrap")], &[], &ratchet);
+        assert!(out.kept.is_empty());
+        assert_eq!(out.stale.len(), 2, "{:?}", out.stale);
+        assert!(out.stale[0].contains("only 1 findings remain"));
+        assert!(out.stale[1].contains("no findings remain"));
+    }
+
+    #[test]
+    fn stale_allow_entry_reported() {
+        let allow = parse_allowlist("wall-clock crates/nowhere/\n");
+        let out = apply(vec![mk("a.rs", "default-hasher")], &allow, &[]);
+        assert_eq!(out.kept.len(), 1);
+        assert_eq!(out.stale.len(), 1);
+        assert!(out.stale[0].contains("matches no finding"));
+    }
+
+    #[test]
+    fn render_ratchet_is_sorted_and_grouped() {
+        let findings = vec![
+            mk("b.rs", "panic-index"),
+            mk("a.rs", "panic-unwrap"),
+            mk("a.rs", "panic-unwrap"),
+            mk("a.rs", "wall-clock"), // non-panic: excluded
+        ];
+        let text = render_ratchet(&findings);
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines, ["panic-unwrap a.rs 2", "panic-index b.rs 1"]);
+    }
+}

@@ -1,0 +1,390 @@
+//! A hand-rolled, std-only Rust lexer producing a spanned token stream.
+//!
+//! The lexer recognizes exactly what the analysis passes need to reason
+//! about source structure without a full parser: identifiers (including raw
+//! `r#ident` forms), lifetimes, string/char/number literals (including raw
+//! and byte strings), and single-character punctuation. Comments (line,
+//! nested block, and doc) are consumed and never become tokens, so no pass
+//! can be fooled by banned constructs quoted in documentation — the failure
+//! mode of the regex scanner this engine replaces.
+//!
+//! Every token carries its 1-indexed source line, so findings point at real
+//! locations even across multi-line literals and block comments.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`42`, `0xFF`, `1.5e3`, `7usize`).
+    Num,
+    /// A single punctuation character (`{`, `[`, `:`, `!`, …). Multi-char
+    /// operators appear as consecutive `Punct` tokens; the passes match on
+    /// the characters they need (`::` is two `:` tokens).
+    Punct(char),
+}
+
+/// One lexed token: kind, text, and the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// The token text. For `Ident` this is the identifier itself (raw
+    /// identifiers are stripped of the `r#` prefix); for literals the full
+    /// source text; for `Punct` the single character.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Comments and whitespace are dropped;
+/// lines are tracked across everything, including multi-line strings.
+///
+/// The lexer is total: unrecognized bytes become `Punct` tokens rather than
+/// errors, so a file that rustc would reject still produces a best-effort
+/// stream (the passes only ever run on files rustc already accepted).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' | b'c' if self.raw_or_byte_literal(line) => {}
+                b'"' => self.string_literal(line),
+                b'\'' => self.char_or_lifetime(line),
+                b'0'..=b'9' => self.number(line),
+                _ if is_ident_start(b) => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(b as char), (b as char).to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br"…"`,
+    /// `c"…"` prefixed forms. Returns true when it consumed something.
+    fn raw_or_byte_literal(&mut self, line: usize) -> bool {
+        let start = self.pos;
+        let first = self.peek(0).unwrap_or(0);
+        let mut i = 1;
+        // Optional second prefix letter (`br`, `rb` does not exist; keep it
+        // simple: `b` may be followed by `r`).
+        if first == b'b' && self.peek(i) == Some(b'r') {
+            i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(i) == Some(b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        match self.peek(i) {
+            Some(b'"') => {
+                // Raw (or plain byte/c) string: consume prefix + opening quote.
+                for _ in 0..=i {
+                    self.bump();
+                }
+                let raw = hashes > 0 || (first == b'r' || self.bytes[start + 1] == b'r');
+                self.consume_string_body(raw, hashes);
+                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.push(TokKind::Str, text, line);
+                true
+            }
+            Some(b'\'') if first == b'b' && hashes == 0 && i == 1 => {
+                // Byte char literal b'x'.
+                self.bump();
+                self.char_or_lifetime(line);
+                true
+            }
+            _ if hashes == 1 && first == b'r' && self.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#ident: lex as a plain identifier.
+                self.bump();
+                self.bump();
+                self.ident(line);
+                true
+            }
+            _ => false, // plain identifier starting with r/b/c
+        }
+    }
+
+    fn string_literal(&mut self, line: usize) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        self.consume_string_body(false, 0);
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Consumes a string body up to and including its closing delimiter.
+    /// `raw` bodies have no escapes; `hashes` is the `#` count for raw forms.
+    fn consume_string_body(&mut self, raw: bool, hashes: usize) {
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') if !raw => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b'"') => {
+                    self.bump();
+                    if !raw || (0..hashes).all(|k| self.peek(k) == Some(b'#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Disambiguates char literals (`'x'`, `'\n'`) from lifetimes (`'a`).
+    fn char_or_lifetime(&mut self, line: usize) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let is_char = matches!(
+            (self.peek(0), self.peek(1)),
+            (Some(b'\\'), _) | (Some(_), Some(b'\''))
+        );
+        if is_char {
+            if self.peek(0) == Some(b'\\') {
+                self.bump();
+                self.bump();
+                // Escapes like \u{1F600} and \x7F span extra bytes.
+                while self.peek(0).is_some() && self.peek(0) != Some(b'\'') {
+                    self.bump();
+                }
+            } else {
+                self.bump();
+            }
+            self.bump(); // closing quote
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push(TokKind::Char, text, line);
+        } else {
+            // Lifetime: consume identifier characters.
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push(TokKind::Lifetime, text, line);
+        }
+    }
+
+    fn number(&mut self, line: usize) {
+        let start = self.pos;
+        // Numbers never matter to the passes beyond existing as single
+        // tokens; consume the maximal plausible literal (digits, hex/bin
+        // prefixes, underscores, type suffixes, exponent, one dot — but not
+        // `1..2` range syntax or `x.method()`).
+        self.bump();
+        while let Some(b) = self.peek(0) {
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = kinds("let x = foo::bar(1);");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+        assert_eq!(t[2], (TokKind::Punct('='), "=".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Num && s == "1"));
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokKind::Punct(':')).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_vanish_but_lines_advance() {
+        let toks = lex("// HashMap here\n/* thread_rng()\n   nested /* ok */ */\nInstant");
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].is_ident("Instant"));
+        assert_eq!(toks[0].line, 4);
+    }
+
+    #[test]
+    fn strings_do_not_hide_following_code() {
+        let toks = lex(r#"let s = "// not a comment"; Instant::now()"#);
+        assert!(toks.iter().any(|t| t.is_ident("Instant")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r##"let s = r#"quote " inside"#; HashMap"##);
+        assert!(toks.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let toks = lex("let s = \"a\nb\nc\";\nInstant");
+        let inst = toks.iter().find(|t| t.is_ident("Instant")).unwrap();
+        assert_eq!(inst.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("for i in 0..10 { x.0.len() }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "0"]);
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let toks = lex(r#"let a = b"bytes"; let c = b'x'; let r = br"raw";"#);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+}

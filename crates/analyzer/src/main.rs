@@ -1,0 +1,134 @@
+//! `mlpart-analyzer` CLI.
+//!
+//! Exit contract: 0 = clean, 1 = findings (or stale allow entries with
+//! `--check-stale`), 2 = operational error (I/O, malformed ratchet, bad
+//! arguments).
+
+use mlpart_analyzer::{analyze_workspace, render_ratchet, run};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mlpart-analyzer: token-aware static analysis for the mlpart workspace
+
+USAGE:
+    mlpart-analyzer [OPTIONS]
+
+OPTIONS:
+    --format <text|json>   Output format for findings (default: text).
+                           json emits one mlpart-analyzer-findings-v1
+                           object per line (schemas/analyzer-findings.schema.json).
+    --check-stale          Also fail (exit 1) when a lint-allow.txt or
+                           panics-allow.txt entry matches no finding.
+    --write-ratchet        Regenerate panics-allow.txt from the live panic
+                           inventory, then exit 0.
+    --root <PATH>          Workspace root (default: the source checkout).
+    --help                 Show this help.
+
+EXIT CODES:
+    0  workspace is clean
+    1  findings (or, with --check-stale, stale allow entries)
+    2  operational error";
+
+struct Args {
+    format_json: bool,
+    check_stale: bool,
+    write_ratchet: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        format_json: false,
+        check_stale: false,
+        write_ratchet: false,
+        root: Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--check-stale" => args.check_stale = true,
+            "--write-ratchet" => args.write_ratchet = true,
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.format_json = false,
+                Some("json") => args.format_json = true,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => args.root = PathBuf::from(p),
+                None => return Err("--root expects a path".into()),
+            },
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("mlpart-analyzer: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match exec(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("mlpart-analyzer: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn exec(args: &Args) -> std::io::Result<ExitCode> {
+    if args.write_ratchet {
+        let findings = analyze_workspace(&args.root)?;
+        let text = render_ratchet(&findings);
+        let path = args.root.join("panics-allow.txt");
+        std::fs::write(&path, &text)?;
+        let entries = text.lines().filter(|l| !l.starts_with('#')).count();
+        eprintln!(
+            "mlpart-analyzer: wrote {} with {entries} ratchet entries",
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let out = run(&args.root)?;
+    for f in &out.kept {
+        if args.format_json {
+            println!("{}", f.to_json());
+        } else {
+            println!("{f}");
+        }
+    }
+    let stale_fails = args.check_stale && !out.stale.is_empty();
+    if stale_fails {
+        for s in &out.stale {
+            eprintln!("mlpart-analyzer: stale: {s}");
+        }
+    }
+    eprintln!(
+        "mlpart-analyzer: {} finding(s), {} suppressed, {} stale allow entr{}",
+        out.kept.len(),
+        out.suppressed,
+        out.stale.len(),
+        if out.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if !out.kept.is_empty() || stale_fails {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}

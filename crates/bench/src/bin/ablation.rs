@@ -221,15 +221,16 @@ fn main() {
         let a_direct = run_many_par(args.runs, child_seed(seed, 0), args.threads, |rng, ws| {
             ml_bipartition_in(&h, &MlConfig::clip(), rng, ws).1.cut
         });
-        let clique = clique_expansion(&h, DEFAULT_WEIGHT_SCALE, 50);
+        let clique = clique_expansion(&h, DEFAULT_WEIGHT_SCALE, 50).expect("expansion fits u32");
         let a_clique = run_many_par(args.runs, child_seed(seed, 1), args.threads, |rng, ws| {
             let (p, _) = ml_bipartition_in(&clique, &MlConfig::clip(), rng, ws);
-            hypergraph_cut_of_expanded(&h, p.assignment(), 2)
+            hypergraph_cut_of_expanded(&h, p.assignment(), 2).expect("assignment covers h")
         });
-        let (star, _original) = star_expansion(&h, DEFAULT_WEIGHT_SCALE, 200);
+        let (star, _original) =
+            star_expansion(&h, DEFAULT_WEIGHT_SCALE, 200).expect("expansion fits u32");
         let a_star = run_many_par(args.runs, child_seed(seed, 2), args.threads, |rng, ws| {
             let (p, _) = ml_bipartition_in(&star, &MlConfig::clip(), rng, ws);
-            hypergraph_cut_of_expanded(&h, p.assignment(), 2)
+            hypergraph_cut_of_expanded(&h, p.assignment(), 2).expect("assignment covers h")
         });
         println!(
             "{:<16} {:>8.1} {:>8.1} {:>8.1}",

@@ -58,6 +58,25 @@ impl Clustering {
         }
     }
 
+    /// Builds a clustering from a map whose ids are dense in
+    /// `0..num_clusters` **by construction** (e.g. a matcher that hands out
+    /// sequential cluster ids). Density is checked only under
+    /// `debug_assertions`; in release builds this is a plain move.
+    pub fn from_dense(cluster_of: Vec<u32>, num_clusters: usize) -> Self {
+        debug_assert!(
+            {
+                let roundtrip = Clustering::from_map(cluster_of.clone());
+                roundtrip.as_ref().map(Clustering::num_clusters) == Some(num_clusters)
+                    || (cluster_of.is_empty() && num_clusters == 0)
+            },
+            "cluster ids are not dense in 0..{num_clusters}"
+        );
+        Clustering {
+            cluster_of,
+            num_clusters,
+        }
+    }
+
     /// The identity clustering (every module its own cluster), which induces
     /// an isomorphic netlist.
     pub fn identity(n: usize) -> Self {

@@ -9,10 +9,83 @@
 
 use crate::clustering::Clustering;
 use mlpart_hypergraph::{
-    BipartBalance, Hypergraph, HypergraphBuilder, KwayBalance, ModuleId, Partition,
+    BipartBalance, BuildHypergraphError, Hypergraph, HypergraphBuilder, KwayBalance, ModuleId,
+    Partition,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// Why a level transition (`induce`, `induce_coalesced`, `project`) was
+/// rejected. These operations sit on the multilevel hot path and receive
+/// caller-assembled clusterings and partitions, so mismatches surface as
+/// typed errors rather than panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoarsenError {
+    /// The clustering's module count or id density does not match the
+    /// hypergraph it was applied to.
+    ClusteringMismatch {
+        /// Modules covered by the clustering map.
+        map_len: usize,
+        /// Modules in the hypergraph.
+        num_modules: usize,
+    },
+    /// The coarse partition's module count does not match the clustering's
+    /// cluster count.
+    PartitionMismatch {
+        /// Modules covered by the coarse partition.
+        partition_len: usize,
+        /// Clusters in the clustering.
+        num_clusters: usize,
+    },
+    /// Coalescing merged parallel nets whose summed weight exceeds `u32`.
+    WeightOverflow {
+        /// The overflowing summed weight.
+        total: u64,
+    },
+    /// The induced netlist failed hypergraph validation.
+    Build(BuildHypergraphError),
+}
+
+impl std::fmt::Display for CoarsenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoarsenError::ClusteringMismatch {
+                map_len,
+                num_modules,
+            } => write!(
+                f,
+                "clustering covers {map_len} modules but the hypergraph has {num_modules}"
+            ),
+            CoarsenError::PartitionMismatch {
+                partition_len,
+                num_clusters,
+            } => write!(
+                f,
+                "coarse partition covers {partition_len} modules but the clustering has {num_clusters} clusters"
+            ),
+            CoarsenError::WeightOverflow { total } => {
+                write!(f, "coalesced net weight {total} overflows u32")
+            }
+            CoarsenError::Build(e) => write!(f, "induced netlist is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoarsenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoarsenError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildHypergraphError> for CoarsenError {
+    fn from(e: BuildHypergraphError) -> Self {
+        CoarsenError::Build(e)
+    }
+}
 
 /// Definition 1: constructs the coarser netlist `Hᵢ₊₁` induced by a
 /// clustering of `Hᵢ`.
@@ -23,9 +96,10 @@ use rand::Rng;
 /// as in the definition — a duplicated coarse net represents several fine
 /// nets and must count multiply in the coarse cut.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the clustering does not match `h`.
+/// [`CoarsenError::ClusteringMismatch`] when the clustering does not match
+/// `h`; [`CoarsenError::Build`] when the induced netlist fails validation.
 ///
 /// # Examples
 ///
@@ -39,18 +113,20 @@ use rand::Rng;
 /// b.add_net([1, 2, 3])?; // becomes {C0, C1}
 /// let h = b.build()?;
 /// let c = Clustering::from_map(vec![0, 0, 1, 1]).expect("dense");
-/// let coarse = induce(&h, &c);
+/// let coarse = induce(&h, &c)?;
 /// assert_eq!(coarse.num_modules(), 2);
 /// assert_eq!(coarse.num_nets(), 1);
 /// assert_eq!(coarse.total_area(), h.total_area());
 /// # Ok(())
 /// # }
 /// ```
-pub fn induce(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
-    assert!(
-        clustering.validate(h),
-        "clustering does not match hypergraph"
-    );
+pub fn induce(h: &Hypergraph, clustering: &Clustering) -> Result<Hypergraph, CoarsenError> {
+    if !clustering.validate(h) {
+        return Err(CoarsenError::ClusteringMismatch {
+            map_len: clustering.num_modules(),
+            num_modules: h.num_modules(),
+        });
+    }
     let mut builder = HypergraphBuilder::new(clustering.cluster_areas(h));
     // The builder deduplicates pins within a net and drops nets that end up
     // with fewer than two distinct pins, which is exactly Definition 1.
@@ -58,13 +134,9 @@ pub fn induce(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
     for e in h.net_ids() {
         scratch.clear();
         scratch.extend(h.pins(e).iter().map(|&v| clustering.cluster_of(v) as usize));
-        builder
-            .add_weighted_net(scratch.iter().copied(), h.net_weight(e))
-            .expect("cluster ids in range, weight positive");
+        builder.add_weighted_net(scratch.iter().copied(), h.net_weight(e))?;
     }
-    let coarse = builder
-        .build()
-        .expect("induced areas are positive sums of positive areas");
+    let coarse = builder.build()?;
     #[cfg(feature = "audit")]
     if mlpart_audit::enabled() {
         mlpart_audit::enforce(mlpart_audit::audit_hypergraph(&coarse));
@@ -75,7 +147,7 @@ pub fn induce(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
             h.total_area(),
         ));
     }
-    coarse
+    Ok(coarse)
 }
 
 /// [`induce`] followed by **coalescing identical nets**: coarse nets with the
@@ -88,11 +160,17 @@ pub fn induce(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
 /// duplicated one for every partition, so solution quality is untouched
 /// while memory and per-pass time shrink.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the clustering does not match `h`.
-pub fn induce_coalesced(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
-    let dup = induce(h, clustering);
+/// [`CoarsenError::ClusteringMismatch`] when the clustering does not match
+/// `h`; [`CoarsenError::WeightOverflow`] when merged parallel nets overflow
+/// the `u32` weight; [`CoarsenError::Build`] when the coalesced netlist
+/// fails validation.
+pub fn induce_coalesced(
+    h: &Hypergraph,
+    clustering: &Clustering,
+) -> Result<Hypergraph, CoarsenError> {
+    let dup = induce(h, clustering)?;
     // Group nets by sorted pin set. A BTreeMap keeps the grouping — and
     // therefore the coarse net order — independent of hash state and
     // insertion order: iteration is always ascending by pin set, so no
@@ -111,12 +189,11 @@ pub fn induce_coalesced(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
             .collect(),
     );
     for (pins, weight) in merged {
-        let weight = u32::try_from(weight).expect("summed net weight fits u32");
-        builder
-            .add_weighted_net(pins.iter().map(|&p| p as usize), weight)
-            .expect("pins in range, weight positive");
+        let weight =
+            u32::try_from(weight).map_err(|_| CoarsenError::WeightOverflow { total: weight })?;
+        builder.add_weighted_net(pins.iter().map(|&p| p as usize), weight)?;
     }
-    let coalesced = builder.build().expect("areas positive");
+    let coalesced = builder.build()?;
     #[cfg(feature = "audit")]
     if mlpart_audit::enabled() {
         mlpart_audit::enforce(mlpart_audit::audit_hypergraph(&coalesced));
@@ -129,35 +206,43 @@ pub fn induce_coalesced(h: &Hypergraph, clustering: &Clustering) -> Hypergraph {
             dup.total_net_weight(),
         ));
     }
-    coalesced
+    Ok(coalesced)
 }
 
 /// Definition 2: projects a partition of the coarse netlist back onto the
 /// fine netlist — every fine module inherits the part of its cluster.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the clustering does not match `fine`, or `coarse_partition`
-/// does not match the clustering's cluster count.
+/// [`CoarsenError::ClusteringMismatch`] when the clustering does not match
+/// `fine`; [`CoarsenError::PartitionMismatch`] when `coarse_partition` does
+/// not match the clustering's cluster count.
 pub fn project(
     fine: &Hypergraph,
     clustering: &Clustering,
     coarse_partition: &Partition,
-) -> Partition {
-    assert!(
-        clustering.validate(fine),
-        "clustering does not match hypergraph"
-    );
-    assert_eq!(
-        coarse_partition.assignment().len(),
-        clustering.num_clusters(),
-        "coarse partition does not match clustering"
-    );
+) -> Result<Partition, CoarsenError> {
+    if !clustering.validate(fine) {
+        return Err(CoarsenError::ClusteringMismatch {
+            map_len: clustering.num_modules(),
+            num_modules: fine.num_modules(),
+        });
+    }
+    if coarse_partition.assignment().len() != clustering.num_clusters() {
+        return Err(CoarsenError::PartitionMismatch {
+            partition_len: coarse_partition.assignment().len(),
+            num_clusters: clustering.num_clusters(),
+        });
+    }
     let assignment: Vec<u32> = (0..fine.num_modules())
         .map(|i| coarse_partition.part(ModuleId::new(clustering.cluster_of_index(i) as usize)))
         .collect();
-    let fine_p = Partition::from_assignment(fine, coarse_partition.k(), assignment)
-        .expect("projected assignment is valid by construction");
+    let fine_p = Partition::from_assignment(fine, coarse_partition.k(), assignment).ok_or(
+        CoarsenError::PartitionMismatch {
+            partition_len: coarse_partition.assignment().len(),
+            num_clusters: clustering.num_clusters(),
+        },
+    )?;
     #[cfg(feature = "audit")]
     if mlpart_audit::enabled() {
         mlpart_audit::enforce(mlpart_audit::audit_cluster_map(
@@ -180,7 +265,7 @@ pub fn project(
             )));
         }
     }
-    fine_p
+    Ok(fine_p)
 }
 
 /// §III-B rebalancing for bipartitions: "the solution is rebalanced by
@@ -321,7 +406,7 @@ mod tests {
     fn induce_preserves_total_area() {
         let h = line(8);
         let c = Clustering::from_map(vec![0, 0, 1, 1, 2, 2, 3, 3]).unwrap();
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         assert_eq!(coarse.total_area(), h.total_area());
         assert_eq!(coarse.num_modules(), 4);
         // Internal nets vanish: 7 nets -> 3 inter-cluster nets.
@@ -336,14 +421,14 @@ mod tests {
         b.add_net([1, 3]).unwrap();
         let h = b.build().unwrap();
         let c = Clustering::from_map(vec![0, 0, 1, 1]).unwrap();
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         assert_eq!(coarse.num_nets(), 2, "parallel coarse nets both kept");
     }
 
     #[test]
     fn induce_identity_is_isomorphic() {
         let h = line(5);
-        let coarse = induce(&h, &Clustering::identity(5));
+        let coarse = induce(&h, &Clustering::identity(5)).unwrap();
         assert_eq!(coarse, h);
     }
 
@@ -353,7 +438,7 @@ mod tests {
         b.add_net([0, 1, 2, 3, 4, 5]).unwrap();
         let h = b.build().unwrap();
         let c = Clustering::from_map(vec![0, 0, 0, 1, 1, 2]).unwrap();
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         assert_eq!(coarse.num_nets(), 1);
         assert_eq!(coarse.net_size(mlpart_hypergraph::NetId::new(0)), 3);
     }
@@ -365,9 +450,9 @@ mod tests {
         // coarse net corresponds 1:1 to a fine net.
         let h = line(8);
         let c = Clustering::from_map(vec![0, 0, 1, 1, 2, 2, 3, 3]).unwrap();
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         let coarse_p = Partition::from_assignment(&coarse, 2, vec![0, 0, 1, 1]).unwrap();
-        let fine_p = project(&h, &c, &coarse_p);
+        let fine_p = project(&h, &c, &coarse_p).unwrap();
         assert_eq!(metrics::cut(&coarse, &coarse_p), metrics::cut(&h, &fine_p));
         assert!(fine_p.validate(&h));
         // Areas transfer too.
@@ -378,9 +463,9 @@ mod tests {
     fn project_assigns_cluster_parts() {
         let h = line(4);
         let c = Clustering::from_map(vec![0, 1, 1, 0]).unwrap();
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         let coarse_p = Partition::from_assignment(&coarse, 2, vec![1, 0]).unwrap();
-        let fine_p = project(&h, &c, &coarse_p);
+        let fine_p = project(&h, &c, &coarse_p).unwrap();
         assert_eq!(fine_p.assignment(), &[1, 0, 0, 1]);
     }
 
@@ -420,23 +505,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "clustering does not match")]
     fn induce_rejects_mismatched_clustering() {
         let h = line(4);
         let c = Clustering::from_map(vec![0, 0, 1]).unwrap();
-        let _ = induce(&h, &c);
+        assert_eq!(
+            induce(&h, &c).unwrap_err(),
+            CoarsenError::ClusteringMismatch {
+                map_len: 3,
+                num_modules: 4
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "coarse partition does not match")]
     fn project_rejects_mismatched_partition() {
         let h = line(4);
         let c = Clustering::from_map(vec![0, 0, 1, 1]).unwrap();
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         let bad = Partition::from_assignment(&coarse, 2, vec![0, 1]).unwrap();
         // Build a 3-cluster clustering to mismatch.
         let c3 = Clustering::from_map(vec![0, 1, 2, 2]).unwrap();
-        let _ = project(&h, &c3, &bad);
+        assert_eq!(
+            project(&h, &c3, &bad).unwrap_err(),
+            CoarsenError::PartitionMismatch {
+                partition_len: 2,
+                num_clusters: 3
+            }
+        );
     }
 }
 
@@ -455,8 +550,8 @@ mod coalesce_tests {
         b.add_net([0, 3]).unwrap();
         let h = b.build().unwrap();
         let c = Clustering::from_map(vec![0, 0, 1, 1]).unwrap();
-        let dup = induce(&h, &c);
-        let merged = induce_coalesced(&h, &c);
+        let dup = induce(&h, &c).unwrap();
+        let merged = induce_coalesced(&h, &c).unwrap();
         assert_eq!(dup.num_nets(), 3);
         assert_eq!(merged.num_nets(), 1);
         assert_eq!(merged.net_weight(mlpart_hypergraph::NetId::new(0)), 3);
@@ -476,8 +571,8 @@ mod coalesce_tests {
         let h = b.build().unwrap();
         let mut rng = seeded_rng(7);
         let c = match_clusters(&h, &MatchConfig::default(), &mut rng);
-        let dup = induce(&h, &c);
-        let merged = induce_coalesced(&h, &c);
+        let dup = induce(&h, &c).unwrap();
+        let merged = induce_coalesced(&h, &c).unwrap();
         assert_eq!(dup.num_modules(), merged.num_modules());
         assert!(merged.num_nets() <= dup.num_nets());
         for seed in 0..10 {
@@ -514,8 +609,8 @@ mod coalesce_tests {
         let reversed = build(&(0..8).rev().collect::<Vec<_>>());
         let c = Clustering::from_map(vec![0, 0, 1, 1, 2, 2, 3, 3]).unwrap();
         assert_eq!(
-            induce_coalesced(&forward, &c),
-            induce_coalesced(&reversed, &c)
+            induce_coalesced(&forward, &c).unwrap(),
+            induce_coalesced(&reversed, &c).unwrap()
         );
     }
 
@@ -529,7 +624,7 @@ mod coalesce_tests {
         b.add_net([0, 2]).unwrap();
         let h = b.build().unwrap();
         let c = Clustering::from_map(vec![0, 0, 1, 1, 2, 2]).unwrap();
-        let merged = induce_coalesced(&h, &c);
+        let merged = induce_coalesced(&h, &c).unwrap();
         let pin_sets: Vec<Vec<u32>> = merged
             .net_ids()
             .map(|e| merged.pins(e).iter().map(|v| v.raw()).collect())
@@ -547,6 +642,9 @@ mod coalesce_tests {
         }
         let h = b.build().unwrap();
         let c = Clustering::from_map(vec![0, 0, 1, 1, 2, 2]).unwrap();
-        assert_eq!(induce_coalesced(&h, &c), induce_coalesced(&h, &c));
+        assert_eq!(
+            induce_coalesced(&h, &c).unwrap(),
+            induce_coalesced(&h, &c).unwrap()
+        );
     }
 }

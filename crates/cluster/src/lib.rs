@@ -24,11 +24,11 @@
 //!
 //! let mut rng = seeded_rng(1);
 //! let clustering = match_clusters(&h, &MatchConfig::default(), &mut rng);
-//! let coarse = induce(&h, &clustering);
+//! let coarse = induce(&h, &clustering)?;
 //! assert!(coarse.num_modules() < h.num_modules());
 //!
 //! let coarse_p = Partition::random(&coarse, 2, &mut rng);
-//! let fine_p = project(&h, &clustering, &coarse_p);
+//! let fine_p = project(&h, &clustering, &coarse_p)?;
 //! assert_eq!(metrics::cut(&coarse, &coarse_p), metrics::cut(&h, &fine_p));
 //! # Ok(())
 //! # }
@@ -44,7 +44,7 @@ pub mod matching;
 pub use clustering::Clustering;
 pub use hierarchy::{
     induce, induce_coalesced, project, rebalance_bipart, rebalance_bipart_frozen, rebalance_kway,
-    rebalance_kway_frozen,
+    rebalance_kway_frozen, CoarsenError,
 };
 pub use matching::{
     conn, heavy_edge_matching, match_clusters, match_clusters_frozen, match_clusters_frozen_in,

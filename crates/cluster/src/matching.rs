@@ -303,7 +303,7 @@ where
             ("ratio", cfg.ratio.into()),
         ],
     );
-    Clustering::from_map(cluster_of).expect("matching produces dense cluster ids")
+    Clustering::from_dense(cluster_of, k as usize)
 }
 
 /// Chaco-style random maximal matching: each unmatched module (in random
@@ -339,7 +339,7 @@ pub fn random_matching<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> Clusteri
             cluster_of[pick as usize] = cluster;
         }
     }
-    Clustering::from_map(cluster_of).expect("matching produces dense cluster ids")
+    Clustering::from_dense(cluster_of, k as usize)
 }
 
 /// Metis-style heavy-edge matching on the hypergraph's clique expansion:
@@ -391,7 +391,7 @@ pub fn heavy_edge_matching<R: Rng + ?Sized>(h: &Hypergraph, rng: &mut R) -> Clus
         }
         touched.clear();
     }
-    Clustering::from_map(cluster_of).expect("matching produces dense cluster ids")
+    Clustering::from_dense(cluster_of, k as usize)
 }
 
 /// The pairwise connectivity function of §III-A, exposed for tests and

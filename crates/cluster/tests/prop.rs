@@ -54,7 +54,7 @@ proptest! {
         let h = build(areas, &nets);
         let mut rng = seeded_rng(seed);
         let c = match_clusters(&h, &MatchConfig::default(), &mut rng);
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         prop_assert_eq!(coarse.total_area(), h.total_area());
         prop_assert_eq!(coarse.num_modules(), c.num_clusters());
         // The number of coarse nets equals the number of fine nets whose
@@ -78,9 +78,9 @@ proptest! {
         let h = build(areas, &nets);
         let mut rng = seeded_rng(seed);
         let c = match_clusters(&h, &MatchConfig::with_ratio(0.8), &mut rng);
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         let coarse_p = Partition::random(&coarse, k, &mut rng);
-        let fine_p = project(&h, &c, &coarse_p);
+        let fine_p = project(&h, &c, &coarse_p).unwrap();
         prop_assert!(fine_p.validate(&h));
         prop_assert_eq!(metrics::cut(&coarse, &coarse_p), metrics::cut(&h, &fine_p));
         prop_assert_eq!(
@@ -97,11 +97,11 @@ proptest! {
     fn identity_clustering_roundtrip((areas, nets) in arb_netlist()) {
         let h = build(areas, &nets);
         let c = Clustering::identity(h.num_modules());
-        let coarse = induce(&h, &c);
+        let coarse = induce(&h, &c).unwrap();
         prop_assert_eq!(&coarse, &h);
         let mut rng = seeded_rng(0);
         let p = Partition::random(&coarse, 2, &mut rng);
-        let fine_p = project(&h, &c, &p);
+        let fine_p = project(&h, &c, &p).unwrap();
         prop_assert_eq!(fine_p.assignment(), p.assignment());
     }
 
@@ -146,7 +146,7 @@ proptest! {
             }
             let c = match_clusters(&h, &MatchConfig::default(), &mut rng);
             prop_assert!(c.num_clusters() < h.num_modules());
-            h = induce(&h, &c);
+            h = induce(&h, &c).unwrap();
         }
         prop_assert!(h.num_modules() <= 2 || h.num_nets() == 0 || h.num_modules() < n);
     }

@@ -3,7 +3,7 @@
 
 use mlpart_cluster::{
     heavy_edge_matching, induce, induce_coalesced, match_clusters_frozen_in,
-    match_clusters_parts_in, random_matching, Clustering, MatchConfig, MatchScratch,
+    match_clusters_parts_in, random_matching, Clustering, CoarsenError, MatchConfig, MatchScratch,
 };
 use mlpart_hypergraph::{Hypergraph, ModuleId, PartId};
 use rand::Rng;
@@ -84,21 +84,46 @@ impl Hierarchy {
     ///
     /// `fixed` lists pre-assigned modules of `H₀`; they are kept as singleton
     /// clusters on every level (§III-C pad pre-assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coarse netlist fails validation (see
+    /// [`Hierarchy::try_coarsen`] for the non-panicking form).
     pub fn coarsen<R: Rng + ?Sized>(
         h0: &Hypergraph,
         cfg: &crate::MlConfig,
         fixed: &[(ModuleId, PartId)],
         rng: &mut R,
     ) -> Self {
+        crate::error::expect_valid(Self::try_coarsen(h0, cfg, fixed, rng))
+    }
+
+    /// [`Hierarchy::coarsen`] returning a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`CoarsenError`] when inducing a coarse level fails (e.g. coalesced
+    /// net weights overflow `u32`).
+    pub fn try_coarsen<R: Rng + ?Sized>(
+        h0: &Hypergraph,
+        cfg: &crate::MlConfig,
+        fixed: &[(ModuleId, PartId)],
+        rng: &mut R,
+    ) -> Result<Self, CoarsenError> {
         let match_cfg = MatchConfig::with_ratio(cfg.matching_ratio);
         // One scratch serves every `Match` pass: levels shrink, so the
         // level-0 buffers are never reallocated further down the hierarchy.
         let mut scratch = MatchScratch::new();
         let mut clusterings = Vec::new();
         let mut coarse: Vec<Hypergraph> = Vec::new();
-        let mut fixed_levels: Vec<Vec<(ModuleId, PartId)>> = vec![fixed.to_vec()];
+        let mut fixed_levels: Vec<Vec<(ModuleId, PartId)>> = Vec::new();
+        // The level under construction: its netlist (`None` ⇒ `h0`) and its
+        // fixed list. Both are pushed onto the level vectors only when the
+        // *next* level materializes (and once more after the loop), which
+        // keeps `current` borrowable without re-indexing the vectors.
+        let mut owned_current: Option<Hypergraph> = None;
+        let mut current_fixed: Vec<(ModuleId, PartId)> = fixed.to_vec();
 
-        let mut current: &Hypergraph = h0;
         #[cfg(feature = "obs")]
         let _obs_span = mlpart_obs::span(
             "coarsen",
@@ -108,8 +133,13 @@ impl Hierarchy {
                 ("ratio", cfg.matching_ratio.into()),
             ],
         );
-        while current.num_modules() > cfg.coarsen_threshold && clusterings.len() < cfg.max_levels {
-            let level_fixed = fixed_levels.last().expect("at least level 0");
+        loop {
+            let current: &Hypergraph = owned_current.as_ref().unwrap_or(h0);
+            if current.num_modules() <= cfg.coarsen_threshold || clusterings.len() >= cfg.max_levels
+            {
+                break;
+            }
+            let level_fixed = &current_fixed;
             let frozen_mask: Option<Vec<bool>> = if level_fixed.is_empty() {
                 None
             } else {
@@ -167,24 +197,30 @@ impl Hierarchy {
                 break; // matching stalled: treat this level as coarsest
             }
             let next = if cfg.coalesce_nets {
-                induce_coalesced(current, &clustering)
+                induce_coalesced(current, &clustering)?
             } else {
-                induce(current, &clustering)
+                induce(current, &clustering)?
             };
             let next_fixed: Vec<(ModuleId, PartId)> = level_fixed
                 .iter()
                 .map(|&(v, p)| (ModuleId::new(clustering.cluster_of(v) as usize), p))
                 .collect();
             clusterings.push(clustering);
-            coarse.push(next);
-            fixed_levels.push(next_fixed);
-            current = coarse.last().expect("just pushed");
+            if let Some(prev) = owned_current.take() {
+                coarse.push(prev);
+            }
+            fixed_levels.push(std::mem::replace(&mut current_fixed, next_fixed));
+            owned_current = Some(next);
         }
-        Hierarchy {
+        if let Some(last) = owned_current {
+            coarse.push(last);
+        }
+        fixed_levels.push(current_fixed);
+        Ok(Hierarchy {
             clusterings,
             coarse,
             fixed: fixed_levels,
-        }
+        })
     }
 
     /// [`Hierarchy::coarsen`] for the constraint-aware pipelines: instead of
@@ -200,15 +236,33 @@ impl Hierarchy {
     /// # Panics
     ///
     /// Panics if fixed modules are combined with a baseline coarsener or a
-    /// fixed module is out of range.
+    /// coarse netlist fails validation (see
+    /// [`Hierarchy::try_coarsen_parts`] for the non-panicking form).
     pub fn coarsen_parts<R: Rng + ?Sized>(
         h0: &Hypergraph,
         cfg: &crate::MlConfig,
         fixed: &[(ModuleId, PartId)],
         rng: &mut R,
     ) -> Self {
+        crate::error::expect_valid(Self::try_coarsen_parts(h0, cfg, fixed, rng))
+    }
+
+    /// [`Hierarchy::coarsen_parts`] returning a typed error instead of
+    /// panicking on induction failures. The baseline-coarsener restriction
+    /// stays a panic: it is a static configuration bug, not an input
+    /// property.
+    ///
+    /// # Errors
+    ///
+    /// [`CoarsenError`] when inducing a coarse level fails.
+    pub fn try_coarsen_parts<R: Rng + ?Sized>(
+        h0: &Hypergraph,
+        cfg: &crate::MlConfig,
+        fixed: &[(ModuleId, PartId)],
+        rng: &mut R,
+    ) -> Result<Self, CoarsenError> {
         if fixed.is_empty() {
-            return Hierarchy::coarsen(h0, cfg, fixed, rng);
+            return Hierarchy::try_coarsen(h0, cfg, fixed, rng);
         }
         assert!(
             cfg.coarsener == Coarsener::PaperMatch,
@@ -218,9 +272,10 @@ impl Hierarchy {
         let mut scratch = MatchScratch::new();
         let mut clusterings = Vec::new();
         let mut coarse: Vec<Hypergraph> = Vec::new();
-        let mut fixed_levels: Vec<Vec<(ModuleId, PartId)>> = vec![fixed.to_vec()];
+        let mut fixed_levels: Vec<Vec<(ModuleId, PartId)>> = Vec::new();
+        let mut owned_current: Option<Hypergraph> = None;
+        let mut current_fixed: Vec<(ModuleId, PartId)> = fixed.to_vec();
 
-        let mut current: &Hypergraph = h0;
         #[cfg(feature = "obs")]
         let _obs_span = mlpart_obs::span(
             "coarsen_parts",
@@ -231,8 +286,13 @@ impl Hierarchy {
                 ("ratio", cfg.matching_ratio.into()),
             ],
         );
-        while current.num_modules() > cfg.coarsen_threshold && clusterings.len() < cfg.max_levels {
-            let level_fixed = fixed_levels.last().expect("at least level 0");
+        loop {
+            let current: &Hypergraph = owned_current.as_ref().unwrap_or(h0);
+            if current.num_modules() <= cfg.coarsen_threshold || clusterings.len() >= cfg.max_levels
+            {
+                break;
+            }
+            let level_fixed = &current_fixed;
             let mut seed: Vec<Option<PartId>> = vec![None; current.num_modules()];
             for &(v, p) in level_fixed {
                 seed[v.index()] = Some(p);
@@ -260,9 +320,9 @@ impl Hierarchy {
                 break; // matching stalled: treat this level as coarsest
             }
             let next = if cfg.coalesce_nets {
-                induce_coalesced(current, &clustering)
+                induce_coalesced(current, &clustering)?
             } else {
-                induce(current, &clustering)
+                induce(current, &clustering)?
             };
             let mut next_fixed: Vec<(ModuleId, PartId)> = level_fixed
                 .iter()
@@ -275,15 +335,21 @@ impl Hierarchy {
                 a.0 == b.0
             });
             clusterings.push(clustering);
-            coarse.push(next);
-            fixed_levels.push(next_fixed);
-            current = coarse.last().expect("just pushed");
+            if let Some(prev) = owned_current.take() {
+                coarse.push(prev);
+            }
+            fixed_levels.push(std::mem::replace(&mut current_fixed, next_fixed));
+            owned_current = Some(next);
         }
-        Hierarchy {
+        if let Some(last) = owned_current {
+            coarse.push(last);
+        }
+        fixed_levels.push(current_fixed);
+        Ok(Hierarchy {
             clusterings,
             coarse,
             fixed: fixed_levels,
-        }
+        })
     }
 
     /// Number of coarsening levels `m` (zero if `H₀` was already below the

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod error;
 pub mod hierarchy;
 pub mod ml;
 pub mod preflight;
@@ -47,26 +48,31 @@ pub mod quadrisection;
 pub mod recursive;
 pub mod two_phase;
 
+pub use error::PipelineError;
 pub use hierarchy::{Coarsener, Hierarchy};
 pub use ml::{
     ml_best_of_in, ml_bipartition, ml_bipartition_budgeted_in, ml_bipartition_constrained,
     ml_bipartition_constrained_budgeted_in, ml_bipartition_constrained_in, ml_bipartition_in,
+    try_ml_best_of_in, try_ml_bipartition_budgeted_in, try_ml_bipartition_constrained_budgeted_in,
     LevelStats, MlConfig, MlResult,
 };
 pub use preflight::{preflight, preflight_constrained, PreflightError};
 pub use quadrisection::{
     ml_kway, ml_kway_best_of_in, ml_kway_budgeted_in, ml_kway_constrained,
     ml_kway_constrained_budgeted_in, ml_kway_constrained_in, ml_kway_in, ml_quadrisection,
+    try_ml_kway_best_of_in, try_ml_kway_budgeted_in, try_ml_kway_constrained_budgeted_in,
     MlKwayConfig, MlKwayResult,
 };
 pub use recursive::{
     recursive_ml_bisection, recursive_ml_bisection_budgeted_in, recursive_ml_bisection_in,
-    recursive_ml_partition, recursive_ml_partition_budgeted_in, RecursiveResult,
+    recursive_ml_partition, recursive_ml_partition_budgeted_in,
+    try_recursive_ml_bisection_budgeted_in, try_recursive_ml_partition_budgeted_in,
+    RecursiveResult,
 };
 pub use two_phase::{
-    two_phase_fm, two_phase_fm_budgeted_in, two_phase_fm_constrained,
-    two_phase_fm_constrained_budgeted_in, two_phase_fm_constrained_in, two_phase_fm_in,
-    TwoPhaseResult,
+    try_two_phase_fm_budgeted_in, try_two_phase_fm_constrained_budgeted_in, two_phase_fm,
+    two_phase_fm_budgeted_in, two_phase_fm_constrained, two_phase_fm_constrained_budgeted_in,
+    two_phase_fm_constrained_in, two_phase_fm_in, TwoPhaseResult,
 };
 
 // Re-export the budget vocabulary so pipeline callers need not depend on

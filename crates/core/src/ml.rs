@@ -17,6 +17,7 @@
 //! during uncoarsening; §III-B prescribes rebalancing by random moves from
 //! the larger side, which happens between steps 8 and 9.
 
+use crate::error::{expect_valid, PipelineError};
 use crate::hierarchy::{fixed_mask, Hierarchy};
 use mlpart_cluster::{project, rebalance_bipart};
 use mlpart_fm::{
@@ -300,10 +301,28 @@ pub fn ml_bipartition_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> (Partition, MlResult) {
+    expect_valid(try_ml_bipartition_budgeted_in(h, cfg, rng, ws, meter))
+}
+
+/// [`ml_bipartition_budgeted_in`] returning a typed error instead of
+/// panicking — the non-panicking root of the classic bipartition entry
+/// points.
+///
+/// # Errors
+///
+/// [`PipelineError::Coarsen`] when building or projecting through the
+/// hierarchy fails.
+pub fn try_ml_bipartition_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> Result<(Partition, MlResult), PipelineError> {
     #[cfg(feature = "obs")]
     let _obs_run = mlpart_obs::span("ml_bipartition", &[("modules", h.num_modules().into())]);
     // --- Coarsening phase (steps 1-5). ---
-    let hierarchy = Hierarchy::coarsen(h, cfg, &[], rng);
+    let hierarchy = Hierarchy::try_coarsen(h, cfg, &[], rng)?;
     let m = hierarchy.num_levels();
 
     // --- Initial partitioning of Hₘ (step 6). ---
@@ -348,7 +367,9 @@ pub fn ml_bipartition_budgeted_in(
             _winner = _t;
         }
     }
-    let (_best_cut, mut p, initial_stats) = best.expect("at least one try");
+    let Some((_best_cut, mut p, initial_stats)) = best else {
+        return Err(PipelineError::NoStarts);
+    };
     #[cfg(feature = "obs")]
     {
         mlpart_obs::counter(
@@ -374,7 +395,7 @@ pub fn ml_bipartition_budgeted_in(
             "level",
             &[("level", i.into()), ("modules", fine.num_modules().into())],
         );
-        let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        let mut fine_p = project(fine, hierarchy.clustering(i), &p)?;
         // Definition 2 audit: the projected solution must pull back through
         // the cluster map and preserve the cut bit-exactly, checked before
         // §III-B rebalancing perturbs `fine_p`.
@@ -435,7 +456,7 @@ pub fn ml_bipartition_budgeted_in(
         level_stats,
         truncation: meter.truncation(),
     };
-    (p, result)
+    Ok((p, result))
 }
 
 /// Constraint-aware ML bipartition: [`ml_bipartition`] honoring a
@@ -473,11 +494,39 @@ pub fn ml_bipartition_constrained_in(
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> (Partition, MlResult) {
-    assert_eq!(constraints.k(), 2, "bipartition requires k = 2");
-    constraints
-        .check_modules(h.num_modules())
-        .expect("fixed module out of range");
-    ml_bipartition_constrained_budgeted_in(
+    expect_valid(try_ml_bipartition_constrained_in(
+        h,
+        cfg,
+        constraints,
+        rng,
+        ws,
+    ))
+}
+
+/// [`ml_bipartition_constrained_in`] returning a typed error instead of
+/// panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::KMismatch`] when `constraints.k() != 2`,
+/// [`PipelineError::Constraints`] when a fixed module is out of range, plus
+/// anything [`try_ml_bipartition_constrained_budgeted_in`] reports.
+pub fn try_ml_bipartition_constrained_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+) -> Result<(Partition, MlResult), PipelineError> {
+    if constraints.k() != 2 {
+        return Err(PipelineError::KMismatch {
+            context: "bipartition requires k = 2",
+            expected: 2,
+            got: constraints.k(),
+        });
+    }
+    constraints.check_modules(h.num_modules())?;
+    try_ml_bipartition_constrained_budgeted_in(
         h,
         cfg,
         constraints.fixed(),
@@ -513,11 +562,46 @@ pub fn ml_bipartition_constrained_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> (Partition, MlResult) {
+    expect_valid(try_ml_bipartition_constrained_budgeted_in(
+        h, cfg, fixed, target0, epsilon, rng, ws, meter,
+    ))
+}
+
+/// [`ml_bipartition_constrained_budgeted_in`] returning a typed error
+/// instead of panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::TargetExceedsTotal`] when `target0 > A(V)`,
+/// [`PipelineError::FixedModuleOutOfRange`] /
+/// [`PipelineError::FixedPartOutOfRange`] for bad pins, and
+/// [`PipelineError::Coarsen`] when the hierarchy cannot be built or
+/// projected.
+#[allow(clippy::too_many_arguments)]
+pub fn try_ml_bipartition_constrained_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    fixed: &[(ModuleId, PartId)],
+    target0: u64,
+    epsilon: f64,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> Result<(Partition, MlResult), PipelineError> {
     let total = h.total_area();
-    assert!(target0 <= total, "target0 exceeds the total area");
+    if target0 > total {
+        return Err(PipelineError::TargetExceedsTotal { target0, total });
+    }
     for &(v, p) in fixed {
-        assert!(v.index() < h.num_modules(), "fixed module out of range");
-        assert!(p < 2, "fixed part id out of range for a bisection");
+        if v.index() >= h.num_modules() {
+            return Err(PipelineError::FixedModuleOutOfRange {
+                module: v.index(),
+                num_modules: h.num_modules(),
+            });
+        }
+        if p >= 2 {
+            return Err(PipelineError::FixedPartOutOfRange { part: p, k: 2 });
+        }
     }
     #[cfg(feature = "obs")]
     let _obs_run = mlpart_obs::span(
@@ -532,7 +616,7 @@ pub fn ml_bipartition_constrained_budgeted_in(
     };
 
     // --- Coarsening (same-part pins may merge). ---
-    let hierarchy = Hierarchy::coarsen_parts(h, cfg, fixed, rng);
+    let hierarchy = Hierarchy::try_coarsen_parts(h, cfg, fixed, rng)?;
     let m = hierarchy.num_levels();
 
     // --- Initial partitioning of Hₘ, seeded from the coarse pins. ---
@@ -566,7 +650,9 @@ pub fn ml_bipartition_constrained_budgeted_in(
             best = Some((r.cut, p, r.pass_stats));
         }
     }
-    let (_best_cut, mut p, initial_stats) = best.expect("at least one try");
+    let Some((_best_cut, mut p, initial_stats)) = best else {
+        return Err(PipelineError::NoStarts);
+    };
     let mut level_stats = Vec::with_capacity(m + 1);
     level_stats.push(LevelStats::from_passes(
         m,
@@ -584,7 +670,7 @@ pub fn ml_bipartition_constrained_budgeted_in(
             "level",
             &[("level", i.into()), ("modules", fine.num_modules().into())],
         );
-        let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        let mut fine_p = project(fine, hierarchy.clustering(i), &p)?;
         #[cfg(feature = "audit")]
         if mlpart_audit::enabled() {
             mlpart_audit::enforce(
@@ -652,7 +738,7 @@ pub fn ml_bipartition_constrained_budgeted_in(
         level_stats,
         truncation: meter.truncation(),
     };
-    (p, result)
+    Ok((p, result))
 }
 
 /// Multi-start convenience driver: runs [`ml_bipartition_in`] once per start
@@ -676,17 +762,36 @@ pub fn ml_best_of_in(
     base_seed: u64,
     ws: &mut RefineWorkspace,
 ) -> (usize, Partition, MlResult) {
-    assert!(runs > 0, "need at least one start");
+    expect_valid(try_ml_best_of_in(h, cfg, runs, base_seed, ws))
+}
+
+/// [`ml_best_of_in`] returning a typed error instead of panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::NoStarts`] when `runs == 0`, plus anything a single
+/// start ([`try_ml_bipartition_budgeted_in`]) reports.
+pub fn try_ml_best_of_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    runs: usize,
+    base_seed: u64,
+    ws: &mut RefineWorkspace,
+) -> Result<(usize, Partition, MlResult), PipelineError> {
+    if runs == 0 {
+        return Err(PipelineError::NoStarts);
+    }
     let mut best: Option<(usize, Partition, MlResult)> = None;
     for i in 0..runs {
         let mut rng = seeded_rng(child_seed(base_seed, i as u64));
-        let (p, r) = ml_bipartition_in(h, cfg, &mut rng, ws);
+        let (p, r) =
+            try_ml_bipartition_budgeted_in(h, cfg, &mut rng, ws, &mut BudgetMeter::unlimited())?;
         // Strict `<`: the earliest start that reaches the minimum wins.
         if best.as_ref().is_none_or(|(_, _, b)| r.cut < b.cut) {
             best = Some((i, p, r));
         }
     }
-    best.expect("at least one start")
+    best.ok_or(PipelineError::NoStarts)
 }
 
 #[cfg(test)]

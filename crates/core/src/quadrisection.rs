@@ -7,13 +7,15 @@
 //! `ML_F`-style refinement with `R = 1.0` and `T = 100` under the
 //! sum-of-degrees gain.
 
+use crate::error::{expect_valid, PipelineError};
 use crate::hierarchy::Hierarchy;
 use crate::ml::{LevelStats, MlConfig};
 use mlpart_cluster::{project, rebalance_kway_frozen};
 use mlpart_fm::{BudgetMeter, RefineWorkspace, Truncation};
 use mlpart_hypergraph::rng::{child_seed, seeded_rng, MlRng};
 use mlpart_hypergraph::{
-    metrics, Constraints, Hypergraph, KwayBalance, ModuleId, PartBounds, PartId, Partition,
+    metrics, Constraints, ConstraintsError, Hypergraph, KwayBalance, ModuleId, PartBounds, PartId,
+    Partition,
 };
 use mlpart_kway::{
     kway_partition_budgeted_in, kway_refine_budgeted_in, kway_refine_constrained_budgeted_in,
@@ -145,7 +147,28 @@ pub fn ml_kway_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> (Partition, MlKwayResult) {
-    assert!(cfg.k > 0, "k must be positive");
+    expect_valid(try_ml_kway_budgeted_in(h, cfg, fixed, rng, ws, meter))
+}
+
+/// [`ml_kway_budgeted_in`] returning a typed error instead of panicking —
+/// the non-panicking root of the k-way entry points.
+///
+/// # Errors
+///
+/// [`PipelineError::Constraints`] when `cfg.k == 0`;
+/// [`PipelineError::Coarsen`] when building or projecting through the
+/// hierarchy fails.
+pub fn try_ml_kway_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    fixed: &[(ModuleId, PartId)],
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> Result<(Partition, MlKwayResult), PipelineError> {
+    if cfg.k == 0 {
+        return Err(PipelineError::Constraints(ConstraintsError::ZeroParts));
+    }
     // Reuse the bipartition hierarchy builder: only T / R / max_levels apply.
     let ml_cfg = MlConfig {
         coarsen_threshold: cfg.coarsen_threshold,
@@ -161,7 +184,7 @@ pub fn ml_kway_budgeted_in(
             ("modules", h.num_modules().into()),
         ],
     );
-    let hierarchy = Hierarchy::coarsen(h, &ml_cfg, fixed, rng);
+    let hierarchy = Hierarchy::try_coarsen(h, &ml_cfg, fixed, rng)?;
     let m = hierarchy.num_levels();
 
     // Initial k-way partitioning of the coarsest netlist.
@@ -215,7 +238,7 @@ pub fn ml_kway_budgeted_in(
             "level",
             &[("level", i.into()), ("modules", fine.num_modules().into())],
         );
-        let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        let mut fine_p = project(fine, hierarchy.clustering(i), &p)?;
         // Definition 2 audit (k-way form), before rebalancing perturbs
         // `fine_p`: pullback through the cluster map and bit-exact cut.
         #[cfg(feature = "audit")]
@@ -292,7 +315,7 @@ pub fn ml_kway_budgeted_in(
         level_stats,
         truncation: meter.truncation(),
     };
-    (p, result)
+    Ok((p, result))
 }
 
 /// Constraint-aware multilevel k-way partitioning: [`ml_kway`] driven by a
@@ -340,11 +363,42 @@ pub fn ml_kway_constrained_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> (Partition, MlKwayResult) {
+    expect_valid(try_ml_kway_constrained_budgeted_in(
+        h,
+        cfg,
+        constraints,
+        rng,
+        ws,
+        meter,
+    ))
+}
+
+/// [`ml_kway_constrained_budgeted_in`] returning a typed error instead of
+/// panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::KMismatch`] when `cfg.k != constraints.k()`,
+/// [`PipelineError::Constraints`] when a fixed module is out of range, and
+/// [`PipelineError::Coarsen`] when the hierarchy cannot be built or
+/// projected.
+pub fn try_ml_kway_constrained_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> Result<(Partition, MlKwayResult), PipelineError> {
     let k = constraints.k();
-    assert_eq!(cfg.k, k, "cfg.k and constraints.k() disagree");
-    constraints
-        .check_modules(h.num_modules())
-        .expect("fixed module out of range");
+    if cfg.k != k {
+        return Err(PipelineError::KMismatch {
+            context: "cfg.k and constraints.k() disagree",
+            expected: cfg.k,
+            got: k,
+        });
+    }
+    constraints.check_modules(h.num_modules())?;
     let ml_cfg = MlConfig {
         coarsen_threshold: cfg.coarsen_threshold,
         matching_ratio: cfg.matching_ratio,
@@ -362,7 +416,7 @@ pub fn ml_kway_constrained_budgeted_in(
     );
     let epsilon = constraints.epsilon();
     let bounds_for = |fine: &Hypergraph| PartBounds::from_epsilon(fine, k, epsilon);
-    let hierarchy = Hierarchy::coarsen_parts(h, &ml_cfg, constraints.fixed(), rng);
+    let hierarchy = Hierarchy::try_coarsen_parts(h, &ml_cfg, constraints.fixed(), rng)?;
     let m = hierarchy.num_levels();
 
     // Initial k-way partitioning of the coarsest netlist, seeded from pins.
@@ -402,7 +456,7 @@ pub fn ml_kway_constrained_budgeted_in(
             "level",
             &[("level", i.into()), ("modules", fine.num_modules().into())],
         );
-        let mut fine_p = project(fine, hierarchy.clustering(i), &p);
+        let mut fine_p = project(fine, hierarchy.clustering(i), &p)?;
         #[cfg(feature = "audit")]
         if mlpart_audit::enabled() {
             mlpart_audit::enforce(
@@ -471,7 +525,7 @@ pub fn ml_kway_constrained_budgeted_in(
         level_stats,
         truncation: meter.truncation(),
     };
-    (p, result)
+    Ok((p, result))
 }
 
 /// Multi-start convenience driver: runs [`ml_kway_in`] once per start with
@@ -492,16 +546,36 @@ pub fn ml_kway_best_of_in(
     base_seed: u64,
     ws: &mut RefineWorkspace,
 ) -> (usize, Partition, MlKwayResult) {
-    assert!(runs > 0, "need at least one start");
+    expect_valid(try_ml_kway_best_of_in(h, cfg, fixed, runs, base_seed, ws))
+}
+
+/// [`ml_kway_best_of_in`] returning a typed error instead of panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::NoStarts`] when `runs == 0`, plus anything a single
+/// start ([`try_ml_kway_budgeted_in`]) reports.
+pub fn try_ml_kway_best_of_in(
+    h: &Hypergraph,
+    cfg: &MlKwayConfig,
+    fixed: &[(ModuleId, PartId)],
+    runs: usize,
+    base_seed: u64,
+    ws: &mut RefineWorkspace,
+) -> Result<(usize, Partition, MlKwayResult), PipelineError> {
+    if runs == 0 {
+        return Err(PipelineError::NoStarts);
+    }
     let mut best: Option<(usize, Partition, MlKwayResult)> = None;
     for i in 0..runs {
         let mut rng = seeded_rng(child_seed(base_seed, i as u64));
-        let (p, r) = ml_kway_in(h, cfg, fixed, &mut rng, ws);
+        let (p, r) =
+            try_ml_kway_budgeted_in(h, cfg, fixed, &mut rng, ws, &mut BudgetMeter::unlimited())?;
         if best.as_ref().is_none_or(|(_, _, b)| r.cut < b.cut) {
             best = Some((i, p, r));
         }
     }
-    best.expect("at least one start")
+    best.ok_or(PipelineError::NoStarts)
 }
 
 /// Convenience wrapper for the paper's quadrisection setup: `k = 4`,

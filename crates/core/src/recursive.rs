@@ -9,7 +9,10 @@
 //! sub-netlist and bisected again, recursively, yielding `k = 2^depth`
 //! parts.
 
-use crate::ml::{ml_bipartition_budgeted_in, ml_bipartition_constrained_budgeted_in, MlConfig};
+use crate::error::{expect_valid, PipelineError};
+use crate::ml::{
+    try_ml_bipartition_budgeted_in, try_ml_bipartition_constrained_budgeted_in, MlConfig,
+};
 use mlpart_fm::{BudgetMeter, RefineWorkspace, Truncation};
 use mlpart_hypergraph::rng::MlRng;
 use mlpart_hypergraph::{
@@ -103,8 +106,30 @@ pub fn recursive_ml_bisection_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> (Partition, RecursiveResult) {
-    assert!(depth >= 1, "depth must be at least 1");
-    assert!(depth <= 16, "depth over 16 is surely a mistake");
+    expect_valid(try_recursive_ml_bisection_budgeted_in(
+        h, depth, cfg, rng, ws, meter,
+    ))
+}
+
+/// [`recursive_ml_bisection_budgeted_in`] returning a typed error instead
+/// of panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::BadDepth`] when `depth` is outside `1..=16`;
+/// [`PipelineError::Netlist`] when a region sub-netlist fails extraction;
+/// plus anything a region's bisection reports.
+pub fn try_recursive_ml_bisection_budgeted_in(
+    h: &Hypergraph,
+    depth: u32,
+    cfg: &MlConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> Result<(Partition, RecursiveResult), PipelineError> {
+    if !(1..=16).contains(&depth) {
+        return Err(PipelineError::BadDepth { depth });
+    }
     let k = 1u32 << depth;
     let n = h.num_modules();
     #[cfg(feature = "obs")]
@@ -135,7 +160,7 @@ pub fn recursive_ml_bisection_budgeted_in(
                 }
                 continue;
             }
-            let (sub, back) = h.extract(&keep);
+            let (sub, back) = h.extract(&keep)?;
             #[cfg(feature = "obs")]
             let _obs_region = mlpart_obs::span(
                 "region",
@@ -145,7 +170,7 @@ pub fn recursive_ml_bisection_budgeted_in(
                     ("modules", count.into()),
                 ],
             );
-            let (sub_p, _) = ml_bipartition_budgeted_in(&sub, cfg, rng, ws, meter);
+            let (sub_p, _) = try_ml_bipartition_budgeted_in(&sub, cfg, rng, ws, meter)?;
             bisections += 1;
             // Write back: side 0 -> low, side 1 -> high.
             for (sub_v, &orig) in back.iter().enumerate() {
@@ -158,14 +183,15 @@ pub fn recursive_ml_bisection_budgeted_in(
         }
         region = next_region;
     }
-    let p = Partition::from_assignment(h, k, region).expect("region ids below k");
+    let p =
+        Partition::from_assignment(h, k, region).ok_or(PipelineError::InvalidRegionIds { k })?;
     let result = RecursiveResult {
         cut: metrics::cut(h, &p),
         sum_of_degrees: metrics::sum_of_spans_minus_one(h, &p),
         bisections,
         truncation: meter.truncation(),
     };
-    (p, result)
+    Ok((p, result))
 }
 
 /// Partitions `h` into an **arbitrary** `k` parts by recursive constrained
@@ -233,11 +259,35 @@ pub fn recursive_ml_partition_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> (Partition, RecursiveResult) {
+    expect_valid(try_recursive_ml_partition_budgeted_in(
+        h,
+        cfg,
+        constraints,
+        rng,
+        ws,
+        meter,
+    ))
+}
+
+/// [`recursive_ml_partition_budgeted_in`] returning a typed error instead
+/// of panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::Constraints`] when a fixed module is out of range;
+/// [`PipelineError::Netlist`] when a region sub-netlist fails extraction;
+/// plus anything a region's constrained bisection reports.
+pub fn try_recursive_ml_partition_budgeted_in(
+    h: &Hypergraph,
+    cfg: &MlConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> Result<(Partition, RecursiveResult), PipelineError> {
     let k = constraints.k();
     let n = h.num_modules();
-    constraints
-        .check_modules(n)
-        .expect("fixed module out of range");
+    constraints.check_modules(n)?;
     #[cfg(feature = "obs")]
     let _obs_run = mlpart_obs::span(
         "recursive_partition",
@@ -269,8 +319,9 @@ pub fn recursive_ml_partition_budgeted_in(
         ws,
         meter,
         &mut bisections,
-    );
-    let p = Partition::from_assignment(h, k, region).expect("region ids below k");
+    )?;
+    let p =
+        Partition::from_assignment(h, k, region).ok_or(PipelineError::InvalidRegionIds { k })?;
     #[cfg(feature = "audit")]
     if mlpart_audit::enabled() {
         mlpart_audit::enforce(mlpart_audit::audit_partition(h, &p));
@@ -285,7 +336,7 @@ pub fn recursive_ml_partition_budgeted_in(
         bisections,
         truncation: meter.truncation(),
     };
-    (p, result)
+    Ok((p, result))
 }
 
 /// One region of the recursion: assign `members` the final part ids
@@ -306,12 +357,12 @@ fn split_region(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
     bisections: &mut usize,
-) {
+) -> Result<(), PipelineError> {
     if k_region == 1 {
         for &v in members {
             region[v as usize] = part_base;
         }
-        return;
+        return Ok(());
     }
     let k_lo = k_region - k_region / 2; // ⌈k/2⌉ parts on side 0
     let k_hi = k_region / 2;
@@ -321,13 +372,13 @@ fn split_region(
         for &v in members {
             region[v as usize] = pin[v as usize].unwrap_or(part_base);
         }
-        return;
+        return Ok(());
     }
     let mut keep = vec![false; h.num_modules()];
     for &v in members {
         keep[v as usize] = true;
     }
-    let (sub, back) = h.extract(&keep);
+    let (sub, back) = h.extract(&keep)?;
     #[cfg(feature = "obs")]
     let _obs_region = mlpart_obs::span(
         "region",
@@ -348,8 +399,9 @@ fn split_region(
         .collect();
     let total = sub.total_area();
     let target0 = ((total as u128 * k_lo as u128) / k_region as u128) as u64;
-    let (sub_p, _) =
-        ml_bipartition_constrained_budgeted_in(&sub, cfg, &sub_fixed, target0, eps, rng, ws, meter);
+    let (sub_p, _) = try_ml_bipartition_constrained_budgeted_in(
+        &sub, cfg, &sub_fixed, target0, eps, rng, ws, meter,
+    )?;
     *bisections += 1;
     let mut low = Vec::new();
     let mut high = Vec::new();
@@ -362,10 +414,10 @@ fn split_region(
     }
     split_region(
         h, cfg, pin, region, &low, part_base, k_lo, eps, rng, ws, meter, bisections,
-    );
+    )?;
     split_region(
         h, cfg, pin, region, &high, boundary, k_hi, eps, rng, ws, meter, bisections,
-    );
+    )
 }
 
 #[cfg(test)]

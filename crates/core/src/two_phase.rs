@@ -11,6 +11,7 @@
 //! to as many phases as desired". Included as a baseline so the value of
 //! *multiple* levels can be isolated experimentally.
 
+use crate::error::{expect_valid, PipelineError};
 use crate::hierarchy::fixed_mask;
 use mlpart_cluster::{
     induce, match_clusters, match_clusters_parts, project, rebalance_bipart, MatchConfig,
@@ -103,11 +104,31 @@ pub fn two_phase_fm_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> (Partition, TwoPhaseResult) {
+    expect_valid(try_two_phase_fm_budgeted_in(
+        h, fm, match_cfg, rng, ws, meter,
+    ))
+}
+
+/// [`two_phase_fm_budgeted_in`] returning a typed error instead of
+/// panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::Coarsen`] when inducing the coarse netlist or
+/// projecting the coarse partition back fails.
+pub fn try_two_phase_fm_budgeted_in(
+    h: &Hypergraph,
+    fm: &FmConfig,
+    match_cfg: &MatchConfig,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> Result<(Partition, TwoPhaseResult), PipelineError> {
     #[cfg(feature = "obs")]
     let _obs_run = mlpart_obs::span("two_phase", &[("modules", h.num_modules().into())]);
     // Phase 1: cluster once and partition the coarse netlist.
     let clustering = match_clusters(h, match_cfg, rng);
-    let coarse = induce(h, &clustering);
+    let coarse = induce(h, &clustering)?;
     #[cfg(feature = "obs")]
     mlpart_obs::counter(
         "two_phase_coarse",
@@ -117,7 +138,7 @@ pub fn two_phase_fm_budgeted_in(
     let (coarse_p, coarse_r) = fm_partition_budgeted_in(&coarse, None, fm, rng, ws, meter);
 
     // Phase 2: project and refine on the original netlist.
-    let mut p = project(h, &clustering, &coarse_p);
+    let mut p = project(h, &clustering, &coarse_p)?;
     let balance = BipartBalance::new(h, fm.balance_r);
     let mut _rebalance = 0usize;
     if !balance.is_partition_feasible(&p) {
@@ -138,7 +159,7 @@ pub fn two_phase_fm_budgeted_in(
         refine: refine_r,
         truncation: meter.truncation(),
     };
-    (p, result)
+    Ok((p, result))
 }
 
 /// [`two_phase_fm`] generalized to [`Constraints`]: fixed modules keep their
@@ -218,10 +239,42 @@ pub fn two_phase_fm_constrained_budgeted_in(
     ws: &mut RefineWorkspace,
     meter: &mut BudgetMeter,
 ) -> (Partition, TwoPhaseResult) {
-    assert_eq!(constraints.k(), 2, "two-phase FM requires k = 2");
-    constraints
-        .check_modules(h.num_modules())
-        .expect("fixed module out of range");
+    expect_valid(try_two_phase_fm_constrained_budgeted_in(
+        h,
+        fm,
+        match_cfg,
+        constraints,
+        rng,
+        ws,
+        meter,
+    ))
+}
+
+/// [`two_phase_fm_constrained_budgeted_in`] returning a typed error instead
+/// of panicking.
+///
+/// # Errors
+///
+/// [`PipelineError::KMismatch`] when `constraints.k() != 2`,
+/// [`PipelineError::Constraints`] when a fixed module is out of range, and
+/// [`PipelineError::Coarsen`] for induction/projection failures.
+pub fn try_two_phase_fm_constrained_budgeted_in(
+    h: &Hypergraph,
+    fm: &FmConfig,
+    match_cfg: &MatchConfig,
+    constraints: &Constraints,
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    meter: &mut BudgetMeter,
+) -> Result<(Partition, TwoPhaseResult), PipelineError> {
+    if constraints.k() != 2 {
+        return Err(PipelineError::KMismatch {
+            context: "two-phase FM requires k = 2",
+            expected: 2,
+            got: constraints.k(),
+        });
+    }
+    constraints.check_modules(h.num_modules())?;
     let fixed = constraints.fixed();
     let total = h.total_area();
     let target0 = total / 2;
@@ -249,7 +302,7 @@ pub fn two_phase_fm_constrained_budgeted_in(
         }
         match_clusters_parts(h, match_cfg, Some(seed.as_slice()), rng)
     };
-    let coarse = induce(h, &clustering);
+    let coarse = induce(h, &clustering)?;
     let mut coarse_fixed: Vec<(ModuleId, PartId)> = fixed
         .iter()
         .map(|&(v, p)| (ModuleId::new(clustering.cluster_of(v) as usize), p))
@@ -283,7 +336,7 @@ pub fn two_phase_fm_constrained_budgeted_in(
     );
 
     // Phase 2: project and refine on the original netlist.
-    let mut p = project(h, &clustering, &coarse_p);
+    let mut p = project(h, &clustering, &coarse_p)?;
     let bounds = bounds_for(h);
     let mut _rebalance = 0usize;
     if !bounds.is_partition_feasible(&p) {
@@ -313,7 +366,7 @@ pub fn two_phase_fm_constrained_budgeted_in(
         refine: refine_r,
         truncation: meter.truncation(),
     };
-    (p, result)
+    Ok((p, result))
 }
 
 #[cfg(test)]

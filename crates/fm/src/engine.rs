@@ -960,6 +960,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn respects_balance_bounds() {
         let h = chain(100);
         let cfg = FmConfig::default();
@@ -1003,6 +1004,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn result_cut_matches_metrics() {
         let h = chain(30);
         for seed in 0..5 {
@@ -1150,6 +1152,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn weighted_modules_respect_balance() {
         let mut b = HypergraphBuilder::new(vec![5, 1, 1, 1, 1, 1, 5, 1, 1, 1, 1, 1]);
         for i in 0..5usize {
@@ -1207,6 +1210,7 @@ mod constrained_tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn empty_fixed_set_is_byte_identical_to_legacy_refine() {
         let h = dumbbell();
         for (engine, extra) in [
@@ -1232,6 +1236,7 @@ mod constrained_tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn fixed_modules_never_move() {
         let h = dumbbell();
         // Pin one module of each clique to the "wrong" side: refinement must
@@ -1259,6 +1264,7 @@ mod constrained_tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn fixed_modules_survive_cdip_backtracking() {
         let h = dumbbell();
         let p0 = Partition::from_assignment(&h, 2, vec![0, 1, 0, 1, 0, 1, 0, 1]).unwrap();
@@ -1368,6 +1374,7 @@ mod lookahead_tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn lookahead_respects_balance_and_reporting() {
         let mut b = HypergraphBuilder::with_unit_areas(40);
         for i in 0..39usize {
@@ -1469,6 +1476,7 @@ mod cdip_tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn cdip_respects_balance_and_reporting() {
         let mut b = HypergraphBuilder::with_unit_areas(60);
         for i in 0..59usize {
@@ -1545,6 +1553,7 @@ mod incremental_tests {
     /// equal recomputed gains, and bucket filling iterates modules in the
     /// same order either way.
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn incremental_reinit_is_exactly_equivalent() {
         for (engine, policy, seed) in [
             (Engine::Fm, BucketPolicy::Lifo, 1u64),
@@ -1579,6 +1588,7 @@ mod incremental_tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn incremental_reinit_with_weighted_nets() {
         let mut b = HypergraphBuilder::with_unit_areas(24);
         for i in 0..24usize {

@@ -55,6 +55,9 @@ pub const DEFAULT_EPSILON: f64 = 0.2;
 pub struct PartBounds {
     lo: Vec<u64>,
     hi: Vec<u64>,
+    /// Cached part count; always `lo.len()`, checked to fit `u32` at
+    /// construction so the hot [`k`](PartBounds::k) accessor is branch-free.
+    k: u32,
 }
 
 impl PartBounds {
@@ -70,7 +73,9 @@ impl PartBounds {
         for (p, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
             assert!(l <= h, "part {p} has lo {l} > hi {h}");
         }
-        PartBounds { lo, hi }
+        let k = u32::try_from(lo.len()).unwrap_or(u32::MAX);
+        assert_eq!(k as usize, lo.len(), "part count exceeds u32::MAX");
+        PartBounds { lo, hi, k }
     }
 
     /// Uniform bounds: every part in `[lo, hi]`.
@@ -165,7 +170,7 @@ impl PartBounds {
     /// Number of parts `k`.
     #[inline]
     pub fn k(&self) -> u32 {
-        u32::try_from(self.lo.len()).expect("part count exceeds u32::MAX")
+        self.k
     }
 
     /// Lower area bound of part `p`.

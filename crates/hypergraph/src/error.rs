@@ -44,6 +44,15 @@ pub enum BuildHypergraphError {
         /// Number of modules declared on the builder.
         num_modules: usize,
     },
+    /// A per-module mask (e.g. the keep mask of
+    /// [`extract`](crate::Hypergraph::extract)) does not have exactly one
+    /// entry per module.
+    MaskLengthMismatch {
+        /// Length of the provided mask.
+        mask_len: usize,
+        /// Number of modules in the hypergraph.
+        num_modules: usize,
+    },
 }
 
 impl fmt::Display for BuildHypergraphError {
@@ -73,6 +82,13 @@ impl fmt::Display for BuildHypergraphError {
             } => write!(
                 f,
                 "net {net} lists {pins} pins but only {num_modules} modules exist"
+            ),
+            BuildHypergraphError::MaskLengthMismatch {
+                mask_len,
+                num_modules,
+            } => write!(
+                f,
+                "mask has {mask_len} entries but the hypergraph has {num_modules} modules"
             ),
         }
     }

@@ -197,9 +197,13 @@ impl Hypergraph {
     /// Used by recursive bisection: after a 2-way split, each side is
     /// extracted and partitioned independently.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `keep.len() != num_modules()`.
+    /// Returns [`BuildHypergraphError::MaskLengthMismatch`] when `keep`
+    /// does not have one entry per module, and propagates builder errors
+    /// when the extracted sub-netlist fails validation — both impossible
+    /// for masks produced by the pipelines, but arbitrary callers get a
+    /// value, not a panic.
     ///
     /// # Examples
     ///
@@ -211,15 +215,23 @@ impl Hypergraph {
     /// b.add_net([0, 1, 2])?;
     /// b.add_net([2, 3])?;
     /// let h = b.build()?;
-    /// let (sub, back) = h.extract(&[true, true, true, false]);
+    /// let (sub, back) = h.extract(&[true, true, true, false])?;
     /// assert_eq!(sub.num_modules(), 3);
     /// assert_eq!(sub.num_nets(), 1); // {2,3} collapsed to one pin
     /// assert_eq!(back[2].index(), 2);
     /// # Ok(())
     /// # }
     /// ```
-    pub fn extract(&self, keep: &[bool]) -> (Hypergraph, Vec<ModuleId>) {
-        assert_eq!(keep.len(), self.num_modules(), "mask has wrong length");
+    pub fn extract(
+        &self,
+        keep: &[bool],
+    ) -> Result<(Hypergraph, Vec<ModuleId>), BuildHypergraphError> {
+        if keep.len() != self.num_modules() {
+            return Err(BuildHypergraphError::MaskLengthMismatch {
+                mask_len: keep.len(),
+                num_modules: self.num_modules(),
+            });
+        }
         let mut back: Vec<ModuleId> = Vec::new();
         let mut fwd = vec![usize::MAX; self.num_modules()];
         let mut areas = Vec::new();
@@ -241,15 +253,11 @@ impl Hypergraph {
                     .map(|v| fwd[v.index()]),
             );
             if scratch.len() >= 2 {
-                builder
-                    .add_weighted_net(scratch.iter().copied(), self.net_weight(e))
-                    .expect("remapped ids in range, weight positive");
+                builder.add_weighted_net(scratch.iter().copied(), self.net_weight(e))?;
             }
         }
-        let sub = builder
-            .build()
-            .expect("areas positive because the originals were");
-        (sub, back)
+        let sub = builder.build()?;
+        Ok((sub, back))
     }
 
     /// Checks internal CSR consistency; used by tests and debug assertions.
@@ -650,7 +658,7 @@ mod tests {
         let h = tiny();
         // Keep modules 0, 1, 2: nets {0,1,2} and {1,2} survive; {3,4} gone;
         // {0,4} collapses to one pin and vanishes.
-        let (sub, back) = h.extract(&[true, true, true, false, false]);
+        let (sub, back) = h.extract(&[true, true, true, false, false]).unwrap();
         assert_eq!(sub.num_modules(), 3);
         assert_eq!(sub.num_nets(), 2);
         assert_eq!(back.len(), 3);
@@ -662,18 +670,23 @@ mod tests {
     #[test]
     fn extract_empty_and_full() {
         let h = tiny();
-        let (empty, back) = h.extract(&[false; 5]);
+        let (empty, back) = h.extract(&[false; 5]).unwrap();
         assert_eq!(empty.num_modules(), 0);
         assert!(back.is_empty());
-        let (full, _) = h.extract(&[true; 5]);
+        let (full, _) = h.extract(&[true; 5]).unwrap();
         assert_eq!(full, h);
     }
 
     #[test]
-    #[should_panic(expected = "mask has wrong length")]
     fn extract_rejects_bad_mask() {
         let h = tiny();
-        let _ = h.extract(&[true]);
+        assert_eq!(
+            h.extract(&[true]).unwrap_err(),
+            BuildHypergraphError::MaskLengthMismatch {
+                mask_len: 1,
+                num_modules: 5
+            }
+        );
     }
 
     #[test]

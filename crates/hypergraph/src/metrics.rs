@@ -123,8 +123,12 @@ impl CutStats {
     /// Panics if `samples` is empty.
     pub fn from_samples(samples: &[u64]) -> Self {
         assert!(!samples.is_empty(), "need at least one sample");
-        let min = *samples.iter().min().expect("non-empty");
-        let max = *samples.iter().max().expect("non-empty");
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+        }
         let n = samples.len() as f64;
         let avg = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
         let var = samples

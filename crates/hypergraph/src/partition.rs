@@ -415,6 +415,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // multi-seed loop: too slow under the interpreter
     fn random_is_roughly_balanced_bipartition() {
         let h = h_units(1001);
         let mut rng = SmallRng::seed_from_u64(1);

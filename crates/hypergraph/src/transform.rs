@@ -15,13 +15,65 @@
 //! `round(scale / s)` against a zero-area... — star centers must occupy
 //! area, so they get area 1 and the caller's balance tolerance absorbs the
 //! dilution (documented on [`star_expansion`]).
+//!
+//! All entry points return typed errors instead of panicking: the
+//! expansions feed arbitrary parsed benchmarks, so invalid inputs must
+//! surface as values the harness can report.
 
+use crate::error::BuildHypergraphError;
 use crate::hypergraph::{Hypergraph, HypergraphBuilder};
 
 /// The default weight scale: small enough to keep summed weights well inside
 /// the engines' bucket ranges, large enough that `scale/(s−1)` distinguishes
 /// net sizes up to the `Match` limit.
 pub const DEFAULT_WEIGHT_SCALE: u32 = 12;
+
+/// Why an expansion or expanded-cut measurement was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The weight scale was zero; every edge weight would round to a
+    /// meaningless floor.
+    ZeroScale,
+    /// The expanded graph failed hypergraph validation.
+    Build(BuildHypergraphError),
+    /// The assignment handed to [`hypergraph_cut_of_expanded`] is shorter
+    /// than the original module count.
+    AssignmentTooShort {
+        /// Length of the provided assignment.
+        len: usize,
+        /// Module count of the original hypergraph.
+        num_modules: usize,
+    },
+    /// The assignment contains a part id `>= k`.
+    InvalidAssignment {
+        /// The part count the assignment was checked against.
+        k: u32,
+    },
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::ZeroScale => write!(f, "weight scale must be positive"),
+            TransformError::Build(e) => write!(f, "expanded graph is invalid: {e}"),
+            TransformError::AssignmentTooShort { len, num_modules } => write!(
+                f,
+                "assignment has {len} entries but the original hypergraph has {num_modules} modules"
+            ),
+            TransformError::InvalidAssignment { k } => {
+                write!(f, "assignment contains a part id >= k = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<BuildHypergraphError> for TransformError {
+    fn from(e: BuildHypergraphError) -> Self {
+        TransformError::Build(e)
+    }
+}
 
 /// Clique expansion: every `s`-pin net becomes `s·(s−1)/2` weighted 2-pin
 /// nets with weight `max(1, round(scale/(s−1)))`. Module count and areas are
@@ -31,9 +83,10 @@ pub const DEFAULT_WEIGHT_SCALE: u32 = 12;
 /// Nets larger than `max_net_size` are dropped (a 200-pin net would expand
 /// to ~20k edges; graph partitioners make the same cut).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `scale == 0`.
+/// [`TransformError::ZeroScale`] when `scale == 0`;
+/// [`TransformError::Build`] when the expanded graph fails validation.
 ///
 /// # Examples
 ///
@@ -44,14 +97,20 @@ pub const DEFAULT_WEIGHT_SCALE: u32 = 12;
 /// let mut b = HypergraphBuilder::with_unit_areas(3);
 /// b.add_net([0, 1, 2])?;
 /// let h = b.build()?;
-/// let g = clique_expansion(&h, 12, 50);
+/// let g = clique_expansion(&h, 12, 50)?;
 /// assert_eq!(g.num_nets(), 3);           // the triangle
 /// assert_eq!(g.net_weight(mlpart_hypergraph::NetId::new(0)), 6); // 12/(3-1)
 /// # Ok(())
 /// # }
 /// ```
-pub fn clique_expansion(h: &Hypergraph, scale: u32, max_net_size: usize) -> Hypergraph {
-    assert!(scale > 0, "scale must be positive");
+pub fn clique_expansion(
+    h: &Hypergraph,
+    scale: u32,
+    max_net_size: usize,
+) -> Result<Hypergraph, TransformError> {
+    if scale == 0 {
+        return Err(TransformError::ZeroScale);
+    }
     let mut builder = HypergraphBuilder::new(h.areas().to_vec());
     for e in h.net_ids() {
         let s = h.net_size(e);
@@ -63,13 +122,11 @@ pub fn clique_expansion(h: &Hypergraph, scale: u32, max_net_size: usize) -> Hype
         let pins = h.pins(e);
         for i in 0..s {
             for j in (i + 1)..s {
-                builder
-                    .add_weighted_net([pins[i].index(), pins[j].index()], weight)
-                    .expect("indices in range");
+                builder.add_weighted_net([pins[i].index(), pins[j].index()], weight)?;
             }
         }
     }
-    builder.build().expect("areas unchanged and positive")
+    Ok(builder.build()?)
 }
 
 /// Star expansion: every `s`-pin net gains an auxiliary center module
@@ -80,11 +137,18 @@ pub fn clique_expansion(h: &Hypergraph, scale: u32, max_net_size: usize) -> Hype
 /// centers occupy indices `original..`); project a partition back by
 /// truncating the assignment to the original modules.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `scale == 0`.
-pub fn star_expansion(h: &Hypergraph, scale: u32, max_net_size: usize) -> (Hypergraph, usize) {
-    assert!(scale > 0, "scale must be positive");
+/// [`TransformError::ZeroScale`] when `scale == 0`;
+/// [`TransformError::Build`] when the expanded graph fails validation.
+pub fn star_expansion(
+    h: &Hypergraph,
+    scale: u32,
+    max_net_size: usize,
+) -> Result<(Hypergraph, usize), TransformError> {
+    if scale == 0 {
+        return Err(TransformError::ZeroScale);
+    }
     let n = h.num_modules();
     let expanded: Vec<_> = h
         .net_ids()
@@ -98,29 +162,35 @@ pub fn star_expansion(h: &Hypergraph, scale: u32, max_net_size: usize) -> (Hyper
         let weight =
             ((scale as f64 * h.net_weight(e) as f64 / h.net_size(e) as f64).round() as u32).max(1);
         for &v in h.pins(e) {
-            builder
-                .add_weighted_net([v.index(), center], weight)
-                .expect("indices in range");
+            builder.add_weighted_net([v.index(), center], weight)?;
         }
     }
-    (builder.build().expect("positive areas"), n)
+    Ok((builder.build()?, n))
 }
 
 /// Measures the true hypergraph cut of a partition expressed over the
 /// expanded graph's modules (identity mapping for clique expansion;
 /// truncation for star expansion).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `assignment` is shorter than `h.num_modules()`.
-pub fn hypergraph_cut_of_expanded(h: &Hypergraph, assignment: &[u32], k: u32) -> u64 {
-    assert!(
-        assignment.len() >= h.num_modules(),
-        "assignment shorter than the original module count"
-    );
+/// [`TransformError::AssignmentTooShort`] when `assignment` has fewer than
+/// `h.num_modules()` entries; [`TransformError::InvalidAssignment`] when a
+/// part id is `>= k`.
+pub fn hypergraph_cut_of_expanded(
+    h: &Hypergraph,
+    assignment: &[u32],
+    k: u32,
+) -> Result<u64, TransformError> {
+    if assignment.len() < h.num_modules() {
+        return Err(TransformError::AssignmentTooShort {
+            len: assignment.len(),
+            num_modules: h.num_modules(),
+        });
+    }
     let p = crate::Partition::from_assignment(h, k, assignment[..h.num_modules()].to_vec())
-        .expect("part ids below k");
-    crate::metrics::cut(h, &p)
+        .ok_or(TransformError::InvalidAssignment { k })?;
+    Ok(crate::metrics::cut(h, &p))
 }
 
 #[cfg(test)]
@@ -140,7 +210,7 @@ mod tests {
     #[test]
     fn clique_counts_and_weights() {
         let h = h_mixed();
-        let g = clique_expansion(&h, 12, 50);
+        let g = clique_expansion(&h, 12, 50).unwrap();
         assert_eq!(g.num_modules(), 5);
         // 1 + 3 + 6 = 10 edges.
         assert_eq!(g.num_nets(), 10);
@@ -156,7 +226,7 @@ mod tests {
         // A cut hyperedge contributes >= one cut clique edge, so a zero-cut
         // clique partition is zero-cut on the hypergraph and vice versa.
         let h = h_mixed();
-        let g = clique_expansion(&h, 12, 50);
+        let g = clique_expansion(&h, 12, 50).unwrap();
         for mask in 0u32..32 {
             let assignment: Vec<u32> = (0..5).map(|i| (mask >> i) & 1).collect();
             let ph = Partition::from_assignment(&h, 2, assignment.clone()).unwrap();
@@ -172,14 +242,14 @@ mod tests {
     #[test]
     fn clique_drops_oversized_nets() {
         let h = h_mixed();
-        let g = clique_expansion(&h, 12, 3);
+        let g = clique_expansion(&h, 12, 3).unwrap();
         assert_eq!(g.num_nets(), 1 + 3, "4-pin net dropped");
     }
 
     #[test]
     fn star_structure() {
         let h = h_mixed();
-        let (g, original) = star_expansion(&h, 12, 50);
+        let (g, original) = star_expansion(&h, 12, 50).unwrap();
         assert_eq!(original, 5);
         assert_eq!(g.num_modules(), 5 + 3, "one center per net");
         assert_eq!(g.num_pins(), 2 * (2 + 3 + 4), "one 2-pin edge per pin");
@@ -192,19 +262,41 @@ mod tests {
     #[test]
     fn expanded_cut_projection() {
         let h = h_mixed();
-        let (g, original) = star_expansion(&h, 12, 50);
+        let (g, original) = star_expansion(&h, 12, 50).unwrap();
         // Assign originals 0,1 | 2,3,4 and put centers wherever.
         let mut assignment = vec![0u32, 0, 1, 1, 1];
         assignment.extend(vec![0u32; g.num_modules() - original]);
-        let true_cut = hypergraph_cut_of_expanded(&h, &assignment, 2);
+        let true_cut = hypergraph_cut_of_expanded(&h, &assignment, 2).unwrap();
         let direct = Partition::from_assignment(&h, 2, assignment[..5].to_vec()).unwrap();
         assert_eq!(true_cut, metrics::cut(&h, &direct));
     }
 
     #[test]
-    #[should_panic(expected = "scale must be positive")]
     fn rejects_zero_scale() {
         let h = h_mixed();
-        let _ = clique_expansion(&h, 0, 50);
+        assert_eq!(
+            clique_expansion(&h, 0, 50).unwrap_err(),
+            TransformError::ZeroScale
+        );
+        assert_eq!(
+            star_expansion(&h, 0, 50).unwrap_err(),
+            TransformError::ZeroScale
+        );
+    }
+
+    #[test]
+    fn expanded_cut_rejects_bad_assignments() {
+        let h = h_mixed();
+        assert_eq!(
+            hypergraph_cut_of_expanded(&h, &[0, 1], 2).unwrap_err(),
+            TransformError::AssignmentTooShort {
+                len: 2,
+                num_modules: 5
+            }
+        );
+        assert_eq!(
+            hypergraph_cut_of_expanded(&h, &[0, 1, 2, 0, 1], 2).unwrap_err(),
+            TransformError::InvalidAssignment { k: 2 }
+        );
     }
 }

@@ -53,7 +53,7 @@ fn main() {
     );
     for i in (0..m).rev() {
         let fine: &Hypergraph = if i == 0 { &h0 } else { hier.level(i) };
-        let mut fine_p = project(fine, hier.clustering(i), &p);
+        let mut fine_p = project(fine, hier.clustering(i), &p).expect("hierarchy levels align");
         let projected_cut = metrics::cut(fine, &fine_p);
         let balance = BipartBalance::new(fine, cfg.fm.balance_r);
         let moved = if balance.is_partition_feasible(&fine_p) {

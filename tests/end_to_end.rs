@@ -65,9 +65,9 @@ fn manual_two_phase_equals_library_pieces() {
     let h = circuit.generate(3);
     let mut rng = seeded_rng(7);
     let clustering = match_clusters(&h, &MatchConfig::default(), &mut rng);
-    let coarse = induce(&h, &clustering);
+    let coarse = induce(&h, &clustering).expect("clustering covers h");
     let (coarse_p, _) = fm_partition(&coarse, None, &FmConfig::default(), &mut rng);
-    let projected = project(&h, &clustering, &coarse_p);
+    let projected = project(&h, &clustering, &coarse_p).expect("clustering covers h");
     let projected_cut = metrics::cut(&h, &projected);
     assert_eq!(
         projected_cut,

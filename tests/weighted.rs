@@ -62,8 +62,8 @@ fn coalescing_shrinks_coarse_netlists_without_changing_objective() {
     let mut rng = seeded_rng(1);
     // Coarsen twice with each policy from the same clusterings.
     let c1 = match_clusters(&h, &MatchConfig::default(), &mut rng);
-    let dup1 = induce(&h, &c1);
-    let coal1 = induce_coalesced(&h, &c1);
+    let dup1 = induce(&h, &c1).expect("clustering covers h");
+    let coal1 = induce_coalesced(&h, &c1).expect("clustering covers h");
     assert!(coal1.num_nets() <= dup1.num_nets());
     assert_eq!(coal1.total_net_weight(), dup1.total_net_weight());
     // Objective equivalence on random bipartitions of the coarse level.
@@ -76,10 +76,10 @@ fn coalescing_shrinks_coarse_netlists_without_changing_objective() {
     // Second level: the win compounds (duplicate bundles accumulate).
     let mut rng2 = seeded_rng(2);
     let c2 = match_clusters(&dup1, &MatchConfig::default(), &mut rng2);
-    let dup2 = induce(&dup1, &c2);
+    let dup2 = induce(&dup1, &c2).expect("clustering covers dup1");
     let mut rng2b = seeded_rng(2);
     let c2b = match_clusters(&coal1, &MatchConfig::default(), &mut rng2b);
-    let coal2 = induce_coalesced(&coal1, &c2b);
+    let coal2 = induce_coalesced(&coal1, &c2b).expect("clustering covers coal1");
     assert!(coal2.num_nets() < dup2.num_nets() || dup2.num_nets() == 0);
 }
 

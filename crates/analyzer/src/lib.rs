@@ -255,6 +255,23 @@ mod tests {
         assert!(hooks.iter().all(|f| f.snippet.contains("naked")));
     }
 
+    /// Allocation-tracking hook sites need the stricter `obs-alloc` gate:
+    /// both the weakly-gated (`obs` only) and naked calls are reported,
+    /// while the properly gated one and the plain span hook are not.
+    #[test]
+    fn ungated_alloc_fixture_flags_weak_gates() {
+        let text = include_str!("../fixtures/ungated_alloc.rs.fixture");
+        let scope = Scope {
+            gates: true,
+            ..Scope::default()
+        };
+        let f = analyze_source("fixtures/ungated_alloc.rs", text, &scope);
+        let hooks: Vec<&Finding> = f.iter().filter(|f| f.check == "ungated-hook").collect();
+        assert_eq!(hooks.len(), 2, "{f:?}");
+        assert!(hooks.iter().any(|f| f.snippet.contains("snapshot")));
+        assert!(hooks.iter().any(|f| f.snippet.contains("peak_bytes")));
+    }
+
     /// A fresh unwrap/index in pipeline code shows up in the panic
     /// inventory; the same code inside `#[cfg(test)]` does not.
     #[test]

@@ -38,11 +38,30 @@ const NON_INDEX_PREV: &[&str] = &[
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Hook-crate roots and the cargo feature each must be gated behind.
+/// Sub-paths can demand a *stricter* gate than the crate root; see
+/// [`hook_feature`].
 const HOOK_ROOTS: &[(&str, &str)] = &[
     ("mlpart_obs", "obs"),
     ("mlpart_audit", "audit"),
     ("mlpart_fault", "fault"),
 ];
+
+/// The feature a hook-path token at `i` must be gated behind, or `None`
+/// when `toks[i]` is not a hook root. Most hook sites need the crate-level
+/// feature from [`HOOK_ROOTS`]; `mlpart_obs::alloc::…` — the allocation
+/// tracker — only exists under `obs-alloc`, so a plain `obs` gate would
+/// still break the build and the stricter gate is required.
+fn hook_feature(toks: &[Token], i: usize) -> Option<&'static str> {
+    let (_, feature) = HOOK_ROOTS.iter().find(|(root, _)| toks[i].is_ident(root))?;
+    if toks[i].is_ident("mlpart_obs")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident("alloc"))
+    {
+        return Some("obs-alloc");
+    }
+    Some(feature)
+}
 
 /// Runs every applicable pass over one file. `src` is only used to attach
 /// trimmed line snippets to findings.
@@ -146,7 +165,7 @@ pub fn analyze(
 
         // --- feature-gate hygiene ---
         if scope.gates && t.kind == TokKind::Ident && !outline.in_test(i) {
-            if let Some((_, feature)) = HOOK_ROOTS.iter().find(|(root, _)| t.is_ident(root)) {
+            if let Some(feature) = hook_feature(toks, i) {
                 let gated = outline.in_feature(i, feature)
                     || scope.inherited_features.iter().any(|f| f == feature);
                 if !gated {
@@ -339,6 +358,56 @@ mod tests {
         let f = run(src, &scope);
         assert_eq!(f.len(), 1);
         scope.inherited_features = vec!["audit".into()];
+        assert!(run(src, &scope).is_empty());
+    }
+
+    #[test]
+    fn alloc_hook_requires_the_stricter_obs_alloc_gate() {
+        // A crate-level `obs` gate is not enough for the allocation
+        // tracker: the `alloc` module only compiles under `obs-alloc`.
+        let under_obs = r#"
+            fn f() {
+                #[cfg(feature = "obs")]
+                {
+                    mlpart_obs::alloc::reset_thread_tallies();
+                }
+            }
+        "#;
+        assert_eq!(checks(under_obs, &gate_scope()), ["ungated-hook"]);
+        let under_alloc = r#"
+            fn f() {
+                #[cfg(feature = "obs-alloc")]
+                {
+                    mlpart_obs::alloc::reset_thread_tallies();
+                }
+            }
+        "#;
+        assert!(run(under_alloc, &gate_scope()).is_empty());
+    }
+
+    #[test]
+    fn metrics_hook_needs_only_the_obs_gate() {
+        let src = r#"
+            fn f() {
+                #[cfg(feature = "obs")]
+                {
+                    let r = mlpart_obs::metrics::Registry::from_trace(&t);
+                }
+            }
+        "#;
+        assert!(run(src, &gate_scope()).is_empty());
+    }
+
+    #[test]
+    fn inherited_obs_alloc_module_gating_counts() {
+        let src = "pub fn hook() { mlpart_obs::alloc::snapshot(); }\n";
+        let mut scope = gate_scope();
+        assert_eq!(checks(src, &scope), ["ungated-hook"]);
+        // Inheriting plain `obs` from a gated `mod` is still not enough…
+        scope.inherited_features = vec!["obs".into()];
+        assert_eq!(checks(src, &scope), ["ungated-hook"]);
+        // …but inheriting `obs-alloc` is.
+        scope.inherited_features = vec!["obs-alloc".into()];
         assert!(run(src, &scope).is_empty());
     }
 

@@ -16,7 +16,7 @@
 //! These are *our* experiments (not in the paper); they quantify how much
 //! each ingredient of ML matters on the synthetic suite.
 
-use mlpart_bench::{report_shape_checks, run_many_par, HarnessArgs, ShapeCheck};
+use mlpart_bench::{report_shape_checks, run_many_par, with_report, HarnessArgs, ShapeCheck};
 use mlpart_core::{
     ml_bipartition_in, ml_kway_in, recursive_ml_bisection_in, Coarsener, MlConfig, MlKwayConfig,
 };
@@ -29,6 +29,11 @@ use mlpart_kway::{KwayConfig, KwayGain};
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let ok = with_report(&args, "ablation", || run(&args));
+    std::process::exit(i32::from(!ok));
+}
+
+fn run(args: &HarnessArgs) -> bool {
     println!(
         "Ablation — coarseners and §V extensions on ML_C ({} runs per cell, seed {})",
         args.runs, args.seed
@@ -303,5 +308,5 @@ fn main() {
             direct_vs_star < 1.0,
         ),
     ];
-    std::process::exit(i32::from(!report_shape_checks(&checks)));
+    report_shape_checks(&checks)
 }

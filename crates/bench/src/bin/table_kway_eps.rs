@@ -9,7 +9,7 @@
 //! per (circuit, k, ε) cell in the `BENCH_*.json` format plus a `meta`
 //! line; exits non-zero on any determinism violation.
 
-use mlpart_bench::{algos, run_many_par, HarnessArgs};
+use mlpart_bench::{algos, run_many_par, with_report, HarnessArgs};
 use mlpart_hypergraph::rng::child_seed;
 use mlpart_hypergraph::{Constraints, ModuleId};
 
@@ -18,6 +18,11 @@ const EPSILONS: [f64; 2] = [0.02, 0.10];
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let ok = with_report(&args, "table_kway_eps", || sweep(&args));
+    std::process::exit(i32::from(!ok));
+}
+
+fn sweep(args: &HarnessArgs) -> bool {
     println!(
         "{{\"group\":\"kway_eps\",\"bench\":\"meta\",\"runs_per_cell\":{},\
          \"seed\":{},\"note\":\"two modules pinned to opposite parts per \
@@ -64,5 +69,5 @@ fn main() {
             }
         }
     }
-    std::process::exit(i32::from(!ok));
+    ok
 }

@@ -123,20 +123,22 @@ where
     stats
 }
 
-/// Runs `body` under the observability gate when `--report-out` was given,
-/// then writes a `mlpart-run-report-v2` JSON document capturing every batch
-/// the body executed (each multi-start batch contributes its per-start
-/// `start` spans plus one `batch` summary counter). Without the `obs`
-/// feature the flag is rejected up front so a report is never silently
-/// skipped. Returns whatever `body` returns.
+/// Runs `body` under the observability gate when `--report-out` or
+/// `--trace-out` was given. `--report-out` writes a `mlpart-run-report-v3`
+/// JSON document capturing every batch the body executed (each multi-start
+/// batch contributes its per-start `start` spans plus one `batch` summary
+/// counter); `--trace-out` writes the same capture as a Chrome trace, ready
+/// for `chrome://tracing` or `obs-diff`. Without the `obs` feature both
+/// flags are rejected up front so an artifact is never silently skipped.
+/// Returns whatever `body` returns.
 pub fn with_report<R>(args: &HarnessArgs, harness: &'static str, body: impl FnOnce() -> R) -> R {
     #[cfg(not(feature = "obs"))]
     {
         let _ = harness;
-        if args.report_out.is_some() {
+        if args.report_out.is_some() || args.trace_out.is_some() {
             eprintln!(
-                "--report-out needs a binary built with the `obs` feature \
-                 (cargo build --release --features obs)"
+                "--report-out/--trace-out need a binary built with the `obs` \
+                 feature (cargo build --release --features obs)"
             );
             std::process::exit(2);
         }
@@ -144,9 +146,17 @@ pub fn with_report<R>(args: &HarnessArgs, harness: &'static str, body: impl FnOn
     }
     #[cfg(feature = "obs")]
     {
-        let Some(path) = &args.report_out else {
+        if args.report_out.is_none() && args.trace_out.is_none() {
             return body();
-        };
+        }
+        let write_or_die =
+            |path: &str, what: &str, content: &str| match std::fs::write(path, content) {
+                Ok(()) => eprintln!("{what} written to {path}"),
+                Err(e) => {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
         mlpart_obs::force_enabled(true);
         let wall = Instant::now();
         let (value, trace) = mlpart_obs::capture(|| {
@@ -156,26 +166,26 @@ pub fn with_report<R>(args: &HarnessArgs, harness: &'static str, body: impl FnOn
             );
             body()
         });
-        let report = mlpart_obs::report::RunReport {
-            meta: vec![
-                ("harness", mlpart_obs::V::S(harness)),
-                ("runs", args.runs.into()),
-                ("seed", args.seed.into()),
-                ("threads", args.threads.into()),
-            ],
-            cuts: Vec::new(), // per-batch cuts live in the `batch` counters
-            failures: Vec::new(),
-            truncations: Vec::new(),
-            wall_secs: wall.elapsed().as_secs_f64(),
-            cpu_secs: 0.0,
-            trace: trace.expect("gate forced on"),
-        };
-        match std::fs::write(path, report.to_json()) {
-            Ok(()) => eprintln!("run report written to {path}"),
-            Err(e) => {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            }
+        let trace = trace.expect("gate forced on");
+        if let Some(path) = &args.trace_out {
+            write_or_die(path, "trace", &mlpart_obs::to_chrome_trace(&trace));
+        }
+        if let Some(path) = &args.report_out {
+            let report = mlpart_obs::report::RunReport {
+                meta: vec![
+                    ("harness", mlpart_obs::V::S(harness)),
+                    ("runs", args.runs.into()),
+                    ("seed", args.seed.into()),
+                    ("threads", args.threads.into()),
+                ],
+                cuts: Vec::new(), // per-batch cuts live in the `batch` counters
+                failures: Vec::new(),
+                truncations: Vec::new(),
+                wall_secs: wall.elapsed().as_secs_f64(),
+                cpu_secs: 0.0,
+                trace,
+            };
+            write_or_die(path, "run report", &report.to_json());
         }
         value
     }
@@ -217,9 +227,12 @@ pub struct HarnessArgs {
     pub suite: SuiteSelection,
     /// Worker threads for multi-start cells (never changes results).
     pub threads: usize,
-    /// Write a `mlpart-run-report-v2` JSON document here (needs the `obs`
+    /// Write a `mlpart-run-report-v3` JSON document here (needs the `obs`
     /// feature; see [`with_report`]).
     pub report_out: Option<String>,
+    /// Write the captured Chrome trace here (needs the `obs` feature; see
+    /// [`with_report`]).
+    pub trace_out: Option<String>,
 }
 
 /// The complete usage line; printed on `--help` and flag errors.
@@ -229,7 +242,8 @@ pub const USAGE: &str = "usage: --runs N --seed S --suite small|medium|all|name,
      \x20 --suite SEL   small|medium|all|name1,name2,...     [default small]\n\
      \x20 --threads N   worker threads for multi-start cells [default: available parallelism];\n\
      \x20               results are bit-identical for every thread count\n\
-     \x20 --report-out PATH  write a machine-readable run report (needs the `obs` feature)";
+     \x20 --report-out PATH  write a machine-readable run report (needs the `obs` feature)\n\
+     \x20 --trace-out PATH   write a Chrome trace of the run (needs the `obs` feature)";
 
 impl Default for HarnessArgs {
     fn default() -> Self {
@@ -239,6 +253,7 @@ impl Default for HarnessArgs {
             suite: SuiteSelection::Small,
             threads: mlpart_exec::default_threads(),
             report_out: None,
+            trace_out: None,
         }
     }
 }
@@ -305,6 +320,7 @@ impl HarnessArgs {
                     }
                 }
                 "--report-out" => out.report_out = Some(value("--report-out")?),
+                "--trace-out" => out.trace_out = Some(value("--trace-out")?),
                 "--help" | "-h" => return Err(USAGE.to_owned()),
                 other => return Err(format!("unknown flag {other}\n{USAGE}")),
             }
@@ -464,7 +480,14 @@ mod tests {
 
     #[test]
     fn usage_documents_every_flag() {
-        for flag in ["--runs", "--seed", "--suite", "--threads", "--report-out"] {
+        for flag in [
+            "--runs",
+            "--seed",
+            "--suite",
+            "--threads",
+            "--report-out",
+            "--trace-out",
+        ] {
             assert!(USAGE.contains(flag), "usage omits {flag}");
         }
         let help = HarnessArgs::parse(argv("--help")).expect_err("help is an Err");

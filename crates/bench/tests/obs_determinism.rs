@@ -24,7 +24,7 @@ fn gate_lock() -> MutexGuard<'static, ()> {
 }
 
 fn thread_counts() -> Vec<usize> {
-    let mut counts = vec![1, 2, 8];
+    let mut counts = vec![1, 2, 4, 8];
     if let Ok(forced) = std::env::var("MLPART_TEST_THREADS") {
         let forced: usize = forced
             .parse()
@@ -96,6 +96,132 @@ fn chrome_trace_content_is_thread_count_invariant() {
     let c1 = render(1);
     for threads in [2, 8] {
         assert_eq!(c1, render(threads), "threads={threads}");
+    }
+}
+
+/// Captures one traced batch and returns the raw trace.
+fn raw_traced_batch(h: &Hypergraph, threads: usize) -> (RunStats, obs::Trace) {
+    obs::force_enabled(true);
+    let (stats, trace) = obs::capture(|| {
+        let _run = obs::span("run", &[("seed", 29u64.into())]);
+        batch(h, threads)
+    });
+    obs::force_enabled(false);
+    (stats, trace.expect("gate forced on"))
+}
+
+/// The metrics registry is a pure function of trace content, so its JSON
+/// serialization is bit-identical at every thread count — no stripping
+/// needed at all.
+#[test]
+fn metrics_registry_is_bit_identical_across_thread_counts() {
+    let _gate = gate_lock();
+    let h = circuit();
+    let (_, t1) = raw_traced_batch(&h, 1);
+    let r1 = obs::metrics::Registry::from_trace(&t1).to_json();
+    assert!(
+        r1.contains("fm_pass"),
+        "registry folded refinement counters"
+    );
+    for threads in thread_counts() {
+        let (_, t) = raw_traced_batch(&h, threads);
+        let r = obs::metrics::Registry::from_trace(&t).to_json();
+        assert_eq!(r1, r, "threads={threads}: serialized registry bytes");
+    }
+}
+
+/// Folded-stack exports keep their frame structure (the normative part)
+/// across thread counts; only the trailing sample values vary.
+#[test]
+fn folded_stacks_are_structurally_identical_across_thread_counts() {
+    let _gate = gate_lock();
+    let h = circuit();
+    let (_, t1) = raw_traced_batch(&h, 1);
+    let f1 = obs::strip_folded(&obs::to_folded(&t1));
+    assert!(f1.contains(';'), "stacks have nested frames");
+    for threads in thread_counts() {
+        let (_, t) = raw_traced_batch(&h, threads);
+        assert_eq!(
+            f1,
+            obs::strip_folded(&obs::to_folded(&t)),
+            "threads={threads}: folded frames"
+        );
+    }
+}
+
+/// Full v3 run reports — profile and metrics sections included — are
+/// byte-identical after profile normalization across thread counts: the
+/// invariant `obs-diff` enforces between same-seed runs.
+#[test]
+fn v3_reports_strip_identical_across_thread_counts() {
+    let _gate = gate_lock();
+    let report_doc = |h: &Hypergraph, threads: usize| {
+        let (_, trace) = raw_traced_batch(h, threads);
+        obs::report::RunReport {
+            meta: vec![
+                ("harness", obs::V::S("obs_determinism")),
+                ("seed", 29u64.into()),
+                ("threads", (threads as u64).into()),
+            ],
+            cuts: Vec::new(),
+            failures: Vec::new(),
+            truncations: Vec::new(),
+            wall_secs: 0.0,
+            cpu_secs: 0.0,
+            trace,
+        }
+        .to_json()
+    };
+    let h = circuit();
+    let d1 = report_doc(&h, 1);
+    let n1 = obs::strip_profile(&d1);
+    for threads in thread_counts() {
+        let d = report_doc(&h, threads);
+        assert_eq!(
+            n1,
+            obs::strip_profile(&d),
+            "threads={threads}: normalized v3 report bytes"
+        );
+        // And obs-diff agrees end to end: same-seed cross-thread runs are
+        // clean (a generous threshold absorbs machine-load noise on the
+        // real timings).
+        let opts = obs::diff::DiffOptions {
+            max_time_ratio: 1e9,
+            max_alloc_ratio: 1e9,
+            ..obs::diff::DiffOptions::default()
+        };
+        let verdict = obs::diff::diff_documents("t1", &d1, "tN", &d, &opts);
+        assert_eq!(
+            verdict.exit,
+            obs::diff::EXIT_CLEAN,
+            "threads={threads}: {}",
+            verdict.text
+        );
+    }
+}
+
+/// The per-phase rollup's deterministic columns (phase order, counts) are
+/// thread-count invariant even though its ns columns are telemetry.
+#[test]
+fn phase_rollup_structure_is_thread_count_invariant() {
+    let _gate = gate_lock();
+    let h = circuit();
+    let (_, t1) = raw_traced_batch(&h, 1);
+    let shape = |t: &obs::Trace| -> Vec<(String, u64)> {
+        obs::profile::phase_rollup(t)
+            .into_iter()
+            .map(|p| (p.name, p.count))
+            .collect()
+    };
+    let s1 = shape(&t1);
+    assert_eq!(s1[0].0, "run");
+    assert!(
+        s1.iter().any(|(n, c)| n == "start" && *c == 6),
+        "six starts"
+    );
+    for threads in thread_counts() {
+        let (_, t) = raw_traced_batch(&h, threads);
+        assert_eq!(s1, shape(&t), "threads={threads}: phase structure");
     }
 }
 

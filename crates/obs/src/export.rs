@@ -85,21 +85,49 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
     out
 }
 
-/// Timestamp-carrying JSON keys excluded from the determinism contract.
-const TIMING_KEYS: [&str; 5] = ["ts", "dur_ns", "wall_secs", "cpu_secs", "fill_ms"];
+/// Timestamp-carrying JSON keys excluded from the determinism contract,
+/// plus the allocation telemetry keys — alloc tallies depend on which
+/// worker's warm workspace ran a start, so they are scheduling artifacts
+/// exactly like durations.
+const TIMING_KEYS: [&str; 10] = [
+    "ts",
+    "dur_ns",
+    "wall_secs",
+    "cpu_secs",
+    "fill_ms",
+    "total_ns",
+    "self_ns",
+    "alloc_bytes",
+    "alloc_count",
+    "alloc_peak",
+];
 
-/// Returns `s` with the numeric value after every timing key (`"ts"`,
-/// `"dur_ns"`, `"wall_secs"`, `"cpu_secs"`, `"fill_ms"`) replaced by `0`.
-///
-/// Everything else is left byte-for-byte intact, so two exports of the same
-/// deterministic content compare equal after stripping — this is the
-/// comparison the trace-determinism tests and CI perform.
-pub fn strip_timing(s: &str) -> String {
+/// Allocation keys present only in `obs-alloc` builds: [`strip_profile`]
+/// removes them entirely so traces from `obs` and `obs-alloc` builds of the
+/// same workload compare equal on content.
+const ALLOC_KEYS: [&str; 3] = ["alloc_bytes", "alloc_count", "alloc_peak"];
+
+/// Keys that record the execution *schedule* rather than content: the
+/// thread count and whether the allocator was instrumented. Zeroed by
+/// [`strip_profile`] so same-seed documents from different `--threads`
+/// settings (and alloc on/off builds) compare equal — the contract the
+/// `obs-diff` tool byte-verifies.
+const SCHED_KEYS: [&str; 2] = ["threads", "alloc_tracked"];
+
+/// True for argument keys excluded from the determinism contract (timing,
+/// allocation, scheduling); the metrics registry skips these when folding.
+pub fn is_non_normative_key(key: &str) -> bool {
+    TIMING_KEYS.contains(&key) || SCHED_KEYS.contains(&key)
+}
+
+/// Zeroes the numeric value after every `"key":` occurrence for each key in
+/// `keys`; everything else is byte-for-byte intact.
+fn strip_keys(s: &str, keys: &[&str]) -> String {
     let bytes = s.as_bytes();
     let mut out = String::with_capacity(s.len());
     let mut pos = 0usize;
     while pos < bytes.len() {
-        let matched = TIMING_KEYS.iter().find_map(|key| {
+        let matched = keys.iter().find_map(|key| {
             let pat_len = key.len() + 3; // "key":
             let pat = format!("\"{key}\":");
             bytes[pos..].starts_with(pat.as_bytes()).then_some(pat_len)
@@ -119,6 +147,60 @@ pub fn strip_timing(s: &str) -> String {
             let c = s[pos..].chars().next().unwrap();
             out.push(c);
             pos += c.len_utf8();
+        }
+    }
+    out
+}
+
+/// Returns `s` with the numeric value after every timing or allocation key
+/// (`"ts"`, `"dur_ns"`, `"wall_secs"`, `"cpu_secs"`, `"fill_ms"`,
+/// `"total_ns"`, `"self_ns"`, `"alloc_*"`) replaced by `0`.
+///
+/// Everything else is left byte-for-byte intact, so two exports of the same
+/// deterministic content compare equal after stripping — this is the
+/// comparison the trace-determinism tests and CI perform.
+pub fn strip_timing(s: &str) -> String {
+    strip_keys(s, &TIMING_KEYS)
+}
+
+/// The profile-comparison normalization: [`strip_timing`] plus zeroing the
+/// scheduling keys (`"threads"`, `"alloc_tracked"`) and *removing* the
+/// allocation keys outright.
+///
+/// Zeroing suffices when a key appears on both sides; the `alloc_*` args
+/// only exist in `obs-alloc` builds, so equality across alloc on/off
+/// requires deleting them. After `strip_profile`, any two documents for the
+/// same `(netlist, config, seed)` must be byte-identical regardless of
+/// thread count or allocator instrumentation — `obs-diff` exits 2 when they
+/// are not.
+pub fn strip_profile(s: &str) -> String {
+    let mut keys: Vec<&str> = TIMING_KEYS.to_vec();
+    keys.extend(SCHED_KEYS);
+    let mut out = strip_keys(s, &keys);
+    for key in ALLOC_KEYS {
+        // Values are already zeroed, so the occurrences are literal; drop
+        // them with whichever comma keeps the object well-formed.
+        out = out.replace(&format!("\"{key}\":0,"), "");
+        out = out.replace(&format!(",\"{key}\":0"), "");
+        out = out.replace(&format!("\"{key}\":0"), "");
+    }
+    out
+}
+
+/// Zeroes the trailing sample value of every folded-stack line, keeping the
+/// stack frames (the normative part) intact.
+pub fn strip_folded(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for line in s.lines() {
+        match line.rsplit_once(' ') {
+            Some((stack, _value)) => {
+                out.push_str(stack);
+                out.push_str(" 0\n");
+            }
+            None => {
+                out.push_str(line);
+                out.push('\n');
+            }
         }
     }
     out

@@ -105,6 +105,48 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Serializes a [`Json`] value compactly (no whitespace), preserving object
+/// key order. Numbers go through [`write_f64`], so a document produced by
+/// the integer-only exporters re-serializes byte-identically after
+/// [`parse`] — the round-trip property the report tests assert.
+pub fn write_value(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => write_f64(out, *n),
+        Json::Str(s) => write_str(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// [`write_value`] into a fresh string.
+pub fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
+}
+
 /// Parses a JSON document. Returns an error message with a byte offset on
 /// malformed input; trailing non-whitespace after the value is an error.
 pub fn parse(input: &str) -> Result<Json, String> {
@@ -296,6 +338,15 @@ mod tests {
         assert!(parse("{\"a\" 1}").is_err());
         assert!(parse("1 2").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn compact_documents_round_trip_bytewise() {
+        let doc = r#"{"a":[1,2.5,-3],"b":{"c":"x\ny","d":true},"e":null,"f":[]}"#;
+        let parsed = parse(doc).unwrap();
+        assert_eq!(to_string(&parsed), doc);
+        let again = parse(&to_string(&parsed)).unwrap();
+        assert_eq!(again, parsed);
     }
 
     #[test]

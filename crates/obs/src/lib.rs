@@ -24,6 +24,19 @@
 //! ([`clock::now_ns`]) — the only file in this crate on the lint
 //! wall-clock whitelist.
 //!
+//! # Profiling layer
+//!
+//! On top of the raw trace sit derived, equally deterministic views:
+//! [`metrics`] folds counter events into a fixed-bucket registry,
+//! [`profile`] rolls the span tree up into per-phase self/total time (and,
+//! under the `obs-alloc` feature, per-phase allocation tallies from the
+//! tracking global allocator in [`alloc`](crate)), and
+//! [`profile::to_folded`] exports flamegraph-compatible folded stacks. The
+//! [`diff`] module (surfaced as the `obs-diff` binary) compares two
+//! artifacts: normative content must match byte-for-byte after
+//! [`export::strip_profile`], and per-phase telemetry ratios past a
+//! threshold flag a regression.
+//!
 //! # Recording model
 //!
 //! Events are recorded into a thread-local [`trace::Recorder`] installed by
@@ -52,14 +65,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "obs-alloc")]
+pub mod alloc;
 pub mod clock;
+pub mod diff;
 pub mod export;
 pub mod json;
+pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod schema;
 pub mod trace;
 
-pub use export::{strip_timing, to_chrome_trace, to_jsonl};
+pub use export::{strip_folded, strip_profile, strip_timing, to_chrome_trace, to_jsonl};
+pub use profile::to_folded;
 pub use trace::{
     append_trace, capture, counter, recording, span, EvKind, Event, SpanGuard, Trace, V,
 };

@@ -2,10 +2,12 @@
 //!
 //! A [`RunReport`] pairs the flat event stream with run-level metadata
 //! (algorithm, seed, per-start cuts, total timing) and serializes as a
-//! single JSON document (`schema: "mlpart-run-report-v2"`). The span tree
-//! is rebuilt from `Begin`/`End` bracketing; [`level_rows`] renders the
-//! same per-level table the CLI's `--stats` flag has always printed, now
-//! derived from trace content instead of ad-hoc plumbing.
+//! single JSON document (`schema: "mlpart-run-report-v3"`, which extends v2
+//! with a per-phase `profile` rollup and a deterministic `metrics`
+//! registry; [`parse_report`] loads both versions). The span tree is
+//! rebuilt from `Begin`/`End` bracketing; [`level_rows`] renders the same
+//! per-level table the CLI's `--stats` flag has always printed, now derived
+//! from trace content instead of ad-hoc plumbing.
 
 use crate::export;
 use crate::json;
@@ -52,14 +54,20 @@ pub struct SpanTree {
 ///
 /// Tolerant of imbalance (a truncated capture): an `End` with no open span
 /// is dropped, and spans still open at the end of the stream are closed at
-/// the final event's timestamp.
+/// the final event's timestamp. Args recorded on the `End` event (the
+/// `alloc_*` telemetry in `obs-alloc` builds) are merged into the node's
+/// args after the `Begin` args.
 pub fn build_tree(trace: &Trace) -> SpanTree {
     let mut tree = SpanTree::default();
     let mut stack: Vec<SpanNode> = Vec::new();
     let last_ts = trace.events.last().map_or(0, |e| e.ts_ns);
-    let close = |stack: &mut Vec<SpanNode>, tree: &mut SpanTree, ts_ns: u64| {
+    let close = |stack: &mut Vec<SpanNode>,
+                 tree: &mut SpanTree,
+                 ts_ns: u64,
+                 end_args: &[(&'static str, V)]| {
         if let Some(mut node) = stack.pop() {
             node.dur_ns = ts_ns.saturating_sub(node.ts_ns);
+            node.args.extend_from_slice(end_args);
             match stack.last_mut() {
                 Some(parent) => parent.children.push(node),
                 None => tree.spans.push(node),
@@ -76,7 +84,7 @@ pub fn build_tree(trace: &Trace) -> SpanTree {
                 counters: Vec::new(),
                 children: Vec::new(),
             }),
-            EvKind::End => close(&mut stack, &mut tree, ev.ts_ns),
+            EvKind::End => close(&mut stack, &mut tree, ev.ts_ns, &ev.args),
             EvKind::Counter => {
                 let sample = CounterSample {
                     name: ev.name,
@@ -91,7 +99,7 @@ pub fn build_tree(trace: &Trace) -> SpanTree {
         }
     }
     while !stack.is_empty() {
-        close(&mut stack, &mut tree, last_ts);
+        close(&mut stack, &mut tree, last_ts, &[]);
     }
     tree
 }
@@ -185,14 +193,17 @@ fn write_opt_u64(out: &mut String, v: Option<u64>) {
 }
 
 impl RunReport {
-    /// Serializes the report as a `mlpart-run-report-v2` JSON document.
+    /// Serializes the report as a `mlpart-run-report-v3` JSON document.
     ///
-    /// v2 extends v1 with the `failures` and `truncations` arrays; both are
-    /// `[]` on a healthy, unbudgeted run, so v1 consumers that ignore
-    /// unknown keys keep working.
+    /// v2 extended v1 with the `failures` and `truncations` arrays; v3 adds
+    /// the `profile` section (per-phase time/alloc rollup from the span
+    /// tree, `alloc_tracked` flagging whether an `obs-alloc` allocator was
+    /// compiled in) and the `metrics` array (the deterministic
+    /// counter-argument registry). Consumers that ignore unknown keys keep
+    /// working; [`parse_report`] still loads committed v2 documents.
     pub fn to_json(&self) -> String {
         let tree = build_tree(&self.trace);
-        let mut out = String::from("{\"schema\":\"mlpart-run-report-v2\",\"meta\":");
+        let mut out = String::from("{\"schema\":\"mlpart-run-report-v3\",\"meta\":");
         export::write_args(&mut out, &self.meta);
         let min = self.cuts.iter().copied().min().unwrap_or(0);
         let max = self.cuts.iter().copied().max().unwrap_or(0);
@@ -243,7 +254,16 @@ impl RunReport {
         json::write_f64(&mut out, self.wall_secs);
         out.push_str(",\"cpu_secs\":");
         json::write_f64(&mut out, self.cpu_secs);
-        out.push_str("},\"spans\":[");
+        let alloc_tracked = u8::from(cfg!(feature = "obs-alloc"));
+        out.push_str(&format!(
+            "}},\"profile\":{{\"alloc_tracked\":{alloc_tracked},\"phases\":"
+        ));
+        let phases = crate::profile::rollup_nodes(&crate::profile::nodes_from_tree(&tree));
+        crate::profile::write_phases_json(&mut out, &phases);
+        out.push_str("},\"metrics\":");
+        let registry = crate::metrics::Registry::from_trace(&self.trace);
+        registry.write_json(&mut out);
+        out.push_str(",\"spans\":[");
         for (i, node) in tree.spans.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -260,6 +280,56 @@ impl RunReport {
         out.push_str("]}");
         out
     }
+}
+
+/// A run report loaded back from its JSON serialization.
+///
+/// [`parse_report`] accepts both the current `mlpart-run-report-v3` format
+/// and committed `mlpart-run-report-v2` documents; for v2 — which predates
+/// the `profile` section — the per-phase rollup is recomputed from the
+/// `spans` tree, so old baselines diff cleanly against new runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedReport {
+    /// Schema version: 2 or 3.
+    pub version: u32,
+    /// Per-phase time/alloc aggregates (recomputed for v2).
+    pub phases: Vec<crate::profile::PhaseAgg>,
+    /// Whether the producing binary tracked allocations (`obs-alloc`);
+    /// always `false` for v2.
+    pub alloc_tracked: bool,
+    /// The parsed document, for callers needing more than the rollup.
+    pub doc: json::Json,
+}
+
+/// Parses and version-dispatches a run-report JSON document.
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON, a missing/unknown `schema` tag, or
+/// a structurally broken `spans` section.
+pub fn parse_report(text: &str) -> Result<LoadedReport, String> {
+    let doc = json::parse(text)?;
+    let tag = doc
+        .get("schema")
+        .and_then(json::Json::as_str)
+        .ok_or("document has no schema tag")?;
+    let version = match tag {
+        "mlpart-run-report-v2" => 2,
+        "mlpart-run-report-v3" => 3,
+        other => return Err(format!("unsupported report schema {other:?}")),
+    };
+    let phases = crate::profile::phases_from_report(&doc)?;
+    let alloc_tracked = doc
+        .get("profile")
+        .and_then(|p| p.get("alloc_tracked"))
+        .and_then(json::Json::as_num)
+        == Some(1.0);
+    Ok(LoadedReport {
+        version,
+        phases,
+        alloc_tracked,
+        doc,
+    })
 }
 
 /// One per-level row of the `--stats` table, derived from trace content.
@@ -547,7 +617,14 @@ mod tests {
         let parsed = json::parse(&doc).expect("report is valid JSON");
         assert_eq!(
             parsed.get("schema").unwrap().as_str(),
-            Some("mlpart-run-report-v2")
+            Some("mlpart-run-report-v3")
+        );
+        let profile = parsed.get("profile").expect("v3 profile section");
+        let phases = profile.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases[0].get("phase").unwrap().as_str(), Some("run"));
+        assert!(
+            !parsed.get("metrics").unwrap().as_arr().unwrap().is_empty(),
+            "metrics registry folded the counters"
         );
         assert_eq!(
             parsed.get("failures").unwrap().as_arr().unwrap().len(),
@@ -582,6 +659,47 @@ mod tests {
             export::strip_timing(&doc),
             export::strip_timing(&shifted.to_json())
         );
+    }
+
+    #[test]
+    fn parse_report_round_trips_current_output() {
+        let _gate = crate::test_gate_lock();
+        let report = RunReport {
+            meta: vec![("algo", V::S("ml-fm")), ("seed", V::U(1))],
+            cuts: vec![31, 30],
+            failures: Vec::new(),
+            truncations: Vec::new(),
+            wall_secs: 0.5,
+            cpu_secs: 0.9,
+            trace: synthetic_run(),
+        };
+        let loaded = parse_report(&report.to_json()).expect("v3 parses");
+        assert_eq!(loaded.version, 3);
+        assert_eq!(loaded.alloc_tracked, cfg!(feature = "obs-alloc"));
+        assert_eq!(loaded.phases[0].name, "run");
+        // The serialized profile table matches the recomputed rollup.
+        let recomputed = crate::profile::phases_from_report(&loaded.doc).expect("spans");
+        let serialized = loaded
+            .doc
+            .get("profile")
+            .unwrap()
+            .get("phases")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(serialized.len(), recomputed.len());
+        for (json_phase, agg) in serialized.iter().zip(&recomputed) {
+            assert_eq!(
+                json_phase.get("phase").unwrap().as_str(),
+                Some(agg.name.as_str())
+            );
+            assert_eq!(
+                json_phase.get("count").unwrap().as_num(),
+                Some(agg.count as f64)
+            );
+        }
+        assert!(parse_report(r#"{"schema":"bogus","spans":[]}"#).is_err());
+        assert!(parse_report("not json").is_err());
     }
 
     #[test]

@@ -181,10 +181,19 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Option<Trace>) {
 /// RAII span: records `Begin` on creation and `End` on drop.
 ///
 /// Inert (records nothing) when created while not [`recording`].
+///
+/// Under the `obs-alloc` feature an armed guard also snapshots the
+/// thread's allocation tallies at `Begin` and attaches the deltas to the
+/// `End` event as `alloc_bytes`/`alloc_count`/`alloc_peak` args — the
+/// innermost-open-span attribution [`crate::alloc`] documents. The alloc
+/// args are non-normative (removed by `strip_profile`), so span content
+/// stays identical between `obs` and `obs-alloc` builds.
 #[derive(Debug)]
 #[must_use = "a span ends when the guard drops"]
 pub struct SpanGuard {
     name: Option<&'static str>,
+    #[cfg(feature = "obs-alloc")]
+    alloc: Option<crate::alloc::SpanAlloc>,
 }
 
 /// Opens a span; the returned guard closes it when dropped.
@@ -202,19 +211,29 @@ pub fn span(name: &'static str, args: &[(&'static str, V)]) -> SpanGuard {
     });
     SpanGuard {
         name: armed.then_some(name),
+        #[cfg(feature = "obs-alloc")]
+        alloc: armed.then(crate::alloc::span_begin),
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(name) = self.name {
+            let mut args: Vec<(&'static str, V)> = Vec::new();
+            #[cfg(feature = "obs-alloc")]
+            if let Some(window) = self.alloc.take() {
+                let (bytes, count, peak) = crate::alloc::span_end(window);
+                args.push(("alloc_bytes", V::U(bytes)));
+                args.push(("alloc_count", V::U(count)));
+                args.push(("alloc_peak", V::U(peak)));
+            }
             with_recorder(|rec| {
                 let ts_ns = clock::now_ns() - rec.t0_ns;
                 rec.events.push(Event {
                     kind: EvKind::End,
                     name,
                     ts_ns,
-                    args: Vec::new(),
+                    args: std::mem::take(&mut args),
                 });
             });
         }

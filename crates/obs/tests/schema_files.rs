@@ -82,6 +82,18 @@ fn schemas_reject_malformed_documents() {
     let bad = json::parse(r#"{"schema":"mlpart-run-report-v2","meta":{},"cut":{"min":0,"max":0,"avg":0,"per_start":[]},"timing":{"wall_secs":0,"cpu_secs":0},"spans":[],"counters":[]}"#).expect("parses");
     assert!(
         !schema::validate(&report, &bad).is_empty(),
-        "wrong schema tag or empty spans must fail"
+        "v2 tag, missing profile/metrics, and empty spans must all fail v3"
     );
+}
+
+/// The preserved v2 schema still accepts v2 documents — old baselines
+/// remain validatable (and `obs-diff` still parses them).
+#[test]
+fn preserved_v2_schema_accepts_v2_documents() {
+    let v2_schema = json::parse(include_str!("../../../schemas/run-report-v2.schema.json"))
+        .expect("schema parses");
+    let fixture = include_str!("fixtures/report-v2.json");
+    let doc = json::parse(fixture).expect("fixture parses");
+    let errors = schema::validate(&v2_schema, &doc);
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
 }

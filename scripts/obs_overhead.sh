@@ -1,91 +1,43 @@
 #!/bin/bash
-# Measures the cost of the observability layer in its three states:
+# Measures the cost of the observability layer in its three states by
+# driving the in-process `obs_overhead` bench binary (crates/bench) twice:
 #
-#   off      — binary built without the `obs` feature (hooks compiled out)
+#   off      — built without the `obs` feature (hooks compiled out)
 #   disabled — built with `--features obs`, runtime gate off
 #              (every hook reduces to one relaxed atomic load)
-#   enabled  — same binary with --trace-out/--report-out, i.e. gate forced
-#              on, full recording plus both exporters
+#   enabled  — gate forced on, full recording plus chrome-trace, JSONL,
+#              folded-stack, and run-report serialization
 #
-# and verifies the partitioner's output (minus the timing parenthetical) is
-# byte-identical in all three. Writes BENCH_obs_overhead.json at the repo
-# root; see DESIGN.md §8.
+# The binary measures in-process (no fork/exec or disk in the timed
+# region) and already byte-compares the cut lines across the configs it
+# runs; this wrapper additionally compares them across the two *builds*.
+# Writes BENCH_obs_overhead.json at the repo root; see DESIGN.md §8.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CIRCUITS=(syn-industry2 syn-s38584)
 RUNS=8
 SEED=1997
 REPS=5
 OUT=BENCH_obs_overhead.json
-TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
 
-echo "building (no obs feature)..." >&2
-cargo build --release -q --bin mlpart
-cp target/release/mlpart "$TMP/mlpart-off"
-echo "building (--features obs)..." >&2
-cargo build --release -q --features obs --bin mlpart
-cp target/release/mlpart "$TMP/mlpart-obs"
+echo "building obs_overhead (no obs feature)..." >&2
+cargo build --release -q -p mlpart-bench --bin obs_overhead
+target/release/obs_overhead --runs "$RUNS" --seed "$SEED" --reps "$REPS" \
+    --out "$OUT"
 
-# run CONFIG CIRCUIT -> prints wall seconds; stdout of the partitioner goes
-# to $TMP/$config.$circuit.out (last rep wins; content is deterministic).
-run() {
-    local config=$1 circuit=$2 bin extra=()
-    case $config in
-        off)      bin="$TMP/mlpart-off" ;;
-        disabled) bin="$TMP/mlpart-obs" ;;
-        enabled)  bin="$TMP/mlpart-obs"
-                  extra=(--trace-out "$TMP/t.json" --report-out "$TMP/r.json") ;;
-    esac
-    local t0 t1
-    t0=$(date +%s.%N)
-    "$bin" "$circuit" --algo ml-c --runs "$RUNS" --seed "$SEED" --threads 1 \
-        "${extra[@]}" > "$TMP/$config.$circuit.out" 2> /dev/null
-    t1=$(date +%s.%N)
-    echo "$t0 $t1" | awk '{printf "%.6f", $2 - $1}'
-}
+echo "building obs_overhead (--features obs)..." >&2
+cargo build --release -q -p mlpart-bench --features obs --bin obs_overhead
+target/release/obs_overhead --runs "$RUNS" --seed "$SEED" --reps "$REPS" \
+    --out "$OUT" --append --no-meta
 
-cores=$(nproc 2>/dev/null || echo 1)
-{
-    printf '{"group":"obs_overhead","bench":"meta","cores":%s,"reps":%s,"runs":%s,"seed":%s,' \
-        "$cores" "$REPS" "$RUNS" "$SEED"
-    printf '"note":"wall-clock per config, min over reps; enabled = gate on + chrome-trace + run-report export; cut lines byte-identical across all three configs"}\n'
-} > "$OUT"
-
-for circuit in "${CIRCUITS[@]}"; do
-    declare -A best
-    for config in off disabled enabled; do
-        best[$config]=""
-        for _ in $(seq "$REPS"); do
-            w=$(run "$config" "$circuit")
-            echo "  $circuit/$config: ${w}s" >&2
-            if [ -z "${best[$config]}" ] || awk "BEGIN{exit !($w < ${best[$config]})}"; then
-                best[$config]=$w
-            fi
-        done
-    done
-
-    # The determinism guarantee: the reported cuts must not depend on
-    # whether tracing is compiled in or switched on.
-    for config in disabled enabled; do
-        if ! diff <(sed -E 's/ \([^)]*\)$//' "$TMP/off.$circuit.out") \
-                  <(sed -E 's/ \([^)]*\)$//' "$TMP/$config.$circuit.out") > /dev/null; then
-            echo "FAIL: $circuit cut line differs between off and $config" >&2
-            exit 1
-        fi
-    done
-    cut_line=$(sed -E 's/ \([^)]*\)$//' "$TMP/off.$circuit.out")
-    echo "  $circuit cuts identical across configs: $cut_line" >&2
-
-    for config in off disabled enabled; do
-        awk -v c="$circuit" -v k="$config" -v w="${best[$config]}" -v base="${best[off]}" \
-            -v cut="$cut_line" 'BEGIN{
-            printf "{\"group\":\"obs_overhead\",\"bench\":\"%s/%s\",\"wall_secs\":%s,", c, k, w
-            printf "\"overhead_vs_off\":%.3f,\"cut_line\":\"%s\"}\n", w / base, cut
-        }'
-    done >> "$OUT"
-done
-
-echo "wrote $OUT" >&2
+# Cross-build determinism: every config of one circuit must report the same
+# cut line, whether the hooks were compiled in or not.
+while read -r circ; do
+    n=$(grep "\"bench\":\"$circ/" "$OUT" | grep -o '"cut_line":"[^"]*"' | sort -u | wc -l)
+    if [ "$n" -ne 1 ]; then
+        echo "FAIL: $circ cut lines differ across builds" >&2
+        exit 1
+    fi
+done < <(grep -o '"bench":"[^"]*/' "$OUT" | sed 's/"bench":"//;s,/$,,' | sort -u)
+echo "cut lines identical across off/obs builds" >&2
 cat "$OUT"

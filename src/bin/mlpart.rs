@@ -72,6 +72,7 @@ struct CliArgs {
     stats: bool,
     trace_out: Option<String>,
     report_out: Option<String>,
+    folded_out: Option<String>,
     /// Balance tolerance ε; `Some` switches to the constraint-generic
     /// drivers even without pins.
     epsilon: Option<f64>,
@@ -95,6 +96,7 @@ impl Default for CliArgs {
             stats: false,
             trace_out: None,
             report_out: None,
+            folded_out: None,
             epsilon: None,
             fixed: None,
         }
@@ -125,7 +127,8 @@ const USAGE: &str =
 [--k K] [--epsilon E] [--fixed cells.fix] [--ratio R] [--threshold T] \
 [--runs N] [--seed S] [--threads P] \
 [--max-moves N] [--max-passes N] [--max-levels N] [--deadline-secs F] \
-[--output best.part] [--stats] [--trace-out trace.json] [--report-out report.json]\n\
+[--output best.part] [--stats] [--trace-out trace.json] [--report-out report.json] \
+[--folded-out stacks.folded]\n\
 run `mlpart --help` for details and the exit-code contract";
 
 const HELP: &str = "mlpart — multilevel circuit partitioner \
@@ -154,7 +157,9 @@ options:
   --output PATH   write the best partition (one part id/line)
   --stats         print the first start's per-level trajectory
   --trace-out F   write a Chrome Trace Event file  (obs build)
-  --report-out F  write a mlpart-run-report-v2 doc (obs build)
+  --report-out F  write a mlpart-run-report-v3 doc (obs build)
+  --folded-out F  write folded stacks for flamegraph.pl/inferno
+                  (obs build; self-time per stack, ns samples)
 
 budgets (per start; cooperative, checked at pass/level boundaries):
   --max-moves N      stop refining after ~N attempted moves
@@ -261,6 +266,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliCommand, Str
             "--stats" => out.stats = true,
             "--trace-out" => out.trace_out = Some(value("--trace-out")?),
             "--report-out" => out.report_out = Some(value("--report-out")?),
+            "--folded-out" => out.folded_out = Some(value("--folded-out")?),
             "--help" | "-h" => return Ok(CliCommand::Help),
             other if out.input.is_empty() && !other.starts_with('-') => {
                 out.input = other.to_owned();
@@ -571,12 +577,13 @@ fn main() -> ExitCode {
         h.num_nets(),
         h.num_pins()
     );
-    let tracing = args.trace_out.is_some() || args.report_out.is_some();
+    let tracing =
+        args.trace_out.is_some() || args.report_out.is_some() || args.folded_out.is_some();
     #[cfg(not(feature = "obs"))]
     if tracing {
         eprintln!(
-            "--trace-out/--report-out need a binary built with the `obs` feature \
-             (cargo build --release --features obs)"
+            "--trace-out/--report-out/--folded-out need a binary built with the `obs` \
+             feature (cargo build --release --features obs)"
         );
         return ExitCode::from(EXIT_INVALID_INPUT);
     }
@@ -674,6 +681,13 @@ fn main() -> ExitCode {
                 return ExitCode::from(EXIT_FAILURE);
             }
             eprintln!("chrome trace written to {path}");
+        }
+        if let Some(path) = &args.folded_out {
+            if let Err(msg) = write_text(path, &mlpart::obs::to_folded(&trace)) {
+                eprintln!("{msg}");
+                return ExitCode::from(EXIT_FAILURE);
+            }
+            eprintln!("folded stacks written to {path}");
         }
         if let Some(path) = &args.report_out {
             let report = mlpart::obs::report::RunReport {

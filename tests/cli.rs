@@ -124,23 +124,26 @@ fn tracing_flags_require_obs_feature() {
 }
 
 /// End-to-end tracing contract (needs `--features obs`): one fixed-seed
-/// invocation writes a Chrome trace and a run report that validate against
-/// the checked-in schemas, the report covers every level and pass of the
-/// multilevel run, and the trace *content* (timestamps stripped) is
-/// byte-identical across repeats and thread counts.
+/// invocation writes a Chrome trace, a run report, and a folded-stack file;
+/// the two JSON documents validate against the checked-in schemas, the
+/// report covers every level and pass of the multilevel run, and the trace
+/// *content* (timestamps stripped) is byte-identical across repeats and
+/// thread counts — folded frame structure included.
 #[cfg(feature = "obs")]
 #[test]
 fn trace_and_report_outputs_are_valid_and_deterministic() {
-    use mlpart::obs::{json, schema, strip_timing};
+    use mlpart::obs::{json, schema, strip_folded, strip_timing};
 
     let run = |threads: &str, tag: &str| {
         let trace = temp_path(&format!("trace-{tag}.json"));
         let report = temp_path(&format!("report-{tag}.json"));
+        let folded = temp_path(&format!("stacks-{tag}.folded"));
         let out = mlpart()
             .args(["syn-balu", "--algo", "ml-c", "--runs", "3", "--seed", "7"])
             .args(["--threads", threads])
             .args(["--trace-out", trace.to_str().expect("utf8 path")])
             .args(["--report-out", report.to_str().expect("utf8 path")])
+            .args(["--folded-out", folded.to_str().expect("utf8 path")])
             .output()
             .expect("binary runs");
         assert!(
@@ -150,12 +153,25 @@ fn trace_and_report_outputs_are_valid_and_deterministic() {
         );
         let trace_text = std::fs::read_to_string(&trace).expect("trace written");
         let report_text = std::fs::read_to_string(&report).expect("report written");
+        let folded_text = std::fs::read_to_string(&folded).expect("folded written");
         let _ = std::fs::remove_file(&trace);
         let _ = std::fs::remove_file(&report);
-        (trace_text, report_text)
+        let _ = std::fs::remove_file(&folded);
+        (trace_text, report_text, folded_text)
     };
 
-    let (trace1, report1) = run("1", "a");
+    let (trace1, report1, folded1) = run("1", "a");
+
+    // The folded export is flamegraph.pl input: `frame;frame;... value`
+    // lines with semicolon-nested stacks rooted at the CLI's run span.
+    assert!(folded1.contains(';'), "folded stacks nest: {folded1}");
+    for line in folded1.lines() {
+        assert!(
+            line.rsplit_once(' ')
+                .is_some_and(|(stack, v)| !stack.is_empty() && v.parse::<u64>().is_ok()),
+            "folded line is `stack value`: {line:?}"
+        );
+    }
 
     // Both documents validate against the schemas CI ships.
     let chrome_schema = json::parse(include_str!("../schemas/chrome-trace.schema.json"))
@@ -194,16 +210,22 @@ fn trace_and_report_outputs_are_valid_and_deterministic() {
     );
 
     // Content determinism: repeats and thread counts agree once the timing
-    // fields are zeroed.
-    let (trace1b, report1b) = run("1", "b");
+    // fields are zeroed (folded stacks: once sample values are zeroed).
+    let (trace1b, report1b, folded1b) = run("1", "b");
     assert_eq!(strip_timing(&trace1), strip_timing(&trace1b), "repeat run");
     assert_eq!(
         strip_timing(&report1),
         strip_timing(&report1b),
         "repeat run"
     );
-    let (trace4, report4) = run("4", "c");
+    assert_eq!(
+        strip_folded(&folded1),
+        strip_folded(&folded1b),
+        "repeat run"
+    );
+    let (trace4, report4, folded4) = run("4", "c");
     assert_eq!(strip_timing(&trace1), strip_timing(&trace4), "threads=4");
+    assert_eq!(strip_folded(&folded1), strip_folded(&folded4), "threads=4");
     // The report's meta records the thread count itself — the one field
     // that legitimately differs — so normalize it before comparing.
     let normalize = |s: &str| strip_timing(s).replace("\"threads\":4", "\"threads\":1");

@@ -57,9 +57,12 @@ use std::path::{Path, PathBuf};
 const SKIP_CRATES: &[&str] = &["rand", "proptest", "criterion", "analyzer"];
 
 /// The pipeline library crates under the panic-freedom, gate-hygiene, and
-/// no-debug-print contracts. Harness crates (bench, cli), the hook crates
-/// themselves (obs, audit, fault), and the facade are deliberately out:
-/// they own a terminal or *are* the gated implementation.
+/// no-debug-print contracts. The bench harness (static-shape table math on
+/// a terminal it owns) and the hook crates themselves (obs, audit, fault —
+/// they *are* the gated implementation) are deliberately out. The facade
+/// (CLI + checkpoint codec) gets the panic inventory only — see
+/// [`analyze_workspace`] — because its IO and argument paths promise typed
+/// errors, never panics.
 const LIBRARY_CRATES: &[&str] = &["cluster", "core", "exec", "fm", "hypergraph", "kway"];
 
 /// Analyzes one source text under `scope`, returning canonically ordered
@@ -168,7 +171,14 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                 .to_string_lossy()
                 .replace('\\', "/");
             let text = fs::read_to_string(&file)?;
-            findings.extend(analyze_source(&rel, &text, &Scope::default()));
+            // The facade's IO and argument paths promise typed errors:
+            // panic inventory on, hook-gate/debug-print checks off (it is
+            // the terminal owner that prints and wires the gated hooks).
+            let scope = Scope {
+                panics: true,
+                ..Scope::default()
+            };
+            findings.extend(analyze_source(&rel, &text, &scope));
         }
     }
     canonicalize(&mut findings);

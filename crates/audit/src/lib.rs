@@ -677,6 +677,33 @@ pub fn audit_part_bounds(p: &Partition, lo: &[u64], hi: &[u64]) -> AuditResult {
     Ok(())
 }
 
+/// Repair legality for the balance-repair pass: a repaired solution must
+/// (a) land every part inside its `[lo, hi]` window, (b) leave every fixed
+/// terminal on its pinned part, and (c) report a cut that matches a
+/// from-scratch recount. Run after `repair_to_feasible` on any solution
+/// the driver is about to emit.
+pub fn audit_repair(
+    h: &Hypergraph,
+    p: &Partition,
+    lo: &[u64],
+    hi: &[u64],
+    fixed: &[(mlpart_hypergraph::ModuleId, mlpart_hypergraph::PartId)],
+    claimed_cut: u64,
+) -> AuditResult {
+    const ST: &str = "Repair";
+    audit_fixed_assignment(p, fixed)?;
+    audit_part_bounds(p, lo, hi)?;
+    let actual = metrics::cut(h, p);
+    if actual != claimed_cut {
+        return Err(AuditError::new(
+            ST,
+            "cut-recount",
+            format!("repair claims cut {claimed_cut}, recount says {actual}"),
+        ));
+    }
+    Ok(())
+}
+
 /// Multi-start scatter legality for `mlpart-exec`: `claims[i]` counts how
 /// many workers claimed start `i`; the work-stealing contract is exactly
 /// once each.
@@ -749,6 +776,37 @@ mod tests {
         assert_eq!(
             audit_part_bounds(&p, &[0], &[9]).unwrap_err().check,
             "bounds-shape"
+        );
+    }
+
+    #[test]
+    fn repair_checker_accepts_and_rejects() {
+        use mlpart_hypergraph::ModuleId;
+        let h = sample();
+        let p = Partition::from_assignment(&h, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let good_cut = metrics::cut(&h, &p);
+        let pins = vec![(ModuleId::new(0), 0)];
+        assert_eq!(
+            audit_repair(&h, &p, &[2, 2], &[4, 4], &pins, good_cut),
+            Ok(())
+        );
+        // A lying cut claim is caught by the recount.
+        let e = audit_repair(&h, &p, &[2, 2], &[4, 4], &pins, good_cut + 1).unwrap_err();
+        assert_eq!(e.check, "cut-recount");
+        // Out-of-window parts and violated pins fail through the shared
+        // checkers.
+        assert_eq!(
+            audit_repair(&h, &p, &[4, 2], &[6, 4], &pins, good_cut)
+                .unwrap_err()
+                .check,
+            "part-bounds"
+        );
+        let bad_pin = vec![(ModuleId::new(0), 1)];
+        assert_eq!(
+            audit_repair(&h, &p, &[2, 2], &[4, 4], &bad_pin, good_cut)
+                .unwrap_err()
+                .check,
+            "fixed-immovable"
         );
     }
 

@@ -179,6 +179,9 @@ fn main() {
         None => print!("{doc}"),
         Some(path) => {
             let result = if args.append {
+                // Append mode accumulates across invocations, so it cannot
+                // be a whole-file rename; a torn tail only loses the last
+                // invocation's lines.
                 use std::io::Write as _;
                 std::fs::OpenOptions::new()
                     .create(true)
@@ -186,7 +189,7 @@ fn main() {
                     .open(path)
                     .and_then(|mut f| f.write_all(doc.as_bytes()))
             } else {
-                std::fs::write(path, &doc)
+                mlpart_hypergraph::io::write_atomic(path, doc.as_bytes())
             };
             if let Err(e) = result {
                 eprintln!("cannot write {path}: {e}");
@@ -221,6 +224,8 @@ fn run_enabled(h: &mlpart_hypergraph::Hypergraph, args: &Args) -> (String, f64) 
             cuts: Vec::new(),
             failures: Vec::new(),
             truncations: Vec::new(),
+            retries: Vec::new(),
+            repairs: Vec::new(),
             wall_secs: 0.0,
             cpu_secs: 0.0,
             trace,

@@ -149,8 +149,13 @@ pub fn with_report<R>(args: &HarnessArgs, harness: &'static str, body: impl FnOn
         if args.report_out.is_none() && args.trace_out.is_none() {
             return body();
         }
+        // Atomic (write-temp-then-rename): an interrupted harness never
+        // leaves a torn half-report for obs-diff to choke on.
         let write_or_die =
-            |path: &str, what: &str, content: &str| match std::fs::write(path, content) {
+            |path: &str, what: &str, content: &str| match mlpart_hypergraph::io::write_atomic(
+                path,
+                content.as_bytes(),
+            ) {
                 Ok(()) => eprintln!("{what} written to {path}"),
                 Err(e) => {
                     eprintln!("cannot write {path}: {e}");
@@ -181,6 +186,8 @@ pub fn with_report<R>(args: &HarnessArgs, harness: &'static str, body: impl FnOn
                 cuts: Vec::new(), // per-batch cuts live in the `batch` counters
                 failures: Vec::new(),
                 truncations: Vec::new(),
+                retries: Vec::new(),
+                repairs: Vec::new(),
                 wall_secs: wall.elapsed().as_secs_f64(),
                 cpu_secs: 0.0,
                 trace,

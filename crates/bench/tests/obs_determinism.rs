@@ -166,6 +166,8 @@ fn v3_reports_strip_identical_across_thread_counts() {
             cuts: Vec::new(),
             failures: Vec::new(),
             truncations: Vec::new(),
+            retries: Vec::new(),
+            repairs: Vec::new(),
             wall_secs: 0.0,
             cpu_secs: 0.0,
             trace,

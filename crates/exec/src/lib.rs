@@ -53,6 +53,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub mod supervise;
+
+pub use supervise::{
+    run_supervised, Attempt, PriorStart, ResumeState, RetryPolicy, RetryRecord, Sink, StartDone,
+    SupervisedBatch, ATTEMPT_STRIDE,
+};
+
 /// Per-start observability payload: each start's events are captured on
 /// whichever worker ran it, then merged into the caller's trace **in start
 /// order** — so the merged stream's content is thread-count-invariant, the
@@ -97,11 +104,17 @@ fn failure_phase(trace: &StartTrace) -> Option<String> {
         // recorder) leaves the true open stack behind.
         return Some((*name).to_string());
     }
-    let mut i = t.events.len();
-    while i > 0 && t.events[i - 1].kind == EvKind::End {
-        i -= 1;
-    }
-    (i < t.events.len()).then(|| t.events[i].name.to_string())
+    // The first End of the trailing End-run names the phase that was
+    // closing when the trace stopped.
+    let trailing = t
+        .events
+        .iter()
+        .rev()
+        .take_while(|e| e.kind == EvKind::End)
+        .count();
+    t.events
+        .get(t.events.len() - trailing)
+        .map(|e| e.name.to_string())
 }
 #[cfg(not(feature = "obs"))]
 fn failure_phase(_trace: &StartTrace) -> Option<String> {
@@ -378,10 +391,15 @@ where
             for (i, secs, slot) in local? {
                 cpu_secs += secs;
                 #[cfg(feature = "audit")]
-                {
-                    claims[i] += 1;
+                if let Some(c) = claims.get_mut(i) {
+                    *c += 1;
                 }
-                slots[i] = Some(slot);
+                // i is a start index handed to the worker from 0..runs, so
+                // it is always in range; a lost write is caught by the
+                // `Lost` check below.
+                if let Some(s) = slots.get_mut(i) {
+                    *s = Some(slot);
+                }
             }
         }
         // Work-stealing audit: every start index must have been claimed by
@@ -476,13 +494,17 @@ where
 {
     assert!(!items.is_empty(), "cannot reduce an empty batch");
     let mut best = 0usize;
-    let mut best_key = key(&items[0]);
-    for (i, item) in items.iter().enumerate().skip(1) {
+    let mut best_key: Option<K> = None;
+    for (i, item) in items.iter().enumerate() {
         let k = key(item);
         // Strict `<` keeps the earliest index on ties.
-        if k < best_key {
+        let better = match &best_key {
+            None => true,
+            Some(b) => k < *b,
+        };
+        if better {
             best = i;
-            best_key = k;
+            best_key = Some(k);
         }
     }
     best

@@ -1,11 +1,12 @@
 //! Deterministic fault injection for the mlpart workspace.
 //!
 //! Fault tolerance that is never exercised is fault tolerance that does not
-//! work. This crate injects two kinds of failures — panics and budget
-//! exhaustion — at named sites inside the algorithm crates (`start` in the
-//! parallel executor, `level` at uncoarsening boundaries, `pass` at
-//! refinement pass boundaries), so every isolation and degradation path can
-//! be negative-tested on real workloads.
+//! work. This crate injects three kinds of failures — panics, budget
+//! exhaustion, and deterministic balance corruption — at named sites inside
+//! the algorithm crates (`start` and `attempt` in the parallel executor,
+//! `level` at uncoarsening boundaries, `pass` at refinement pass
+//! boundaries), so every isolation, degradation, and repair path can be
+//! negative-tested on real workloads.
 //!
 //! # Gating
 //!
@@ -21,9 +22,13 @@
 //!
 //! A plan is a comma-separated list of `KIND@SITE[:SELECTOR]` entries:
 //!
-//! * `KIND` — `panic` (the site panics) or `exhaust` (the budget meter
-//!   reports the site's budget as exhausted, truncating the run).
-//! * `SITE` — a site name (`start`, `level`, `pass`).
+//! * `KIND` — `panic` (the site panics), `exhaust` (the budget meter
+//!   reports the site's budget as exhausted, truncating the run), or
+//!   `unbalance` (the site deterministically corrupts its solution's
+//!   balance so the repair pass has something to fix).
+//! * `SITE` — a site name (`start`, `attempt`, `level`, `pass`). The
+//!   `attempt` site indexes retry attempts as `start * 8 + attempt`, so a
+//!   fault can hit one attempt of one start without hitting its retries.
 //! * `SELECTOR` — which hits trigger: omitted means **every** hit;
 //!   `3` or `0|2|5` trigger on the listed indices only; `p=0.25` or
 //!   `p=0.25@SEED` trigger pseudo-randomly with the given probability.
@@ -32,6 +37,8 @@
 //! MLPART_FAULTS="panic@start:2|5"          # starts 2 and 5 panic
 //! MLPART_FAULTS="exhaust@pass:3"           # budget exhausts at pass 3
 //! MLPART_FAULTS="panic@level:p=0.5@7"      # half of all levels panic
+//! MLPART_FAULTS="panic@attempt:16"         # start 2, attempt 0 panics
+//! MLPART_FAULTS="unbalance@start:0"        # start 0 needs balance repair
 //! ```
 //!
 //! # Determinism
@@ -66,7 +73,38 @@ pub enum FaultKind {
     Panic,
     /// The budget meter treats the site's budget as exhausted.
     Exhaust,
+    /// The site deterministically corrupts its solution's balance,
+    /// exercising the repair-to-feasible pass.
+    Unbalance,
 }
+
+/// A malformed fault plan: the offending `KIND@SITE[:SELECTOR]` token plus
+/// what was wrong with it. Surfaced by the CLI as an invalid-input error
+/// (exit 2), never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// The plan entry that failed to parse, verbatim.
+    pub token: String,
+    /// Why the entry was rejected.
+    pub reason: String,
+}
+
+impl PlanError {
+    fn new(token: &str, reason: impl Into<String>) -> PlanError {
+        PlanError {
+            token: token.to_owned(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault entry {:?}: {}", self.token, self.reason)
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// Which hits of a site trigger the fault.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,24 +176,30 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message naming the malformed entry.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    /// Returns a typed [`PlanError`] naming the malformed entry verbatim.
+    pub fn parse(spec: &str) -> Result<FaultPlan, PlanError> {
         let mut specs = Vec::new();
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
             let (kind_str, rest) = entry
                 .split_once('@')
-                .ok_or_else(|| format!("fault entry {entry:?}: expected KIND@SITE[:SELECTOR]"))?;
+                .ok_or_else(|| PlanError::new(entry, "expected KIND@SITE[:SELECTOR]"))?;
             let kind = match kind_str {
                 "panic" => FaultKind::Panic,
                 "exhaust" => FaultKind::Exhaust,
-                other => return Err(format!("fault entry {entry:?}: unknown kind {other:?}")),
+                "unbalance" => FaultKind::Unbalance,
+                other => {
+                    return Err(PlanError::new(
+                        entry,
+                        format!("unknown kind {other:?} (expected panic, exhaust, or unbalance)"),
+                    ))
+                }
             };
             let (site, selector) = match rest.split_once(':') {
                 None => (rest, Selector::All),
                 Some((site, sel)) => (site, Self::parse_selector(entry, sel)?),
             };
             if site.is_empty() {
-                return Err(format!("fault entry {entry:?}: empty site name"));
+                return Err(PlanError::new(entry, "empty site name"));
             }
             specs.push(FaultSpec {
                 kind,
@@ -166,7 +210,7 @@ impl FaultPlan {
         Ok(FaultPlan { specs })
     }
 
-    fn parse_selector(entry: &str, sel: &str) -> Result<Selector, String> {
+    fn parse_selector(entry: &str, sel: &str) -> Result<Selector, PlanError> {
         if let Some(prob) = sel.strip_prefix("p=") {
             let (p_str, seed_str) = match prob.split_once('@') {
                 Some((p, s)) => (p, Some(s)),
@@ -174,14 +218,14 @@ impl FaultPlan {
             };
             let p: f64 = p_str
                 .parse()
-                .map_err(|_| format!("fault entry {entry:?}: bad probability {p_str:?}"))?;
+                .map_err(|_| PlanError::new(entry, format!("bad probability {p_str:?}")))?;
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("fault entry {entry:?}: probability not in [0, 1]"));
+                return Err(PlanError::new(entry, "probability not in [0, 1]"));
             }
             let seed = match seed_str {
                 Some(s) => s
                     .parse()
-                    .map_err(|_| format!("fault entry {entry:?}: bad seed {s:?}"))?,
+                    .map_err(|_| PlanError::new(entry, format!("bad seed {s:?}")))?,
                 None => 0,
             };
             return Ok(Selector::Prob { p, seed });
@@ -189,7 +233,7 @@ impl FaultPlan {
         let indices: Result<Vec<u64>, _> = sel.split('|').map(str::parse).collect();
         match indices {
             Ok(list) if !list.is_empty() => Ok(Selector::Indices(list)),
-            _ => Err(format!("fault entry {entry:?}: bad selector {sel:?}")),
+            _ => Err(PlanError::new(entry, format!("bad selector {sel:?}"))),
         }
     }
 
@@ -280,6 +324,30 @@ pub fn should_exhaust(site: &str, idx: u64) -> bool {
     active_plan().is_some_and(|p| p.triggers(FaultKind::Exhaust, site, idx))
 }
 
+/// True when an `unbalance` fault at `site`/`idx` should fire (consumed by
+/// the CLI, which deterministically overloads one part of the start's
+/// solution so the repair-to-feasible pass is exercised end to end).
+pub fn should_unbalance(site: &str, idx: u64) -> bool {
+    active_plan().is_some_and(|p| p.triggers(FaultKind::Unbalance, site, idx))
+}
+
+/// Validates the `MLPART_FAULTS` environment variable without arming the
+/// plan cache: `Ok(())` when the variable is unset, empty, or well-formed.
+///
+/// Binaries call this before any fault site can fire so a malformed plan
+/// becomes a typed invalid-input error (exit 2) on stderr instead of a
+/// panic deep inside a worker thread.
+///
+/// # Errors
+///
+/// The [`PlanError`] naming the offending plan token.
+pub fn validate_env() -> Result<(), PlanError> {
+    match std::env::var("MLPART_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec).map(|_| ()),
+        _ => Ok(()),
+    }
+}
+
 /// Panics with a structured payload when a `panic` fault at `site`/`idx`
 /// fires; no-op otherwise. The payload names the site and index so failure
 /// records stay machine-checkable.
@@ -322,9 +390,102 @@ mod tests {
             "panic@start:p=2",
             "panic@start:p=x",
             "panic@start:p=0.5@x",
+            "unbalance@start:-1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn plan_errors_name_the_offending_token() {
+        // The bad entry is quoted verbatim even inside a longer plan, so a
+        // user can find it in a multi-entry MLPART_FAULTS value.
+        let err = FaultPlan::parse("panic@start:1,boom@pass,exhaust@level").expect_err("rejected");
+        assert_eq!(err.token, "boom@pass");
+        assert!(err.reason.contains("unknown kind"), "{err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("\"boom@pass\""), "{rendered}");
+
+        let err = FaultPlan::parse("panic@start:p=1.5").expect_err("rejected");
+        assert_eq!(err.token, "panic@start:p=1.5");
+        assert!(err.reason.contains("[0, 1]"), "{err}");
+    }
+
+    /// Fuzz-ish sweep: no input, however mangled, may panic the parser —
+    /// it either parses or returns a typed error naming a token.
+    #[test]
+    fn parser_never_panics_on_mangled_input() {
+        let atoms = [
+            "panic",
+            "exhaust",
+            "unbalance",
+            "boom",
+            "",
+            "@",
+            ":",
+            ",",
+            "p=",
+            "p=0.5",
+            "p=x",
+            "start",
+            "level",
+            "pass",
+            "attempt",
+            "0",
+            "1|2",
+            "|",
+            "@@",
+            "::",
+            "9999999999999999999",
+            "p=0.25@42",
+            "-3",
+            "\u{1F980}",
+            " ",
+        ];
+        // Deterministic recombination of atoms (SplitMix64-driven), a few
+        // thousand adversarial plans.
+        let mut z = 0x5eed_u64;
+        for _ in 0..4000 {
+            let mut plan = String::new();
+            for _ in 0..(1 + (splitmix(z) % 5)) {
+                z = z.wrapping_add(1);
+                plan.push_str(atoms[(splitmix(z) % atoms.len() as u64) as usize]);
+                z = z.wrapping_add(1);
+                if splitmix(z).is_multiple_of(2) {
+                    plan.push(',');
+                }
+            }
+            match FaultPlan::parse(&plan) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(!e.token.is_empty(), "error for {plan:?} names no token");
+                    assert!(!e.reason.is_empty(), "error for {plan:?} gives no reason");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_env_matches_parse() {
+        // validate_env reads the real environment; the test process does not
+        // set MLPART_FAULTS (the CI fault suite runs the e2e flavor), so an
+        // unset/empty variable must validate clean.
+        if std::env::var("MLPART_FAULTS").map_or(true, |s| s.trim().is_empty()) {
+            assert_eq!(validate_env(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn unbalance_kind_parses_and_triggers() {
+        let plan = FaultPlan::parse("unbalance@start:0|3").expect("parses");
+        assert_eq!(plan.specs[0].kind, FaultKind::Unbalance);
+        let _gate = test_lock();
+        force_plan(plan);
+        assert!(should_unbalance("start", 0));
+        assert!(should_unbalance("start", 3));
+        assert!(!should_unbalance("start", 1));
+        assert!(!should_panic("start", 0));
+        clear_force();
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod audit;
 pub mod bucket;
 pub mod budget;
 pub mod engine;
+pub mod repair;
 pub mod state;
 
 pub use bucket::{BucketPolicy, GainBuckets};
@@ -47,4 +48,5 @@ pub use engine::{
     fm_partition, fm_partition_budgeted_in, fm_partition_in, refine, refine_budgeted_in,
     refine_constrained_budgeted_in, refine_in, Engine, FmConfig, FmResult,
 };
+pub use repair::{repair_to_feasible, RepairRecord};
 pub use state::{PassStats, RefineState, RefineWorkspace};

@@ -59,8 +59,14 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
     let header = lines.first().ok_or_else(|| ParseHgrError::BadHeader {
         line: String::new(),
     })?;
-    let head: Vec<&str> = header.split_whitespace().collect();
-    if head.len() < 2 || head.len() > 3 {
+    let mut head = header.split_whitespace();
+    let (Some(nets_tok), Some(modules_tok)) = (head.next(), head.next()) else {
+        return Err(ParseHgrError::BadHeader {
+            line: header.clone(),
+        });
+    };
+    let fmt_tok = head.next();
+    if head.next().is_some() {
         return Err(ParseHgrError::BadHeader {
             line: header.clone(),
         });
@@ -71,12 +77,11 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
             token: tok.to_owned(),
         })
     };
-    let num_nets = parse(head[0], 1)?;
-    let num_modules = parse(head[1], 1)?;
-    let fmt = if head.len() == 3 {
-        parse(head[2], 1)? as u32
-    } else {
-        0
+    let num_nets = parse(nets_tok, 1)?;
+    let num_modules = parse(modules_tok, 1)?;
+    let fmt = match fmt_tok {
+        Some(tok) => parse(tok, 1)? as u32,
+        None => 0,
     };
     if !matches!(fmt, 0 | 1 | 10 | 11) {
         return Err(ParseHgrError::UnsupportedFormat { fmt });
@@ -92,7 +97,7 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
     }
 
     let areas: Vec<u64> = if has_module_weights {
-        let weight_lines = &lines[1 + num_nets..];
+        let weight_lines = lines.get(1 + num_nets..).unwrap_or(&[]);
         if weight_lines.len() < num_modules {
             return Err(ParseHgrError::TooFewNets {
                 expected: num_nets + num_modules,
@@ -100,7 +105,7 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
             });
         }
         let mut areas = Vec::with_capacity(num_modules);
-        for (i, line) in weight_lines[..num_modules].iter().enumerate() {
+        for (i, line) in weight_lines.iter().take(num_modules).enumerate() {
             let line_no = 2 + num_nets + i;
             let w = line.split_whitespace().next().unwrap_or("");
             areas.push(parse(w, line_no)? as u64);
@@ -111,7 +116,7 @@ pub fn read_hgr<R: Read>(reader: R) -> Result<Hypergraph, ParseHgrError> {
     };
 
     let mut builder = HypergraphBuilder::new(areas);
-    for (i, line) in lines[1..=num_nets].iter().enumerate() {
+    for (i, line) in lines.iter().skip(1).take(num_nets).enumerate() {
         let line_no = i + 2;
         let mut toks = line.split_whitespace();
         let weight = if has_net_weights {
@@ -331,11 +336,8 @@ pub fn read_fix<R: Read>(
 ///
 /// # Errors
 ///
-/// Propagates any I/O error from the writer.
-///
-/// # Panics
-///
-/// Panics if a fixed module index is `>= num_modules`.
+/// Propagates any I/O error from the writer; a fixed module index
+/// `>= num_modules` is reported as [`std::io::ErrorKind::InvalidInput`].
 pub fn write_fix<W: Write>(
     fixed: &[(ModuleId, PartId)],
     num_modules: usize,
@@ -343,12 +345,81 @@ pub fn write_fix<W: Write>(
 ) -> std::io::Result<()> {
     let mut line: Vec<i64> = vec![-1; num_modules];
     for &(v, p) in fixed {
-        line[v.index()] = i64::from(p);
+        let slot = line.get_mut(v.index()).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("fixed module {} out of range (0..{num_modules})", v.index()),
+            )
+        })?;
+        *slot = i64::from(p);
     }
     for part in line {
         writeln!(writer, "{part}")?;
     }
     Ok(())
+}
+
+/// Removes the temp file on drop unless the rename committed it — a crash
+/// or error between write and rename never leaves a stray `.tmp` behind
+/// (when the process survives to unwind; a SIGKILL leaves the temp, which
+/// is still harmless because readers only ever see the final path).
+struct TempGuard<'a> {
+    path: &'a std::path::Path,
+    committed: bool,
+}
+
+impl Drop for TempGuard<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            let _ = std::fs::remove_file(self.path);
+        }
+    }
+}
+
+/// Atomically replaces `path` with whatever `write` produces: the content
+/// goes to `<path>.tmp.<pid>`, is flushed and synced, and only then renamed
+/// over `path`. Readers therefore observe either the old file or the
+/// complete new one — never a torn intermediate — no matter when the writer
+/// dies. Every artifact the workspace emits (partitions, run reports,
+/// traces, bench JSON, checkpoints) goes through this helper.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing, or renaming the temp
+/// file; on error the temp file is removed and `path` is untouched.
+pub fn write_atomic_with<P, F>(path: P, write: F) -> std::io::Result<()>
+where
+    P: AsRef<std::path::Path>,
+    F: FnOnce(&mut dyn Write) -> std::io::Result<()>,
+{
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut guard = TempGuard {
+        path: &tmp,
+        committed: false,
+    };
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut buf = std::io::BufWriter::new(file);
+        write(&mut buf)?;
+        let file = buf.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    guard.committed = true;
+    Ok(())
+}
+
+/// [`write_atomic_with`] for callers that already hold the full content.
+///
+/// # Errors
+///
+/// Any I/O error from the underlying atomic write; `path` is untouched on
+/// error.
+pub fn write_atomic<P: AsRef<std::path::Path>>(path: P, bytes: &[u8]) -> std::io::Result<()> {
+    write_atomic_with(path, |w| w.write_all(bytes))
 }
 
 #[cfg(test)]
@@ -533,5 +604,71 @@ mod tests {
         let h = read_hgr(text.as_bytes()).unwrap();
         assert_eq!(h.total_area(), 15);
         assert_eq!(h.area(ModuleId::new(2)), 6);
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mlpart-io-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let path = scratch("atomic-ok");
+        std::fs::write(&path, "old content").unwrap();
+        write_atomic(&path, b"new content").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new content");
+        // No temp litter next to the destination.
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let stray = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| {
+                let n = e.file_name().to_string_lossy().to_string();
+                n.starts_with(&stem) && n.contains(".tmp.")
+            });
+        assert!(!stray, "temp file survived a committed write");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A failure *during* the write (between opening the temp and the
+    /// rename) must leave the destination byte-identical to before and
+    /// clean up the temp file.
+    #[test]
+    fn write_atomic_failure_leaves_destination_untouched() {
+        let path = scratch("atomic-fail");
+        std::fs::write(&path, "precious").unwrap();
+        let err = write_atomic_with(&path, |w| {
+            w.write_all(b"half a file")?;
+            Err(std::io::Error::other("injected failure before rename"))
+        })
+        .expect_err("write failure propagates");
+        assert_eq!(err.to_string(), "injected failure before rename");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "precious");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "temp file not cleaned up"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A process killed after fully writing the temp but before the rename
+    /// leaves a stray temp — the destination must still be the old version
+    /// and a subsequent atomic write must succeed over the litter.
+    #[test]
+    fn write_atomic_survives_a_kill_between_write_and_rename() {
+        let path = scratch("atomic-kill");
+        std::fs::write(&path, "v1").unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        // Simulate the kill: the temp exists, the rename never happened.
+        std::fs::write(&tmp, "v2 complete but unrenamed").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v1");
+        // Recovery: the next atomic write wins regardless of the litter.
+        write_atomic(&path, b"v3").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v3");
+        let _ = std::fs::remove_file(&tmp);
+        std::fs::remove_file(&path).unwrap();
     }
 }

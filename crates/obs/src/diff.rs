@@ -346,6 +346,8 @@ mod tests {
             cuts: vec![30, 31],
             failures: Vec::new(),
             truncations: Vec::new(),
+            retries: Vec::new(),
+            repairs: Vec::new(),
             wall_secs: base as f64 / 1e9,
             cpu_secs: base as f64 / 1e9,
             trace: synthetic(base, kept),

@@ -50,6 +50,222 @@ pub fn to_jsonl(trace: &Trace) -> String {
     out
 }
 
+/// Interns a string into the process-wide `&'static str` pool, leaking each
+/// distinct name exactly once. Trace event names and argument keys are
+/// `&'static str` by construction; reconstructing a trace from its JSONL
+/// serialization (checkpoint resume) has to mint equivalent statics.
+fn intern(s: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&hit) = pool.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+/// Byte cursor over one JSONL line. [`to_jsonl`]'s output is rigid (no
+/// whitespace, fixed key order), so the reader is a straight-line scanner
+/// rather than a general JSON parser — crucially it keeps integer argument
+/// values exact (`u64`/`i64`), where a round-trip through `json::parse`'s
+/// `f64` numbers would corrupt values above 2^53 (seeds, hash draws).
+struct LineCursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> LineCursor<'a> {
+    fn expect(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {lit:?} at byte {} of {:?}",
+                self.pos, self.s
+            ))
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.as_bytes().get(self.pos).copied()
+    }
+
+    /// Parses a quoted string, unescaping what [`crate::json::escape_into`]
+    /// emits (plus the standard escapes it never produces).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        let bytes = self.s.as_bytes();
+        loop {
+            let Some(&b) = bytes.get(self.pos) else {
+                return Err(format!("unterminated string in {:?}", self.s));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = bytes
+                        .get(self.pos)
+                        .ok_or_else(|| format!("dangling escape in {:?}", self.s))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| format!("truncated \\u escape in {:?}", self.s))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unknown escape \\{}", *other as char)),
+                    }
+                }
+                _ => {
+                    let c = self.s[self.pos..]
+                        .chars()
+                        .next()
+                        .expect("pos is on a char boundary");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses a number token into the `V` variant that re-serializes to the
+    /// same bytes: plain digits → `U`, leading `-` → `I`, anything with a
+    /// fraction or exponent → `F`.
+    fn number(&mut self) -> Result<V, String> {
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        while self.pos < bytes.len()
+            && matches!(
+                bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let tok = &self.s[start..self.pos];
+        if tok.is_empty() {
+            return Err(format!("expected a number at byte {start} of {:?}", self.s));
+        }
+        if tok.contains(['.', 'e', 'E']) {
+            tok.parse::<f64>()
+                .map(V::F)
+                .map_err(|e| format!("bad number {tok:?}: {e}"))
+        } else if tok.starts_with('-') {
+            tok.parse::<i64>()
+                .map(V::I)
+                .map_err(|e| format!("bad number {tok:?}: {e}"))
+        } else {
+            tok.parse::<u64>()
+                .map(V::U)
+                .map_err(|e| format!("bad number {tok:?}: {e}"))
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<(&'static str, V)>, String> {
+        self.expect("{")?;
+        let mut args = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(args);
+        }
+        loop {
+            let key = intern(&self.string()?);
+            self.expect(":")?;
+            let value = match self.peek() {
+                Some(b'"') => V::S(intern(&self.string()?)),
+                _ => self.number()?,
+            };
+            args.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(args);
+                }
+                _ => return Err(format!("malformed args object in {:?}", self.s)),
+            }
+        }
+    }
+}
+
+/// Reconstructs a [`Trace`] from its [`to_jsonl`] serialization.
+///
+/// The inverse the checkpoint/resume path relies on:
+/// `to_jsonl(trace_from_jsonl(to_jsonl(t))?) == to_jsonl(t)` byte-for-byte,
+/// timestamps included — integer argument values stay exact at full
+/// `u64`/`i64` range, and event names and argument keys are interned into
+/// the process-wide static pool.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for anything that is not a
+/// `to_jsonl`-shaped event line.
+pub fn trace_from_jsonl(text: &str) -> Result<Trace, String> {
+    let mut trace = Trace::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut c = LineCursor { s: line, pos: 0 };
+        let parsed = (|| -> Result<crate::trace::Event, String> {
+            c.expect("{\"ev\":")?;
+            let kind = match c.string()?.as_str() {
+                "B" => EvKind::Begin,
+                "E" => EvKind::End,
+                "C" => EvKind::Counter,
+                other => return Err(format!("unknown event kind {other:?}")),
+            };
+            c.expect(",\"name\":")?;
+            let name = intern(&c.string()?);
+            c.expect(",\"ts\":")?;
+            let ts_ns = match c.number()? {
+                V::U(n) => n,
+                other => return Err(format!("ts must be a non-negative integer, got {other:?}")),
+            };
+            c.expect(",\"args\":")?;
+            let args = c.args()?;
+            c.expect("}")?;
+            if c.pos != line.len() {
+                return Err(format!("trailing bytes after event object in {line:?}"));
+            }
+            Ok(crate::trace::Event {
+                kind,
+                name,
+                ts_ns,
+                args,
+            })
+        })();
+        trace
+            .events
+            .push(parsed.map_err(|e| format!("trace line {}: {e}", lineno + 1))?);
+    }
+    Ok(trace)
+}
+
 /// Serializes a trace in Chrome Trace Event Format (JSON object format),
 /// loadable in `chrome://tracing` and Perfetto.
 ///
@@ -262,6 +478,61 @@ mod tests {
             .collect();
         assert_eq!(phs, vec!["B", "i", "E"]);
         assert_eq!(events[1].get("s").unwrap().as_str(), Some("t"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let _gate = crate::test_gate_lock();
+        crate::force_enabled(true);
+        let (_, t) = capture(|| {
+            let _run = span(
+                "run",
+                &[
+                    ("seed", V::U(u64::MAX)),
+                    ("offset", V::I(-42)),
+                    ("ratio", V::F(0.35)),
+                    ("whole", V::F(2.0)),
+                    ("name", V::S("a \"quoted\"\n\tpath\\x")),
+                ],
+            );
+            counter("draw", &[("value", V::U(9_007_199_254_740_993))]);
+        });
+        crate::force_enabled(false);
+        let mut t = t.expect("recorded");
+        t.events[0].ts_ns = 123_456_789; // exercise non-zero timestamps too
+        let jsonl = to_jsonl(&t);
+        let back = trace_from_jsonl(&jsonl).expect("round-trip parses");
+        // Byte-identical re-serialization — including values above 2^53
+        // that an f64 round-trip would corrupt.
+        assert_eq!(to_jsonl(&back), jsonl);
+        assert_eq!(back.events[0].ts_ns, 123_456_789);
+        assert_eq!(back.events[0].args[0], ("seed", V::U(u64::MAX)));
+        assert_eq!(back.events[0].args[1], ("offset", V::I(-42)));
+        // Empty input is an empty trace, blank lines are skipped.
+        assert!(trace_from_jsonl("").expect("empty ok").events.is_empty());
+        assert_eq!(
+            trace_from_jsonl(&format!("\n{jsonl}\n"))
+                .expect("blank lines ok")
+                .events
+                .len(),
+            t.events.len()
+        );
+    }
+
+    #[test]
+    fn malformed_jsonl_is_a_named_error_not_a_panic() {
+        for bad in [
+            "{",
+            "{\"ev\":\"X\",\"name\":\"a\",\"ts\":0,\"args\":{}}",
+            "{\"ev\":\"B\",\"name\":\"a\",\"ts\":-1,\"args\":{}}",
+            "{\"ev\":\"B\",\"name\":\"a\",\"ts\":0,\"args\":{\"k\":}}",
+            "{\"ev\":\"B\",\"name\":\"a\",\"ts\":0,\"args\":{}}trailing",
+            "{\"ev\":\"B\",\"name\":\"unterminated",
+            "{\"ev\":\"B\",\"name\":\"a\",\"ts\":0,\"args\":{\"k\":\"\\u12\"}}",
+        ] {
+            let err = trace_from_jsonl(bad).expect_err(bad);
+            assert!(err.starts_with("trace line 1:"), "{err}");
+        }
     }
 
     #[test]

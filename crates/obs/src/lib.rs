@@ -77,10 +77,12 @@ pub mod report;
 pub mod schema;
 pub mod trace;
 
-pub use export::{strip_folded, strip_profile, strip_timing, to_chrome_trace, to_jsonl};
+pub use export::{
+    strip_folded, strip_profile, strip_timing, to_chrome_trace, to_jsonl, trace_from_jsonl,
+};
 pub use profile::to_folded;
 pub use trace::{
-    append_trace, capture, counter, recording, span, EvKind, Event, SpanGuard, Trace, V,
+    append_raw, append_trace, capture, counter, recording, span, EvKind, Event, SpanGuard, Trace, V,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};

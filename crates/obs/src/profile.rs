@@ -422,6 +422,8 @@ mod tests {
             cuts: vec![7],
             failures: Vec::new(),
             truncations: Vec::new(),
+            retries: Vec::new(),
+            repairs: Vec::new(),
             wall_secs: 0.1,
             cpu_secs: 0.1,
             trace: t.clone(),

@@ -131,6 +131,37 @@ pub struct TruncationRecord {
     pub pass: Option<u64>,
 }
 
+/// One failed attempt the supervisor absorbed by retrying the start from
+/// its next deterministic seed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryReportRecord {
+    /// The start whose attempt failed.
+    pub start: u64,
+    /// The failed attempt index (0-based).
+    pub attempt: u64,
+    /// The innermost span open at the panic, when known.
+    pub phase: Option<String>,
+    /// The panic payload message.
+    pub message: String,
+}
+
+/// One start whose final partition violated its balance constraints and was
+/// driven back to feasibility by the deterministic greedy repair pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReportRecord {
+    /// The repaired start's index.
+    pub start: u64,
+    /// Moves the repair pass applied.
+    pub moves: u64,
+    /// Cut entering repair.
+    pub cut_before: u64,
+    /// Cut after repair.
+    pub cut_after: u64,
+    /// Whether repair reached feasibility (an infeasible record means the
+    /// start's output was discarded).
+    pub feasible: bool,
+}
+
 /// A run's machine-readable report: metadata + cuts + timing + span tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -142,6 +173,12 @@ pub struct RunReport {
     pub failures: Vec<FailureRecord>,
     /// Starts cut short by an execution budget, in start order.
     pub truncations: Vec<TruncationRecord>,
+    /// Attempt failures absorbed by supervised retries, in (start, attempt)
+    /// order (empty when supervision is off or nothing failed).
+    pub retries: Vec<RetryReportRecord>,
+    /// Balance repairs applied to constraint-violating outputs, in start
+    /// order (empty when every start finished feasible).
+    pub repairs: Vec<RepairReportRecord>,
     /// Total wall-clock seconds (non-normative).
     pub wall_secs: f64,
     /// Summed per-start CPU seconds (non-normative).
@@ -198,9 +235,12 @@ impl RunReport {
     /// v2 extended v1 with the `failures` and `truncations` arrays; v3 adds
     /// the `profile` section (per-phase time/alloc rollup from the span
     /// tree, `alloc_tracked` flagging whether an `obs-alloc` allocator was
-    /// compiled in) and the `metrics` array (the deterministic
-    /// counter-argument registry). Consumers that ignore unknown keys keep
-    /// working; [`parse_report`] still loads committed v2 documents.
+    /// compiled in), the `metrics` array (the deterministic
+    /// counter-argument registry), and the crash-safety arrays `retries`
+    /// (attempt failures absorbed by the supervisor) and `repairs` (balance
+    /// repairs applied to infeasible outputs). Consumers that ignore
+    /// unknown keys keep working; [`parse_report`] still loads committed v2
+    /// documents.
     pub fn to_json(&self) -> String {
         let tree = build_tree(&self.trace);
         let mut out = String::from("{\"schema\":\"mlpart-run-report-v3\",\"meta\":");
@@ -249,6 +289,37 @@ impl RunReport {
             out.push_str(",\"pass\":");
             write_opt_u64(&mut out, rec.pass);
             out.push('}');
+        }
+        out.push_str("],\"retries\":[");
+        for (i, rec) in self.retries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"start\":{},\"attempt\":{},\"phase\":",
+                rec.start, rec.attempt
+            ));
+            match &rec.phase {
+                Some(p) => json::write_str(&mut out, p),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"message\":");
+            json::write_str(&mut out, &rec.message);
+            out.push('}');
+        }
+        out.push_str("],\"repairs\":[");
+        for (i, rec) in self.repairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"start\":{},\"moves\":{},\"cut_before\":{},\"cut_after\":{},\"feasible\":{}}}",
+                rec.start,
+                rec.moves,
+                rec.cut_before,
+                rec.cut_after,
+                if rec.feasible { "true" } else { "false" }
+            ));
         }
         out.push_str("],\"timing\":{\"wall_secs\":");
         json::write_f64(&mut out, self.wall_secs);
@@ -609,6 +680,8 @@ mod tests {
             cuts: vec![31, 30],
             failures: Vec::new(),
             truncations: Vec::new(),
+            retries: Vec::new(),
+            repairs: Vec::new(),
             wall_secs: 0.5,
             cpu_secs: 0.9,
             trace: synthetic_run(),
@@ -669,6 +742,8 @@ mod tests {
             cuts: vec![31, 30],
             failures: Vec::new(),
             truncations: Vec::new(),
+            retries: Vec::new(),
+            repairs: Vec::new(),
             wall_secs: 0.5,
             cpu_secs: 0.9,
             trace: synthetic_run(),
@@ -720,6 +795,19 @@ mod tests {
                 level: Some(2),
                 pass: Some(4),
             }],
+            retries: vec![RetryReportRecord {
+                start: 1,
+                attempt: 0,
+                phase: None,
+                message: "injected fault: panic@attempt:8".to_string(),
+            }],
+            repairs: vec![RepairReportRecord {
+                start: 0,
+                moves: 5,
+                cut_before: 30,
+                cut_after: 33,
+                feasible: true,
+            }],
             wall_secs: 0.1,
             cpu_secs: 0.1,
             trace: synthetic_run(),
@@ -745,5 +833,21 @@ mod tests {
             Some("passes")
         );
         assert_eq!(truncations[0].get("level").unwrap().as_num(), Some(2.0));
+        let retries = parsed.get("retries").unwrap().as_arr().unwrap();
+        assert_eq!(retries.len(), 1);
+        assert_eq!(retries[0].get("start").unwrap().as_num(), Some(1.0));
+        assert_eq!(retries[0].get("attempt").unwrap().as_num(), Some(0.0));
+        assert_eq!(retries[0].get("phase").unwrap(), &json::Json::Null);
+        assert!(retries[0]
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("attempt:8"));
+        let repairs = parsed.get("repairs").unwrap().as_arr().unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].get("moves").unwrap().as_num(), Some(5.0));
+        assert_eq!(repairs[0].get("cut_after").unwrap().as_num(), Some(33.0));
+        assert_eq!(repairs[0].get("feasible").unwrap(), &json::Json::Bool(true));
     }
 }

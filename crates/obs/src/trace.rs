@@ -94,6 +94,36 @@ pub struct Trace {
     pub events: Vec<Event>,
 }
 
+impl Trace {
+    /// Appends `child` into this trace wrapped in one `name` span, rebasing
+    /// the child's timestamps after this trace's last event — the offline
+    /// (recorder-free) twin of [`append_trace`]. The supervision layer uses
+    /// it to assemble a start's full contribution (every attempt, wrapped)
+    /// before splicing it into the batch stream in start order.
+    pub fn append_span(&mut self, name: &'static str, args: &[(&'static str, V)], child: &Trace) {
+        let base = self.events.last().map_or(0, |e| e.ts_ns);
+        let child_end = child.events.last().map_or(0, |e| e.ts_ns);
+        self.events.push(Event {
+            kind: EvKind::Begin,
+            name,
+            ts_ns: base,
+            args: args.to_vec(),
+        });
+        for ev in &child.events {
+            self.events.push(Event {
+                ts_ns: base + ev.ts_ns,
+                ..ev.clone()
+            });
+        }
+        self.events.push(Event {
+            kind: EvKind::End,
+            name,
+            ts_ns: base + child_end,
+            args: Vec::new(),
+        });
+    }
+}
+
 struct Recorder {
     events: Vec<Event>,
     t0_ns: u64,
@@ -287,6 +317,24 @@ pub fn append_trace(name: &'static str, args: &[(&'static str, V)], child: &Trac
     });
 }
 
+/// Appends a previously captured trace **verbatim** into the current
+/// recorder — no wrapper span — rebasing timestamps onto this recorder's
+/// timeline. The supervision layer uses it to splice a start's pre-wrapped
+/// contribution (or a checkpoint-restored one) into the batch stream; the
+/// content that lands is byte-identical to what [`append_trace`] would have
+/// produced live. No-op when not [`recording`].
+pub fn append_raw(child: &Trace) {
+    with_recorder(|rec| {
+        let base = clock::now_ns() - rec.t0_ns;
+        for ev in &child.events {
+            rec.events.push(Event {
+                ts_ns: base + ev.ts_ns,
+                ..ev.clone()
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +443,35 @@ mod tests {
             names(&outer),
             vec![("kept", EvKind::Counter), ("still-kept", EvKind::Counter)]
         );
+    }
+
+    /// Assembling a contribution offline (`Trace::append_span`) and splicing
+    /// it verbatim (`append_raw`) yields the same *content* as the live
+    /// `append_trace` merge — the equivalence the supervised runner and
+    /// checkpoint replay rely on.
+    #[test]
+    fn offline_wrap_plus_raw_splice_matches_live_append() {
+        let _gate = crate::test_gate_lock();
+        crate::force_enabled(true);
+        let (_, child) = capture(|| {
+            let _s = span("job", &[("x", V::U(3))]);
+            counter("tick", &[]);
+        });
+        let child = child.expect("recorded");
+        let (_, live) = capture(|| append_trace("start", &[("start", V::U(4))], &child));
+        let mut contribution = Trace::default();
+        contribution.append_span("start", &[("start", V::U(4))], &child);
+        let (_, replay) = capture(|| append_raw(&contribution));
+        crate::force_enabled(false);
+        let live = live.expect("recorded");
+        let replay = replay.expect("recorded");
+        let content = |t: &Trace| -> Vec<_> {
+            t.events
+                .iter()
+                .map(|e| (e.kind, e.name, e.args.clone()))
+                .collect()
+        };
+        assert_eq!(content(&live), content(&replay));
     }
 
     #[test]

@@ -59,6 +59,8 @@ fn report_profile_rolls_alloc_up_per_phase() {
         cuts: vec![30],
         failures: Vec::new(),
         truncations: Vec::new(),
+        retries: Vec::new(),
+        repairs: Vec::new(),
         wall_secs: 0.01,
         cpu_secs: 0.01,
         trace: traced_workload(),

@@ -28,6 +28,8 @@ fn sample_report() -> RunReport {
         cuts: vec![31, 30],
         failures: Vec::new(),
         truncations: Vec::new(),
+        retries: Vec::new(),
+        repairs: Vec::new(),
         wall_secs: 0.25,
         cpu_secs: 0.5,
         trace: trace.expect("gate forced on"),
@@ -124,6 +126,8 @@ fn v2_baseline_diffs_against_v3_candidate() {
         cuts: vec![31, 30],
         failures: Vec::new(),
         truncations: Vec::new(),
+        retries: Vec::new(),
+        repairs: Vec::new(),
         wall_secs: 0.02,
         cpu_secs: 0.03,
         trace: trace.expect("gate forced on"),

@@ -54,6 +54,19 @@ fn run_report_matches_checked_in_schema() {
             level: None,
             pass: Some(3),
         }],
+        retries: vec![obs::report::RetryReportRecord {
+            start: 1,
+            attempt: 0,
+            phase: Some("fm_refine".to_string()),
+            message: "injected fault: panic@attempt:8".to_string(),
+        }],
+        repairs: vec![obs::report::RepairReportRecord {
+            start: 0,
+            moves: 4,
+            cut_before: 7,
+            cut_after: 9,
+            feasible: true,
+        }],
         wall_secs: 0.25,
         cpu_secs: 0.5,
         trace: sample_trace(),

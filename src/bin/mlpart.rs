@@ -11,6 +11,8 @@
 //!                      [--runs N] [--seed S] [--threads P]
 //!                      [--max-moves N] [--max-passes N] [--max-levels N]
 //!                      [--deadline-secs F]
+//!                      [--retries N] [--retry-degrade-passes N]
+//!                      [--checkpoint ckpt.jsonl] [--resume]
 //!                      [--output best.part] [--stats]
 //!                      [--trace-out trace.json] [--report-out report.json]
 //! ```
@@ -34,26 +36,42 @@
 //! the failed starts.
 //!
 //! `--trace-out` writes a Chrome Trace Event file (loadable in Perfetto or
-//! `chrome://tracing`) and `--report-out` writes a `mlpart-run-report-v2`
+//! `chrome://tracing`) and `--report-out` writes a `mlpart-run-report-v3`
 //! JSON document; both need a binary built with the `obs` feature and imply
 //! tracing for the whole run. Trace *content* (everything except the
 //! timestamp fields) is bit-identical across repeats and thread counts.
+//!
+//! `--retries` gives each start up to N deterministically reseeded
+//! attempts before it counts as failed; `--checkpoint` records every
+//! completed start to an atomically rewritten `mlpart-checkpoint-v1` file
+//! and `--resume` skips the recorded starts, reproducing the
+//! uninterrupted run's partition and stripped report byte-for-byte — even
+//! after a mid-batch `SIGKILL`. A start whose solution leaves its balance
+//! window (retry exhaustion, truncation, injected faults) is funneled
+//! through a deterministic greedy repair pass; solutions that stay
+//! infeasible are never written, and if none survives the run exits 2.
+//! Every artifact (`--output`, `--trace-out`, `--report-out`,
+//! `--folded-out`, checkpoints) is written via write-temp-then-rename, so
+//! a crash never leaves a torn file.
 
+use mlpart::checkpoint::{self, CheckpointConfig, CheckpointWriter, StartOutcome, StartValue};
 use mlpart::cluster::MatchConfig;
 use mlpart::core::{two_phase_fm_budgeted_in, two_phase_fm_constrained_budgeted_in};
 use mlpart::fm::fm_partition_budgeted_in;
 use mlpart::gen::by_name;
-use mlpart::hypergraph::io::{read_fix, read_hgr, write_partition};
+use mlpart::hypergraph::io::{read_fix, read_hgr, write_atomic_with, write_partition};
 use mlpart::hypergraph::metrics::CutStats;
 use mlpart::hypergraph::rng::MlRng;
 use mlpart::lsmc::{lsmc_bipartition, LsmcConfig};
 use mlpart::{
     ml_bipartition_budgeted_in, ml_bipartition_constrained_budgeted_in, ml_kway_budgeted_in,
     ml_kway_constrained_budgeted_in, preflight, preflight_constrained,
-    recursive_ml_partition_budgeted_in, Budget, BudgetMeter, Constraints, Engine, ExecError,
-    FmConfig, Hypergraph, LevelStats, MlConfig, MlKwayConfig, Partition, RefineWorkspace,
-    Truncation, DEFAULT_EPSILON,
+    recursive_ml_partition_budgeted_in, repair_to_feasible, run_supervised, Attempt, BipartBalance,
+    Budget, BudgetMeter, Constraints, Engine, ExecError, FmConfig, Hypergraph, KwayBalance,
+    LevelStats, MlConfig, MlKwayConfig, PartBounds, Partition, RefineWorkspace, RepairRecord,
+    ResumeState, RetryPolicy, Sink, StartDone, Truncation, ATTEMPT_STRIDE, DEFAULT_EPSILON,
 };
+use std::collections::BTreeMap;
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -78,6 +96,15 @@ struct CliArgs {
     epsilon: Option<f64>,
     /// Path to an hMETIS/Coloquinte `.fix` file of pre-assigned modules.
     fixed: Option<String>,
+    /// Attempts per start (`--retries`), in `1..=ATTEMPT_STRIDE`.
+    retries: u32,
+    /// Pass budget for a start's final attempt after all earlier attempts
+    /// failed (`--retry-degrade-passes`): graceful degradation.
+    retry_degrade_passes: Option<u64>,
+    /// Checkpoint file recording each completed start (`--checkpoint`).
+    checkpoint: Option<String>,
+    /// Skip the starts already recorded in the checkpoint (`--resume`).
+    resume: bool,
 }
 
 impl Default for CliArgs {
@@ -99,6 +126,10 @@ impl Default for CliArgs {
             folded_out: None,
             epsilon: None,
             fixed: None,
+            retries: 1,
+            retry_degrade_passes: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
@@ -127,6 +158,7 @@ const USAGE: &str =
 [--k K] [--epsilon E] [--fixed cells.fix] [--ratio R] [--threshold T] \
 [--runs N] [--seed S] [--threads P] \
 [--max-moves N] [--max-passes N] [--max-levels N] [--deadline-secs F] \
+[--retries N] [--retry-degrade-passes N] [--checkpoint ckpt.jsonl] [--resume] \
 [--output best.part] [--stats] [--trace-out trace.json] [--report-out report.json] \
 [--folded-out stacks.folded]\n\
 run `mlpart --help` for details and the exit-code contract";
@@ -173,12 +205,36 @@ A budget-truncated run still produces a valid, balance-feasible
 partition (the best solution found so far, projected to the finest
 level) — it is written to --output as usual.
 
+supervision (crash-safe batches):
+  --retries N     attempts per start before it counts as failed;
+                  attempt a reseeds deterministically, so results
+                  stay bit-identical at every thread count (1..=8) [1]
+  --retry-degrade-passes N
+                  run a start's *final* attempt under --max-passes N
+                  (graceful degradation; needs --retries >= 2)
+  --checkpoint F  record every completed start to F, a
+                  mlpart-checkpoint-v1 JSONL file rewritten
+                  atomically on each completion
+  --resume        skip the starts recorded in --checkpoint's file;
+                  the resumed run's partition and stripped report
+                  are byte-identical to an uninterrupted run's
+                  (--threads and output paths may change; all
+                  normative flags must match the checkpoint)
+
+Every start's output must land inside its balance window; a start
+that comes back outside it (after faults, retry exhaustion, or
+truncation) is repaired by a deterministic greedy pass and reported
+under `repairs`. A start that stays infeasible is excluded, and all
+artifacts are written atomically (write-temp-then-rename).
+
 exit codes:
   0  success
-  1  execution failure (every start panicked, or an output path
-     could not be written)
+  1  execution failure (every start panicked, or an output or
+     checkpoint path could not be written)
   2  invalid input: bad flags, unreadable or malformed netlist,
-     or an infeasible problem instance (preflight)
+     an infeasible problem instance (preflight), a malformed
+     MLPART_FAULTS spec, a corrupt or mismatched --resume
+     checkpoint, or no balance-feasible partition survived
   3  budget truncated: at least one start hit a --max-* limit or
      the deadline; the partial result (cuts, --output partition)
      is still produced";
@@ -262,6 +318,23 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliCommand, Str
                 }
                 out.budget.soft_deadline_secs = Some(secs);
             }
+            "--retries" => {
+                out.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "invalid --retries")?;
+                if out.retries == 0 || u64::from(out.retries) > ATTEMPT_STRIDE {
+                    return Err(format!("--retries must be in 1..={ATTEMPT_STRIDE}"));
+                }
+            }
+            "--retry-degrade-passes" => {
+                out.retry_degrade_passes = Some(
+                    value("--retry-degrade-passes")?
+                        .parse()
+                        .map_err(|_| "invalid --retry-degrade-passes")?,
+                );
+            }
+            "--checkpoint" => out.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => out.resume = true,
             "--output" => out.output = Some(value("--output")?),
             "--stats" => out.stats = true,
             "--trace-out" => out.trace_out = Some(value("--trace-out")?),
@@ -279,6 +352,15 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliCommand, Str
     }
     if out.algo == "lsmc" && !out.budget.is_unlimited() {
         return Err("--max-*/--deadline-secs are not supported with --algo lsmc".to_owned());
+    }
+    if out.retry_degrade_passes.is_some() && out.retries < 2 {
+        return Err("--retry-degrade-passes needs --retries >= 2".to_owned());
+    }
+    if out.algo == "lsmc" && out.retry_degrade_passes.is_some() {
+        return Err("--retry-degrade-passes is not supported with --algo lsmc".to_owned());
+    }
+    if out.resume && out.checkpoint.is_none() {
+        return Err("--resume needs --checkpoint".to_owned());
     }
     if out.is_constrained() {
         match out.algo.as_str() {
@@ -308,21 +390,22 @@ fn load_netlist(input: &str) -> Result<Hypergraph, String> {
         std::io::stdin()
             .read_to_end(&mut text)
             .map_err(|e| format!("cannot read stdin: {e}"))?;
-        return read_hgr(&text[..]).map_err(|e| format!("cannot parse netlist: {e}"));
+        return read_hgr(text.as_slice()).map_err(|e| format!("cannot parse netlist: {e}"));
     }
     let file = std::fs::File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
     read_hgr(file).map_err(|e| format!("cannot parse {input}: {e}"))
 }
 
-/// One start's outcome: the partition, its cut, the per-level refinement
-/// trajectory (multilevel algorithms only), and the budget-truncation
-/// record when a `--max-*` limit fired.
+/// One engine invocation's raw outcome: the partition, its cut, the
+/// per-level refinement trajectory (multilevel algorithms only), and the
+/// budget-truncation record when a `--max-*` limit fired.
 type StartResult = (Partition, u64, Vec<LevelStats>, Option<Truncation>);
 
-fn run_once(
+fn run_engine(
     h: &Hypergraph,
     args: &CliArgs,
     constraints: Option<&Constraints>,
+    budget: &Budget,
     rng: &mut MlRng,
     ws: &mut RefineWorkspace,
 ) -> Result<StartResult, String> {
@@ -338,7 +421,7 @@ fn run_once(
     };
     // Each start spends against its own meter, so budgets cannot couple
     // starts and results stay thread-count-invariant.
-    let mut meter = BudgetMeter::new(&args.budget);
+    let mut meter = BudgetMeter::new(budget);
     if let Some(c) = constraints {
         // Constraint-generic dispatch: pins, explicit ε, or general k.
         // Parsing already restricted the algorithms to ml-c/ml-f/two-phase.
@@ -444,6 +527,68 @@ fn run_once(
     })
 }
 
+/// The balance window every emitted partition must satisfy: the constraint
+/// window when constraints are in play, otherwise the legacy window the
+/// preflight check already vouched for.
+fn balance_bounds(h: &Hypergraph, args: &CliArgs, constraints: Option<&Constraints>) -> PartBounds {
+    match constraints {
+        Some(c) => c.bounds(h),
+        None if args.k == 4 => {
+            PartBounds::from_kway(&KwayBalance::new(h, 4, FmConfig::default().balance_r))
+        }
+        None => PartBounds::from_bipart(&BipartBalance::new(h, FmConfig::default().balance_r)),
+    }
+}
+
+/// One supervised start: runs the engine under the attempt's budget (the
+/// caller's, or the degraded final-attempt budget), then gates the raw
+/// solution through the balance window — repairing it in place when a
+/// fault, retry, or truncation left it outside. `feasible: false` in the
+/// returned repair record marks a solution the driver must discard.
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    h: &Hypergraph,
+    args: &CliArgs,
+    constraints: Option<&Constraints>,
+    bounds: &PartBounds,
+    fixed_mask: &[bool],
+    rng: &mut MlRng,
+    ws: &mut RefineWorkspace,
+    attempt: Attempt,
+) -> StartValue {
+    let budget = attempt.budget.copied().unwrap_or(args.budget);
+    let (mut partition, mut cut, level_stats, truncation) =
+        run_engine(h, args, constraints, &budget, rng, ws)?;
+    #[cfg(feature = "fault")]
+    if mlpart::fault::should_unbalance("start", attempt.start as u64) {
+        // Deterministic imbalance injection: overfill part 0 with free
+        // modules (id order) so the repair gate has real work to do.
+        for v in (0..h.num_modules()).map(mlpart::hypergraph::ModuleId::new) {
+            if partition.part_area(0) > bounds.hi(0) {
+                break;
+            }
+            if !fixed_mask.get(v.index()).copied().unwrap_or(false) && partition.part(v) != 0 {
+                partition.move_module(h, v, 0);
+            }
+        }
+        cut = mlpart::hypergraph::metrics::cut(h, &partition);
+    }
+    let repair = if bounds.is_partition_feasible(&partition) {
+        None
+    } else {
+        let rec = repair_to_feasible(h, &mut partition, bounds, fixed_mask);
+        cut = rec.cut_after;
+        Some(rec)
+    };
+    Ok(StartOutcome {
+        partition,
+        cut,
+        level_stats,
+        truncation,
+        repair,
+    })
+}
+
 /// Renders `--stats` from the captured trace: the same per-level trajectory
 /// as [`print_level_stats`], reconstructed from span/counter events instead
 /// of the `LevelStats` side channel (the trace is the source of truth when
@@ -474,10 +619,12 @@ fn print_level_rows(trace: &mlpart::obs::Trace) {
     }
 }
 
-/// Writes `content` to `path`, mapping failures to a printable message.
+/// Writes `content` to `path` atomically (write-temp-then-rename), mapping
+/// failures to a printable message.
 #[cfg(feature = "obs")]
 fn write_text(path: &str, content: &str) -> Result<(), String> {
-    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+    mlpart::hypergraph::io::write_atomic(path, content.as_bytes())
+        .map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// Prints the per-level refinement trajectory collected by a multilevel run.
@@ -521,6 +668,13 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_INVALID_INPUT);
         }
     };
+    // Fault plans come from the environment, not argv, but a malformed one
+    // is the same class of mistake: reject it eagerly, before any work.
+    #[cfg(feature = "fault")]
+    if let Err(e) = mlpart::fault::validate_env() {
+        eprintln!("invalid MLPART_FAULTS: {e}");
+        return ExitCode::from(EXIT_INVALID_INPUT);
+    }
     let h = match load_netlist(&args.input) {
         Ok(h) => h,
         Err(msg) => {
@@ -591,12 +745,97 @@ fn main() -> ExitCode {
     if tracing {
         mlpart::obs::force_enabled(true);
     }
+    // Supervision setup: the balance window and fixed mask gate every
+    // start's output, the retry policy governs reseeded attempts, and the
+    // checkpoint config pins this invocation's identity on disk.
+    let bounds = balance_bounds(&h, &args, constraints.as_ref());
+    let fixed_mask = constraints
+        .as_ref()
+        .map(|c| c.fixed_mask(h.num_modules()))
+        .unwrap_or_default();
+    let policy = RetryPolicy {
+        max_attempts: args.retries,
+        degraded_final: args.retry_degrade_passes.map(|n| Budget {
+            max_passes: Some(n),
+            ..args.budget
+        }),
+    };
+    let ckpt_config = CheckpointConfig {
+        circuit: args.input.clone(),
+        algo: args.algo.clone(),
+        k: args.k,
+        epsilon: args.epsilon,
+        fixed: args.fixed.clone(),
+        ratio: args.ratio,
+        threshold: args.threshold,
+        runs: args.runs,
+        seed: args.seed,
+        retries: args.retries,
+        degraded_passes: args.retry_degrade_passes,
+        budget: args.budget,
+        traced: tracing,
+    };
+    let mut resume_state: ResumeState<StartValue> = ResumeState::default();
+    let mut restored_lines = BTreeMap::new();
+    if args.resume {
+        if let Some(path) = &args.checkpoint {
+            match std::fs::read_to_string(path) {
+                Ok(text) => match checkpoint::load(&text, &ckpt_config, &h) {
+                    Ok(loaded) => {
+                        eprintln!(
+                            "resuming from {path}: {} of {} starts already done",
+                            loaded.resume.done.len(),
+                            args.runs
+                        );
+                        resume_state = loaded.resume;
+                        restored_lines = loaded.lines;
+                    }
+                    Err(e) => {
+                        eprintln!("cannot resume from {path}: {e}");
+                        return ExitCode::from(EXIT_INVALID_INPUT);
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    eprintln!("note: checkpoint {path} not found; starting fresh");
+                }
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(EXIT_INVALID_INPUT);
+                }
+            }
+        }
+    }
+    let writer = match &args.checkpoint {
+        Some(path) => {
+            match CheckpointWriter::create(path, ckpt_config.header_line(), restored_lines) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(EXIT_FAILURE);
+                }
+            }
+        }
+        None => None,
+    };
+    // The sink runs on whichever worker finished a start; the writer
+    // serializes and latches I/O errors internally.
+    let sink_fn = |done: &StartDone<StartValue>| {
+        if let Some(w) = &writer {
+            w.record(done);
+        }
+    };
+    let sink: Sink<'_, StartValue> = if writer.is_some() {
+        Some(&sink_fn)
+    } else {
+        None
+    };
     // Every start is an independent seeded job; the executor spreads them
-    // over `--threads` workers, isolates per-start panics, and returns the
-    // outcomes in start order, so everything below this line is oblivious
-    // to the thread count. With tracing on, the whole batch is captured
-    // under one `run` span and the per-start streams arrive merged in
-    // start order.
+    // over `--threads` workers, isolates per-attempt panics, retries under
+    // the policy, and returns the outcomes in start order, so everything
+    // below this line is oblivious to the thread count. With tracing on,
+    // the whole batch is captured under one `run` span and the per-start
+    // streams arrive merged in start order — restored starts splice their
+    // recorded streams back in, keeping resumed trace content identical.
     let run_batch = || {
         #[cfg(feature = "obs")]
         let _obs_run = mlpart::obs::span(
@@ -607,9 +846,26 @@ fn main() -> ExitCode {
                 ("k", args.k.into()),
             ],
         );
-        mlpart::exec::try_run_starts(args.runs, args.seed, args.threads, &|rng, ws| {
-            run_once(&h, &args, constraints.as_ref(), rng, ws)
-        })
+        run_supervised(
+            args.runs,
+            args.seed,
+            args.threads,
+            &policy,
+            resume_state,
+            sink,
+            &|rng, ws, attempt| {
+                run_once(
+                    &h,
+                    &args,
+                    constraints.as_ref(),
+                    &bounds,
+                    &fixed_mask,
+                    rng,
+                    ws,
+                    attempt,
+                )
+            },
+        )
     };
     #[cfg(feature = "obs")]
     let (batch_result, trace) = mlpart::obs::capture(run_batch);
@@ -634,25 +890,45 @@ fn main() -> ExitCode {
     for f in &batch.failures {
         eprintln!("warning: {f} (start excluded from results)");
     }
+    for r in &batch.retries {
+        eprintln!("note: {r}");
+    }
     let mut best: Option<(u64, Partition)> = None;
     let mut cuts = Vec::with_capacity(batch.survivors.len());
     let mut truncations: Vec<(usize, Truncation)> = Vec::new();
+    let mut repairs: Vec<(usize, RepairRecord)> = Vec::new();
     #[cfg(feature = "obs")]
     let print_legacy_stats = args.stats && trace.is_none();
     #[cfg(not(feature = "obs"))]
     let print_legacy_stats = args.stats;
     for (i, outcome) in batch.survivors {
         match outcome {
-            Ok((p, cut, level_stats, truncation)) => {
+            Ok(v) => {
                 if print_legacy_stats && i == 0 {
-                    print_level_stats(&level_stats);
+                    print_level_stats(&v.level_stats);
                 }
-                cuts.push(cut);
-                if let Some(t) = truncation {
+                if let Some(t) = v.truncation {
                     truncations.push((i, t));
                 }
-                if best.as_ref().is_none_or(|(c, _)| cut < *c) {
-                    best = Some((cut, p));
+                if let Some(r) = v.repair {
+                    repairs.push((i, r));
+                    if !r.feasible {
+                        // Repair could not reach the balance window: the
+                        // solution is diagnostic material, never output.
+                        eprintln!(
+                            "warning: start {i} stayed balance-infeasible after repair \
+                             (excluded from results)"
+                        );
+                        continue;
+                    }
+                    eprintln!(
+                        "note: start {i} repaired to feasible in {} moves (cut {} -> {})",
+                        r.moves, r.cut_before, r.cut_after
+                    );
+                }
+                cuts.push(v.cut);
+                if best.as_ref().is_none_or(|(c, _)| v.cut < *c) {
+                    best = Some((v.cut, v.partition));
                 }
             }
             Err(msg) => {
@@ -727,6 +1003,26 @@ fn main() -> ExitCode {
                         pass: t.pass.map(u64::from),
                     })
                     .collect(),
+                retries: batch
+                    .retries
+                    .iter()
+                    .map(|r| mlpart::obs::report::RetryReportRecord {
+                        start: r.start as u64,
+                        attempt: u64::from(r.attempt),
+                        phase: r.phase.clone(),
+                        message: r.message.clone(),
+                    })
+                    .collect(),
+                repairs: repairs
+                    .iter()
+                    .map(|(i, r)| mlpart::obs::report::RepairReportRecord {
+                        start: *i as u64,
+                        moves: r.moves,
+                        cut_before: r.cut_before,
+                        cut_after: r.cut_after,
+                        feasible: r.feasible,
+                    })
+                    .collect(),
                 wall_secs: timing.wall_secs,
                 cpu_secs: timing.cpu_secs,
                 trace,
@@ -737,6 +1033,14 @@ fn main() -> ExitCode {
             }
             eprintln!("run report written to {path}");
         }
+    }
+    if cuts.is_empty() {
+        // Every surviving start stayed outside its balance window even
+        // after repair: there is no feasible partition to report or write.
+        // The trace/report artifacts above are still produced (diagnostic
+        // material), but --output is not.
+        eprintln!("error: no balance-feasible partition produced");
+        return ExitCode::from(EXIT_INVALID_INPUT);
     }
     let stats = CutStats::from_samples(&cuts);
     println!(
@@ -752,20 +1056,25 @@ fn main() -> ExitCode {
     );
     if let Some(path) = &args.output {
         let Some((_, p)) = best else {
-            // Unreachable: survivors are non-empty and config errors return
-            // earlier — but a typed exit beats a panic if that ever changes.
+            // Unreachable: cuts and best fill together — but a typed exit
+            // beats a panic if that ever changes.
             eprintln!("no partition to write");
             return ExitCode::from(EXIT_FAILURE);
         };
-        match std::fs::File::create(path)
-            .map_err(|e| e.to_string())
-            .and_then(|f| write_partition(&p, f).map_err(|e| e.to_string()))
-        {
+        match write_atomic_with(path, |w| write_partition(&p, w)) {
             Ok(()) => eprintln!("best partition written to {path}"),
-            Err(msg) => {
-                eprintln!("cannot write {path}: {msg}");
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
                 return ExitCode::from(EXIT_FAILURE);
             }
+        }
+    }
+    if let Some(w) = &writer {
+        // Latched checkpoint I/O errors surface once, after the artifacts:
+        // the run's results stand, but scripts must not trust the file.
+        if let Some(e) = w.error() {
+            eprintln!("{e}");
+            return ExitCode::from(EXIT_FAILURE);
         }
     }
     if !truncations.is_empty() {
@@ -883,7 +1192,7 @@ mod tests {
     }
 
     #[test]
-    fn run_once_covers_all_algorithms() {
+    fn run_engine_covers_all_algorithms() {
         let h = load_netlist("syn-balu").expect("suite circuit");
         let mut args = CliArgs {
             input: "syn-balu".to_owned(),
@@ -895,7 +1204,7 @@ mod tests {
             args.algo = algo.to_owned();
             let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
             let (p, cut, level_stats, truncation) =
-                run_once(&h, &args, None, &mut rng, &mut ws).expect(algo);
+                run_engine(&h, &args, None, &args.budget, &mut rng, &mut ws).expect(algo);
             assert!(p.validate(&h), "{algo}");
             assert!(cut > 0, "{algo}");
             assert!(truncation.is_none(), "{algo}: unlimited run truncated");
@@ -905,23 +1214,23 @@ mod tests {
         }
         let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
         args.algo = "unknown".to_owned();
-        assert!(run_once(&h, &args, None, &mut rng, &mut ws).is_err());
+        assert!(run_engine(&h, &args, None, &args.budget, &mut rng, &mut ws).is_err());
         // Quadrisection path.
         args.algo = "ml-f".to_owned();
         args.k = 4;
         let (p, _, level_stats, _) =
-            run_once(&h, &args, None, &mut rng, &mut ws).expect("quadrisection");
+            run_engine(&h, &args, None, &args.budget, &mut rng, &mut ws).expect("quadrisection");
         assert_eq!(p.k(), 4);
         assert!(!level_stats.is_empty(), "quadrisection reports level stats");
         args.algo = "fm".to_owned();
         assert!(
-            run_once(&h, &args, None, &mut rng, &mut ws).is_err(),
+            run_engine(&h, &args, None, &args.budget, &mut rng, &mut ws).is_err(),
             "flat fm cannot do k=4 here"
         );
     }
 
     #[test]
-    fn run_once_covers_constrained_dispatch() {
+    fn run_engine_covers_constrained_dispatch() {
         use mlpart::hypergraph::ModuleId;
         let h = load_netlist("syn-balu").expect("suite circuit");
         let mut ws = RefineWorkspace::new();
@@ -938,7 +1247,7 @@ mod tests {
             };
             let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
             let (p, cut, _, truncation) =
-                run_once(&h, &args, Some(&c), &mut rng, &mut ws).expect(algo);
+                run_engine(&h, &args, Some(&c), &args.budget, &mut rng, &mut ws).expect(algo);
             assert!(p.validate(&h), "{algo} k={k}");
             assert_eq!(p.k(), k, "{algo}");
             assert!(cut > 0, "{algo} k={k}");
@@ -950,7 +1259,7 @@ mod tests {
     }
 
     #[test]
-    fn budgeted_run_once_reports_truncation() {
+    fn budgeted_run_engine_reports_truncation() {
         let h = load_netlist("syn-balu").expect("suite circuit");
         let args = CliArgs {
             input: "syn-balu".to_owned(),
@@ -962,10 +1271,111 @@ mod tests {
         };
         let mut ws = RefineWorkspace::new();
         let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
-        let (p, cut, _, truncation) = run_once(&h, &args, None, &mut rng, &mut ws).expect("runs");
+        let (p, cut, _, truncation) =
+            run_engine(&h, &args, None, &args.budget, &mut rng, &mut ws).expect("runs");
         assert!(p.validate(&h));
         assert!(cut > 0);
         let t = truncation.expect("one pass cannot finish syn-balu");
         assert_eq!(t.limit.name(), "passes");
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let a =
+            parse_run("x.hgr --retries 3 --retry-degrade-passes 2 --checkpoint c.jsonl --resume")
+                .expect("parses");
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.retry_degrade_passes, Some(2));
+        assert_eq!(a.checkpoint.as_deref(), Some("c.jsonl"));
+        assert!(a.resume);
+        // Defaults keep supervision off.
+        let d = parse_run("x.hgr").expect("parses");
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.retry_degrade_passes, None);
+        assert_eq!(d.checkpoint, None);
+        assert!(!d.resume);
+        assert!(parse_args(argv("x.hgr --retries 0")).is_err());
+        assert!(parse_args(argv("x.hgr --retries 9")).is_err());
+        assert!(parse_args(argv("x.hgr --retries x")).is_err());
+        assert!(
+            parse_args(argv("x.hgr --resume")).is_err(),
+            "--resume needs --checkpoint"
+        );
+        assert!(
+            parse_args(argv("x.hgr --retry-degrade-passes 2")).is_err(),
+            "degradation needs retries to degrade from"
+        );
+        assert!(
+            parse_args(argv(
+                "x.hgr --algo lsmc --retries 2 --retry-degrade-passes 1"
+            ))
+            .is_err(),
+            "lsmc is unbudgeted"
+        );
+        // The long help documents the supervision surface.
+        for needle in [
+            "--retries",
+            "--checkpoint",
+            "--resume",
+            "mlpart-checkpoint-v1",
+        ] {
+            assert!(HELP.contains(needle), "--help must document {needle:?}");
+        }
+    }
+
+    /// The supervised per-start wrapper honors the attempt budget and
+    /// gates its output through the balance window.
+    #[test]
+    fn supervised_run_once_gates_on_feasibility() {
+        let h = load_netlist("syn-balu").expect("suite circuit");
+        let args = CliArgs {
+            input: "syn-balu".to_owned(),
+            ..CliArgs::default()
+        };
+        let bounds = balance_bounds(&h, &args, None);
+        let mut ws = RefineWorkspace::new();
+        let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
+        let v = run_once(
+            &h,
+            &args,
+            None,
+            &bounds,
+            &[],
+            &mut rng,
+            &mut ws,
+            Attempt {
+                start: 0,
+                attempt: 0,
+                budget: None,
+            },
+        )
+        .expect("runs");
+        assert!(bounds.is_partition_feasible(&v.partition));
+        assert!(v.repair.is_none(), "engine output is already feasible");
+        assert!(v.truncation.is_none());
+        // A degraded final attempt runs under the attempt's budget, not
+        // the caller's unlimited one.
+        let degraded = Budget {
+            max_passes: Some(1),
+            ..Budget::default()
+        };
+        let mut rng = mlpart::hypergraph::rng::seeded_rng(1);
+        let v = run_once(
+            &h,
+            &args,
+            None,
+            &bounds,
+            &[],
+            &mut rng,
+            &mut ws,
+            Attempt {
+                start: 0,
+                attempt: 1,
+                budget: Some(&degraded),
+            },
+        )
+        .expect("runs");
+        assert!(v.truncation.is_some(), "one pass cannot finish syn-balu");
+        assert!(bounds.is_partition_feasible(&v.partition));
     }
 }

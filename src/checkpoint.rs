@@ -1,0 +1,993 @@
+//! `mlpart-checkpoint-v1` — crash-safe on-disk checkpoints for supervised
+//! batches.
+//!
+//! A checkpoint is a JSONL file (schema: `schemas/checkpoint-v1.schema.json`)
+//! whose first line pins the invocation identity (netlist, algorithm,
+//! constraints, seed, retry policy — everything normative except thread
+//! count and output paths) and whose remaining lines each record one
+//! completed start: its outcome (partition assignment, cut, truncation and
+//! repair records, or the final-attempt failure), the retries the
+//! supervisor absorbed, and the start's full trace contribution. The file
+//! is rewritten atomically (write-temp-then-rename, see
+//! [`mlpart_hypergraph::io::write_atomic_with`]) every time a start
+//! completes, so a `SIGKILL` at any instant leaves either the previous
+//! consistent checkpoint or the next one — never a torn file.
+//!
+//! On `--resume` the loader byte-compares the header against the one the
+//! current invocation would write (thread count and artifact paths are
+//! excluded from the header, so both may differ freely) and replays the
+//! recorded starts through [`ResumeState`]; the executor then runs only the
+//! missing starts. Because per-start seed streams are functions of the
+//! start index alone and trace contributions are spliced in start order,
+//! the resumed batch's partition output and stripped run report are
+//! byte-identical to an uninterrupted run's.
+//!
+//! Like the `obs` exporters, the format is hand-rolled: the writer emits a
+//! fixed key order and the parser is a strict cursor over exactly that
+//! shape, which keeps round-trips byte-exact (including `u64` values that
+//! a float-based JSON parser would corrupt) with no serde dependency.
+
+use mlpart_core::{LevelStats, Truncation};
+use mlpart_exec::supervise::StartContribution;
+use mlpart_exec::{PriorStart, ResumeState, RetryRecord, StartDone, StartFailure};
+use mlpart_fm::{Budget, BudgetLimit, RepairRecord};
+use mlpart_hypergraph::io::write_atomic;
+use mlpart_hypergraph::metrics::cut;
+use mlpart_hypergraph::{Hypergraph, Partition};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// The schema tag every checkpoint header carries.
+pub const SCHEMA: &str = "mlpart-checkpoint-v1";
+
+/// One start's complete result as the CLI driver computes it: the job
+/// value persisted by checkpoints and reduced into the final answer.
+#[derive(Debug, Clone)]
+pub struct StartOutcome {
+    /// The (possibly repaired) partition.
+    pub partition: Partition,
+    /// Cut weight of `partition` (post-repair when `repair` is set).
+    pub cut: u64,
+    /// Per-level refinement trajectory (multilevel algorithms only).
+    /// **Not persisted**: restored starts report an empty trajectory; the
+    /// trace carries the same rows for `obs` builds.
+    pub level_stats: Vec<LevelStats>,
+    /// Budget-truncation record, when a `--max-*` limit fired.
+    pub truncation: Option<Truncation>,
+    /// Balance-repair record, when the start's raw solution violated its
+    /// balance window. `feasible: false` means repair failed and the
+    /// driver must not emit this solution.
+    pub repair: Option<RepairRecord>,
+}
+
+/// The job value the CLI runs under supervision: a start either computes
+/// a [`StartOutcome`] or reports a configuration error message.
+pub type StartValue = Result<StartOutcome, String>;
+
+/// The invocation identity pinned by a checkpoint header. Thread count and
+/// artifact paths are deliberately absent: both may change across an
+/// interrupt/resume split without perturbing normative results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Netlist argument (path, `syn-NAME`, or `-`).
+    pub circuit: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Part count.
+    pub k: u32,
+    /// Explicit ε, when given.
+    pub epsilon: Option<f64>,
+    /// `.fix` file path, when given.
+    pub fixed: Option<String>,
+    /// Matching ratio.
+    pub ratio: f64,
+    /// Coarsening threshold.
+    pub threshold: usize,
+    /// Independent starts in the batch.
+    pub runs: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Attempts per start (`--retries`).
+    pub retries: u32,
+    /// Final-attempt degraded pass budget (`--retry-degrade-passes`).
+    pub degraded_passes: Option<u64>,
+    /// The per-start budget.
+    pub budget: Budget,
+    /// Whether tracing was on (trace contributions recorded). A resumed
+    /// run must match, or its report would silently lose restored spans.
+    pub traced: bool,
+}
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    esc(out, s);
+    out.push('"');
+}
+
+fn write_opt_str(out: &mut String, s: Option<&str>) {
+    match s {
+        Some(s) => write_str(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+/// Integral finite values print as integer digits, everything else via
+/// `Display` (shortest round-trip) — the same policy as `obs::json`, so
+/// header lines are reproducible bytes.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() && v == v.trunc() && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+impl CheckpointConfig {
+    /// The header line this invocation writes — and the exact bytes a
+    /// `--resume` of it must find on the first line.
+    pub fn header_line(&self) -> String {
+        let mut o = String::with_capacity(256);
+        o.push_str("{\"schema\":\"");
+        o.push_str(SCHEMA);
+        o.push_str("\",\"config\":{\"circuit\":");
+        write_str(&mut o, &self.circuit);
+        o.push_str(",\"algo\":");
+        write_str(&mut o, &self.algo);
+        let _ = write!(o, ",\"k\":{}", self.k);
+        o.push_str(",\"epsilon\":");
+        match self.epsilon {
+            Some(e) => write_f64(&mut o, e),
+            None => o.push_str("null"),
+        }
+        o.push_str(",\"fixed\":");
+        write_opt_str(&mut o, self.fixed.as_deref());
+        o.push_str(",\"ratio\":");
+        write_f64(&mut o, self.ratio);
+        let _ = write!(
+            o,
+            ",\"threshold\":{},\"runs\":{},\"seed\":{},\"retries\":{}",
+            self.threshold, self.runs, self.seed, self.retries
+        );
+        o.push_str(",\"degraded_passes\":");
+        write_opt_u64(&mut o, self.degraded_passes);
+        o.push_str(",\"max_moves\":");
+        write_opt_u64(&mut o, self.budget.max_moves);
+        o.push_str(",\"max_passes\":");
+        write_opt_u64(&mut o, self.budget.max_passes);
+        o.push_str(",\"max_levels\":");
+        write_opt_u64(&mut o, self.budget.max_levels);
+        o.push_str(",\"deadline_secs\":");
+        match self.budget.soft_deadline_secs {
+            Some(s) => write_f64(&mut o, s),
+            None => o.push_str("null"),
+        }
+        let _ = write!(o, ",\"traced\":{}}}}}", self.traced);
+        o
+    }
+}
+
+fn write_retry(out: &mut String, r: &RetryRecord) {
+    let _ = write!(out, "{{\"attempt\":{},\"message\":", r.attempt);
+    write_str(out, &r.message);
+    out.push_str(",\"phase\":");
+    write_opt_str(out, r.phase.as_deref());
+    out.push('}');
+}
+
+fn write_truncation(out: &mut String, t: &Truncation) {
+    out.push_str("{\"limit\":");
+    write_str(out, t.limit.name());
+    out.push_str(",\"site\":");
+    write_str(out, t.site);
+    out.push_str(",\"level\":");
+    write_opt_u64(out, t.level.map(u64::from));
+    out.push_str(",\"pass\":");
+    write_opt_u64(out, t.pass.map(u64::from));
+    out.push('}');
+}
+
+fn write_repair(out: &mut String, r: &RepairRecord) {
+    let _ = write!(
+        out,
+        "{{\"moves\":{},\"cut_before\":{},\"cut_after\":{},\"feasible\":{}}}",
+        r.moves, r.cut_before, r.cut_after, r.feasible
+    );
+}
+
+#[cfg(feature = "obs")]
+fn trace_text(t: &StartContribution) -> String {
+    mlpart_obs::to_jsonl(t)
+}
+#[cfg(not(feature = "obs"))]
+fn trace_text(_t: &StartContribution) -> String {
+    String::new()
+}
+
+#[cfg(feature = "obs")]
+fn parse_trace(start: usize, text: &str) -> Result<StartContribution, String> {
+    mlpart_obs::trace_from_jsonl(text).map_err(|e| format!("start {start}: bad trace: {e}"))
+}
+#[cfg(not(feature = "obs"))]
+fn parse_trace(_start: usize, _text: &str) -> Result<StartContribution, String> {
+    Ok(())
+}
+
+/// Serializes one completed start as its checkpoint record line (no
+/// trailing newline).
+pub fn record_line(done: &StartDone<'_, StartValue>) -> String {
+    let mut o = String::with_capacity(256);
+    let _ = write!(
+        o,
+        "{{\"start\":{},\"attempts\":{},\"retries\":[",
+        done.start, done.attempts
+    );
+    for (n, r) in done.retries.iter().enumerate() {
+        if n > 0 {
+            o.push(',');
+        }
+        write_retry(&mut o, r);
+    }
+    o.push_str("],\"outcome\":");
+    match done.outcome {
+        Ok(Ok(v)) => {
+            let _ = write!(o, "{{\"ok\":{{\"cut\":{},\"parts\":[", v.cut);
+            for (n, &p) in v.partition.assignment().iter().enumerate() {
+                if n > 0 {
+                    o.push(',');
+                }
+                let _ = write!(o, "{p}");
+            }
+            o.push_str("],\"truncation\":");
+            match &v.truncation {
+                Some(t) => write_truncation(&mut o, t),
+                None => o.push_str("null"),
+            }
+            o.push_str(",\"repair\":");
+            match &v.repair {
+                Some(r) => write_repair(&mut o, r),
+                None => o.push_str("null"),
+            }
+            o.push_str("}}");
+        }
+        Ok(Err(msg)) => {
+            o.push_str("{\"err\":");
+            write_str(&mut o, msg);
+            o.push('}');
+        }
+        Err(f) => {
+            o.push_str("{\"failed\":{\"message\":");
+            write_str(&mut o, &f.message);
+            o.push_str(",\"phase\":");
+            write_opt_str(&mut o, f.phase.as_deref());
+            o.push_str("}}");
+        }
+    }
+    o.push_str(",\"trace\":");
+    write_str(&mut o, &trace_text(done.trace));
+    o.push('}');
+    o
+}
+
+/// Strict cursor over one checkpoint line. The writer emits a fixed key
+/// order, so the parser expects exactly that shape; anything else is a
+/// named error, never a panic.
+struct Cur<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(s: &'a str) -> Self {
+        Cur { s, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        // pos only ever advances by lengths of prefixes of rest(), so it
+        // stays on a char boundary; out-of-range would be a cursor bug and
+        // parses as exhausted input rather than a panic.
+        self.s.get(self.pos..).unwrap_or("")
+    }
+
+    fn lit(&mut self, l: &str) -> Result<(), String> {
+        if self.rest().starts_with(l) {
+            self.pos += l.len();
+            Ok(())
+        } else {
+            let got: String = self.rest().chars().take(20).collect();
+            Err(format!(
+                "expected {l:?} at byte {}, found {got:?}",
+                self.pos
+            ))
+        }
+    }
+
+    fn peek(&self, l: &str) -> bool {
+        self.rest().starts_with(l)
+    }
+
+    fn uint(&mut self) -> Result<u64, String> {
+        let digits: &str = {
+            let rest = self.rest();
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest.get(..end).unwrap_or(rest)
+        };
+        if digits.is_empty() {
+            return Err(format!("expected a number at byte {}", self.pos));
+        }
+        self.pos += digits.len();
+        digits
+            .parse::<u64>()
+            .map_err(|e| format!("bad number {digits:?}: {e}"))
+    }
+
+    fn opt_uint(&mut self) -> Result<Option<u64>, String> {
+        if self.peek("null") {
+            self.pos += 4;
+            Ok(None)
+        } else {
+            self.uint().map(Some)
+        }
+    }
+
+    fn boolean(&mut self) -> Result<bool, String> {
+        if self.peek("true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.peek("false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(format!("expected a boolean at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.lit("\"")?;
+        let mut out = String::new();
+        let mut chars = self.rest().char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            code = code * 16
+                                + h.to_digit(16)
+                                    .ok_or_else(|| format!("bad \\u hex digit {h:?}"))?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u code point {code:#x}"))?,
+                        );
+                    }
+                    Some((_, e)) => return Err(format!("bad escape \\{e}")),
+                    None => return Err("truncated escape".to_string()),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn opt_string(&mut self) -> Result<Option<String>, String> {
+        if self.peek("null") {
+            self.pos += 4;
+            Ok(None)
+        } else {
+            self.string().map(Some)
+        }
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.s.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at {}", self.pos))
+        }
+    }
+}
+
+fn limit_from_name(name: &str) -> Result<BudgetLimit, String> {
+    Ok(match name {
+        "moves" => BudgetLimit::Moves,
+        "passes" => BudgetLimit::Passes,
+        "levels" => BudgetLimit::Levels,
+        "deadline" => BudgetLimit::Deadline,
+        "injected" => BudgetLimit::Injected,
+        other => return Err(format!("unknown budget limit {other:?}")),
+    })
+}
+
+fn site_from_name(name: &str) -> Result<&'static str, String> {
+    Ok(match name {
+        "pass" => "pass",
+        "level" => "level",
+        other => return Err(format!("unknown truncation site {other:?}")),
+    })
+}
+
+fn parse_truncation(c: &mut Cur) -> Result<Truncation, String> {
+    c.lit("{\"limit\":")?;
+    let limit = limit_from_name(&c.string()?)?;
+    c.lit(",\"site\":")?;
+    let site = site_from_name(&c.string()?)?;
+    c.lit(",\"level\":")?;
+    let level = c.opt_uint()?;
+    c.lit(",\"pass\":")?;
+    let pass = c.opt_uint()?;
+    c.lit("}")?;
+    let narrow = |v: Option<u64>| -> Result<Option<u32>, String> {
+        v.map(|v| u32::try_from(v).map_err(|_| format!("level/pass {v} out of range")))
+            .transpose()
+    };
+    Ok(Truncation {
+        limit,
+        site,
+        level: narrow(level)?,
+        pass: narrow(pass)?,
+    })
+}
+
+fn parse_repair(c: &mut Cur) -> Result<RepairRecord, String> {
+    c.lit("{\"moves\":")?;
+    let moves = c.uint()?;
+    c.lit(",\"cut_before\":")?;
+    let cut_before = c.uint()?;
+    c.lit(",\"cut_after\":")?;
+    let cut_after = c.uint()?;
+    c.lit(",\"feasible\":")?;
+    let feasible = c.boolean()?;
+    c.lit("}")?;
+    Ok(RepairRecord {
+        moves,
+        cut_before,
+        cut_after,
+        feasible,
+    })
+}
+
+/// Parses one record line back into the [`PriorStart`] the executor
+/// replays. `h` anchors partition reconstruction (assignment length and
+/// part ids are validated, and the stored cut is recomputed and checked).
+fn parse_record(line: &str, h: &Hypergraph, k: u32) -> Result<PriorStart<StartValue>, String> {
+    let mut c = Cur::new(line);
+    c.lit("{\"start\":")?;
+    let start = usize::try_from(c.uint()?).map_err(|e| e.to_string())?;
+    c.lit(",\"attempts\":")?;
+    let attempts = u32::try_from(c.uint()?).map_err(|_| "attempts out of range".to_string())?;
+    c.lit(",\"retries\":[")?;
+    let mut retries = Vec::new();
+    while !c.peek("]") {
+        if !retries.is_empty() {
+            c.lit(",")?;
+        }
+        c.lit("{\"attempt\":")?;
+        let attempt = u32::try_from(c.uint()?).map_err(|_| "attempt out of range".to_string())?;
+        c.lit(",\"message\":")?;
+        let message = c.string()?;
+        c.lit(",\"phase\":")?;
+        let phase = c.opt_string()?;
+        c.lit("}")?;
+        retries.push(RetryRecord {
+            start,
+            attempt,
+            message,
+            phase,
+        });
+    }
+    c.lit("],\"outcome\":")?;
+    let outcome: Result<StartValue, StartFailure> = if c.peek("{\"ok\":") {
+        c.lit("{\"ok\":{\"cut\":")?;
+        let stored_cut = c.uint()?;
+        c.lit(",\"parts\":[")?;
+        let mut parts: Vec<u32> = Vec::new();
+        while !c.peek("]") {
+            if !parts.is_empty() {
+                c.lit(",")?;
+            }
+            parts.push(u32::try_from(c.uint()?).map_err(|_| "part id out of range".to_string())?);
+        }
+        c.lit("],\"truncation\":")?;
+        let truncation = if c.peek("null") {
+            c.lit("null")?;
+            None
+        } else {
+            Some(parse_truncation(&mut c)?)
+        };
+        c.lit(",\"repair\":")?;
+        let repair = if c.peek("null") {
+            c.lit("null")?;
+            None
+        } else {
+            Some(parse_repair(&mut c)?)
+        };
+        c.lit("}}")?;
+        let partition = Partition::from_assignment(h, k, parts)
+            .ok_or_else(|| format!("start {start}: assignment does not fit the netlist"))?;
+        if cut(h, &partition) != stored_cut {
+            return Err(format!(
+                "start {start}: stored cut {stored_cut} disagrees with the assignment"
+            ));
+        }
+        Ok(Ok(StartOutcome {
+            partition,
+            cut: stored_cut,
+            level_stats: Vec::new(),
+            truncation,
+            repair,
+        }))
+    } else if c.peek("{\"err\":") {
+        c.lit("{\"err\":")?;
+        let msg = c.string()?;
+        c.lit("}")?;
+        Ok(Err(msg))
+    } else {
+        c.lit("{\"failed\":{\"message\":")?;
+        let message = c.string()?;
+        c.lit(",\"phase\":")?;
+        let phase = c.opt_string()?;
+        c.lit("}}")?;
+        Err(StartFailure {
+            start,
+            message,
+            phase,
+        })
+    };
+    c.lit(",\"trace\":")?;
+    let trace_text = c.string()?;
+    c.lit("}")?;
+    c.done()?;
+    Ok(PriorStart {
+        start,
+        attempts,
+        outcome,
+        retries,
+        trace: parse_trace(start, &trace_text)?,
+    })
+}
+
+/// A parsed checkpoint: the resume state for the executor plus the
+/// original record lines, keyed by start, so a resumed run's writer keeps
+/// the restored records verbatim.
+#[derive(Debug, Default)]
+pub struct LoadedCheckpoint {
+    /// Completed starts for [`mlpart_exec::run_supervised`] to skip.
+    pub resume: ResumeState<StartValue>,
+    /// The record lines exactly as found, keyed by start index.
+    pub lines: BTreeMap<usize, String>,
+}
+
+/// Parses checkpoint `text` written by an invocation with identity
+/// `config`, validating every record against `h`.
+///
+/// # Errors
+///
+/// A message naming the problem: a different schema version, a header
+/// that does not match this invocation (different flags, netlist, seed,
+/// or retry policy), or a malformed / internally inconsistent record.
+pub fn load(
+    text: &str,
+    config: &CheckpointConfig,
+    h: &Hypergraph,
+) -> Result<LoadedCheckpoint, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("checkpoint is empty")?;
+    let expected = config.header_line();
+    if header != expected {
+        return if header.starts_with("{\"schema\":\"mlpart-checkpoint-") {
+            if header.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")) {
+                Err(
+                    "checkpoint was written by a different invocation (netlist, algorithm, \
+                     constraints, seed, budget, retry policy, and tracing must all match; \
+                     --threads and output paths may differ)"
+                        .to_string(),
+                )
+            } else {
+                Err("unsupported checkpoint schema version".to_string())
+            }
+        } else {
+            Err("not a mlpart checkpoint (missing schema header)".to_string())
+        };
+    }
+    let mut out = LoadedCheckpoint::default();
+    for (n, line) in lines.enumerate() {
+        let prior =
+            parse_record(line, h, config.k).map_err(|e| format!("checkpoint record {n}: {e}"))?;
+        if prior.start >= config.runs {
+            return Err(format!(
+                "checkpoint record {n}: start {} out of range for --runs {}",
+                prior.start, config.runs
+            ));
+        }
+        if out.lines.contains_key(&prior.start) {
+            return Err(format!(
+                "checkpoint record {n}: start {} recorded twice",
+                prior.start
+            ));
+        }
+        out.lines.insert(prior.start, line.to_string());
+        out.resume.done.push(prior);
+    }
+    Ok(out)
+}
+
+struct WriterState {
+    records: BTreeMap<usize, String>,
+    error: Option<String>,
+}
+
+/// Serializes completed starts to a checkpoint file, atomically rewriting
+/// the whole file on every completion. Shared across executor workers (the
+/// completion sink runs on whichever worker finished the start), so the
+/// record map sits behind a mutex; write failures are latched and surfaced
+/// once via [`CheckpointWriter::error`] instead of panicking a worker.
+pub struct CheckpointWriter {
+    path: String,
+    header: String,
+    state: Mutex<WriterState>,
+}
+
+impl CheckpointWriter {
+    /// Creates the writer and immediately persists the header (plus any
+    /// `restored` record lines from the checkpoint being resumed), so even
+    /// a kill before the first fresh completion leaves a valid file.
+    ///
+    /// # Errors
+    ///
+    /// The initial write's I/O error, as a printable message.
+    pub fn create(
+        path: &str,
+        header: String,
+        restored: BTreeMap<usize, String>,
+    ) -> Result<Self, String> {
+        let w = CheckpointWriter {
+            path: path.to_string(),
+            header,
+            state: Mutex::new(WriterState {
+                records: restored,
+                error: None,
+            }),
+        };
+        {
+            let mut st = w.lock_state();
+            w.rewrite(&mut st);
+            if let Some(e) = &st.error {
+                return Err(e.clone());
+            }
+        }
+        Ok(w)
+    }
+
+    /// A poisoned lock only means some worker panicked mid-`rewrite`; the
+    /// guarded state (record map + latched error) is still consistent, so
+    /// recover it rather than cascading the panic into every other worker.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, WriterState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn rewrite(&self, st: &mut WriterState) {
+        let mut doc = String::with_capacity(
+            self.header.len() + st.records.values().map(|r| r.len() + 1).sum::<usize>() + 1,
+        );
+        doc.push_str(&self.header);
+        doc.push('\n');
+        for line in st.records.values() {
+            doc.push_str(line);
+            doc.push('\n');
+        }
+        if let Err(e) = write_atomic(&self.path, doc.as_bytes()) {
+            st.error
+                .get_or_insert_with(|| format!("cannot write {}: {e}", self.path));
+        }
+    }
+
+    /// The completion sink: records `done` and atomically rewrites the
+    /// file. Called from executor workers in completion order; the on-disk
+    /// record order is by start index regardless.
+    pub fn record(&self, done: &StartDone<'_, StartValue>) {
+        let line = record_line(done);
+        let mut st = self.lock_state();
+        st.records.insert(done.start, line);
+        self.rewrite(&mut st);
+    }
+
+    /// The first write error, if any occurred. Checked once after the
+    /// batch so a broken checkpoint path fails the run visibly.
+    pub fn error(&self) -> Option<String> {
+        self.lock_state().error.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpart_hypergraph::HypergraphBuilder;
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_unit_areas(n);
+        for i in 0..n - 1 {
+            b.add_net([i, i + 1]).expect("valid net");
+        }
+        b.build().expect("valid hypergraph")
+    }
+
+    fn config() -> CheckpointConfig {
+        CheckpointConfig {
+            circuit: "syn-balu".to_string(),
+            algo: "ml-c".to_string(),
+            k: 2,
+            epsilon: None,
+            fixed: None,
+            ratio: 0.5,
+            threshold: 35,
+            runs: 4,
+            seed: u64::MAX - 1, // exercise the full-u64 header path
+            retries: 3,
+            degraded_passes: Some(2),
+            budget: Budget::UNLIMITED,
+            traced: false,
+        }
+    }
+
+    fn outcome(h: &Hypergraph) -> StartOutcome {
+        let parts = (0..h.num_modules())
+            .map(|i| u32::from(i >= h.num_modules() / 2))
+            .collect();
+        let partition = Partition::from_assignment(h, 2, parts).expect("valid");
+        let cut_now = cut(h, &partition);
+        StartOutcome {
+            partition,
+            cut: cut_now,
+            level_stats: Vec::new(),
+            truncation: Some(Truncation {
+                limit: BudgetLimit::Passes,
+                site: "pass",
+                level: Some(1),
+                pass: Some(3),
+            }),
+            repair: Some(RepairRecord {
+                moves: 2,
+                cut_before: cut_now + 4,
+                cut_after: cut_now,
+                feasible: true,
+            }),
+        }
+    }
+
+    fn done_line(h: &Hypergraph) -> String {
+        let value: StartValue = Ok(outcome(h));
+        let retries = vec![RetryRecord {
+            start: 1,
+            attempt: 0,
+            message: "injected fault: panic@attempt:8 \"quoted\"".to_string(),
+            phase: Some("fm_refine".to_string()),
+        }];
+        record_line(&StartDone {
+            start: 1,
+            attempts: 2,
+            outcome: Ok(&value),
+            retries: &retries,
+            trace: &StartContribution::default(),
+        })
+    }
+
+    #[test]
+    fn record_round_trips_through_the_parser() {
+        let h = chain(8);
+        let line = done_line(&h);
+        let prior = parse_record(&line, &h, 2).expect("parses");
+        assert_eq!(prior.start, 1);
+        assert_eq!(prior.attempts, 2);
+        assert_eq!(prior.retries.len(), 1);
+        assert_eq!(prior.retries[0].attempt, 0);
+        assert!(prior.retries[0].message.contains("\"quoted\""));
+        let v = prior.outcome.expect("ok").expect("outcome");
+        assert_eq!(v.cut, outcome(&h).cut);
+        assert_eq!(v.partition.assignment(), outcome(&h).partition.assignment());
+        assert_eq!(v.truncation, outcome(&h).truncation);
+        assert_eq!(v.repair, outcome(&h).repair);
+        // Re-serializing the parsed record reproduces the bytes.
+        let value: StartValue = Ok(v);
+        let again = record_line(&StartDone {
+            start: prior.start,
+            attempts: prior.attempts,
+            outcome: Ok(&value),
+            retries: &prior.retries,
+            trace: &prior.trace,
+        });
+        assert_eq!(line, again);
+    }
+
+    #[test]
+    fn failed_and_config_error_outcomes_round_trip() {
+        let h = chain(8);
+        let failure = StartFailure {
+            start: 2,
+            message: "boom".to_string(),
+            phase: None,
+        };
+        let line = record_line(&StartDone::<StartValue> {
+            start: 2,
+            attempts: 3,
+            outcome: Err(&failure),
+            retries: &[],
+            trace: &StartContribution::default(),
+        });
+        let prior = parse_record(&line, &h, 2).expect("parses");
+        let f = prior.outcome.expect_err("failed");
+        assert_eq!((f.start, f.message.as_str()), (2, "boom"));
+
+        let value: StartValue = Err("unknown algorithm \"x\"".to_string());
+        let line = record_line(&StartDone {
+            start: 0,
+            attempts: 1,
+            outcome: Ok(&value),
+            retries: &[],
+            trace: &StartContribution::default(),
+        });
+        let prior = parse_record(&line, &h, 2).expect("parses");
+        assert_eq!(
+            prior.outcome.expect("ok").expect_err("config error"),
+            "unknown algorithm \"x\""
+        );
+    }
+
+    #[test]
+    fn load_round_trips_and_validates_headers() {
+        let h = chain(8);
+        let cfg = config();
+        let text = format!("{}\n{}\n", cfg.header_line(), done_line(&h));
+        let loaded = load(&text, &cfg, &h).expect("loads");
+        assert_eq!(loaded.resume.done.len(), 1);
+        assert_eq!(loaded.lines.get(&1), Some(&done_line(&h)));
+
+        // Any identity drift is a refusal, not a silent partial resume.
+        let mut other = config();
+        other.seed += 1;
+        let e = load(&text, &other, &h).expect_err("seed drift");
+        assert!(e.contains("different invocation"), "{e}");
+        let e = load("{\"schema\":\"mlpart-checkpoint-v0\"}\n", &cfg, &h).expect_err("version");
+        assert!(e.contains("schema version"), "{e}");
+        let e = load("not json\n", &cfg, &h).expect_err("garbage");
+        assert!(e.contains("not a mlpart checkpoint"), "{e}");
+        let e = load("", &cfg, &h).expect_err("empty");
+        assert!(e.contains("empty"), "{e}");
+    }
+
+    #[test]
+    fn load_rejects_corrupt_and_inconsistent_records() {
+        let h = chain(8);
+        let cfg = config();
+        let line = done_line(&h);
+        // Truncated record.
+        let text = format!("{}\n{}\n", cfg.header_line(), &line[..line.len() - 10]);
+        let e = load(&text, &cfg, &h).expect_err("truncated");
+        assert!(e.contains("checkpoint record 0"), "{e}");
+        // Stored cut disagreeing with the assignment.
+        let lied = line.replace("\"cut\":1,", "\"cut\":7,");
+        assert_ne!(line, lied, "fixture cut changed; update the test");
+        let text = format!("{}\n{lied}\n", cfg.header_line());
+        let e = load(&text, &cfg, &h).expect_err("cut lie");
+        assert!(e.contains("disagrees"), "{e}");
+        // Duplicate and out-of-range starts.
+        let text = format!("{}\n{line}\n{line}\n", cfg.header_line(), line = line);
+        let e = load(&text, &cfg, &h).expect_err("duplicate");
+        assert!(e.contains("twice"), "{e}");
+        let mut small = cfg.clone();
+        small.runs = 1;
+        let text = format!("{}\n{line}\n", small.header_line());
+        let e = load(&text, &small, &h).expect_err("out of range");
+        assert!(e.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn writer_persists_header_then_records_atomically() {
+        let h = chain(8);
+        let cfg = config();
+        let path = std::env::temp_dir().join(format!(
+            "mlpart-checkpoint-test-{}.jsonl",
+            std::process::id()
+        ));
+        let path_s = path.to_str().expect("utf8 temp path");
+        let w =
+            CheckpointWriter::create(path_s, cfg.header_line(), BTreeMap::new()).expect("creates");
+        // Header-only file is already a loadable (empty) checkpoint.
+        let text = std::fs::read_to_string(&path).expect("written");
+        assert_eq!(load(&text, &cfg, &h).expect("loads").resume.done.len(), 0);
+        let value: StartValue = Ok(outcome(&h));
+        w.record(&StartDone {
+            start: 1,
+            attempts: 1,
+            outcome: Ok(&value),
+            retries: &[],
+            trace: &StartContribution::default(),
+        });
+        assert!(w.error().is_none());
+        let text = std::fs::read_to_string(&path).expect("written");
+        let loaded = load(&text, &cfg, &h).expect("loads");
+        assert_eq!(loaded.resume.done.len(), 1);
+        assert_eq!(loaded.resume.done[0].start, 1);
+        let _ = std::fs::remove_file(&path);
+
+        // A hostile path latches an error instead of panicking a worker.
+        let bad = CheckpointWriter::create(
+            "/nonexistent-dir/ckpt.jsonl",
+            cfg.header_line(),
+            BTreeMap::new(),
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn header_excludes_threads_and_pins_everything_normative() {
+        let cfg = config();
+        let line = cfg.header_line();
+        assert!(line.starts_with("{\"schema\":\"mlpart-checkpoint-v1\""));
+        assert!(!line.contains("threads"), "threads must not be identity");
+        assert!(line.contains(&format!("\"seed\":{}", u64::MAX - 1)));
+        for key in [
+            "circuit",
+            "algo",
+            "\"k\":",
+            "epsilon",
+            "fixed",
+            "ratio",
+            "threshold",
+            "runs",
+            "retries",
+            "degraded_passes",
+            "max_moves",
+            "max_passes",
+            "max_levels",
+            "deadline_secs",
+            "traced",
+        ] {
+            assert!(line.contains(key), "header must pin {key}: {line}");
+        }
+    }
+}

@@ -8,7 +8,10 @@
 //! * [`fm`] — FM/CLIP iterative engines with LIFO/FIFO/Random buckets;
 //! * [`cluster`] — `Match` coarsening, `Induce`, `Project`, rebalancing;
 //! * [`core`] — the ML multilevel algorithm (bipartitioning + quadrisection);
-//! * [`exec`] — deterministic parallel execution of independent starts;
+//! * [`exec`] — deterministic parallel execution of independent starts,
+//!   including supervised retries and resumable batches;
+//! * [`checkpoint`] — the `mlpart-checkpoint-v1` on-disk format behind
+//!   `mlpart --checkpoint/--resume`;
 //! * [`kway`] — Sanchis-style k-way FM without lookahead;
 //! * [`lsmc`] — the Large-Step Markov Chain baseline;
 //! * [`place`] — the GORDIAN-analogue quadratic placer;
@@ -39,6 +42,8 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+
 pub use mlpart_cluster as cluster;
 pub use mlpart_core as core;
 pub use mlpart_exec as exec;
@@ -65,8 +70,14 @@ pub use mlpart_core::{
     recursive_ml_partition, recursive_ml_partition_budgeted_in, Budget, BudgetLimit, BudgetMeter,
     LevelStats, MlConfig, MlKwayConfig, PreflightError, Truncation,
 };
-pub use mlpart_exec::{BatchResult, ExecError, RunOutcome, StartFailure};
-pub use mlpart_fm::{fm_partition, BucketPolicy, Engine, FmConfig, PassStats, RefineWorkspace};
+pub use mlpart_exec::{
+    run_supervised, Attempt, BatchResult, ExecError, PriorStart, ResumeState, RetryPolicy,
+    RetryRecord, RunOutcome, Sink, StartDone, StartFailure, SupervisedBatch, ATTEMPT_STRIDE,
+};
+pub use mlpart_fm::{
+    fm_partition, repair_to_feasible, BucketPolicy, Engine, FmConfig, PassStats, RefineWorkspace,
+    RepairRecord,
+};
 pub use mlpart_hypergraph::{
     adapted_epsilon, BipartBalance, Constraints, ConstraintsError, Hypergraph, HypergraphBuilder,
     KwayBalance, ModuleId, NetId, PartBounds, Partition, DEFAULT_EPSILON,
